@@ -1,0 +1,166 @@
+(* Ablations of the design choices DESIGN.md calls out:
+
+   1. the ⊕ reduction of Eq. 11: max (the paper's §5.2 choice) vs sum;
+   2. the error metric of the cost function: ULP vs absolute vs relative
+      (the paper's Figure 2 motivates ULPs) — run on log, whose outputs
+      cross zero, which is exactly where the three metrics disagree;
+   3. the annealing constant β of Eq. 4 (β→0 degenerates to a random walk,
+      β→∞ to greedy hill-climbing);
+   4. the proposal σ of the validation Gaussian (Eq. 16). *)
+
+let spec = Kernels.Libimf.log_spec
+let eta = Ulp.of_float 1e10
+
+let describe name (r : Search.Optimizer.result) rewrite =
+  Printf.printf "%-8s %6d %8d %7.1f%%\n" name (Program.length rewrite)
+    (Latency.of_program rewrite)
+    (100.
+    *. float_of_int r.Search.Optimizer.accepted
+    /. float_of_int (Stdlib.max 1 r.Search.Optimizer.proposals_made))
+
+let search_with ?(params = Search.Cost.default_params ~eta)
+    ?(strategy = Search.Strategy.Mcmc { beta = 1.0 }) ~seed () =
+  let tests = Stoke.make_tests ~n:24 ~seed:201L spec in
+  let ctx = Search.Cost.create spec params tests in
+  let config =
+    { (Util.search_config ~proposals:40_000 ~seed ()) with
+      Search.Optimizer.strategy }
+  in
+  let r = Search.Optimizer.run ctx config in
+  (r, Util.best_rewrite spec r)
+
+let ablate_reduction () =
+  Util.subheading "ablation: eq reduction operator (max vs sum), log @ eta=1e10";
+  Printf.printf "%-8s %6s %8s %8s\n" "op" "LOC" "cycles" "accept";
+  List.iter
+    (fun (name, reduction) ->
+      let params = { (Search.Cost.default_params ~eta) with Search.Cost.reduction } in
+      let r, rewrite = search_with ~params ~seed:211L () in
+      describe name r rewrite)
+    [ ("max", Search.Cost.Max); ("sum", Search.Cost.Sum) ]
+
+let ablate_metric () =
+  Util.subheading "ablation: error metric (ULP vs abs vs rel), log @ eta=1e10";
+  Printf.printf "%-8s %6s %8s %8s %18s\n" "metric" "LOC" "cycles" "accept"
+    "true-max-ULP-err";
+  List.iter
+    (fun (name, metric) ->
+      let params = { (Search.Cost.default_params ~eta) with Search.Cost.metric } in
+      let r, rewrite = search_with ~params ~seed:212L () in
+      (* measure the chosen rewrite's actual ULP error regardless of the
+         metric used during search *)
+      let v =
+        Validate.Driver.run
+          ~config:(Util.validate_config ~proposals:20_000 ())
+          ~eta
+          (Validate.Errfn.create spec ~rewrite)
+      in
+      Printf.printf "%-8s %6d %8d %7.1f%% %18s\n" name (Program.length rewrite)
+        (Latency.of_program rewrite)
+        (100.
+        *. float_of_int r.Search.Optimizer.accepted
+        /. float_of_int (Stdlib.max 1 r.Search.Optimizer.proposals_made))
+        (Ulp.to_string v.Validate.Driver.max_err))
+    [ ("ulp", Search.Cost.Ulp_metric); ("abs", Search.Cost.Abs_metric);
+      ("rel", Search.Cost.Rel_metric) ]
+
+let ablate_beta () =
+  Util.subheading
+    "ablation: annealing constant beta (Eq. 4), log @ eta=1e10";
+  Printf.printf "%-8s %6s %8s %8s\n" "beta" "LOC" "cycles" "accept";
+  List.iter
+    (fun beta ->
+      let r, rewrite =
+        search_with ~strategy:(Search.Strategy.Mcmc { beta }) ~seed:213L ()
+      in
+      describe (Printf.sprintf "%g" beta) r rewrite)
+    [ 1e-6; 0.01; 1.0; 1e6 ]
+
+let ablate_sigma () =
+  Util.subheading "ablation: validation proposal sigma (Eq. 16), truncated exp";
+  let instrs = Program.instrs Kernels.S3d.exp_program in
+  let truncated =
+    Program.of_instrs (List.filteri (fun i _ -> i < 15 || i >= 19) instrs)
+  in
+  Printf.printf "%-6s %16s %10s %8s\n" "sigma" "max-ULP-found" "iterations"
+    "mixed";
+  List.iter
+    (fun sigma ->
+      let config =
+        { (Util.validate_config ~proposals:30_000 ()) with Validate.Driver.sigma }
+      in
+      let v =
+        Validate.Driver.run ~config ~eta:0L
+          (Validate.Errfn.create Kernels.S3d.exp_spec ~rewrite:truncated)
+      in
+      Printf.printf "%-6.2f %16s %10d %8b\n" sigma
+        (Ulp.to_string v.Validate.Driver.max_err)
+        v.Validate.Driver.iterations v.Validate.Driver.mixed)
+    [ 0.05; 0.5; 1.0; 3.0 ]
+
+let ablate_perf_model () =
+  Util.subheading
+    "ablation: perf model (latency sum vs critical path), log @ eta=1e10";
+  Printf.printf "%-6s %6s %8s %8s %8s\n" "model" "LOC" "sum" "path" "accept";
+  List.iter
+    (fun (name, perf_model) ->
+      let params = { (Search.Cost.default_params ~eta) with Search.Cost.perf_model } in
+      let r, rewrite = search_with ~params ~seed:214L () in
+      Printf.printf "%-6s %6d %8d %8d %7.1f%%\n" name (Program.length rewrite)
+        (Latency.of_program rewrite)
+        (Critical_path.of_program rewrite)
+        (100.
+        *. float_of_int r.Search.Optimizer.accepted
+        /. float_of_int (Stdlib.max 1 r.Search.Optimizer.proposals_made)))
+    [ ("sum", Search.Cost.Sum_latency); ("path", Search.Cost.Critical_path) ]
+
+(* Baseline comparison (§7's related work): mechanical double→single
+   lowering versus STOKE at the single-precision budget η = 5e9. *)
+let baseline_lowering () =
+  Util.subheading
+    "baseline: mechanical f64->f32 lowering vs STOKE @ eta_single";
+  Printf.printf "%-8s %-28s %6s %8s %16s\n" "kernel" "method" "LOC" "cycles"
+    "validated-err";
+  List.iter
+    (fun (name, (kspec : Sandbox.Spec.t)) ->
+      let validated rewrite =
+        let v =
+          Validate.Driver.run
+            ~config:(Util.validate_config ~proposals:20_000 ())
+            ~eta:Ulp.eta_single
+            (Validate.Errfn.create kspec ~rewrite)
+        in
+        Ulp.to_string v.Validate.Driver.max_err
+      in
+      Printf.printf "%-8s %-28s %6d %8d %16s\n" name "target (double)"
+        (Program.length kspec.Sandbox.Spec.program)
+        (Latency.of_program kspec.Sandbox.Spec.program)
+        "0";
+      (match Lowering.lower_to_single kspec.Sandbox.Spec.program ~abi:[ Reg.Xmm0 ] with
+       | Ok lowered ->
+         Printf.printf "%-8s %-28s %6d %8d %16s\n" name "mechanical lowering"
+           (Program.length lowered) (Latency.of_program lowered)
+           (validated lowered)
+       | Error e -> Printf.printf "%-8s %-28s %s\n" name "mechanical lowering" e);
+      let tests = Stoke.make_tests ~n:24 ~seed:201L kspec in
+      let ctx =
+        Search.Cost.create kspec (Search.Cost.default_params ~eta:Ulp.eta_single) tests
+      in
+      let r =
+        Search.Optimizer.run ctx (Util.search_config ~proposals:40_000 ~seed:215L ())
+      in
+      let rewrite = Util.best_rewrite kspec r in
+      Printf.printf "%-8s %-28s %6d %8d %16s\n" name "STOKE @ eta=5e9"
+        (Program.length rewrite) (Latency.of_program rewrite)
+        (validated rewrite))
+    [ ("sin", Kernels.Libimf.sin_spec); ("tan", Kernels.Libimf.tan_spec);
+      ("log", Kernels.Libimf.log_spec) ]
+
+let run () =
+  Util.heading "Ablation benches";
+  ablate_reduction ();
+  ablate_metric ();
+  ablate_beta ();
+  ablate_perf_model ();
+  ablate_sigma ();
+  baseline_lowering ()

@@ -1,0 +1,115 @@
+(* §5.1-style throughput microbenchmarks (bechamel): test-case dispatch
+   rate through the sandbox, proposal rate, and ULP-distance rate.  The
+   paper's JIT reaches ~1M test cases/s on native hardware; our interpreter
+   is the documented substitution, so the point of this bench is to report
+   the actual substrate cost.  Also a Geweke-diagnostic trace for a
+   validation chain (§5.3). *)
+
+open Bechamel
+open Toolkit
+
+let dispatch_test =
+  let spec = Kernels.S3d.exp_spec in
+  let machine = Sandbox.Machine.create ~mem_size:spec.Sandbox.Spec.mem_size () in
+  let pristine = Sandbox.Machine.copy machine in
+  let tc = Sandbox.Spec.testcase_of_floats spec [| -1.25 |] in
+  Test.make ~name:"exp kernel dispatch (48 instrs)"
+    (Staged.stage (fun () ->
+         Sandbox.Machine.restore_from ~src:pristine ~dst:machine;
+         Sandbox.Testcase.apply tc machine;
+         ignore (Sandbox.Exec.run machine spec.Sandbox.Spec.program)))
+
+let dot_dispatch_test =
+  let spec = Kernels.Aek_kernels.dot_spec in
+  let runner = Apps.Kernel_runner.create () in
+  let v = Apps.Vec3.make 1. 2. 3. in
+  Test.make ~name:"dot kernel dispatch (8 instrs)"
+    (Staged.stage (fun () ->
+         ignore (Apps.Kernel_runner.dot runner spec.Sandbox.Spec.program v v)))
+
+let proposal_test =
+  let spec = Kernels.S3d.exp_spec in
+  let pools = Search.Pools.make ~target:spec.Sandbox.Spec.program ~spec in
+  let g = Rng.Xoshiro256.create 7L in
+  let p = Program.with_padding 4 (Program.instrs spec.Sandbox.Spec.program) in
+  Test.make ~name:"transform propose+undo"
+    (Staged.stage (fun () ->
+         match Search.Transform.propose g pools p with
+         | None -> ()
+         | Some (_, u) -> Search.Transform.undo p u))
+
+let ulp_test =
+  let g = Rng.Xoshiro256.create 9L in
+  Test.make ~name:"ULP distance"
+    (Staged.stage (fun () ->
+         ignore
+           (Ulp.dist64
+              (Rng.Dist.uniform_bits_double g)
+              (Rng.Dist.uniform_bits_double g))))
+
+let encode_test =
+  let p = Kernels.S3d.exp_program in
+  Test.make ~name:"encode exp kernel to bytes"
+    (Staged.stage (fun () -> ignore (Encoder.encode_program p)))
+
+let run_bechamel () =
+  let tests =
+    [ dispatch_test; dot_dispatch_test; proposal_test; ulp_test; encode_test ]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.8) ~kde:(Some 1000) ()
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:Measure.[| run |]
+  in
+  Printf.printf "%-36s %14s %14s\n" "benchmark" "ns/op" "ops/s";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let results = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] ->
+            Printf.printf "%-36s %14.1f %14.0f\n" name est (1e9 /. est)
+          | _ -> Printf.printf "%-36s (no estimate)\n" name)
+        results)
+    tests
+
+let run_geweke_trace () =
+  Util.subheading "Geweke diagnostic trace for a validation chain";
+  (* exp with its last refinement dropped, eta 0 *)
+  let instrs = Program.instrs Kernels.S3d.exp_program in
+  let truncated = Program.of_instrs (List.filteri (fun i _ -> i < 15 || i >= 19) instrs) in
+  let e = Validate.Errfn.create Kernels.S3d.exp_spec ~rewrite:truncated in
+  let g = Rng.Xoshiro256.create 77L in
+  let proposal = Validate.Proposal.create Kernels.S3d.exp_spec in
+  let cur = ref (Validate.Proposal.initial g proposal) in
+  let cur_err = ref (Validate.Errfn.eval e !cur) in
+  let samples = ref [] in
+  Printf.printf "%-10s %12s %10s\n" "samples" "|Z|" "mixed";
+  for iter = 1 to Util.scaled 50_000 do
+    let cand = Validate.Proposal.step g proposal !cur in
+    let err = Validate.Errfn.eval e cand in
+    if
+      err >= !cur_err
+      || Rng.Dist.float g 1.0 < (err +. 1.) /. (!cur_err +. 1.)
+    then begin
+      cur := cand;
+      cur_err := err
+    end;
+    samples := !cur_err :: !samples;
+    if iter mod Util.scaled 10_000 = 0 then begin
+      let chain = Array.of_list (List.rev !samples) in
+      let v = Stats.Geweke.z_statistic chain in
+      Printf.printf "%-10d %12.4f %10b\n" iter
+        (Float.abs v.Stats.Geweke.z)
+        (Stats.Geweke.converged ~threshold:0.5 v)
+    end
+  done
+
+let run () =
+  Util.heading "Throughput microbenchmarks (bechamel) and Geweke trace";
+  run_bechamel ();
+  run_geweke_trace ()

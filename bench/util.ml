@@ -1,0 +1,55 @@
+(* Shared helpers for the benchmark harness.
+
+   Budgets here are deliberately far below the paper's 10M-proposal /
+   100M-sample runs so the whole suite regenerates in minutes; every budget
+   can be scaled with the STOKE_BENCH_SCALE environment variable (e.g.
+   STOKE_BENCH_SCALE=10 for a 10x longer run). *)
+
+let scale =
+  match Sys.getenv_opt "STOKE_BENCH_SCALE" with
+  | None -> 1.0
+  | Some s -> (try float_of_string s with _ -> 1.0)
+
+let scaled n = int_of_float (float_of_int n *. scale)
+
+let search_config ?(proposals = 40_000) ?(seed = 1L) () =
+  {
+    Search.Optimizer.default_config with
+    Search.Optimizer.proposals = scaled proposals;
+    seed;
+  }
+
+let validate_config ?(proposals = 60_000) () =
+  {
+    Validate.Driver.default_config with
+    Validate.Driver.max_proposals = scaled proposals;
+    min_samples = scaled 15_000;
+    check_every = scaled 15_000;
+  }
+
+let heading title =
+  Printf.printf "\n============================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "============================================================\n"
+
+let subheading title = Printf.printf "\n--- %s ---\n" title
+
+let eta_to_string = Ulp.to_string
+
+(* Best η-correct rewrite of a spec (falling back to the target). *)
+let best_rewrite (spec : Sandbox.Spec.t) result =
+  match result.Search.Optimizer.best_correct with
+  | Some p when Latency.of_program p <= Latency.of_program spec.Sandbox.Spec.program -> p
+  | _ -> spec.Sandbox.Spec.program
+
+let speedup_of (spec : Sandbox.Spec.t) rewrite =
+  float_of_int (Latency.of_program spec.Sandbox.Spec.program)
+  /. float_of_int (Stdlib.max 1 (Latency.of_program rewrite))
+
+(* A coarse log-spaced input grid across a 1-D kernel's range. *)
+let input_grid (spec : Sandbox.Spec.t) n =
+  let r = (Sandbox.Spec.input_ranges spec).(0) in
+  Array.init n (fun i ->
+      r.Sandbox.Spec.lo
+      +. ((r.Sandbox.Spec.hi -. r.Sandbox.Spec.lo) *. float_of_int i
+          /. float_of_int (n - 1)))

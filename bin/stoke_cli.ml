@@ -1,0 +1,419 @@
+(* stoke — command-line driver for the STOKE-FP reproduction.
+
+   Subcommands: list, show, optimize, refine, validate, verify, sweep,
+   encode, disasm, raytrace, diffusion. *)
+
+open Cmdliner
+
+let kernel_registry =
+  Kernels.Libimf.all
+  @ [ ("s3d_exp", Kernels.S3d.exp_spec) ]
+  @ Kernels.Aek_kernels.all_specs
+
+let find_kernel name =
+  match List.assoc_opt name kernel_registry with
+  | Some spec -> Ok spec
+  | None ->
+    Error
+      (Printf.sprintf "unknown kernel %S (try: %s)" name
+         (String.concat ", " (List.map fst kernel_registry)))
+
+let kernel_arg =
+  let doc = "Kernel name (see $(b,stoke list))." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"KERNEL" ~doc)
+
+let eta_arg =
+  let doc = "Precision budget η in ULPs (e.g. 1e6)." in
+  Arg.(value & opt float 0. & info [ "eta" ] ~docv:"ULPS" ~doc)
+
+let proposals_arg =
+  let doc = "Search proposal budget." in
+  Arg.(value & opt int 200_000 & info [ "proposals" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "Random seed." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let rewrite_file_arg =
+  let doc = "Assembly file holding a rewrite (defaults to the target)." in
+  Arg.(value & opt (some file) None & info [ "rewrite" ] ~docv:"FILE" ~doc)
+
+let read_program path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  Parser.parse_program_exn s
+
+let exit_err msg =
+  Printf.eprintf "stoke: %s\n" msg;
+  exit 1
+
+(* ----- list ----- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (name, spec) ->
+        let p = spec.Sandbox.Spec.program in
+        Printf.printf "%-8s %3d LOC  %4d cycles  arity %d\n" name
+          (Program.length p) (Latency.of_program p) (Sandbox.Spec.arity spec))
+      kernel_registry
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the built-in benchmark kernels")
+    Term.(const run $ const ())
+
+(* ----- show ----- *)
+
+let show_cmd =
+  let run name =
+    match find_kernel name with
+    | Error e -> exit_err e
+    | Ok spec ->
+      let p = spec.Sandbox.Spec.program in
+      Printf.printf "# %s: %d LOC, %d cycles (static latency model)\n" name
+        (Program.length p) (Latency.of_program p);
+      print_endline (Program.to_string p)
+  in
+  Cmd.v (Cmd.info "show" ~doc:"Print a kernel's target assembly")
+    Term.(const run $ kernel_arg)
+
+(* ----- optimize ----- *)
+
+let optimize_cmd =
+  let run name eta proposals seed domains out =
+    match find_kernel name with
+    | Error e -> exit_err e
+    | Ok spec ->
+      let config =
+        {
+          Search.Optimizer.default_config with
+          Search.Optimizer.proposals;
+          seed = Int64.of_int seed;
+        }
+      in
+      let result =
+        if domains <= 1 then Stoke.optimize ~config ~eta:(Ulp.of_float eta) spec
+        else begin
+          let tests = Stoke.make_tests ~seed:(Int64.of_int (seed + 100)) spec in
+          Search.Parallel.run ~domains ~spec
+            ~params:(Search.Cost.default_params ~eta:(Ulp.of_float eta))
+            ~tests ~config ()
+        end
+      in
+      let target = spec.Sandbox.Spec.program in
+      (match result.Search.Optimizer.best_correct with
+       | None -> print_endline "no η-correct rewrite found"
+       | Some p ->
+         Printf.printf
+           "# target %d LOC / %d cycles -> rewrite %d LOC / %d cycles (%.2fx)\n"
+           (Program.length target) (Latency.of_program target)
+           (Program.length p) (Latency.of_program p)
+           (float_of_int (Latency.of_program target)
+           /. float_of_int (max 1 (Latency.of_program p)));
+         let text = Program.to_string p in
+         (match out with
+          | None -> print_endline text
+          | Some path ->
+            let oc = open_out path in
+            output_string oc (text ^ "\n");
+            close_out oc;
+            Printf.printf "# written to %s\n" path))
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE")
+  in
+  let domains_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Run N independent parallel search chains (OCaml domains).")
+  in
+  Cmd.v
+    (Cmd.info "optimize" ~doc:"Search for a faster η-correct rewrite")
+    Term.(
+      const run $ kernel_arg $ eta_arg $ proposals_arg $ seed_arg $ domains_arg
+      $ out_arg)
+
+(* ----- refine ----- *)
+
+let refine_cmd =
+  let run name eta proposals seed =
+    match find_kernel name with
+    | Error e -> exit_err e
+    | Ok spec ->
+      let config =
+        {
+          Search.Optimizer.default_config with
+          Search.Optimizer.proposals;
+          seed = Int64.of_int seed;
+        }
+      in
+      let r =
+        Stoke.optimize_refined ~config ~seed:(Int64.of_int seed)
+          ~eta:(Ulp.of_float eta) spec
+      in
+      Printf.printf "rounds: %d, counterexamples fed back: %d\n" r.Stoke.rounds
+        r.Stoke.counterexamples;
+      (match r.Stoke.rewrite with
+       | None -> print_endline "no validated rewrite survived refinement"
+       | Some p ->
+         Printf.printf "# validated rewrite: %d LOC / %d cycles (target %d/%d)\n"
+           (Program.length p) (Latency.of_program p)
+           (Program.length spec.Sandbox.Spec.program)
+           (Latency.of_program spec.Sandbox.Spec.program);
+         print_endline (Program.to_string p));
+      match r.Stoke.verdict with
+      | None -> ()
+      | Some v ->
+        Printf.printf "# validation: max error %s ULPs, mixed %b\n"
+          (Ulp.to_string v.Validate.Driver.max_err)
+          v.Validate.Driver.mixed
+  in
+  Cmd.v
+    (Cmd.info "refine"
+       ~doc:
+         "Counterexample-refined optimization: search, validate, feed failures \
+          back into the test set, repeat")
+    Term.(const run $ kernel_arg $ eta_arg $ proposals_arg $ seed_arg)
+
+(* ----- validate ----- *)
+
+let validate_cmd =
+  let run name eta rewrite_file proposals chains =
+    match find_kernel name with
+    | Error e -> exit_err e
+    | Ok spec ->
+      let rewrite =
+        match rewrite_file with
+        | None -> spec.Sandbox.Spec.program
+        | Some path -> read_program path
+      in
+      if chains <= 1 then begin
+        let config =
+          {
+            Validate.Driver.default_config with
+            Validate.Driver.max_proposals = proposals;
+          }
+        in
+        let v = Stoke.validate ~config ~eta:(Ulp.of_float eta) spec rewrite in
+        Printf.printf
+          "max observed error: %s ULPs (at input %s)\nmixed: %b (Geweke Z = %.3f after %d iterations)\nvalidated within η: %b\n"
+          (Ulp.to_string v.Validate.Driver.max_err)
+          (String.concat ", "
+             (Array.to_list
+                (Array.map (Printf.sprintf "%g") v.Validate.Driver.max_err_input)))
+          v.Validate.Driver.mixed v.Validate.Driver.geweke_z
+          v.Validate.Driver.iterations v.Validate.Driver.validated
+      end
+      else begin
+        let config =
+          {
+            Validate.Multi_chain.default_config with
+            Validate.Multi_chain.chains;
+            proposals_per_chain = proposals / chains;
+          }
+        in
+        let errfn = Validate.Errfn.create spec ~rewrite in
+        let v = Validate.Multi_chain.run ~config ~eta:(Ulp.of_float eta) errfn in
+        Printf.printf
+          "max observed error: %s ULPs across %d chains (per-chain: %s)\nmixed: %b (Gelman-Rubin R-hat = %.4f)\nvalidated within η: %b\n"
+          (Ulp.to_string v.Validate.Multi_chain.max_err)
+          chains
+          (String.concat ", "
+             (Array.to_list (Array.map Ulp.to_string v.Validate.Multi_chain.per_chain_max)))
+          v.Validate.Multi_chain.mixed v.Validate.Multi_chain.r_hat
+          v.Validate.Multi_chain.validated
+      end
+  in
+  let chains_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "chains" ] ~docv:"N"
+          ~doc:
+            "Run N independent validation chains and judge mixing with the \
+             Gelman-Rubin R-hat instead of the single-chain Geweke test.")
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:"MCMC-validate a rewrite's maximum ULP error against the target")
+    Term.(
+      const run $ kernel_arg $ eta_arg $ rewrite_file_arg $ proposals_arg
+      $ chains_arg)
+
+(* ----- verify ----- *)
+
+let verify_cmd =
+  let run name eta rewrite_file =
+    match find_kernel name with
+    | Error e -> exit_err e
+    | Ok spec ->
+      let rewrite =
+        match rewrite_file with
+        | None -> spec.Sandbox.Spec.program
+        | Some path -> read_program path
+      in
+      let outcome = Stoke.verify ~eta:(Ulp.of_float eta) spec rewrite in
+      print_endline (Verify.Verifier.outcome_to_string outcome)
+  in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Attempt static verification (symbolic/interval)")
+    Term.(const run $ kernel_arg $ eta_arg $ rewrite_file_arg)
+
+(* ----- sweep ----- *)
+
+let sweep_cmd =
+  let run name proposals seed validate_results =
+    match find_kernel name with
+    | Error e -> exit_err e
+    | Ok spec ->
+      let config =
+        {
+          Search.Optimizer.default_config with
+          Search.Optimizer.proposals;
+          seed = Int64.of_int seed;
+        }
+      in
+      let points =
+        Stoke.precision_sweep ~config ~validate_results ~seed:(Int64.of_int seed)
+          spec
+      in
+      Printf.printf "%-12s %6s %8s %8s %s\n" "eta" "LOC" "cycles" "speedup"
+        "validated-err";
+      List.iter
+        (fun (p : Stoke.sweep_point) ->
+          Printf.printf "%-12s %6d %8d %8.2f %s\n"
+            (Ulp.to_string p.Stoke.eta)
+            p.Stoke.loc p.Stoke.latency p.Stoke.speedup
+            (match p.Stoke.validated_err with
+             | None -> "-"
+             | Some e -> Ulp.to_string e))
+        points
+  in
+  let validate_flag =
+    Arg.(value & flag & info [ "validate" ] ~doc:"Also validate each point.")
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Precision sweep over the η grid (Figure 4/5)")
+    Term.(const run $ kernel_arg $ proposals_arg $ seed_arg $ validate_flag)
+
+(* ----- encode ----- *)
+
+let encode_cmd =
+  let run path =
+    let p = read_program path in
+    List.iter
+      (fun i ->
+        match Encoder.encode_instr i with
+        | Ok bytes ->
+          Printf.printf "%-40s %s\n" (Instr.to_string i) (Encoder.hex bytes)
+        | Error e -> Printf.printf "%-40s <unencodable: %s>\n" (Instr.to_string i) e)
+      (Program.instrs p)
+  in
+  let file_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  Cmd.v
+    (Cmd.info "encode" ~doc:"Assemble a program to machine-code bytes")
+    Term.(const run $ file_arg)
+
+(* ----- disasm ----- *)
+
+let disasm_cmd =
+  let run path =
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let bytes = really_input_string ic len in
+    close_in ic;
+    match Decoder.disassemble bytes with
+    | Ok text -> print_endline text
+    | Error e -> exit_err e
+  in
+  let file_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  Cmd.v
+    (Cmd.info "disasm" ~doc:"Disassemble raw machine-code bytes")
+    Term.(const run $ file_arg)
+
+(* ----- raytrace ----- *)
+
+let raytrace_cmd =
+  let run out width height samples variant seed =
+    let ops =
+      match variant with
+      | "native" -> Apps.Raytracer.native_ops ()
+      | "target" -> Apps.Raytracer.kernel_ops Apps.Raytracer.target_kernels
+      | "rewrite" ->
+        Apps.Raytracer.kernel_ops
+          {
+            Apps.Raytracer.k_scale = Kernels.Aek_kernels.scale_rewrite;
+            k_dot = Kernels.Aek_kernels.dot_rewrite;
+            k_add = Kernels.Aek_kernels.add_rewrite;
+            k_delta = Kernels.Aek_kernels.delta_rewrite;
+          }
+      | "invalid" ->
+        Apps.Raytracer.kernel_ops
+          {
+            Apps.Raytracer.target_kernels with
+            Apps.Raytracer.k_delta = Kernels.Aek_kernels.delta_prime;
+          }
+      | other -> exit_err (Printf.sprintf "unknown variant %S" other)
+    in
+    let img, stats =
+      Apps.Raytracer.render ~width ~height ~samples ~seed:(Int64.of_int seed) ops
+    in
+    Apps.Ppm.write img out;
+    Printf.printf "wrote %s (%dx%d, %d samples): %d kernel calls, %d cycles\n"
+      out width height samples stats.Apps.Raytracer.kernel_calls
+      stats.Apps.Raytracer.kernel_cycles
+  in
+  let out_arg =
+    Arg.(value & opt string "aek.ppm" & info [ "o"; "output" ] ~docv:"FILE")
+  in
+  let w_arg = Arg.(value & opt int 64 & info [ "width" ]) in
+  let h_arg = Arg.(value & opt int 48 & info [ "height" ]) in
+  let s_arg = Arg.(value & opt int 6 & info [ "samples" ]) in
+  let variant_arg =
+    Arg.(
+      value
+      & opt string "target"
+      & info [ "kernels" ] ~docv:"native|target|rewrite|invalid")
+  in
+  Cmd.v
+    (Cmd.info "raytrace" ~doc:"Render the aek scene through chosen kernels")
+    Term.(const run $ out_arg $ w_arg $ h_arg $ s_arg $ variant_arg $ seed_arg)
+
+(* ----- diffusion ----- *)
+
+let diffusion_cmd =
+  let run rewrite_file =
+    let baseline = Apps.Diffusion.run Apps.Diffusion.default_config in
+    Printf.printf
+      "target:  checksum %.9e, %d exp calls, %d exp cycles, %d total cycles\n"
+      baseline.Apps.Diffusion.checksum baseline.Apps.Diffusion.exp_calls
+      baseline.Apps.Diffusion.exp_cycles baseline.Apps.Diffusion.total_cycles;
+    match rewrite_file with
+    | None -> ()
+    | Some path ->
+      let p = read_program path in
+      let o = Apps.Diffusion.run ~exp_program:p Apps.Diffusion.default_config in
+      Printf.printf
+        "rewrite: checksum %.9e, %d total cycles -> task speedup %.2fx, tolerated: %b\n"
+        o.Apps.Diffusion.checksum o.Apps.Diffusion.total_cycles
+        (Apps.Diffusion.speedup ~baseline o)
+        (Apps.Diffusion.tolerates ~baseline o)
+  in
+  Cmd.v
+    (Cmd.info "diffusion" ~doc:"Run the S3D diffusion leaf task")
+    Term.(const run $ rewrite_file_arg)
+
+let main =
+  let info =
+    Cmd.info "stoke" ~version:"1.0.0"
+      ~doc:"Stochastic optimization of floating-point programs with tunable precision"
+  in
+  Cmd.group info
+    [
+      list_cmd; show_cmd; optimize_cmd; refine_cmd; validate_cmd; verify_cmd;
+      sweep_cmd;
+      encode_cmd; disasm_cmd; raytrace_cmd; diffusion_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,64 @@
+(* The paper's introductory scenario (§1): "Consider the typical task of
+   building a customized implementation of the exponential function, which
+   must be correct only to 48-bits of precision and defined only for
+   positive inputs less than 100.  An expert could certainly craft this
+   kernel at the assembly level, however the process is tedious and error
+   prone..."
+
+   This example does it automatically: start from the full double-precision
+   (53-bit) libimf-style exp, set eta = 2^5 = 32 ULPs (dropping 5 of the 53
+   significand bits leaves 48 correct bits), restrict inputs to (0, 100),
+   and let the search find the cheaper kernel.
+
+   Run with: dune exec examples/intro_example.exe *)
+
+let bits_of_eta eta =
+  (* eta = 2^k ULPs ~ 53 - k correct significand bits *)
+  53. -. (Float.log (Ulp.to_float eta +. 1.) /. Float.log 2.)
+
+let () =
+  let spec = Kernels.Libimf.exp_spec in
+  let target = spec.Sandbox.Spec.program in
+  let eta = 32L in
+  Printf.printf
+    "custom exp: inputs (0, 100), requested precision %.0f bits (eta = %s ULPs)\n"
+    (bits_of_eta eta) (Ulp.to_string eta);
+  Printf.printf "full-precision target: %d instructions, %d cycles\n\n"
+    (Program.length target) (Latency.of_program target);
+  let r =
+    Stoke.optimize_refined
+      ~config:
+        {
+          Search.Optimizer.default_config with
+          Search.Optimizer.proposals = 120_000;
+          restarts = 2;
+        }
+      ~validation:
+        {
+          Validate.Driver.default_config with
+          Validate.Driver.max_proposals = 150_000;
+          min_samples = 40_000;
+          check_every = 20_000;
+        }
+      ~seed:5L ~eta spec
+  in
+  match r.Stoke.rewrite with
+  | None ->
+    Printf.printf
+      "no validated rewrite after %d rounds (%d counterexamples) — try a larger budget\n"
+      r.Stoke.rounds r.Stoke.counterexamples
+  | Some p ->
+    Printf.printf "48-bit exp: %d instructions, %d cycles (%.2fx)\n"
+      (Program.length p) (Latency.of_program p)
+      (float_of_int (Latency.of_program target)
+      /. float_of_int (max 1 (Latency.of_program p)));
+    (match r.Stoke.verdict with
+     | Some v ->
+       Printf.printf
+         "validated: max observed error %s ULPs (~%.1f correct bits) after %d refinement round(s)\n"
+         (Ulp.to_string v.Validate.Driver.max_err)
+         (bits_of_eta v.Validate.Driver.max_err)
+         r.Stoke.rounds
+     | None -> print_endline "rewrite equals the target (trivially valid)");
+    print_newline ();
+    print_endline (Program.to_string p)

@@ -1,0 +1,48 @@
+(* Precision sweep: regenerate a Figure-4-style LOC/speedup curve for one
+   libimf kernel, writing a CSV that can be plotted directly.
+
+   Run with: dune exec examples/precision_sweep.exe -- [sin|cos|log|tan]
+
+   This is the paper's "variable-precision libimf" story: from a single
+   double-precision implementation, generate the whole family of
+   reduced-precision variants automatically. *)
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "sin" in
+  let spec =
+    match List.assoc_opt name Kernels.Libimf.all with
+    | Some s -> s
+    | None ->
+      Printf.eprintf "unknown kernel %s (choose sin, cos, log or tan)\n" name;
+      exit 1
+  in
+  let config =
+    { Search.Optimizer.default_config with Search.Optimizer.proposals = 50_000 }
+  in
+  Printf.printf "sweeping %s over eta = 10^0 .. 10^18 (this takes a minute)\n%!"
+    name;
+  let points =
+    Stoke.precision_sweep ~config ~validate_results:true ~tests:24 ~seed:7L spec
+  in
+  let csv = name ^ "_sweep.csv" in
+  let oc = open_out csv in
+  output_string oc "eta,loc,cycles,speedup,validated_err\n";
+  List.iter
+    (fun (p : Stoke.sweep_point) ->
+      Printf.fprintf oc "%s,%d,%d,%.3f,%s\n"
+        (Ulp.to_string p.Stoke.eta)
+        p.Stoke.loc p.Stoke.latency p.Stoke.speedup
+        (match p.Stoke.validated_err with
+         | Some e -> Ulp.to_string e
+         | None -> "");
+      Printf.printf "eta=%-22s LOC=%-3d speedup=%.2fx\n"
+        (Ulp.to_string p.Stoke.eta)
+        p.Stoke.loc p.Stoke.speedup)
+    points;
+  close_out oc;
+  Printf.printf "wrote %s\n" csv;
+  (* highlight the single- and half-precision budgets of §6.1 *)
+  Printf.printf
+    "(eta = %s is the single-precision budget; %s the half-precision one)\n"
+    (Ulp.to_string Ulp.eta_single)
+    (Ulp.to_string Ulp.eta_half)

@@ -1,0 +1,60 @@
+(* Quickstart: optimize one kernel with a precision budget, then validate
+   the result.
+
+   Run with: dune exec examples/quickstart.exe
+
+   The workflow is the paper's §1 example in miniature: take a
+   double-precision exp kernel, ask for a version that is allowed to be
+   wrong by up to 10^10 ULPs on its input range [-3, 0], and check the
+   maximum error of what the search finds. *)
+
+let () =
+  let spec = Kernels.S3d.exp_spec in
+  let target = spec.Sandbox.Spec.program in
+  Printf.printf "target kernel (%d instructions, %d cycles):\n%s\n\n"
+    (Program.length target) (Latency.of_program target)
+    (Program.to_string target);
+
+  (* 1. Search: 100k MCMC proposals, eta = 1e10 ULPs. *)
+  let eta = Ulp.of_float 1e10 in
+  let config =
+    { Search.Optimizer.default_config with Search.Optimizer.proposals = 100_000 }
+  in
+  let result = Stoke.optimize ~config ~eta spec in
+  let rewrite =
+    match result.Search.Optimizer.best_correct with
+    | Some p -> p
+    | None ->
+      print_endline "search found no eta-correct rewrite; try more proposals";
+      exit 1
+  in
+  Printf.printf "rewrite (%d instructions, %d cycles, %.2fx):\n%s\n\n"
+    (Program.length rewrite) (Latency.of_program rewrite)
+    (float_of_int (Latency.of_program target)
+    /. float_of_int (Latency.of_program rewrite))
+    (Program.to_string rewrite);
+
+  (* 2. Validate: MCMC hunt for the input maximizing the ULP error. *)
+  let vconfig =
+    {
+      Validate.Driver.default_config with
+      Validate.Driver.max_proposals = 200_000;
+      min_samples = 50_000;
+      check_every = 25_000;
+    }
+  in
+  let verdict = Stoke.validate ~config:vconfig ~eta spec rewrite in
+  Printf.printf "validation: max observed error %s ULPs at x = %g\n"
+    (Ulp.to_string verdict.Validate.Driver.max_err)
+    verdict.Validate.Driver.max_err_input.(0);
+  Printf.printf "chain mixed (Geweke |Z| = %.3f): %b\n"
+    (Float.abs verdict.Validate.Driver.geweke_z)
+    verdict.Validate.Driver.mixed;
+  Printf.printf "validated within eta: %b\n" verdict.Validate.Driver.validated;
+
+  (* 3. The rewrite's machine code, via the binary encoder. *)
+  match Encoder.encode_program rewrite with
+  | Ok bytes ->
+    Printf.printf "\nencoded rewrite: %d bytes of x86-64 machine code\n"
+      (String.length bytes)
+  | Error e -> Printf.printf "\nencoding failed: %s\n" e

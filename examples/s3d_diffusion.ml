@@ -1,0 +1,54 @@
+(* The S3D diffusion leaf task: search for reduced-precision exp kernels
+   at increasing eta, and find the most aggressive one the task tolerates
+   end to end (the paper's §6.2 experiment, where eta = 1e7 bought a 2x
+   kernel speedup and a 27% task speedup).
+
+   Run with: dune exec examples/s3d_diffusion.exe *)
+
+let () =
+  let spec = Kernels.S3d.exp_spec in
+  let cfg = { Apps.Diffusion.default_config with Apps.Diffusion.nx = 16; ny = 16 } in
+  let baseline = Apps.Diffusion.run cfg in
+  Printf.printf
+    "diffusion task: %dx%d grid, %d species, %d exp calls per run\n"
+    cfg.Apps.Diffusion.nx cfg.Apps.Diffusion.ny cfg.Apps.Diffusion.species
+    baseline.Apps.Diffusion.exp_calls;
+  Printf.printf "baseline: checksum %.9e, %d cycles (exp: %.0f%%)\n\n"
+    baseline.Apps.Diffusion.checksum baseline.Apps.Diffusion.total_cycles
+    (100.
+    *. float_of_int baseline.Apps.Diffusion.exp_cycles
+    /. float_of_int baseline.Apps.Diffusion.total_cycles);
+  let config =
+    { Search.Optimizer.default_config with Search.Optimizer.proposals = 60_000 }
+  in
+  let best = ref None in
+  List.iter
+    (fun exponent ->
+      let eta = Ulp.of_float (Float.pow 10. (float_of_int exponent)) in
+      let result = Stoke.optimize ~config ~eta spec in
+      match result.Search.Optimizer.best_correct with
+      | None -> Printf.printf "eta=1e%-2d: no rewrite found\n%!" exponent
+      | Some rewrite ->
+        let o = Apps.Diffusion.run ~exp_program:rewrite cfg in
+        let task_speedup = Apps.Diffusion.speedup ~baseline o in
+        let ok = Apps.Diffusion.tolerates ~baseline o in
+        Printf.printf
+          "eta=1e%-2d: exp %2d LOC (%.2fx), task %.2fx, checksum dev %.2e, tolerated %b\n%!"
+          exponent (Program.length rewrite)
+          (float_of_int (Latency.of_program spec.Sandbox.Spec.program)
+          /. float_of_int (Stdlib.max 1 (Latency.of_program rewrite)))
+          task_speedup
+          (Float.abs
+             ((o.Apps.Diffusion.checksum -. baseline.Apps.Diffusion.checksum)
+             /. baseline.Apps.Diffusion.checksum))
+          ok;
+        if ok then best := Some (exponent, rewrite, task_speedup))
+    [ 4; 8; 10; 12; 14 ];
+  match !best with
+  | None -> print_endline "\nno tolerated rewrite found"
+  | Some (exponent, rewrite, speedup) ->
+    Printf.printf
+      "\nmost aggressive tolerated kernel: eta=1e%d, %.0f%% whole-task speedup\n"
+      exponent
+      ((speedup -. 1.) *. 100.);
+    Printf.printf "its exp kernel:\n%s\n" (Program.to_string rewrite)

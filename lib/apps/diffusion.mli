@@ -1,0 +1,42 @@
+(** The S3D diffusion leaf task (§6.2), reduced to its computational
+    essence: over a grid of cells, compute diffusion coefficients for every
+    ordered species pair from Arrhenius-style exponentials of the cell
+    temperature.  Compute time is dominated by calls to the exp kernel; the
+    non-exp work (mixture averaging) is priced by the same cycle model,
+    calibrated so that exp accounts for ≈42% of the target's cycles —
+    matching the paper's observation that a 2× exp speedup yields a 27%
+    whole-task speedup.
+
+    The task "loses precision elsewhere" (mixture averaging over thousands
+    of cells), so it tolerates a reduced-precision exp: [tolerates] checks
+    end-to-end agreement of the coefficient field against the task run with
+    the target kernel. *)
+
+type config = {
+  nx : int;
+  ny : int;
+  species : int;
+  seed : int64;
+}
+
+val default_config : config
+(** 24×24 grid, 5 species. *)
+
+type outcome = {
+  checksum : float;  (** sum of all mixture-averaged coefficients *)
+  exp_calls : int;
+  exp_cycles : int;
+  overhead_cycles : int;  (** non-exp work under the cycle model *)
+  total_cycles : int;
+}
+
+val run : ?exp_program:Program.t -> config -> outcome
+(** [exp_program] defaults to the S3D target kernel. *)
+
+val speedup : baseline:outcome -> outcome -> float
+(** Whole-task speedup of the second run over the baseline. *)
+
+val tolerates : baseline:outcome -> outcome -> bool
+(** Relative checksum deviation below the task's tolerance (1e-5). *)
+
+val tolerance : float

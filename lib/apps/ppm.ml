@@ -1,0 +1,51 @@
+type t = {
+  width : int;
+  height : int;
+  pixels : (int * int * int) array;
+}
+
+let create width height =
+  if width <= 0 || height <= 0 then invalid_arg "Ppm.create: bad dimensions";
+  { width; height; pixels = Array.make (width * height) (0, 0, 0) }
+
+let index t ~x ~y =
+  if x < 0 || x >= t.width || y < 0 || y >= t.height then
+    invalid_arg "Ppm: pixel out of range";
+  (y * t.width) + x
+
+let set t ~x ~y rgb = t.pixels.(index t ~x ~y) <- rgb
+let get t ~x ~y = t.pixels.(index t ~x ~y)
+
+let write t path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "P6\n%d %d\n255\n" t.width t.height;
+      Array.iter
+        (fun (r, g, b) ->
+          output_char oc (Char.chr (min 255 (max 0 r)));
+          output_char oc (Char.chr (min 255 (max 0 g)));
+          output_char oc (Char.chr (min 255 (max 0 b))))
+        t.pixels)
+
+let check_same_dims a b =
+  if a.width <> b.width || a.height <> b.height then
+    invalid_arg "Ppm: dimension mismatch"
+
+let diff_count a b =
+  check_same_dims a b;
+  let n = ref 0 in
+  Array.iteri (fun i p -> if p <> b.pixels.(i) then incr n) a.pixels;
+  !n
+
+let diff_image a b =
+  check_same_dims a b;
+  let out = create a.width a.height in
+  Array.iteri
+    (fun i p ->
+      out.pixels.(i) <- (if p <> b.pixels.(i) then (255, 255, 255) else (0, 0, 0)))
+    a.pixels;
+  out
+
+let equal a b = a.width = b.width && a.height = b.height && a.pixels = b.pixels

@@ -1,0 +1,24 @@
+(** Minimal PPM (P6) image support for the ray-tracer experiments. *)
+
+type t = {
+  width : int;
+  height : int;
+  pixels : (int * int * int) array;  (** row-major RGB, 0–255 *)
+}
+
+val create : int -> int -> t
+
+val set : t -> x:int -> y:int -> int * int * int -> unit
+val get : t -> x:int -> y:int -> int * int * int
+
+val write : t -> string -> unit
+(** Write as binary PPM to the given path. *)
+
+val diff_count : t -> t -> int
+(** Number of pixels whose RGB differs at all (Figure 9(c/e)); raises
+    [Invalid_argument] on dimension mismatch. *)
+
+val diff_image : t -> t -> t
+(** White where pixels differ, black elsewhere. *)
+
+val equal : t -> t -> bool

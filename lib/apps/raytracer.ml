@@ -1,0 +1,214 @@
+type ops = {
+  add : Vec3.t -> Vec3.t -> Vec3.t;
+  scale : Vec3.t -> float -> Vec3.t;
+  dot : Vec3.t -> Vec3.t -> float;
+  delta : Vec3.t -> Vec3.t -> float -> float -> Vec3.t;
+  cycles : unit -> int;
+  calls : unit -> int;
+}
+
+let native_ops () =
+  {
+    add = Vec3.add;
+    scale = Vec3.scale;
+    dot = Vec3.dot;
+    delta =
+      (fun a b r1 r2 ->
+        Vec3.add
+          (Vec3.scale (Vec3.scale a (Fp32.sub r1 0.5)) 99.)
+          (Vec3.scale (Vec3.scale b (Fp32.sub r2 0.5)) 99.));
+    cycles = (fun () -> 0);
+    calls = (fun () -> 0);
+  }
+
+type kernel_set = {
+  k_scale : Program.t;
+  k_dot : Program.t;
+  k_add : Program.t;
+  k_delta : Program.t;
+}
+
+let target_kernels =
+  {
+    k_scale = Kernels.Aek_kernels.scale_spec.Sandbox.Spec.program;
+    k_dot = Kernels.Aek_kernels.dot_spec.Sandbox.Spec.program;
+    k_add = Kernels.Aek_kernels.add_spec.Sandbox.Spec.program;
+    k_delta = Kernels.Aek_kernels.delta_spec.Sandbox.Spec.program;
+  }
+
+let kernel_ops ks =
+  let runner = Kernel_runner.create () in
+  {
+    add = (fun a b -> Kernel_runner.add3 runner ks.k_add a b);
+    scale = (fun v k -> Kernel_runner.scale runner ks.k_scale v k);
+    dot = (fun a b -> Kernel_runner.dot runner ks.k_dot a b);
+    delta = (fun a b r1 r2 -> Kernel_runner.delta runner ks.k_delta a b r1 r2);
+    cycles = (fun () -> Kernel_runner.cycles runner);
+    calls = (fun () -> Kernel_runner.calls runner);
+  }
+
+(* The aek sphere bitmap: 9 rows spelling "aek" (Kensler's original G
+   array), bit k of row j puts a unit sphere at (k, 0, j+4). *)
+let bitmap = [| 247570; 280596; 280600; 249748; 18578; 18577; 231184; 16; 16 |]
+
+let spheres =
+  let out = ref [] in
+  Array.iteri
+    (fun j row ->
+      for k = 0 to 19 do
+        if row land (1 lsl k) <> 0 then
+          out := Vec3.make (float_of_int k) 0. (float_of_int (j + 4)) :: !out
+      done)
+    bitmap;
+  Array.of_list !out
+
+type hit =
+  | Sky
+  | Floor
+  | Sphere
+
+(* Trace a ray; returns (what was hit, distance, surface normal). *)
+let trace ops (o : Vec3.t) (d : Vec3.t) =
+  let t = ref 1e9 in
+  let m = ref Sky in
+  let n = ref Vec3.zero in
+  let p = -.o.Vec3.z /. d.Vec3.z in
+  if 0.01 < p then begin
+    t := p;
+    n := Vec3.make 0. 0. 1.;
+    m := Floor
+  end;
+  Array.iter
+    (fun center ->
+      (* p = o - center *)
+      let pvec = ops.add o (ops.scale center (-1.)) in
+      let b = ops.dot pvec d in
+      let c = Fp32.sub (ops.dot pvec pvec) 1.0 in
+      let q = Fp32.sub (Fp32.mul b b) c in
+      if q > 0. then begin
+        let s = Fp32.sub (-.b) (Fp32.round (Float.sqrt q)) in
+        if s < !t && s > 0.01 then begin
+          t := s;
+          n := Vec3.norm (ops.add pvec (ops.scale d s));
+          m := Sphere
+        end
+      end)
+    spheres;
+  (!m, !t, !n)
+
+let rand01 g = Rng.Dist.float g 1.0
+
+(* Sample the color along a ray. *)
+let rec sample ops g o d depth =
+  let m, t, n = trace ops o d in
+  match m with
+  | Sky ->
+    let k = Float.pow (1. -. d.Vec3.z) 4. in
+    Vec3.make (0.7 *. k) (0.6 *. k) (1.0 *. k)
+  | Floor | Sphere ->
+    let h = ops.add o (ops.scale d t) in
+    let l =
+      Vec3.norm
+        (ops.add
+           (Vec3.make (9. +. rand01 g) (9. +. rand01 g) 16.)
+           (ops.scale h (-1.)))
+    in
+    let r = ops.add d (ops.scale n (ops.dot n d *. -2.)) in
+    let b =
+      let b0 = ops.dot l n in
+      if b0 < 0. then 0.
+      else begin
+        let m', _, _ = trace ops h l in
+        match m' with
+        | Sky -> b0
+        | Floor | Sphere -> 0.
+      end
+    in
+    (match m with
+     | Floor ->
+       let hs = ops.scale h 0.2 in
+       let checker =
+         int_of_float (Float.ceil hs.Vec3.x +. Float.ceil hs.Vec3.y) land 1 = 1
+       in
+       let base = if checker then Vec3.make 3. 1. 1. else Vec3.make 3. 3. 3. in
+       Vec3.scale base ((b *. 0.2) +. 0.1)
+     | Sphere ->
+       let spec =
+         Float.pow (ops.dot l r *. if b > 0. then 1. else 0.) 99.
+       in
+       let spec = if Float.is_nan spec || spec < 0. then 0. else spec in
+       let self = Vec3.make spec spec spec in
+       if depth <= 0 then self
+       else Vec3.add self (Vec3.scale (sample ops g h r (depth - 1)) 0.5)
+     | Sky -> assert false)
+
+type stats = {
+  kernel_cycles : int;
+  kernel_calls : int;
+}
+
+type full = {
+  image : Ppm.t;
+  radiance : Vec3.t array;  (** pre-quantization accumulator, row-major *)
+  stats : stats;
+}
+
+let render_full ?(width = 64) ?(height = 48) ?(samples = 6) ?(max_depth = 4)
+    ~seed ops =
+  let g = Rng.Xoshiro256.create seed in
+  let img = Ppm.create width height in
+  (* Camera basis: a.z = 0 and b.x = b.y = 0 exactly, by construction. *)
+  let gdir = Vec3.norm (Vec3.make (-6.) (-16.) 0.) in
+  let a = Vec3.scale (Vec3.norm (Vec3.cross (Vec3.make 0. 0. 1.) gdir)) 0.002 in
+  let b = Vec3.scale (Vec3.norm (Vec3.cross gdir a)) 0.002 in
+  let c = Vec3.add (Vec3.scale (Vec3.add a b) (-256.)) gdir in
+  let eye = Vec3.make 17. 16. 8. in
+  let gain = 3.5 *. 64. /. float_of_int samples in
+  let radiance = Array.make (width * height) Vec3.zero in
+  for yi = 0 to height - 1 do
+    for xi = 0 to width - 1 do
+      (* Virtual 512×512 viewport sampled on the width×height grid. *)
+      let vx = float_of_int (width - 1 - xi) *. (512. /. float_of_int width) in
+      let vy = float_of_int (height - 1 - yi) *. (512. /. float_of_int height) in
+      let accum = ref (Vec3.make 13. 13. 13.) in
+      for _s = 1 to samples do
+        let t = ops.delta a b (rand01 g) (rand01 g) in
+        let o = Vec3.add eye t in
+        let dir =
+          Vec3.norm
+            (Vec3.add (Vec3.scale t (-1.))
+               (Vec3.scale
+                  (Vec3.add
+                     (Vec3.add
+                        (Vec3.scale a (rand01 g +. vx))
+                        (Vec3.scale b (vy +. rand01 g)))
+                     c)
+                  16.))
+        in
+        let col = sample ops g o dir max_depth in
+        accum := Vec3.add !accum (Vec3.scale col gain)
+      done;
+      let v = !accum in
+      radiance.((yi * width) + xi) <- v;
+      Ppm.set img ~x:xi ~y:yi
+        ( int_of_float (Float.min 255. v.Vec3.x),
+          int_of_float (Float.min 255. v.Vec3.y),
+          int_of_float (Float.min 255. v.Vec3.z) )
+    done
+  done;
+  {
+    image = img;
+    radiance;
+    stats = { kernel_cycles = ops.cycles (); kernel_calls = ops.calls () };
+  }
+
+let render ?width ?height ?samples ?max_depth ~seed ops =
+  let f = render_full ?width ?height ?samples ?max_depth ~seed ops in
+  (f.image, f.stats)
+
+let radiance_diff_count a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Raytracer.radiance_diff_count: size mismatch";
+  let n = ref 0 in
+  Array.iteri (fun i v -> if v <> b.(i) then incr n) a;
+  !n

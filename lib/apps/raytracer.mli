@@ -1,0 +1,72 @@
+(** aek: the business-card ray tracer of §6.3, ported faithfully — sphere
+    "text" from a row bitmap, checkered floor, sky gradient, soft shadows,
+    specular reflections, and depth-of-field blur induced by random camera
+    perturbation (the Δ kernel).
+
+    All vector arithmetic in the hot path goes through an {!ops} record, so
+    the same scene can be rendered with native single-precision math or
+    with any mix of sandbox-executed kernel programs (targets or STOKE
+    rewrites), and the cycle model prices each variant. *)
+
+type ops = {
+  add : Vec3.t -> Vec3.t -> Vec3.t;
+  scale : Vec3.t -> float -> Vec3.t;
+  dot : Vec3.t -> Vec3.t -> float;
+  delta : Vec3.t -> Vec3.t -> float -> float -> Vec3.t;
+      (** [delta a b r1 r2] = 99·(a·(r1−½)) + 99·(b·(r2−½)) *)
+  cycles : unit -> int;  (** kernel cycles consumed so far *)
+  calls : unit -> int;
+}
+
+val native_ops : unit -> ops
+(** Reference single-precision implementations; zero cycles. *)
+
+type kernel_set = {
+  k_scale : Program.t;
+  k_dot : Program.t;
+  k_add : Program.t;
+  k_delta : Program.t;
+}
+
+val target_kernels : kernel_set
+(** The gcc-style targets of {!Kernels.Aek_kernels}. *)
+
+val kernel_ops : kernel_set -> ops
+(** Vector arithmetic through the sandbox interpreter. *)
+
+type stats = {
+  kernel_cycles : int;
+  kernel_calls : int;
+}
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?samples:int ->
+  ?max_depth:int ->
+  seed:int64 ->
+  ops ->
+  Ppm.t * stats
+(** Defaults: 64×48, 6 DOF samples per pixel, depth 4.  Deterministic for a
+    given seed and ops. *)
+
+type full = {
+  image : Ppm.t;
+  radiance : Vec3.t array;  (** pre-quantization accumulator, row-major *)
+  stats : stats;
+}
+
+val render_full :
+  ?width:int ->
+  ?height:int ->
+  ?samples:int ->
+  ?max_depth:int ->
+  seed:int64 ->
+  ops ->
+  full
+(** Like {!render} but also returns the full-precision radiance buffer —
+    used by the Figure 9 experiment to show that images which quantize
+    identically at 8 bits still differ in the underlying floats. *)
+
+val radiance_diff_count : Vec3.t array -> Vec3.t array -> int
+(** Pixels whose pre-quantization radiance differs at all. *)

@@ -1,0 +1,163 @@
+(* Tests are drawn uniformly from the input ranges, as STOKE draws its
+   test cases from program runs.  Deliberately no oversampling of range
+   corners: near output zeros (sin at ±π) the ULP error of any
+   reduced-precision rewrite explodes, and the paper's own Figure 4(d)
+   error curves show those spikes exceeding the generating η — a test-set
+   artifact the validation phase is designed to expose. *)
+let make_tests ?(n = 32) ~seed spec =
+  let g = Rng.Xoshiro256.create seed in
+  Array.init n (fun _ -> Sandbox.Spec.random_testcase g spec)
+
+let optimize ?config ?tests ~eta spec =
+  let config =
+    match config with
+    | Some c -> c
+    | None -> Search.Optimizer.default_config
+  in
+  let tests =
+    match tests with
+    | Some t -> t
+    | None -> make_tests ~seed:(Int64.add config.Search.Optimizer.seed 100L) spec
+  in
+  let params = Search.Cost.default_params ~eta in
+  let ctx = Search.Cost.create spec params tests in
+  Search.Optimizer.run ctx config
+
+let validate ?config ~eta spec rewrite =
+  let errfn = Validate.Errfn.create spec ~rewrite in
+  Validate.Driver.run ?config ~eta errfn
+
+let verify ~eta spec rewrite = Verify.Verifier.check spec ~rewrite ~eta
+
+type refined = {
+  rewrite : Program.t option;
+  verdict : Validate.Driver.verdict option;
+  rounds : int;
+  counterexamples : int;
+}
+
+let optimize_refined ?config ?validation ?(max_rounds = 4) ?(tests = 32) ~seed
+    ~eta spec =
+  let config =
+    match config with
+    | Some c -> c
+    | None -> Search.Optimizer.default_config
+  in
+  let validation =
+    match validation with
+    | Some v -> v
+    | None ->
+      {
+        Validate.Driver.default_config with
+        Validate.Driver.max_proposals = 100_000;
+        min_samples = 20_000;
+        check_every = 20_000;
+      }
+  in
+  let test_list = ref (Array.to_list (make_tests ~n:tests ~seed spec)) in
+  let counterexamples = ref 0 in
+  let rec go round =
+    let params = Search.Cost.default_params ~eta in
+    let ctx = Search.Cost.create spec params (Array.of_list !test_list) in
+    let result =
+      Search.Optimizer.run ctx
+        { config with Search.Optimizer.seed = Int64.add config.Search.Optimizer.seed (Int64.of_int round) }
+    in
+    match result.Search.Optimizer.best_correct with
+    | None -> { rewrite = None; verdict = None; rounds = round; counterexamples = !counterexamples }
+    | Some rewrite ->
+      if Program.equal rewrite spec.Sandbox.Spec.program then
+        (* nothing better than the target: trivially valid *)
+        { rewrite = Some rewrite; verdict = None; rounds = round;
+          counterexamples = !counterexamples }
+      else begin
+        let errfn = Validate.Errfn.create spec ~rewrite in
+        let v = Validate.Driver.run ~config:validation ~eta errfn in
+        if Ulp.compare v.Validate.Driver.max_err eta <= 0 then
+          { rewrite = Some rewrite; verdict = Some v; rounds = round;
+            counterexamples = !counterexamples }
+        else if round >= max_rounds then
+          { rewrite = None; verdict = Some v; rounds = round;
+            counterexamples = !counterexamples }
+        else begin
+          (* feed the counterexample back into the fast check's test set *)
+          incr counterexamples;
+          test_list :=
+            Sandbox.Spec.testcase_of_floats spec v.Validate.Driver.max_err_input
+            :: !test_list;
+          go (round + 1)
+        end
+      end
+  in
+  go 1
+
+type sweep_point = {
+  eta : Ulp.t;
+  rewrite : Program.t;
+  loc : int;
+  latency : int;
+  speedup : float;
+  validated_err : Ulp.t option;
+}
+
+let default_etas =
+  List.init 10 (fun i -> Ulp.of_float (Float.pow 10. (float_of_int (2 * i))))
+
+let quick_validation_config =
+  {
+    Validate.Driver.default_config with
+    Validate.Driver.max_proposals = 200_000;
+    min_samples = 20_000;
+    check_every = 20_000;
+  }
+
+let precision_sweep ?config ?(validate_results = false) ?etas ?(tests = 32)
+    ~seed spec =
+  let etas =
+    match etas with
+    | Some e -> e
+    | None -> default_etas
+  in
+  let config =
+    match config with
+    | Some c -> c
+    | None -> Search.Optimizer.default_config
+  in
+  let test_array = make_tests ~n:tests ~seed spec in
+  let target = spec.Sandbox.Spec.program in
+  let target_latency = Latency.of_program target in
+  List.map
+    (fun eta ->
+      let result = optimize ~config ~tests:test_array ~eta spec in
+      let rewrite =
+        match result.Search.Optimizer.best_correct with
+        | Some p -> p
+        | None -> target
+      in
+      let latency = Latency.of_program rewrite in
+      let rewrite, latency =
+        if latency <= target_latency then (rewrite, latency)
+        else (target, target_latency)
+      in
+      let validated_err =
+        if validate_results then begin
+          let v = validate ~config:quick_validation_config ~eta spec rewrite in
+          Some v.Validate.Driver.max_err
+        end
+        else None
+      in
+      {
+        eta;
+        rewrite;
+        loc = Program.length rewrite;
+        latency;
+        speedup = float_of_int target_latency /. float_of_int (Stdlib.max 1 latency);
+        validated_err;
+      })
+    etas
+
+let error_curve spec rewrite ~inputs =
+  if Sandbox.Spec.arity spec <> 1 then
+    invalid_arg "Stoke.error_curve: spec must take exactly one float input";
+  let errfn = Validate.Errfn.create spec ~rewrite in
+  Array.map (fun x -> Validate.Errfn.eval_ulp errfn [| x |]) inputs

@@ -1,0 +1,89 @@
+(** STOKE-FP: stochastic optimization of floating-point programs with
+    tunable precision — the high-level API.
+
+    Typical use: pick (or define) a {!Sandbox.Spec.t} for a loop-free
+    kernel, choose a precision budget η in ULPs, run {!optimize} to search
+    for a faster η-correct rewrite, then {!validate} the result with the
+    MCMC max-error hunt.  {!precision_sweep} automates the η grid of the
+    paper's Figures 4 and 5. *)
+
+val make_tests :
+  ?n:int -> seed:int64 -> Sandbox.Spec.t -> Sandbox.Testcase.t array
+(** Random test cases drawn from the spec's input ranges ([n] defaults
+    to 32). *)
+
+val optimize :
+  ?config:Search.Optimizer.config ->
+  ?tests:Sandbox.Testcase.t array ->
+  eta:Ulp.t ->
+  Sandbox.Spec.t ->
+  Search.Optimizer.result
+(** Optimization mode (k = 1): minimize latency subject to η-correctness on
+    the test cases. *)
+
+val validate :
+  ?config:Validate.Driver.config ->
+  eta:Ulp.t ->
+  Sandbox.Spec.t ->
+  Program.t ->
+  Validate.Driver.verdict
+(** MCMC validation of a rewrite against the spec's target (Eq. 15). *)
+
+val verify :
+  eta:Ulp.t -> Sandbox.Spec.t -> Program.t -> Verify.Verifier.outcome
+(** The static two-tier check (symbolic / interval), where applicable. *)
+
+type refined = {
+  rewrite : Program.t option;  (** [None] if every round came up empty *)
+  verdict : Validate.Driver.verdict option;
+      (** the accepted rewrite's validation (None with the rewrite when the
+          round budget ran out before a validated rewrite appeared) *)
+  rounds : int;
+  counterexamples : int;  (** inputs fed back into the test set *)
+}
+
+val optimize_refined :
+  ?config:Search.Optimizer.config ->
+  ?validation:Validate.Driver.config ->
+  ?max_rounds:int ->
+  ?tests:int ->
+  seed:int64 ->
+  eta:Ulp.t ->
+  Sandbox.Spec.t ->
+  refined
+(** The two-tier loop of Eq. 5, run to refinement: search with the fast
+    test-case check; when the best rewrite passes, hunt for a
+    counterexample with MCMC validation; if one is found with error
+    exceeding η, add it to the test set and search again (up to
+    [max_rounds], default 4).  Returns the first rewrite validation fails
+    to refute.  This is how test-case-driven optimizations become
+    trustworthy without formal verification. *)
+
+type sweep_point = {
+  eta : Ulp.t;
+  rewrite : Program.t;
+  loc : int;
+  latency : int;
+  speedup : float;  (** target latency / rewrite latency *)
+  validated_err : Ulp.t option;  (** [None] when validation was skipped *)
+}
+
+val default_etas : Ulp.t list
+(** The paper's grid: η = 10^0, 10^2, …, 10^18. *)
+
+val precision_sweep :
+  ?config:Search.Optimizer.config ->
+  ?validate_results:bool ->
+  ?etas:Ulp.t list ->
+  ?tests:int ->
+  seed:int64 ->
+  Sandbox.Spec.t ->
+  sweep_point list
+(** One search per η (Figures 4(a–c) and 5(a)).  When the search finds no
+    η-correct rewrite better than the target, the point reports the target
+    itself (speedup 1.0). *)
+
+val error_curve :
+  Sandbox.Spec.t -> Program.t -> inputs:float array -> Ulp.t array
+(** err(R; T, x) over a 1-D input grid (Figures 4(d–f), 5(b)); the spec
+    must have arity 1. *)

@@ -1,0 +1,235 @@
+(* Arena base is 0x100000 (Memory.create's default); rsp starts at
+   base + 2048.  The two memory-resident vectors live well away from the
+   stack spill slots. *)
+let v1_addr = 0x100100L
+let v2_addr = 0x100140L
+
+let parse = Parser.parse_program_exn
+
+let x0 = Reg.Xmm0
+let x1 = Reg.Xmm1
+let x2 = Reg.Xmm2
+
+let vr = { Sandbox.Spec.lo = -4.0; hi = 4.0 }
+let unit_r = { Sandbox.Spec.lo = 0.0; hi = 1.0 }
+
+(* First vector argument in registers, second behind rdi. *)
+let reg_vector_inputs =
+  [
+    Sandbox.Spec.Fin_xmm_f32 (x0, vr);
+    Sandbox.Spec.Fin_xmm_f32_hi (x0, vr);
+    Sandbox.Spec.Fin_xmm_f32 (x1, vr);
+  ]
+
+let mem_vector_inputs addr range =
+  [
+    Sandbox.Spec.Fin_mem_f32 (addr, range);
+    Sandbox.Spec.Fin_mem_f32 (Int64.add addr 4L, range);
+    Sandbox.Spec.Fin_mem_f32 (Int64.add addr 8L, range);
+  ]
+
+let vector_outputs =
+  [
+    Sandbox.Spec.Out_xmm_f32 x0;
+    Sandbox.Spec.Out_xmm_f32_hi x0;
+    Sandbox.Spec.Out_xmm_f32 x1;
+  ]
+
+(* ----- dot product (Figure 6) ----- *)
+
+let dot_target =
+  parse
+    {|
+      movq xmm0, -16(rsp)
+      mulss 8(rdi), xmm1
+      movss (rdi), xmm0
+      movss 4(rdi), xmm2
+      mulss -16(rsp), xmm0
+      mulss -12(rsp), xmm2
+      addss xmm2, xmm0
+      addss xmm1, xmm0
+    |}
+
+let dot_rewrite =
+  parse
+    {|
+      vpshuflw $254, xmm0, xmm2
+      mulss 8(rdi), xmm1
+      mulss (rdi), xmm0
+      mulss 4(rdi), xmm2
+      vaddss xmm0, xmm2, xmm5
+      vaddss xmm5, xmm1, xmm0
+    |}
+
+let dot_spec =
+  Sandbox.Spec.make ~name:"dot" ~program:dot_target
+    ~float_inputs:(reg_vector_inputs @ mem_vector_inputs v1_addr vr)
+    ~fixed_inputs:[ Sandbox.Spec.Fix_gp (Reg.Rdi, v1_addr) ]
+    ~outputs:[ Sandbox.Spec.Out_xmm_f32 x0 ]
+    ()
+
+(* ----- scale k·v̄ ----- *)
+
+let scale_target =
+  parse
+    {|
+      movq xmm0, -16(rsp)
+      movss -16(rsp), xmm3
+      movss -12(rsp), xmm4
+      mulss xmm2, xmm3
+      mulss xmm2, xmm4
+      mulss xmm2, xmm1
+      movss xmm4, -12(rsp)
+      movss xmm3, -16(rsp)
+      movq -16(rsp), xmm0
+    |}
+
+let scale_rewrite =
+  parse
+    {|
+      vpshuflw $254, xmm0, xmm3
+      mulss xmm2, xmm3
+      mulss xmm2, xmm0
+      mulss xmm2, xmm1
+      punpckldq xmm3, xmm0
+    |}
+
+let scale_spec =
+  Sandbox.Spec.make ~name:"scale" ~program:scale_target
+    ~float_inputs:(reg_vector_inputs @ [ Sandbox.Spec.Fin_xmm_f32 (x2, vr) ])
+    ~outputs:vector_outputs ()
+
+(* ----- add v̄1 + v̄2 ----- *)
+
+let add_target =
+  parse
+    {|
+      movq xmm0, -16(rsp)
+      movss (rdi), xmm2
+      movss 4(rdi), xmm3
+      addss -16(rsp), xmm2
+      addss -12(rsp), xmm3
+      addss 8(rdi), xmm1
+      movss xmm3, -12(rsp)
+      movss xmm2, -16(rsp)
+      movq -16(rsp), xmm0
+    |}
+
+let add_rewrite =
+  parse
+    {|
+      lddqu (rdi), xmm2
+      addps xmm2, xmm0
+      addss 8(rdi), xmm1
+    |}
+
+let add_spec =
+  Sandbox.Spec.make ~name:"add" ~program:add_target
+    ~float_inputs:(reg_vector_inputs @ mem_vector_inputs v1_addr vr)
+    ~fixed_inputs:[ Sandbox.Spec.Fix_gp (Reg.Rdi, v1_addr) ]
+    ~outputs:vector_outputs ()
+
+(* ----- Δ: random camera perturbation (Figure 7) -----
+
+   0.5f = 0x3f000000, 99.0f = 0x42c60000.  v̄1 is a scaled camera basis
+   vector; v̄2's x and y are negligibly small program-wide constants. *)
+
+let delta_target =
+  parse
+    {|
+      movl $0x3f000000, eax
+      movd eax, xmm2
+      subss xmm2, xmm0
+      movss 8(rdi), xmm3
+      subss xmm2, xmm1
+      movss 4(rdi), xmm5
+      movss 8(rsi), xmm2
+      movss 4(rsi), xmm6
+      mulss xmm0, xmm3
+      movl $0x42c60000, eax
+      movd eax, xmm4
+      mulss xmm1, xmm2
+      mulss xmm0, xmm5
+      mulss xmm1, xmm6
+      mulss (rdi), xmm0
+      mulss (rsi), xmm1
+      mulss xmm4, xmm5
+      mulss xmm4, xmm6
+      mulss xmm4, xmm3
+      mulss xmm4, xmm2
+      mulss xmm4, xmm0
+      mulss xmm4, xmm1
+      addss xmm6, xmm5
+      addss xmm1, xmm0
+      movss xmm5, -20(rsp)
+      movaps xmm3, xmm1
+      addss xmm2, xmm1
+      movss xmm0, -24(rsp)
+      movq -24(rsp), xmm0
+    |}
+
+let delta_rewrite =
+  parse
+    {|
+      movl $0x3f000000, eax
+      movd eax, xmm2
+      subps xmm2, xmm0
+      movl $0x42c60000, eax
+      subps xmm2, xmm1
+      movd eax, xmm4
+      mulss xmm4, xmm1
+      lddqu 4(rdi), xmm5
+      mulss xmm0, xmm5
+      mulss (rdi), xmm0
+      mulss xmm4, xmm0
+      mulps xmm4, xmm5
+      punpckldq xmm5, xmm0
+      mulss 8(rsi), xmm1
+    |}
+
+let delta_prime =
+  parse
+    {|
+      xorps xmm0, xmm0
+      xorps xmm1, xmm1
+    |}
+
+(* In aek the two perturbation vectors are the scaled camera basis vectors
+   a = normalize((0,0,1) × g)·.002 and b = normalize(g × a)·.002: a.z and
+   b.x, b.y are {e exactly} zero by construction, so the corresponding
+   product terms carry only float noise — that is what licenses the
+   term-dropping rewrite (§6.3). *)
+let camera_r = { Sandbox.Spec.lo = -0.02; hi = 0.02 }
+
+(* The components that are identically zero in every run of aek: a
+   degenerate [0,0] range pins them, exactly as STOKE's test cases (drawn
+   from real executions) and the validator's clipped proposals do. *)
+let zero_r = { Sandbox.Spec.lo = 0.; hi = 0. }
+
+let delta_spec =
+  Sandbox.Spec.make ~name:"delta" ~program:delta_target
+    ~float_inputs:
+      [
+        Sandbox.Spec.Fin_xmm_f32 (x0, unit_r);
+        Sandbox.Spec.Fin_xmm_f32 (x1, unit_r);
+        Sandbox.Spec.Fin_mem_f32 (v1_addr, camera_r);
+        Sandbox.Spec.Fin_mem_f32 (Int64.add v1_addr 4L, camera_r);
+        Sandbox.Spec.Fin_mem_f32 (Int64.add v1_addr 8L, zero_r);
+        Sandbox.Spec.Fin_mem_f32 (v2_addr, zero_r);
+        Sandbox.Spec.Fin_mem_f32 (Int64.add v2_addr 4L, zero_r);
+        Sandbox.Spec.Fin_mem_f32 (Int64.add v2_addr 8L, camera_r);
+      ]
+    ~fixed_inputs:
+      [
+        Sandbox.Spec.Fix_gp (Reg.Rdi, v1_addr);
+        Sandbox.Spec.Fix_gp (Reg.Rsi, v2_addr);
+      ]
+    ~outputs:vector_outputs ()
+
+let all_specs =
+  [
+    ("scale", scale_spec);
+    ("dot", dot_spec);
+    ("add", add_spec);
+    ("delta", delta_spec);
+  ]

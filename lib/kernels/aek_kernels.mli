@@ -1,0 +1,52 @@
+(** The aek ray tracer's vector kernels (§6.3, Figures 6–8), single
+    precision.
+
+    Vectors are triplets of floats.  Following gcc's program-wide layout
+    decision that the paper calls out, a register-resident vector is split
+    across two xmm registers — x in [xmm0[31:0]], y in [xmm0[63:32]], z in
+    [xmm1[31:0]] — and memory-resident vectors are three consecutive floats
+    behind [rdi] (and [rsi] for the second argument of Δ).
+
+    Targets are transcriptions of the paper's gcc -O3 listings; the
+    [*_rewrite] programs are the STOKE rewrites shown in the paper, used by
+    the test suite to confirm our search and verification infrastructure
+    reproduces their properties (bit-wise equivalence for dot, small ULP
+    error for Δ). *)
+
+val v1_addr : int64
+(** Where the first memory vector lives in the arena ([rdi]'s value). *)
+
+val v2_addr : int64
+(** [rsi]'s value. *)
+
+val dot_spec : Sandbox.Spec.t
+(** ⟨v̄1, v̄2⟩ — Figure 6's gcc code. *)
+
+val dot_rewrite : Program.t
+(** Figure 6's STOKE code: bit-wise equivalent, 2 cycles faster. *)
+
+val scale_spec : Sandbox.Spec.t
+(** k·v̄ with k in [xmm2[31:0]]. *)
+
+val scale_rewrite : Program.t
+
+val add_spec : Sandbox.Spec.t
+(** v̄1 + v̄2. *)
+
+val add_rewrite : Program.t
+
+val delta_spec : Sandbox.Spec.t
+(** Δ(v̄1, v̄2, r1, r2) — Figure 7's random camera-perturbation kernel.
+    r1, r2 ∈ [0, 1]; v̄2's x and y components are negligibly small
+    program-wide constants, which is what licenses the precision-dropping
+    rewrite. *)
+
+val delta_rewrite : Program.t
+(** Figure 7's STOKE code: drops the negligible v̄2.x/v̄2.y terms and
+    reassociates the z term (±5 ULPs). *)
+
+val delta_prime : Program.t
+(** The over-aggressive Δ′ of Figure 8/9(d): eliminates the perturbation
+    altogether, killing depth-of-field blur. *)
+
+val all_specs : (string * Sandbox.Spec.t) list

@@ -1,0 +1,31 @@
+let xmm r = Operand.Xmm r
+let gp r = Operand.Gp r
+let imm i = Operand.Imm (Int64.of_int i)
+
+let load_f64 ~via ~into x =
+  [
+    Instr.make Opcode.Movabs [ Operand.Imm (Int64.bits_of_float x); gp via ];
+    Instr.make Opcode.Movq [ gp via; xmm into ];
+  ]
+
+let binop op src dst = Instr.make op [ src; dst ]
+
+let horner_f64 ~x ~acc ~tmp ~via coeffs =
+  match coeffs with
+  | [] -> invalid_arg "Builder.horner_f64: no coefficients"
+  | c0 :: rest ->
+    let init = load_f64 ~via ~into:acc c0 in
+    let steps =
+      List.concat_map
+        (fun c ->
+          List.concat
+            [
+              [ binop Opcode.Mulsd (xmm x) (xmm acc) ];
+              load_f64 ~via ~into:tmp c;
+              [ binop Opcode.Addsd (xmm tmp) (xmm acc) ];
+            ])
+        rest
+    in
+    init @ steps
+
+let program groups = Program.of_instrs (List.concat groups)

@@ -1,0 +1,26 @@
+(** Helpers for constructing kernel targets in the x86 IR.
+
+    Kernels follow the libimf idiom of materializing double constants with
+    [movabs]+[movq] pairs (two instructions per constant) rather than a
+    memory constant pool, which keeps the kernels self-contained and gives
+    the search useful 64-bit immediates in its operand pool. *)
+
+val load_f64 : via:Reg.gp -> into:Reg.xmm -> float -> Instr.t list
+(** [movabs $bits, via; movq via, into]. *)
+
+val binop : Opcode.t -> Operand.t -> Operand.t -> Instr.t
+(** AT&T argument order: [binop op src dst]. *)
+
+val xmm : Reg.xmm -> Operand.t
+val gp : Reg.gp -> Operand.t
+val imm : int -> Operand.t
+
+val horner_f64 :
+  x:Reg.xmm -> acc:Reg.xmm -> tmp:Reg.xmm -> via:Reg.gp -> float list ->
+  Instr.t list
+(** Evaluate a polynomial by Horner's rule: coefficients are given from the
+    {e highest} degree down; on entry [x] holds the point, on exit [acc]
+    holds the value.  Uses [tmp] and [via] as scratch. *)
+
+val program : Instr.t list list -> Program.t
+(** Concatenate instruction groups into a program. *)

@@ -1,0 +1,183 @@
+open Builder
+
+let rec factorial n = if n <= 1 then 1. else float_of_int n *. factorial (n - 1)
+
+(* sin x = x · P(x²),  P(w) = Σ_{k=0}^{9} (−1)^k w^k / (2k+1)! ;
+   coefficients listed highest-degree first for Horner. *)
+let sin_coeffs =
+  List.init 10 (fun i ->
+      let k = 9 - i in
+      (if k mod 2 = 0 then 1. else -1.) /. factorial ((2 * k) + 1))
+
+(* cos x = Q(x²),  Q(w) = Σ_{k=0}^{10} (−1)^k w^k / (2k)! *)
+let cos_coeffs =
+  List.init 11 (fun i ->
+      let k = 10 - i in
+      (if k mod 2 = 0 then 1. else -1.) /. factorial (2 * k))
+
+(* ln m = 2·s·R(s²) with s = (m−1)/(m+1),  R(w) = Σ_{k=0}^{7} w^k/(2k+1) *)
+let atanh_coeffs =
+  List.init 8 (fun i ->
+      let k = 7 - i in
+      1. /. float_of_int ((2 * k) + 1))
+
+let x0 = Reg.Xmm0
+let x1 = Reg.Xmm1
+let x2 = Reg.Xmm2
+let x3 = Reg.Xmm3
+let x4 = Reg.Xmm4
+let x5 = Reg.Xmm5
+let rax = Reg.Rax
+let rcx = Reg.Rcx
+let rdx = Reg.Rdx
+
+let square_into ~x ~dst =
+  [ binop Opcode.Movsd (xmm x) (xmm dst); binop Opcode.Mulsd (xmm x) (xmm dst) ]
+
+let sin_program =
+  program
+    [
+      square_into ~x:x0 ~dst:x1;
+      horner_f64 ~x:x1 ~acc:x2 ~tmp:x3 ~via:rax sin_coeffs;
+      [ binop Opcode.Mulsd (xmm x2) (xmm x0) ];
+    ]
+
+let cos_program =
+  program
+    [
+      square_into ~x:x0 ~dst:x1;
+      horner_f64 ~x:x1 ~acc:x2 ~tmp:x3 ~via:rax cos_coeffs;
+      [ binop Opcode.Movsd (xmm x2) (xmm x0) ];
+    ]
+
+(* log: extract the exponent with integer bit manipulation, normalize the
+   mantissa into [1,2), and combine k·ln2 with the atanh-series of the
+   mantissa. *)
+let log_program =
+  program
+    [
+      [
+        binop Opcode.Movq (xmm x0) (gp rax);
+        binop (Opcode.Mov Reg.Q) (gp rax) (gp rcx);
+        binop (Opcode.Shr Reg.Q) (imm 52) (gp rax);
+        binop (Opcode.Sub Reg.Q) (imm 1023) (gp rax);
+        binop (Opcode.Cvtsi2sd Reg.Q) (gp rax) (xmm x1);
+        Instr.make Opcode.Movabs [ Operand.Imm 0x000f_ffff_ffff_ffffL; gp rdx ];
+        binop (Opcode.And Reg.Q) (gp rdx) (gp rcx);
+        Instr.make Opcode.Movabs [ Operand.Imm 0x3ff0_0000_0000_0000L; gp rdx ];
+        binop (Opcode.Or Reg.Q) (gp rdx) (gp rcx);
+        binop Opcode.Movq (gp rcx) (xmm x2);
+      ];
+      load_f64 ~via:rax ~into:x3 1.0;
+      [
+        binop Opcode.Movsd (xmm x2) (xmm x4);
+        binop Opcode.Subsd (xmm x3) (xmm x4);  (* m − 1 *)
+        binop Opcode.Addsd (xmm x3) (xmm x2);  (* m + 1 *)
+        binop Opcode.Divsd (xmm x2) (xmm x4);  (* s *)
+        binop Opcode.Movsd (xmm x4) (xmm x5);
+        binop Opcode.Mulsd (xmm x4) (xmm x5);  (* s² *)
+      ];
+      horner_f64 ~x:x5 ~acc:x2 ~tmp:x3 ~via:rax atanh_coeffs;
+      [
+        binop Opcode.Mulsd (xmm x4) (xmm x2);  (* s·R *)
+        binop Opcode.Addsd (xmm x2) (xmm x2);  (* 2·s·R = ln m *)
+      ];
+      load_f64 ~via:rax ~into:x3 (Float.log 2.);
+      [
+        binop Opcode.Mulsd (xmm x3) (xmm x1);  (* k·ln2 *)
+        binop Opcode.Addsd (xmm x1) (xmm x2);
+        binop Opcode.Movsd (xmm x2) (xmm x0);
+      ];
+    ]
+
+(* tan = (x·P(x²)) / Q(x²) with longer sin/cos series (the paper's tan is
+   its longest kernel at ~107 LOC; ours is ~85). *)
+let tan_sin_coeffs =
+  List.init 10 (fun i ->
+      let k = 9 - i in
+      (if k mod 2 = 0 then 1. else -1.) /. factorial ((2 * k) + 1))
+
+let tan_cos_coeffs =
+  List.init 11 (fun i ->
+      let k = 10 - i in
+      (if k mod 2 = 0 then 1. else -1.) /. factorial (2 * k))
+
+let tan_program =
+  program
+    [
+      square_into ~x:x0 ~dst:x1;
+      horner_f64 ~x:x1 ~acc:x2 ~tmp:x3 ~via:rax tan_sin_coeffs;
+      [ binop Opcode.Mulsd (xmm x0) (xmm x2) ];  (* sin ≈ x·P *)
+      horner_f64 ~x:x1 ~acc:x4 ~tmp:x3 ~via:rax tan_cos_coeffs;
+      [
+        binop Opcode.Divsd (xmm x4) (xmm x2);  (* sin/cos *)
+        binop Opcode.Movsd (xmm x2) (xmm x0);
+      ];
+    ]
+
+(* Full-precision exponential (the intro's custom-exp scenario): Cody-Waite
+   range reduction followed by a 13-term Horner series, 2^k rebuilt through
+   the exponent field.  Same structure as the S3D kernel but carried to
+   double precision (the S3D variant stops at 8 terms). *)
+let exp_coeffs =
+  let rec factorial n = if n <= 1 then 1. else float_of_int n *. factorial (n - 1) in
+  List.init 13 (fun i -> 1. /. factorial (12 - i))
+
+let exp_ln2_hi = Int64.float_of_bits 0x3fe62e42fee00000L
+let exp_ln2_lo = Float.log 2. -. exp_ln2_hi
+
+let exp_program =
+  program
+    [
+      load_f64 ~via:rax ~into:x1 (1. /. Float.log 2.);
+      [
+        binop Opcode.Mulsd (xmm x0) (xmm x1);
+        binop (Opcode.Cvtsd2si Reg.Q) (xmm x1) (gp rcx);
+        binop (Opcode.Cvtsi2sd Reg.Q) (gp rcx) (xmm x1);
+      ];
+      load_f64 ~via:rax ~into:x2 exp_ln2_hi;
+      [
+        binop Opcode.Mulsd (xmm x1) (xmm x2);
+        binop Opcode.Subsd (xmm x2) (xmm x0);
+      ];
+      load_f64 ~via:rax ~into:x2 exp_ln2_lo;
+      [
+        binop Opcode.Mulsd (xmm x1) (xmm x2);
+        binop Opcode.Subsd (xmm x2) (xmm x0);
+      ];
+      horner_f64 ~x:x0 ~acc:x3 ~tmp:x4 ~via:rax exp_coeffs;
+      [
+        binop (Opcode.Add Reg.Q) (imm 1023) (gp rcx);
+        binop (Opcode.Shl Reg.Q) (imm 52) (gp rcx);
+        binop Opcode.Movq (gp rcx) (xmm x1);
+        binop Opcode.Mulsd (xmm x1) (xmm x3);
+        binop Opcode.Movsd (xmm x3) (xmm x0);
+      ];
+    ]
+
+let pi = Float.pi
+
+let spec_of name prog lo hi =
+  Sandbox.Spec.make ~name ~program:prog
+    ~float_inputs:[ Sandbox.Spec.Fin_xmm_f64 (x0, { Sandbox.Spec.lo; hi }) ]
+    ~outputs:[ Sandbox.Spec.Out_xmm_f64 x0 ]
+    ()
+
+let sin_spec = spec_of "sin" sin_program (-.pi) pi
+let cos_spec = spec_of "cos" cos_program (-.pi) pi
+let log_spec = spec_of "log" log_program 0.01 100.
+let tan_spec = spec_of "tan" tan_program (-1.55) 1.55
+let exp_spec = spec_of "exp" exp_program 0.001 100.
+
+let all =
+  [ ("sin", sin_spec); ("log", log_spec); ("tan", tan_spec); ("cos", cos_spec);
+    ("exp", exp_spec) ]
+
+let reference name =
+  match name with
+  | "sin" -> Float.sin
+  | "cos" -> Float.cos
+  | "log" -> Float.log
+  | "tan" -> Float.tan
+  | "exp" -> Float.exp
+  | _ -> invalid_arg ("Libimf.reference: unknown kernel " ^ name)

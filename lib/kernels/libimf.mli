@@ -1,0 +1,36 @@
+(** Hand-written double-precision kernels in the style of Intel's libimf
+    (§6.1): Horner-evaluated polynomial approximations with the bit-level
+    constant loading and (for [log]) exponent extraction idioms that make
+    such kernels opaque to SMT solvers and abstract interpretation.
+
+    Each kernel takes its argument in the low quad of [xmm0] and returns in
+    [xmm0].  The specs carry the paper's user-specified valid input ranges,
+    so optimization and validation are both specialized to them. *)
+
+val sin_spec : Sandbox.Spec.t
+(** Bounded periodic function; inputs in [-π, π]. *)
+
+val cos_spec : Sandbox.Spec.t
+(** Inputs in [-π, π]. *)
+
+val log_spec : Sandbox.Spec.t
+(** Continuous unbounded function; inputs in [0.01, 100].  Extracts the
+    exponent field with [shr]/[and]/[or] — fixed-point computation feeding
+    floating-point outputs. *)
+
+val tan_spec : Sandbox.Spec.t
+(** Discontinuous unbounded function; inputs in [-1.55, 1.55]. *)
+
+val exp_spec : Sandbox.Spec.t
+(** Full-precision exponential for positive inputs below 100 — the
+    scenario of the paper's introduction ("correct only to 48-bits of
+    precision and defined only for positive inputs less than 100").
+    Thirteen Horner terms after Cody-Waite range reduction; the search
+    specializes it to any requested precision (48 bits ≈ η = 32). *)
+
+val all : (string * Sandbox.Spec.t) list
+(** The three kernels featured in Figure 4 plus cos and exp. *)
+
+val reference : string -> float -> float
+(** Ground-truth mathematical function by kernel name (for sanity tests;
+    the experiments always compare rewrites against the kernel itself). *)

@@ -1,0 +1,57 @@
+open Builder
+
+let rec factorial n = if n <= 1 then 1. else float_of_int n *. factorial (n - 1)
+
+(* e^r = Σ_{k=0}^{7} r^k/k!, highest degree first. *)
+let exp_coeffs = List.init 8 (fun i -> 1. /. factorial (7 - i))
+
+let x0 = Reg.Xmm0
+let x1 = Reg.Xmm1
+let x2 = Reg.Xmm2
+let x3 = Reg.Xmm3
+let x4 = Reg.Xmm4
+let rax = Reg.Rax
+let rcx = Reg.Rcx
+
+(* Cody-Waite split of ln 2. *)
+let ln2_hi = Int64.float_of_bits 0x3fe62e42fee00000L
+let ln2_lo = Float.log 2. -. ln2_hi
+let log2_e = 1. /. Float.log 2.
+
+let exp_program =
+  program
+    [
+      load_f64 ~via:rax ~into:x1 log2_e;
+      [
+        binop Opcode.Mulsd (xmm x0) (xmm x1);  (* x/ln2 *)
+        binop (Opcode.Cvtsd2si Reg.Q) (xmm x1) (gp rcx);  (* k = round *)
+        binop (Opcode.Cvtsi2sd Reg.Q) (gp rcx) (xmm x1);  (* (double)k *)
+      ];
+      load_f64 ~via:rax ~into:x2 ln2_hi;
+      [
+        binop Opcode.Mulsd (xmm x1) (xmm x2);  (* k·ln2_hi *)
+        binop Opcode.Subsd (xmm x2) (xmm x0);  (* r = x − k·ln2_hi *)
+      ];
+      load_f64 ~via:rax ~into:x2 ln2_lo;
+      [
+        binop Opcode.Mulsd (xmm x1) (xmm x2);  (* k·ln2_lo *)
+        binop Opcode.Subsd (xmm x2) (xmm x0);  (* r −= k·ln2_lo *)
+      ];
+      horner_f64 ~x:x0 ~acc:x3 ~tmp:x4 ~via:rax exp_coeffs;
+      [
+        (* 2^k: biased exponent shifted into the quad's exponent field. *)
+        binop (Opcode.Add Reg.Q) (imm 1023) (gp rcx);
+        binop (Opcode.Shl Reg.Q) (imm 52) (gp rcx);
+        binop Opcode.Movq (gp rcx) (xmm x1);
+        binop Opcode.Mulsd (xmm x1) (xmm x3);
+        binop Opcode.Movsd (xmm x3) (xmm x0);
+      ];
+    ]
+
+let exp_spec =
+  Sandbox.Spec.make ~name:"exp" ~program:exp_program
+    ~float_inputs:[ Sandbox.Spec.Fin_xmm_f64 (x0, { Sandbox.Spec.lo = -3.; hi = 0. }) ]
+    ~outputs:[ Sandbox.Spec.Out_xmm_f64 x0 ]
+    ()
+
+let reference = Float.exp

@@ -1,0 +1,19 @@
+(** The S3D diffusion task's hand-coded [exp] kernel (§6.2): range-reduced
+    Taylor-series approximation that deliberately omits error handling for
+    irregular values (infinity, NaN), exactly like the kernel the S3D
+    developers ship.
+
+    Structure: k = round(x/ln2) via [cvtsd2si] (fixed-point!), r = x − k·ln2
+    in two Cody-Waite pieces, a 7-term Horner polynomial for e^r, and the
+    2^k scale factor rebuilt by shifting the biased exponent into place with
+    [add]/[shl]/[movq] — bit-manipulation that defeats the static
+    techniques of §4. *)
+
+val exp_program : Program.t
+
+val exp_spec : Sandbox.Spec.t
+(** Inputs in [-3, 0], the argument range of the diffusion task's
+    Arrhenius-style exponentials (and of Figure 5(b)). *)
+
+val reference : float -> float
+(** [Float.exp]. *)

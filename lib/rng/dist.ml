@@ -1,0 +1,49 @@
+type gen = Xoshiro256.t
+
+let bits64 = Xoshiro256.next
+
+let int g n =
+  if n <= 0 then invalid_arg "Dist.int: bound must be positive";
+  (* Rejection-free modulo is biased for huge n; n here is always small
+     (program lengths, pool sizes), so the bias is negligible, but we use
+     the high bits which are better mixed. *)
+  let r = Int64.shift_right_logical (bits64 g) 1 in
+  Int64.to_int (Int64.rem r (Int64.of_int n))
+
+let bool g = Int64.compare (Int64.logand (bits64 g) 1L) 0L <> 0
+
+let float g bound =
+  (* 53 uniform bits scaled into [0,1). *)
+  let r = Int64.shift_right_logical (bits64 g) 11 in
+  Int64.to_float r /. 0x1p53 *. bound
+
+let uniform g lo hi = lo +. float g (hi -. lo)
+
+let normal g ~mu ~sigma =
+  let rec u_nonzero () =
+    let u = float g 1.0 in
+    if u > 0. then u else u_nonzero ()
+  in
+  let u1 = u_nonzero () in
+  let u2 = float g 1.0 in
+  let r = sqrt (-2. *. log u1) in
+  mu +. (sigma *. r *. cos (2. *. Float.pi *. u2))
+
+let choose g a =
+  if Array.length a = 0 then invalid_arg "Dist.choose: empty array";
+  a.(int g (Array.length a))
+
+let choose_list g l =
+  match l with
+  | [] -> invalid_arg "Dist.choose_list: empty list"
+  | _ :: _ -> List.nth l (int g (List.length l))
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let uniform_bits_double g = Int64.float_of_bits (bits64 g)

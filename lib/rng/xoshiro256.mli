@@ -1,0 +1,19 @@
+(** xoshiro256** pseudo-random generator (Blackman, Vigna 2018).
+
+    The workhorse generator for MCMC search: one 64-bit output per call,
+    256-bit state, seeded deterministically from a single [int64] via
+    SplitMix64. *)
+
+type t
+
+val create : int64 -> t
+
+val next : t -> int64
+(** Next raw 64-bit output. *)
+
+val copy : t -> t
+
+val split : t -> t
+(** A fresh generator seeded from the next output of the argument, so that
+    parallel chains derived from one seed remain independent and
+    reproducible. *)

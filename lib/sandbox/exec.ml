@@ -1,0 +1,47 @@
+type outcome =
+  | Finished
+  | Faulted of Semantics.fault
+
+type result = {
+  outcome : outcome;
+  cycles : int;
+  executed : int;
+}
+
+let run (m : Machine.t) (p : Program.t) =
+  let cycles = ref 0 in
+  let executed = ref 0 in
+  let slots = p.Program.slots in
+  let n = Array.length slots in
+  let rec go idx =
+    if idx >= n then Finished
+    else
+      match slots.(idx) with
+      | Program.Unused -> go (idx + 1)
+      | Program.Active i ->
+        (match Semantics.step m i with
+         | Ok () ->
+           cycles := !cycles + Latency.of_instr i;
+           incr executed;
+           go (idx + 1)
+         | Error f ->
+           cycles := !cycles + Latency.of_instr i;
+           incr executed;
+           Faulted f)
+  in
+  let outcome = go 0 in
+  { outcome; cycles = !cycles; executed = !executed }
+
+let run_testcase ?mem_size p tc =
+  let m = Machine.create ?mem_size () in
+  Testcase.apply tc m;
+  let r = run m p in
+  (m, r)
+
+let outcome_is_signal = function
+  | Finished -> false
+  | Faulted _ -> true
+
+let outcome_to_string = function
+  | Finished -> "finished"
+  | Faulted f -> Semantics.fault_to_string f

@@ -1,0 +1,26 @@
+(** Program execution: run a loop-free program on a machine, collecting the
+    outcome and the cycle count under the static latency model. *)
+
+type outcome =
+  | Finished
+  | Faulted of Semantics.fault
+
+type result = {
+  outcome : outcome;
+  cycles : int;  (** sum of per-instruction latencies actually executed *)
+  executed : int;  (** number of instructions executed *)
+}
+
+val run : Machine.t -> Program.t -> result
+(** Executes the active slots in order, mutating the machine.  Stops at the
+    first fault. *)
+
+val run_testcase :
+  ?mem_size:int -> Program.t -> Testcase.t -> Machine.t * result
+(** Fresh machine, install the test case, run.  Convenient, but allocates;
+    hot loops should reuse machines via {!run} and
+    {!Machine.restore_from}. *)
+
+val outcome_is_signal : outcome -> bool
+
+val outcome_to_string : outcome -> string

@@ -1,0 +1,82 @@
+type flags = {
+  mutable cf : bool;
+  mutable zf : bool;
+  mutable sf : bool;
+  mutable o_f : bool;
+  mutable pf : bool;
+}
+
+type t = {
+  gp : int64 array;
+  xmm : int64 array;
+  flags : flags;
+  mem : Memory.t;
+}
+
+let default_rsp t =
+  Int64.add (Memory.base t.mem) (Int64.of_int (Memory.size t.mem / 2))
+
+let create ?(mem_size = 4096) () =
+  let t =
+    {
+      gp = Array.make 16 0L;
+      xmm = Array.make 32 0L;
+      flags = { cf = false; zf = false; sf = false; o_f = false; pf = false };
+      mem = Memory.create mem_size;
+    }
+  in
+  t.gp.(Reg.gp_index Reg.Rsp) <- default_rsp t;
+  t
+
+let copy t =
+  {
+    gp = Array.copy t.gp;
+    xmm = Array.copy t.xmm;
+    flags = { t.flags with cf = t.flags.cf };
+    mem = Memory.copy t.mem;
+  }
+
+let restore_from ~src ~dst =
+  Array.blit src.gp 0 dst.gp 0 16;
+  Array.blit src.xmm 0 dst.xmm 0 32;
+  dst.flags.cf <- src.flags.cf;
+  dst.flags.zf <- src.flags.zf;
+  dst.flags.sf <- src.flags.sf;
+  dst.flags.o_f <- src.flags.o_f;
+  dst.flags.pf <- src.flags.pf;
+  Memory.blit_from ~src:src.mem ~dst:dst.mem
+
+let get_gp t r = t.gp.(Reg.gp_index r)
+let set_gp t r v = t.gp.(Reg.gp_index r) <- v
+
+let get_gp32 t r = Int64.logand (get_gp t r) 0xffff_ffffL
+let set_gp32 t r v = set_gp t r (Int64.logand v 0xffff_ffffL)
+
+let get_xmm t r =
+  let i = Reg.xmm_index r in
+  (t.xmm.(2 * i), t.xmm.((2 * i) + 1))
+
+let set_xmm t r (lo, hi) =
+  let i = Reg.xmm_index r in
+  t.xmm.(2 * i) <- lo;
+  t.xmm.((2 * i) + 1) <- hi
+
+let get_xmm_lo t r = t.xmm.(2 * Reg.xmm_index r)
+let set_xmm_lo t r v = t.xmm.(2 * Reg.xmm_index r) <- v
+
+let get_f64 t r = Int64.float_of_bits (get_xmm_lo t r)
+let set_f64 t r v = set_xmm_lo t r (Int64.bits_of_float v)
+
+let get_f32 t r =
+  Int32.float_of_bits (Int64.to_int32 (get_xmm_lo t r))
+
+let set_f32 t r v =
+  let bits32 = Int64.of_int32 (Int32.bits_of_float v) in
+  let lo = get_xmm_lo t r in
+  set_xmm_lo t r
+    (Int64.logor
+       (Int64.logand lo 0xffff_ffff_0000_0000L)
+       (Int64.logand bits32 0xffff_ffffL))
+
+let get_f32_hi t r =
+  Int32.float_of_bits (Int64.to_int32 (Int64.shift_right_logical (get_xmm_lo t r) 32))

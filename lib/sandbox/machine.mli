@@ -1,0 +1,59 @@
+(** Architectural state: sixteen 64-bit general-purpose registers, sixteen
+    128-bit xmm registers (stored as quadword pairs), the five status flags
+    our opcode subset reads or writes, and a sandboxed memory arena. *)
+
+type flags = {
+  mutable cf : bool;
+  mutable zf : bool;
+  mutable sf : bool;
+  mutable o_f : bool;  (** overflow flag; [of] is an OCaml keyword *)
+  mutable pf : bool;
+}
+
+type t = {
+  gp : int64 array;  (** indexed by {!Reg.gp_index} *)
+  xmm : int64 array;  (** lane [2i] = low quad of xmm[i], [2i+1] = high *)
+  flags : flags;
+  mem : Memory.t;
+}
+
+val create : ?mem_size:int -> unit -> t
+(** Fresh zeroed machine; [mem_size] defaults to 4096 bytes.  [rsp] starts
+    in the middle of the arena so small negative and positive displacements
+    both stay in bounds. *)
+
+val copy : t -> t
+val restore_from : src:t -> dst:t -> unit
+(** Overwrite [dst]'s state with [src]'s without allocating. *)
+
+val get_gp : t -> Reg.gp -> int64
+val set_gp : t -> Reg.gp -> int64 -> unit
+
+val get_gp32 : t -> Reg.gp -> int64
+(** Low 32 bits, zero-extended. *)
+
+val set_gp32 : t -> Reg.gp -> int64 -> unit
+(** Writes the low 32 bits and zeroes the upper 32 (x86-64 rule). *)
+
+val get_xmm : t -> Reg.xmm -> int64 * int64
+val set_xmm : t -> Reg.xmm -> int64 * int64 -> unit
+
+val get_xmm_lo : t -> Reg.xmm -> int64
+val set_xmm_lo : t -> Reg.xmm -> int64 -> unit
+(** Writes the low quad, preserving the high quad. *)
+
+val get_f64 : t -> Reg.xmm -> float
+(** Low quad as a double. *)
+
+val set_f64 : t -> Reg.xmm -> float -> unit
+
+val get_f32 : t -> Reg.xmm -> float
+(** Low dword as a single (widened to an OCaml float). *)
+
+val set_f32 : t -> Reg.xmm -> float -> unit
+(** Rounds to single, writes the low dword, preserves the rest. *)
+
+val get_f32_hi : t -> Reg.xmm -> float
+(** Dword 1 (bits 32–63) as a single. *)
+
+val default_rsp : t -> int64

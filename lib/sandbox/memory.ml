@@ -1,0 +1,85 @@
+type t = {
+  base : int64;
+  data : Bytes.t;
+}
+
+type fault =
+  | Out_of_bounds of int64
+  | Misaligned of int64
+
+let create ?(base = 0x100000L) n =
+  if n <= 0 then invalid_arg "Memory.create: non-positive size";
+  { base; data = Bytes.make n '\000' }
+
+let base t = t.base
+let size t = Bytes.length t.data
+
+let copy t = { base = t.base; data = Bytes.copy t.data }
+
+let blit_from ~src ~dst =
+  if Bytes.length src.data <> Bytes.length dst.data then
+    invalid_arg "Memory.blit_from: size mismatch";
+  Bytes.blit src.data 0 dst.data 0 (Bytes.length src.data)
+
+let offset t addr n =
+  let off = Int64.sub addr t.base in
+  if
+    Int64.compare off 0L >= 0
+    && Int64.compare (Int64.add off (Int64.of_int n)) (Int64.of_int (size t)) <= 0
+  then Some (Int64.to_int off)
+  else None
+
+let read t addr n =
+  if n < 1 || n > 8 then invalid_arg "Memory.read: bad width";
+  match offset t addr n with
+  | None -> Error (Out_of_bounds addr)
+  | Some off ->
+    let v = ref 0L in
+    for i = n - 1 downto 0 do
+      v := Int64.logor (Int64.shift_left !v 8)
+             (Int64.of_int (Char.code (Bytes.get t.data (off + i))))
+    done;
+    Ok !v
+
+let write t addr n v =
+  if n < 1 || n > 8 then invalid_arg "Memory.write: bad width";
+  match offset t addr n with
+  | None -> Error (Out_of_bounds addr)
+  | Some off ->
+    for i = 0 to n - 1 do
+      let b = Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff in
+      Bytes.set t.data (off + i) (Char.chr b)
+    done;
+    Ok ()
+
+let read128 ?(aligned = false) t addr =
+  if aligned && Int64.compare (Int64.rem addr 16L) 0L <> 0 then
+    Error (Misaligned addr)
+  else
+    match read t addr 8 with
+    | Error _ as e -> Result.map (fun _ -> (0L, 0L)) e
+    | Ok lo ->
+      (match read t (Int64.add addr 8L) 8 with
+       | Error f -> Error f
+       | Ok hi -> Ok (lo, hi))
+
+let write128 ?(aligned = false) t addr (lo, hi) =
+  if aligned && Int64.compare (Int64.rem addr 16L) 0L <> 0 then
+    Error (Misaligned addr)
+  else
+    match write t addr 8 lo with
+    | Error _ as e -> e
+    | Ok () -> write t (Int64.add addr 8L) 8 hi
+
+let set_bytes t addr s =
+  match offset t addr (String.length s) with
+  | None -> invalid_arg "Memory.set_bytes: out of range"
+  | Some off -> Bytes.blit_string s 0 t.data off (String.length s)
+
+let to_bytes t = t.data
+
+let equal a b = Int64.equal a.base b.base && Bytes.equal a.data b.data
+
+let fault_to_string = function
+  | Out_of_bounds a -> Printf.sprintf "out-of-bounds access at 0x%Lx" a
+  | Misaligned a -> Printf.sprintf "misaligned access at 0x%Lx" a

@@ -1,0 +1,47 @@
+(** Sandboxed flat memory arena.
+
+    Candidate rewrites dereference arbitrary addresses, so every access is
+    bounds-checked against a single arena of bytes starting at [base]; any
+    access outside it faults, exactly like STOKE's sandboxed test-case
+    evaluation.  Alignment-checked accesses (movaps) additionally fault on
+    misaligned addresses. *)
+
+type t
+
+type fault =
+  | Out_of_bounds of int64  (** the offending address *)
+  | Misaligned of int64
+
+val create : ?base:int64 -> int -> t
+(** [create n] makes an arena of [n] zero bytes.  [base] defaults to
+    0x100000. *)
+
+val base : t -> int64
+val size : t -> int
+
+val copy : t -> t
+val blit_from : src:t -> dst:t -> unit
+(** Copy contents (sizes must match). *)
+
+val read : t -> int64 -> int -> (int64, fault) result
+(** [read m addr n] reads [n] bytes ([1..8]) little-endian, zero-extended. *)
+
+val write : t -> int64 -> int -> int64 -> (unit, fault) result
+(** [write m addr n v] stores the low [n] bytes of [v] little-endian. *)
+
+val read128 : ?aligned:bool -> t -> int64 -> (int64 * int64, fault) result
+(** Low and high quadwords.  With [aligned:true], faults unless the address
+    is 16-byte aligned. *)
+
+val write128 : ?aligned:bool -> t -> int64 -> int64 * int64 -> (unit, fault) result
+
+val set_bytes : t -> int64 -> string -> unit
+(** Initialize arena contents at an absolute address (for test cases);
+    raises [Invalid_argument] when out of range. *)
+
+val to_bytes : t -> Bytes.t
+(** The raw contents (not a copy — use {!copy} first if needed). *)
+
+val equal : t -> t -> bool
+
+val fault_to_string : fault -> string

@@ -1,0 +1,19 @@
+(** Operational semantics of the modelled opcode subset.
+
+    [step] executes one instruction against a {!Machine.t}, mutating it in
+    place.  IEEE-754 behaviour comes from the host's double arithmetic;
+    single-precision operations round results back to binary32 (exact for
+    the arithmetic ops in our subset).  All memory accesses are checked by
+    {!Memory}. *)
+
+type fault =
+  | Segv of string  (** out-of-bounds or misaligned access *)
+  | Sigfpe of string  (** reserved — FP exceptions are masked on x86-64 *)
+  | Sigill of string  (** instruction form the interpreter cannot run *)
+
+val step : Machine.t -> Instr.t -> (unit, fault) result
+
+val fault_to_string : fault -> string
+
+val eff_addr : Machine.t -> Operand.mem -> int64
+(** Effective address of a memory operand. *)

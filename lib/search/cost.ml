@@ -1,0 +1,160 @@
+type metric =
+  | Ulp_metric
+  | Abs_metric
+  | Rel_metric
+
+type reduction =
+  | Max
+  | Sum
+
+type perf_model =
+  | Sum_latency
+  | Critical_path
+
+type params = {
+  eta : Ulp.t;
+  k : float;
+  ws : float;
+  metric : metric;
+  reduction : reduction;
+  perf_model : perf_model;
+}
+
+let default_params ~eta =
+  { eta; k = 1.0; ws = 1e18; metric = Ulp_metric; reduction = Max;
+    perf_model = Sum_latency }
+
+type t = {
+  spec : Sandbox.Spec.t;
+  params : params;
+  tests : Sandbox.Testcase.t array;
+  expected : Sandbox.Spec.value array array;
+      (** per test: target's live-out values (only for tests where the
+          target ran to completion) *)
+  target_signalled : bool array;
+  machine : Sandbox.Machine.t;  (** scratch machine, reused per run *)
+  pristine : Sandbox.Machine.t;
+  mutable evaluations : int;
+}
+
+let spec t = t.spec
+let params t = t.params
+let tests t = t.tests
+let evaluations t = t.evaluations
+
+let run_on t program tc =
+  Sandbox.Machine.restore_from ~src:t.pristine ~dst:t.machine;
+  Sandbox.Testcase.apply tc t.machine;
+  Sandbox.Exec.run t.machine program
+
+let create spec params tests =
+  let machine = Sandbox.Machine.create ~mem_size:spec.Sandbox.Spec.mem_size () in
+  let pristine = Sandbox.Machine.copy machine in
+  let t =
+    {
+      spec;
+      params;
+      tests;
+      expected = [||];
+      target_signalled = [||];
+      machine;
+      pristine;
+      evaluations = 0;
+    }
+  in
+  let expected =
+    Array.map
+      (fun tc ->
+        let r = run_on t spec.Sandbox.Spec.program tc in
+        match r.Sandbox.Exec.outcome with
+        | Sandbox.Exec.Finished -> Sandbox.Spec.read_outputs spec t.machine
+        | Sandbox.Exec.Faulted f ->
+          invalid_arg
+            (Printf.sprintf "Cost.create: target faults on a test case (%s)"
+               (Sandbox.Semantics.fault_to_string f)))
+      tests
+  in
+  { t with
+    expected;
+    target_signalled = Array.map (fun _ -> false) tests
+  }
+
+(* Error between one pair of values, already thresholded by η, as a float. *)
+let location_error params expected actual =
+  match params.metric with
+  | Ulp_metric ->
+    let d = Sandbox.Spec.value_ulp expected actual in
+    Ulp.to_float (Ulp.sub_clamp d params.eta)
+  | Abs_metric ->
+    (match expected, actual with
+     | Sandbox.Spec.Vf64 a, Sandbox.Spec.Vf64 b
+     | Sandbox.Spec.Vf32 a, Sandbox.Spec.Vf32 b ->
+       let d = Float.abs (a -. b) in
+       let d = if Float.is_nan d then Float.infinity else d in
+       (* Scale into roughly ULP-comparable magnitude so η stays usable:
+          1 ULP near 1.0 is ~2e-16, so multiply by 2^52. *)
+       Float.max 0. ((d *. 0x1p52) -. Ulp.to_float params.eta)
+     | Sandbox.Spec.Vi64 _, _ | _, Sandbox.Spec.Vi64 _ ->
+       Ulp.to_float (Ulp.sub_clamp (Sandbox.Spec.value_ulp expected actual) params.eta)
+     | (Sandbox.Spec.Vf64 _ | Sandbox.Spec.Vf32 _), _ ->
+       invalid_arg "Cost: mismatched value types")
+  | Rel_metric ->
+    (match expected, actual with
+     | Sandbox.Spec.Vf64 a, Sandbox.Spec.Vf64 b
+     | Sandbox.Spec.Vf32 a, Sandbox.Spec.Vf32 b ->
+       let d = Float.abs ((a -. b) /. a) in
+       let d = if Float.is_nan d then Float.infinity else d in
+       (* 1 ULP of relative error is ~2^-52. *)
+       Float.max 0. ((d *. 0x1p52) -. Ulp.to_float params.eta)
+     | Sandbox.Spec.Vi64 _, _ | _, Sandbox.Spec.Vi64 _ ->
+       Ulp.to_float (Ulp.sub_clamp (Sandbox.Spec.value_ulp expected actual) params.eta)
+     | (Sandbox.Spec.Vf64 _ | Sandbox.Spec.Vf32 _), _ ->
+       invalid_arg "Cost: mismatched value types")
+
+type cost = {
+  eq : float;
+  perf : float;
+  total : float;
+  signals : int;
+  max_ulp : Ulp.t;
+}
+
+let eval t program =
+  t.evaluations <- t.evaluations + 1;
+  let params = t.params in
+  let eq = ref 0. in
+  let signals = ref 0 in
+  let max_ulp = ref Ulp.zero in
+  let combine v =
+    match params.reduction with
+    | Max -> eq := Float.max !eq v
+    | Sum -> eq := !eq +. v
+  in
+  Array.iteri
+    (fun ti tc ->
+      let r = run_on t program tc in
+      match r.Sandbox.Exec.outcome with
+      | Sandbox.Exec.Faulted _ ->
+        incr signals;
+        combine params.ws
+      | Sandbox.Exec.Finished ->
+        let actual = Sandbox.Spec.read_outputs t.spec t.machine in
+        let expected = t.expected.(ti) in
+        let test_err = ref 0. in
+        Array.iteri
+          (fun li e ->
+            let a = actual.(li) in
+            max_ulp := Ulp.max !max_ulp (Sandbox.Spec.value_ulp e a);
+            test_err := !test_err +. location_error params e a)
+          expected;
+        combine !test_err)
+    t.tests;
+  let perf =
+    match params.perf_model with
+    | Sum_latency -> float_of_int (Latency.of_program program)
+    | Critical_path -> float_of_int (Critical_path.of_program program)
+  in
+  { eq = !eq; perf; total = !eq +. (params.k *. perf); signals = !signals;
+    max_ulp = !max_ulp }
+
+let correct c = c.eq = 0.

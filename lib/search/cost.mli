@@ -1,0 +1,63 @@
+(** The paper's cost function (Eq. 2, 9–11).
+
+    [eq_fast] compares the rewrite's live outputs against the target's
+    precomputed outputs on every test case, charging
+    [max(0, ULP(f_R, f_T) − η)] per live-out location plus a large penalty
+    for divergent signal behaviour, and reduces across test cases with
+    [max] (§5.2; saturating, so costs never overflow).  The total cost is
+    [eq + k·perf] where [perf] is the static latency sum of the rewrite.
+
+    The error metric and the reduction operator are configurable to support
+    the ablation benches (ULP vs absolute vs relative error; max vs sum). *)
+
+type metric =
+  | Ulp_metric
+  | Abs_metric  (** |a−b| scaled into ULP-comparable units *)
+  | Rel_metric
+
+type reduction =
+  | Max
+  | Sum
+
+(** How the [perf] term prices a rewrite. *)
+type perf_model =
+  | Sum_latency  (** serial latency sum — STOKE's approximation *)
+  | Critical_path  (** longest dependence chain ({!Critical_path}) *)
+
+type params = {
+  eta : Ulp.t;  (** minimum unacceptable ULP rounding error *)
+  k : float;  (** weight of the perf term; 0 = synthesis mode *)
+  ws : float;  (** weight of divergent signal behaviour *)
+  metric : metric;
+  reduction : reduction;
+  perf_model : perf_model;
+}
+
+val default_params : eta:Ulp.t -> params
+(** k = 1.0, ws = 1e18, ULP metric, max reduction, latency-sum perf. *)
+
+type t
+(** Evaluation context: spec, test cases, the target's expected outputs, and
+    reusable machines. *)
+
+val create : Sandbox.Spec.t -> params -> Sandbox.Testcase.t array -> t
+
+val spec : t -> Sandbox.Spec.t
+val params : t -> params
+val tests : t -> Sandbox.Testcase.t array
+
+type cost = {
+  eq : float;  (** 0 when the rewrite is η-correct on every test *)
+  perf : float;
+  total : float;
+  signals : int;  (** test cases on which the rewrite signalled *)
+  max_ulp : Ulp.t;  (** worst per-location ULP error observed *)
+}
+
+val eval : t -> Program.t -> cost
+
+val evaluations : t -> int
+(** Number of [eval] calls so far (test-case dispatch counting). *)
+
+val correct : cost -> bool
+(** [eq = 0.] *)

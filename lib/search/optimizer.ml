@@ -1,0 +1,182 @@
+type config = {
+  proposals : int;
+  strategy : Strategy.t;
+  seed : int64;
+  padding : int;
+  restarts : int;
+  trace_points : int;
+}
+
+let default_config =
+  {
+    proposals = 200_000;
+    strategy = Strategy.Mcmc { beta = 1.0 };
+    seed = 1L;
+    padding = 4;
+    restarts = 1;
+    trace_points = 60;
+  }
+
+type trace_entry = {
+  iter : int;
+  best_total : float;
+  current_total : float;
+}
+
+type move_stats = {
+  proposed : int array;
+  accepted_by_kind : int array;
+}
+
+type result = {
+  best_correct : Program.t option;
+  best_correct_cost : Cost.cost option;
+  best_overall : Program.t;
+  best_overall_cost : Cost.cost;
+  trace : trace_entry list;
+  proposals_made : int;
+  accepted : int;
+  evaluations : int;
+  moves : move_stats;
+}
+
+let kind_index = function
+  | Transform.Opcode_move -> 0
+  | Transform.Operand_move -> 1
+  | Transform.Swap_move -> 2
+  | Transform.Instruction_move -> 3
+
+(* Logarithmically spaced checkpoints in [1, n]. *)
+let checkpoints n count =
+  let rec go acc i =
+    if i > count then List.rev acc
+    else begin
+      let v =
+        int_of_float
+          (Float.pow (float_of_int n) (float_of_int i /. float_of_int count))
+      in
+      let v = Stdlib.max 1 v in
+      match acc with
+      | prev :: _ when prev >= v -> go ((prev + 1) :: acc) (i + 1)
+      | _ -> go (v :: acc) (i + 1)
+    end
+  in
+  go [] 1
+
+type chain_state = {
+  mutable best_correct : Program.t option;
+  mutable best_correct_cost : Cost.cost option;
+  mutable best_overall : Program.t;
+  mutable best_overall_cost : Cost.cost;
+  mutable accepted : int;
+  mutable proposals_made : int;
+  mutable trace_rev : trace_entry list;
+  moves : move_stats;
+}
+
+let run_chain ctx pools config init g state =
+  let cur = Program.with_padding config.padding (Program.instrs init) in
+  let cur_cost = ref (Cost.eval ctx cur) in
+  let note_candidate cost =
+    if Cost.correct cost then begin
+      let better =
+        match state.best_correct_cost with
+        | None -> true
+        | Some c -> cost.Cost.perf < c.Cost.perf
+      in
+      if better then begin
+        state.best_correct <- Some (Program.copy cur);
+        state.best_correct_cost <- Some cost
+      end
+    end;
+    if cost.Cost.total < state.best_overall_cost.Cost.total then begin
+      state.best_overall <- Program.copy cur;
+      state.best_overall_cost <- cost
+    end
+  in
+  note_candidate !cur_cost;
+  let marks = ref (checkpoints config.proposals config.trace_points) in
+  for iter = 1 to config.proposals do
+    state.proposals_made <- state.proposals_made + 1;
+    (match Transform.propose g pools cur with
+     | None -> ()
+     | Some (kind, undo) ->
+       state.moves.proposed.(kind_index kind) <-
+         state.moves.proposed.(kind_index kind) + 1;
+       let proposal_cost = Cost.eval ctx cur in
+       let delta = proposal_cost.Cost.total -. !cur_cost.Cost.total in
+       if Strategy.accept config.strategy g ~iter ~delta then begin
+         state.accepted <- state.accepted + 1;
+         state.moves.accepted_by_kind.(kind_index kind) <-
+           state.moves.accepted_by_kind.(kind_index kind) + 1;
+         cur_cost := proposal_cost;
+         note_candidate proposal_cost
+       end
+       else Transform.undo cur undo);
+    (match !marks with
+     | m :: rest when iter >= m ->
+       state.trace_rev <-
+         {
+           iter;
+           best_total = state.best_overall_cost.Cost.total;
+           current_total = !cur_cost.Cost.total;
+         }
+         :: state.trace_rev;
+       marks := rest
+     | _ -> ())
+  done
+
+let run_from ctx config init =
+  let spec = Cost.spec ctx in
+  let pools = Pools.make ~target:spec.Sandbox.Spec.program ~spec in
+  let g = Rng.Xoshiro256.create config.seed in
+  let init_cost = Cost.eval ctx init in
+  let state =
+    {
+      best_correct = None;
+      best_correct_cost = None;
+      best_overall = Program.copy init;
+      best_overall_cost = init_cost;
+      accepted = 0;
+      proposals_made = 0;
+      trace_rev = [];
+      moves = { proposed = Array.make 4 0; accepted_by_kind = Array.make 4 0 };
+    }
+  in
+  for _chain = 1 to Stdlib.max 1 config.restarts do
+    run_chain ctx pools config init (Rng.Xoshiro256.split g) state
+  done;
+  let live_out = Sandbox.Spec.live_out_set spec in
+  let best_correct =
+    Option.map (fun p -> Liveness.dce p ~live_out) state.best_correct
+  in
+  (* DCE can only remove instructions with no live effect, but re-evaluate
+     to keep the reported cost honest. *)
+  let best_correct, best_correct_cost =
+    match best_correct with
+    | None -> (None, None)
+    | Some p ->
+      let c = Cost.eval ctx p in
+      if Cost.correct c then (Some p, Some c)
+      else (state.best_correct, state.best_correct_cost)
+  in
+  {
+    best_correct;
+    best_correct_cost;
+    best_overall = state.best_overall;
+    best_overall_cost = state.best_overall_cost;
+    trace = List.rev state.trace_rev;
+    proposals_made = state.proposals_made;
+    accepted = state.accepted;
+    evaluations = Cost.evaluations ctx;
+    moves = state.moves;
+  }
+
+let run ctx config =
+  run_from ctx config (Cost.spec ctx).Sandbox.Spec.program
+
+let synthesize ctx config ~slots =
+  if slots <= 0 then invalid_arg "Optimizer.synthesize: need positive slots";
+  (* the chain pads its starting program, so an empty program with padding
+     [slots] gives exactly [slots] free slots *)
+  run_from ctx { config with padding = slots } (Program.of_instrs [])

@@ -1,0 +1,60 @@
+(** The STOKE search loop: repeated proposal, evaluation, and
+    accept/reject, tracking the best η-correct rewrite found.
+
+    The driver is strategy-parameterized (Metropolis-Hastings by default)
+    and records a best-cost trace at logarithmically spaced checkpoints for
+    the §6.4 comparison plots. *)
+
+type config = {
+  proposals : int;  (** total proposals (the paper uses 10M) *)
+  strategy : Strategy.t;
+  seed : int64;
+  padding : int;  (** extra [Unused] slots appended to the initial rewrite *)
+  restarts : int;  (** independent chains run sequentially; best kept *)
+  trace_points : int;  (** number of log-spaced trace checkpoints *)
+}
+
+val default_config : config
+(** 200k proposals, MCMC with β = 1, seed 1, padding 4, 1 restart. *)
+
+type trace_entry = {
+  iter : int;
+  best_total : float;
+  current_total : float;
+}
+
+(** Per-move-kind telemetry: how often each of the paper's four proposals
+    was drawn and how often it was accepted. *)
+type move_stats = {
+  proposed : int array;  (** indexed by {!Transform.kind} order *)
+  accepted_by_kind : int array;
+}
+
+type result = {
+  best_correct : Program.t option;
+      (** lowest-latency rewrite with [eq = 0] on all tests, after DCE *)
+  best_correct_cost : Cost.cost option;
+  best_overall : Program.t;  (** lowest total cost seen (before DCE) *)
+  best_overall_cost : Cost.cost;
+  trace : trace_entry list;  (** checkpoints, ascending iteration *)
+  proposals_made : int;
+  accepted : int;
+  evaluations : int;
+  moves : move_stats;
+}
+
+val kind_index : Transform.kind -> int
+(** Index into {!move_stats} arrays. *)
+
+val run : Cost.t -> config -> result
+(** Starts each chain from the target (STOKE's optimization mode). *)
+
+val run_from : Cost.t -> config -> Program.t -> result
+(** Starts from a given rewrite instead. *)
+
+val synthesize : Cost.t -> config -> slots:int -> result
+(** STOKE's synthesis mode (§2.2): start from the {e empty} rewrite of
+    [slots] unused slots and search for any program equivalent to the
+    target.  Callers normally pass a context whose [k] is 0 so the perf
+    term does not distract the search; the best correct rewrite (if any)
+    is still DCE'd and reported as in {!run}. *)

@@ -1,0 +1,41 @@
+let better_result (a : Optimizer.result) (b : Optimizer.result) =
+  (* prefer an η-correct rewrite; among those, the lowest perf *)
+  match a.Optimizer.best_correct_cost, b.Optimizer.best_correct_cost with
+  | Some ca, Some cb -> if cb.Cost.perf < ca.Cost.perf then b else a
+  | Some _, None -> a
+  | None, Some _ -> b
+  | None, None ->
+    if b.Optimizer.best_overall_cost.Cost.total
+       < a.Optimizer.best_overall_cost.Cost.total
+    then b
+    else a
+
+let run ?domains ~spec ~params ~tests ~config () =
+  let n =
+    match domains with
+    | Some d -> Stdlib.max 1 d
+    | None -> Stdlib.min 8 (Domain.recommended_domain_count ())
+  in
+  let chain i =
+    let ctx = Cost.create spec params tests in
+    let cfg =
+      { config with
+        Optimizer.seed = Int64.add config.Optimizer.seed (Int64.of_int i) }
+    in
+    Optimizer.run ctx cfg
+  in
+  if n = 1 then chain 0
+  else begin
+    let handles = List.init n (fun i -> Domain.spawn (fun () -> chain i)) in
+    let results = List.map Domain.join handles in
+    match results with
+    | [] -> assert false
+    | first :: rest ->
+      let best = List.fold_left better_result first rest in
+      let sum f = List.fold_left (fun acc r -> acc + f r) 0 results in
+      { best with
+        Optimizer.proposals_made = sum (fun r -> r.Optimizer.proposals_made);
+        accepted = sum (fun r -> r.Optimizer.accepted);
+        evaluations = sum (fun r -> r.Optimizer.evaluations)
+      }
+  end

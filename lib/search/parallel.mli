@@ -1,0 +1,19 @@
+(** Parallel search: independent MCMC chains on OCaml 5 domains, mirroring
+    the paper's 16 search threads (§6).
+
+    Chains share nothing — each domain builds its own cost context and
+    machines — so the result is deterministic for a given seed: chain [i]
+    runs with seed [seed + i] and the best η-correct rewrite across chains
+    wins (ties by lower latency, then lower chain index). *)
+
+val run :
+  ?domains:int ->
+  spec:Sandbox.Spec.t ->
+  params:Cost.params ->
+  tests:Sandbox.Testcase.t array ->
+  config:Optimizer.config ->
+  unit ->
+  Optimizer.result
+(** [domains] defaults to [Domain.recommended_domain_count ()], capped
+    at 8.  The returned trace is the winning chain's trace; [evaluations]
+    and [proposals_made] are summed across chains. *)

@@ -1,0 +1,148 @@
+module Xset = Set.Make (struct
+  type t = Reg.xmm
+
+  let compare = Reg.compare_xmm
+end)
+
+module Gset = Set.Make (struct
+  type t = Reg.gp
+
+  let compare = Reg.compare_gp
+end)
+
+module I64set = Set.Make (Int64)
+
+type t = {
+  gp32 : Operand.t array;
+  gp64 : Operand.t array;
+  xmm : Operand.t array;
+  imm8 : Operand.t array;
+  imm32 : Operand.t array;
+  imm64 : Operand.t array;
+  mem32 : Operand.t array;
+  mem64 : Operand.t array;
+  mem128 : Operand.t array;
+  opcodes : Opcode.t array;  (** opcodes with every shape-kind instantiable *)
+}
+
+let scratch_gps = [ Reg.Rax; Reg.Rcx; Reg.Rdx ]
+let scratch_xmms = [ Reg.Xmm0; Reg.Xmm1; Reg.Xmm2; Reg.Xmm3; Reg.Xmm4; Reg.Xmm5 ]
+
+let collect target spec =
+  let gps = ref (Gset.of_list scratch_gps) in
+  let xmms = ref (Xset.of_list scratch_xmms) in
+  let imm8s = ref (I64set.of_list [ 0L; 1L; 2L; 32L; 52L; 63L ]) in
+  let imm32s = ref (I64set.of_list [ 0L; 1L; 2L; 1023L ]) in
+  let imm64s = ref I64set.empty in
+  let mems = ref [] in
+  let add_operand o =
+    match o with
+    | Operand.Gp r -> gps := Gset.add r !gps
+    | Operand.Xmm r -> xmms := Xset.add r !xmms
+    | Operand.Imm v ->
+      if Int64.compare v 0L >= 0 && Int64.compare v 255L <= 0 then
+        imm8s := I64set.add v !imm8s;
+      if Int64.compare v (-2147483648L) >= 0 && Int64.compare v 2147483647L <= 0
+      then imm32s := I64set.add v !imm32s;
+      imm64s := I64set.add v !imm64s
+    | Operand.Mem m ->
+      Option.iter (fun r -> gps := Gset.add r !gps) m.Operand.base;
+      Option.iter (fun (r, _) -> gps := Gset.add r !gps) m.Operand.index;
+      if not (List.exists (Operand.equal_mem m) !mems) then mems := m :: !mems
+  in
+  List.iter
+    (fun (i : Instr.t) -> Array.iter add_operand i.Instr.operands)
+    (Program.instrs target);
+  (* Registers carrying live-in values must be available as operands. *)
+  List.iter
+    (fun fi ->
+      match fi with
+      | Sandbox.Spec.Fin_xmm_f64 (r, _)
+      | Sandbox.Spec.Fin_xmm_f32 (r, _)
+      | Sandbox.Spec.Fin_xmm_f32_hi (r, _) ->
+        xmms := Xset.add r !xmms
+      | Sandbox.Spec.Fin_mem_f32 _ | Sandbox.Spec.Fin_mem_f64 _ -> ())
+    spec.Sandbox.Spec.float_inputs;
+  List.iter
+    (fun fx ->
+      match fx with
+      | Sandbox.Spec.Fix_gp (r, _) -> gps := Gset.add r !gps
+      | Sandbox.Spec.Fix_mem _ -> ())
+    spec.Sandbox.Spec.fixed_inputs;
+  (!gps, !xmms, !imm8s, !imm32s, !imm64s, !mems)
+
+let make ~target ~spec =
+  let gps, xmms, imm8s, imm32s, imm64s, mems = collect target spec in
+  let gp_ops = Gset.elements gps |> List.map (fun r -> Operand.Gp r) in
+  let pools_no_ops =
+    {
+      gp32 = Array.of_list gp_ops;
+      gp64 = Array.of_list gp_ops;
+      xmm = Array.of_list (Xset.elements xmms |> List.map (fun r -> Operand.Xmm r));
+      imm8 = Array.of_list (I64set.elements imm8s |> List.map (fun v -> Operand.Imm v));
+      imm32 =
+        Array.of_list (I64set.elements imm32s |> List.map (fun v -> Operand.Imm v));
+      imm64 =
+        Array.of_list
+          ((I64set.elements imm64s |> List.map (fun v -> Operand.Imm v))
+          @ [ Operand.Imm 0L ]);
+      mem32 = Array.of_list (List.map (fun m -> Operand.Mem m) mems);
+      mem64 = Array.of_list (List.map (fun m -> Operand.Mem m) mems);
+      mem128 = Array.of_list (List.map (fun m -> Operand.Mem m) mems);
+      opcodes = [||];
+    }
+  in
+  let kind_pool p (k : Shape.kind) =
+    match k with
+    | Shape.K_gp Reg.L -> p.gp32
+    | Shape.K_gp Reg.Q -> p.gp64
+    | Shape.K_xmm -> p.xmm
+    | Shape.K_imm8 -> p.imm8
+    | Shape.K_imm32 -> p.imm32
+    | Shape.K_imm64 -> p.imm64
+    | Shape.K_mem Shape.M32 -> p.mem32
+    | Shape.K_mem Shape.M64 -> p.mem64
+    | Shape.K_mem Shape.M128 -> p.mem128
+  in
+  let shape_instantiable p shape =
+    Array.for_all (fun k -> Array.length (kind_pool p k) > 0) shape
+  in
+  let opcodes =
+    List.filter
+      (fun op -> List.exists (shape_instantiable pools_no_ops) (Shape.shapes op))
+      Opcode.all
+    |> Array.of_list
+  in
+  { pools_no_ops with opcodes }
+
+let operands_of_kind t (k : Shape.kind) =
+  match k with
+  | Shape.K_gp Reg.L -> t.gp32
+  | Shape.K_gp Reg.Q -> t.gp64
+  | Shape.K_xmm -> t.xmm
+  | Shape.K_imm8 -> t.imm8
+  | Shape.K_imm32 -> t.imm32
+  | Shape.K_imm64 -> t.imm64
+  | Shape.K_mem Shape.M32 -> t.mem32
+  | Shape.K_mem Shape.M64 -> t.mem64
+  | Shape.K_mem Shape.M128 -> t.mem128
+
+let shape_instantiable t shape =
+  Array.for_all (fun k -> Array.length (operands_of_kind t k) > 0) shape
+
+let opcodes_with_shape t shape =
+  Array.to_list t.opcodes
+  |> List.filter (fun op ->
+         List.exists (fun s -> Shape.equal_shape s shape) (Shape.shapes op))
+  |> Array.of_list
+
+let all_opcodes t = t.opcodes
+
+let random_instr g t =
+  let op = Rng.Dist.choose g t.opcodes in
+  let candidates = List.filter (shape_instantiable t) (Shape.shapes op) in
+  let shape = Rng.Dist.choose_list g candidates in
+  let operands =
+    Array.map (fun k -> Rng.Dist.choose g (operands_of_kind t k)) shape
+  in
+  Instr.make_unchecked op operands

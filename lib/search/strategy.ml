@@ -1,0 +1,37 @@
+type t =
+  | Mcmc of { beta : float }
+  | Hill
+  | Anneal of {
+      t0 : float;
+      cooling : float;
+    }
+  | Random_walk
+
+let accept t g ~iter ~delta =
+  match t with
+  | Random_walk -> true
+  | Hill -> delta <= 0.
+  | Mcmc { beta } ->
+    if delta <= 0. then true
+    else Rng.Dist.float g 1.0 < Float.exp (-.beta *. delta)
+  | Anneal { t0; cooling } ->
+    if delta <= 0. then true
+    else begin
+      let temp = Float.max 1e-9 (t0 *. Float.pow cooling (float_of_int iter)) in
+      Rng.Dist.float g 1.0 < Float.exp (-.delta /. temp)
+    end
+
+let default_anneal = Anneal { t0 = 1e12; cooling = 0.99997 }
+
+let to_string = function
+  | Mcmc _ -> "mcmc"
+  | Hill -> "hill"
+  | Anneal _ -> "anneal"
+  | Random_walk -> "rand"
+
+let of_string = function
+  | "mcmc" -> Some (Mcmc { beta = 1.0 })
+  | "hill" -> Some Hill
+  | "anneal" -> Some default_anneal
+  | "rand" -> Some Random_walk
+  | _ -> None

@@ -1,0 +1,26 @@
+(** Acceptance rules for the four stochastic search procedures compared in
+    §6.4: pure random search, greedy hill-climbing, simulated annealing, and
+    Metropolis-Hastings MCMC sampling. *)
+
+type t =
+  | Mcmc of { beta : float }
+      (** Accept with probability min(1, exp(−β·Δc)) — Eq. 4. *)
+  | Hill
+      (** Accept iff the cost does not increase. *)
+  | Anneal of {
+      t0 : float;  (** initial temperature *)
+      cooling : float;  (** per-iteration multiplicative decay *)
+    }
+  | Random_walk
+      (** Always accept. *)
+
+val accept : t -> Rng.Xoshiro256.t -> iter:int -> delta:float -> bool
+(** Should a proposal changing the cost by [delta] be accepted at iteration
+    [iter]? *)
+
+val default_anneal : t
+(** t0 = 1e12, cooling tuned to decay over ~1e6 iterations. *)
+
+val to_string : t -> string
+val of_string : string -> t option
+(** Recognizes ["mcmc"], ["hill"], ["anneal"], ["rand"]. *)

@@ -1,0 +1,133 @@
+type kind =
+  | Opcode_move
+  | Operand_move
+  | Swap_move
+  | Instruction_move
+
+type undo =
+  | Restore_slot of int * Program.slot
+  | Restore_swap of int * int
+
+let kind_to_string = function
+  | Opcode_move -> "opcode"
+  | Operand_move -> "operand"
+  | Swap_move -> "swap"
+  | Instruction_move -> "instruction"
+
+let active_indices (p : Program.t) =
+  let out = ref [] in
+  Array.iteri
+    (fun i s ->
+      match s with
+      | Program.Active _ -> out := i :: !out
+      | Program.Unused -> ())
+    p.Program.slots;
+  Array.of_list !out
+
+let propose_opcode g pools (p : Program.t) =
+  let actives = active_indices p in
+  if Array.length actives = 0 then None
+  else begin
+    let idx = Rng.Dist.choose g actives in
+    match p.Program.slots.(idx) with
+    | Program.Unused -> None
+    | Program.Active i ->
+      let shape = Instr.shape i in
+      let candidates =
+        Pools.opcodes_with_shape pools shape
+        |> Array.to_list
+        |> List.filter (fun op -> not (Opcode.equal op i.Instr.op))
+        |> Array.of_list
+      in
+      if Array.length candidates = 0 then None
+      else begin
+        let op = Rng.Dist.choose g candidates in
+        let i' = Instr.make_unchecked op i.Instr.operands in
+        if Instr.is_well_formed i' then begin
+          p.Program.slots.(idx) <- Program.Active i';
+          Some (Restore_slot (idx, Program.Active i))
+        end
+        else None
+      end
+  end
+
+let propose_operand g pools (p : Program.t) =
+  let actives = active_indices p in
+  if Array.length actives = 0 then None
+  else begin
+    let idx = Rng.Dist.choose g actives in
+    match p.Program.slots.(idx) with
+    | Program.Unused -> None
+    | Program.Active i ->
+      let shape = Instr.shape i in
+      if Array.length shape = 0 then None
+      else begin
+        let pos = Rng.Dist.int g (Array.length shape) in
+        let pool = Pools.operands_of_kind pools shape.(pos) in
+        if Array.length pool = 0 then None
+        else begin
+          let o = Rng.Dist.choose g pool in
+          let operands = Array.copy i.Instr.operands in
+          operands.(pos) <- o;
+          let i' = Instr.make_unchecked i.Instr.op operands in
+          if Instr.is_well_formed i' then begin
+            p.Program.slots.(idx) <- Program.Active i';
+            Some (Restore_slot (idx, Program.Active i))
+          end
+          else None
+        end
+      end
+  end
+
+let propose_swap g (p : Program.t) =
+  let n = Array.length p.Program.slots in
+  if n < 2 then None
+  else begin
+    let a = Rng.Dist.int g n in
+    let b = Rng.Dist.int g n in
+    if a = b then None
+    else begin
+      let tmp = p.Program.slots.(a) in
+      p.Program.slots.(a) <- p.Program.slots.(b);
+      p.Program.slots.(b) <- tmp;
+      Some (Restore_swap (a, b))
+    end
+  end
+
+let propose_instruction g pools (p : Program.t) =
+  let n = Array.length p.Program.slots in
+  if n = 0 then None
+  else begin
+    let idx = Rng.Dist.int g n in
+    let old = p.Program.slots.(idx) in
+    let replacement =
+      if Rng.Dist.bool g then Program.Unused
+      else Program.Active (Pools.random_instr g pools)
+    in
+    p.Program.slots.(idx) <- replacement;
+    Some (Restore_slot (idx, old))
+  end
+
+let propose g pools p =
+  let kind =
+    match Rng.Dist.int g 4 with
+    | 0 -> Opcode_move
+    | 1 -> Operand_move
+    | 2 -> Swap_move
+    | _ -> Instruction_move
+  in
+  let result =
+    match kind with
+    | Opcode_move -> propose_opcode g pools p
+    | Operand_move -> propose_operand g pools p
+    | Swap_move -> propose_swap g p
+    | Instruction_move -> propose_instruction g pools p
+  in
+  Option.map (fun u -> (kind, u)) result
+
+let undo (p : Program.t) = function
+  | Restore_slot (idx, old) -> p.Program.slots.(idx) <- old
+  | Restore_swap (a, b) ->
+    let tmp = p.Program.slots.(a) in
+    p.Program.slots.(a) <- p.Program.slots.(b);
+    p.Program.slots.(b) <- tmp

@@ -1,0 +1,27 @@
+(** The paper's four proposal moves (§2.2), applied in place with undo.
+
+    - {b Opcode}: replace one instruction's opcode with another admitting
+      the same operand shape.
+    - {b Operand}: replace one operand with another of the same kind.
+    - {b Swap}: exchange two slots (either may be [Unused]).
+    - {b Instruction}: replace a slot with [Unused] or with a freshly
+      random instruction.
+
+    All four are ergodic over the slot-array program space and symmetric,
+    as required by the Metropolis ratio. *)
+
+type kind =
+  | Opcode_move
+  | Operand_move
+  | Swap_move
+  | Instruction_move
+
+type undo
+
+val propose : Rng.Xoshiro256.t -> Pools.t -> Program.t -> (kind * undo) option
+(** Mutates the program; [None] when the drawn move is inapplicable (e.g.
+    opcode move on an empty program) — callers simply redraw. *)
+
+val undo : Program.t -> undo -> unit
+
+val kind_to_string : kind -> string

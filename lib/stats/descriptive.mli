@@ -1,0 +1,16 @@
+(** Basic descriptive statistics over float arrays. *)
+
+val mean : float array -> float
+(** Arithmetic mean; raises [Invalid_argument] on an empty array. *)
+
+val variance : float array -> float
+(** Unbiased (n-1) sample variance; [0.] for arrays shorter than 2. *)
+
+val stddev : float array -> float
+
+val min : float array -> float
+val max : float array -> float
+
+val quantile : float array -> float -> float
+(** [quantile a p] with [p] in [0,1]; linear interpolation between order
+    statistics.  Does not mutate its argument. *)

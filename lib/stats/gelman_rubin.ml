@@ -1,0 +1,29 @@
+type verdict = {
+  r_hat : float;
+  within : float;
+  between : float;
+  n : int;
+  m : int;
+}
+
+let r_hat chains =
+  let m = Array.length chains in
+  if m < 2 then invalid_arg "Gelman_rubin.r_hat: need at least two chains";
+  let n = Array.fold_left (fun acc c -> Stdlib.min acc (Array.length c)) max_int chains in
+  if n < 4 then invalid_arg "Gelman_rubin.r_hat: chains too short";
+  let chains = Array.map (fun c -> Array.sub c 0 n) chains in
+  let means = Array.map Descriptive.mean chains in
+  let grand = Descriptive.mean means in
+  let nf = float_of_int n and mf = float_of_int m in
+  let between =
+    nf /. (mf -. 1.)
+    *. Array.fold_left (fun acc mu -> acc +. ((mu -. grand) ** 2.)) 0. means
+  in
+  let within =
+    Array.fold_left (fun acc c -> acc +. Descriptive.variance c) 0. chains /. mf
+  in
+  let var_plus = (((nf -. 1.) /. nf) *. within) +. (between /. nf) in
+  let r_hat = if within > 0. then sqrt (var_plus /. within) else 1. in
+  { r_hat; within; between; n; m }
+
+let converged ?(threshold = 1.1) v = v.r_hat < threshold

@@ -1,0 +1,23 @@
+(** Gelman-Rubin potential-scale-reduction diagnostic (R̂) for multiple
+    MCMC chains.
+
+    Complements the single-chain Geweke test used in §5.3: with several
+    independent validation chains, R̂ compares within-chain and
+    between-chain variance; values near 1 indicate the chains have mixed
+    into the same distribution. *)
+
+type verdict = {
+  r_hat : float;
+  within : float;  (** mean within-chain variance W *)
+  between : float;  (** between-chain variance B *)
+  n : int;  (** per-chain length used *)
+  m : int;  (** number of chains *)
+}
+
+val r_hat : float array array -> verdict
+(** [r_hat chains] over at least two chains; chains are truncated to the
+    shortest length, which must be at least 4.  Raises [Invalid_argument]
+    otherwise. *)
+
+val converged : ?threshold:float -> verdict -> bool
+(** [r_hat < threshold]; the conventional threshold is 1.1. *)

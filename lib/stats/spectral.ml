@@ -1,0 +1,25 @@
+let autocovariance a k =
+  let n = Array.length a in
+  if k < 0 || k >= n then invalid_arg "Spectral.autocovariance: bad lag";
+  let m = Descriptive.mean a in
+  let acc = ref 0. in
+  for i = 0 to n - k - 1 do
+    acc := !acc +. ((a.(i) -. m) *. (a.(i + k) -. m))
+  done;
+  !acc /. float_of_int n
+
+let density_at_zero ?max_lag a =
+  let n = Array.length a in
+  if n < 2 then invalid_arg "Spectral.density_at_zero: need at least 2 samples";
+  let default_lag = int_of_float (sqrt (float_of_int n)) in
+  let lag =
+    match max_lag with
+    | None -> default_lag
+    | Some l -> Stdlib.min l (n - 1)
+  in
+  let s = ref (autocovariance a 0) in
+  for k = 1 to lag do
+    let w = 1. -. (float_of_int k /. float_of_int (lag + 1)) in
+    s := !s +. (2. *. w *. autocovariance a k)
+  done;
+  Float.max !s 1e-300

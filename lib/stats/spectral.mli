@@ -1,0 +1,15 @@
+(** Spectral density estimation for MCMC convergence diagnostics.
+
+    The Geweke statistic (Eq. 19 of the paper) needs an estimate of the
+    spectral density of the chain at frequency zero, which accounts for the
+    autocorrelation of successive samples.  We use the standard
+    Bartlett-windowed sum of sample autocovariances. *)
+
+val autocovariance : float array -> int -> float
+(** [autocovariance a k] is the lag-[k] sample autocovariance (biased,
+    normalized by n). *)
+
+val density_at_zero : ?max_lag:int -> float array -> float
+(** Bartlett-window estimate of the spectral density at frequency zero.
+    [max_lag] defaults to [floor (sqrt n)].  Clamped below at a tiny
+    positive value so callers can divide by it. *)

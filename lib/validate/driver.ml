@@ -1,0 +1,163 @@
+type config = {
+  max_proposals : int;
+  min_samples : int;
+  check_every : int;
+  z_threshold : float;
+  sigma : float;
+  seed : int64;
+  trace_points : int;
+}
+
+let default_config =
+  {
+    max_proposals = 2_000_000;
+    min_samples = 100_000;
+    check_every = 50_000;
+    z_threshold = 0.5;
+    sigma = 1.0;
+    seed = 7L;
+    trace_points = 40;
+  }
+
+type trace_entry = {
+  iter : int;
+  best_err : float;
+}
+
+type verdict = {
+  max_err : Ulp.t;
+  max_err_input : float array;
+  validated : bool;
+  mixed : bool;
+  geweke_z : float;
+  iterations : int;
+  trace : trace_entry list;
+}
+
+(* Theorem 1 wants samples drawn in proportion to the error value, so the
+   Metropolis ratio for the (unnormalized) density err(·)+1 is
+   (err* + 1)/(err + 1).  The +1 keeps the chain alive on zero-error
+   plateaus. *)
+let density e = e +. 1.
+
+type accept_rule =
+  | A_mcmc
+  | A_hill
+  | A_anneal
+  | A_random
+
+let checkpoints n count =
+  let rec go acc i =
+    if i > count then List.rev acc
+    else begin
+      let v =
+        Stdlib.max 1
+          (int_of_float
+             (Float.pow (float_of_int n) (float_of_int i /. float_of_int count)))
+      in
+      match acc with
+      | prev :: _ when prev >= v -> go ((prev + 1) :: acc) (i + 1)
+      | _ -> go (v :: acc) (i + 1)
+    end
+  in
+  go [] 1
+
+let run_internal ~rule ?(config = default_config) ~eta errfn =
+  let g = Rng.Xoshiro256.create config.seed in
+  let spec = Errfn.spec errfn in
+  let proposal = Proposal.create ~sigma:config.sigma spec in
+  let cur = ref (Proposal.initial g proposal) in
+  let cur_err = ref (Errfn.eval errfn !cur) in
+  let max_err = ref (Errfn.eval_ulp errfn !cur) in
+  let max_err_input = ref (Array.copy !cur) in
+  let samples = ref [] in
+  let n_samples = ref 0 in
+  let mixed = ref false in
+  let last_z = ref Float.infinity in
+  let iterations = ref 0 in
+  let trace = ref [] in
+  let marks = ref (checkpoints config.max_proposals config.trace_points) in
+  (try
+     for iter = 1 to config.max_proposals do
+       iterations := iter;
+       let candidate =
+         match rule with
+         | A_random -> Proposal.initial g proposal
+         | A_mcmc | A_hill | A_anneal -> Proposal.step g proposal !cur
+       in
+       let err = Errfn.eval errfn candidate in
+       let accept =
+         match rule with
+         | A_random -> true
+         | A_hill -> err >= !cur_err
+         | A_mcmc ->
+           err >= !cur_err
+           || Rng.Dist.float g 1.0 < density err /. density !cur_err
+         | A_anneal ->
+           let temp =
+             Float.max 1e-6
+               (1.0 *. Float.pow 0.99999 (float_of_int iter))
+           in
+           err >= !cur_err
+           || Rng.Dist.float g 1.0
+              < Float.pow (density err /. density !cur_err) (1. /. temp)
+       in
+       if accept then begin
+         cur := candidate;
+         cur_err := err
+       end;
+       let exact = Errfn.eval_ulp errfn candidate in
+       if Ulp.compare exact !max_err > 0 then begin
+         max_err := exact;
+         max_err_input := Array.copy candidate
+       end;
+       samples := !cur_err :: !samples;
+       incr n_samples;
+       (match !marks with
+        | m :: rest when iter >= m ->
+          trace := { iter; best_err = Ulp.to_float !max_err } :: !trace;
+          marks := rest
+        | _ -> ());
+       if
+         !n_samples >= config.min_samples
+         && iter mod config.check_every = 0
+       then begin
+         let chain = Array.of_list (List.rev !samples) in
+         let v = Stats.Geweke.z_statistic chain in
+         last_z := v.Stats.Geweke.z;
+         if Stats.Geweke.converged ~threshold:config.z_threshold v then begin
+           mixed := true;
+           raise Exit
+         end
+       end
+     done
+   with Exit -> ());
+  (* Final mixing check for runs whose budget ended before the periodic
+     schedule fired. *)
+  if (not !mixed) && !n_samples >= 100 then begin
+    let chain = Array.of_list (List.rev !samples) in
+    let v = Stats.Geweke.z_statistic chain in
+    last_z := v.Stats.Geweke.z;
+    if Stats.Geweke.converged ~threshold:config.z_threshold v then mixed := true
+  end;
+  {
+    max_err = !max_err;
+    max_err_input = !max_err_input;
+    validated = !mixed && Ulp.compare !max_err eta <= 0;
+    mixed = !mixed;
+    geweke_z = !last_z;
+    iterations = !iterations;
+    trace = List.rev !trace;
+  }
+
+let run ?config ~eta errfn = run_internal ~rule:A_mcmc ?config ~eta errfn
+
+let run_strategy ?config ~strategy ~eta errfn =
+  let rule =
+    match strategy with
+    | `Mcmc -> A_mcmc
+    | `Hill -> A_hill
+    | `Anneal -> A_anneal
+    | `Random -> A_random
+  in
+  run_internal ~rule ?config ~eta errfn

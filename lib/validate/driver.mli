@@ -1,0 +1,44 @@
+(** MCMC validation (Eq. 15): sample the error function with
+    Metropolis-Hastings to hunt for the input maximizing the ULP error
+    between target and rewrite, terminating when the Geweke diagnostic says
+    the chain has mixed.  The largest observed sample is the reported bound.
+
+    This establishes strong evidence of correctness within η, not a formal
+    proof (the paper's "validation" vs "verification" distinction). *)
+
+type config = {
+  max_proposals : int;  (** hard iteration cap (the paper used 100M) *)
+  min_samples : int;  (** don't test convergence before this many samples *)
+  check_every : int;  (** Geweke test interval *)
+  z_threshold : float;  (** |Z| below this counts as mixed *)
+  sigma : float;  (** proposal standard deviation (Eq. 16) *)
+  seed : int64;
+  trace_points : int;
+}
+
+val default_config : config
+(** 2M proposal cap, check every 50k from 100k on, |Z| < 0.5, σ = 1. *)
+
+type trace_entry = {
+  iter : int;
+  best_err : float;
+}
+
+type verdict = {
+  max_err : Ulp.t;  (** largest observed error *)
+  max_err_input : float array;  (** the input exposing it *)
+  validated : bool;  (** max_err ≤ η and the chain mixed *)
+  mixed : bool;
+  geweke_z : float;  (** last computed Z statistic *)
+  iterations : int;
+  trace : trace_entry list;
+}
+
+val run : ?config:config -> eta:Ulp.t -> Errfn.t -> verdict
+
+val run_strategy :
+  ?config:config -> strategy:[ `Mcmc | `Hill | `Anneal | `Random ] ->
+  eta:Ulp.t -> Errfn.t -> verdict
+(** §6.4 comparison: the same max-error hunt under alternate acceptance
+    rules (random restarts for [`Random], greedy for [`Hill], a decaying
+    temperature for [`Anneal]). *)

@@ -1,0 +1,56 @@
+type t = {
+  spec : Sandbox.Spec.t;
+  rewrite : Program.t;
+  machine : Sandbox.Machine.t;
+  pristine : Sandbox.Machine.t;
+}
+
+let top_eta = 0x1p64
+
+let create spec ~rewrite =
+  let machine = Sandbox.Machine.create ~mem_size:spec.Sandbox.Spec.mem_size () in
+  let pristine = Sandbox.Machine.copy machine in
+  { spec; rewrite; machine; pristine }
+
+let spec t = t.spec
+
+let run_and_read t program tc =
+  Sandbox.Machine.restore_from ~src:t.pristine ~dst:t.machine;
+  Sandbox.Testcase.apply tc t.machine;
+  let r = Sandbox.Exec.run t.machine program in
+  match r.Sandbox.Exec.outcome with
+  | Sandbox.Exec.Finished -> Some (Sandbox.Spec.read_outputs t.spec t.machine)
+  | Sandbox.Exec.Faulted _ -> None
+
+let eval_ulp t xs =
+  let tc = Sandbox.Spec.testcase_of_floats t.spec xs in
+  match run_and_read t t.spec.Sandbox.Spec.program tc with
+  | None ->
+    (* The spec's input ranges must keep the target from faulting; if it
+       does anyway, charge it as divergent. *)
+    Ulp.max_value
+  | Some expected ->
+    (match run_and_read t t.rewrite tc with
+     | None -> Ulp.max_value
+     | Some actual ->
+       let total = ref Ulp.zero in
+       Array.iteri
+         (fun i e ->
+           total := Ulp.add_sat !total (Sandbox.Spec.value_ulp e actual.(i)))
+         expected;
+       !total)
+
+let eval t xs =
+  let tc = Sandbox.Spec.testcase_of_floats t.spec xs in
+  match run_and_read t t.spec.Sandbox.Spec.program tc with
+  | None -> top_eta
+  | Some expected ->
+    (match run_and_read t t.rewrite tc with
+     | None -> top_eta
+     | Some actual ->
+       let total = ref Ulp.zero in
+       Array.iteri
+         (fun i e ->
+           total := Ulp.add_sat !total (Sandbox.Spec.value_ulp e actual.(i)))
+         expected;
+       Ulp.to_float !total)

@@ -1,0 +1,21 @@
+(** The error function of Eq. 13: total ULP distance between the target's
+    and rewrite's live outputs on one test case, with divergent signal
+    behaviour charged a value larger than any η. *)
+
+type t
+
+val create : Sandbox.Spec.t -> rewrite:Program.t -> t
+
+val eval : t -> float array -> float
+(** [eval e xs] evaluates the error on the test case assembled from the
+    float-input vector [xs].  ULP sums saturate; divergent signals return
+    [top_eta]. *)
+
+val eval_ulp : t -> float array -> Ulp.t
+(** Same, as an exact unsigned ULP count ({!Ulp.max_value} for divergent
+    signal behaviour). *)
+
+val top_eta : float
+(** The >η sentinel: 2^64, strictly above every representable ULP count. *)
+
+val spec : t -> Sandbox.Spec.t

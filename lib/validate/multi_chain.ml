@@ -1,0 +1,82 @@
+type config = {
+  chains : int;
+  proposals_per_chain : int;
+  sigma : float;
+  r_hat_threshold : float;
+  seed : int64;
+}
+
+let default_config =
+  {
+    chains = 4;
+    proposals_per_chain = 50_000;
+    sigma = 1.0;
+    r_hat_threshold = 1.1;
+    seed = 13L;
+  }
+
+type verdict = {
+  max_err : Ulp.t;
+  max_err_input : float array;
+  r_hat : float;
+  mixed : bool;
+  per_chain_max : Ulp.t array;
+  validated : bool;
+}
+
+(* One chain: Metropolis on the error density, recording the whole sample
+   series for the R̂ computation. *)
+let run_chain ~config ~seed errfn =
+  let g = Rng.Xoshiro256.create seed in
+  let spec = Errfn.spec errfn in
+  let proposal = Proposal.create ~sigma:config.sigma spec in
+  let cur = ref (Proposal.initial g proposal) in
+  let cur_err = ref (Errfn.eval errfn !cur) in
+  let best = ref (Errfn.eval_ulp errfn !cur) in
+  let best_input = ref (Array.copy !cur) in
+  let series = Array.make config.proposals_per_chain 0. in
+  for i = 0 to config.proposals_per_chain - 1 do
+    let cand = Proposal.step g proposal !cur in
+    let err = Errfn.eval errfn cand in
+    if
+      err >= !cur_err
+      || Rng.Dist.float g 1.0 < (err +. 1.) /. (!cur_err +. 1.)
+    then begin
+      cur := cand;
+      cur_err := err
+    end;
+    let exact = Errfn.eval_ulp errfn cand in
+    if Ulp.compare exact !best > 0 then begin
+      best := exact;
+      best_input := Array.copy cand
+    end;
+    series.(i) <- !cur_err
+  done;
+  (!best, !best_input, series)
+
+let run ?(config = default_config) ~eta errfn =
+  if config.chains < 2 then invalid_arg "Multi_chain.run: need >= 2 chains";
+  let results =
+    List.init config.chains (fun i ->
+        run_chain ~config ~seed:(Int64.add config.seed (Int64.of_int i)) errfn)
+  in
+  let per_chain_max = Array.of_list (List.map (fun (b, _, _) -> b) results) in
+  let best, best_input =
+    List.fold_left
+      (fun (b, bi) (b', bi', _) ->
+        if Ulp.compare b' b > 0 then (b', bi') else (b, bi))
+      (let b, bi, _ = List.hd results in
+       (b, bi))
+      (List.tl results)
+  in
+  let chains = Array.of_list (List.map (fun (_, _, s) -> s) results) in
+  let v = Stats.Gelman_rubin.r_hat chains in
+  let mixed = Stats.Gelman_rubin.converged ~threshold:config.r_hat_threshold v in
+  {
+    max_err = best;
+    max_err_input = best_input;
+    r_hat = v.Stats.Gelman_rubin.r_hat;
+    mixed;
+    per_chain_max;
+    validated = mixed && Ulp.compare best eta <= 0;
+  }

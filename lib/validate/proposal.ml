@@ -1,0 +1,19 @@
+type t = {
+  mu : float;
+  sigma : float;
+  ranges : Sandbox.Spec.frange array;
+  spec : Sandbox.Spec.t;
+}
+
+let create ?(mu = 0.) ?(sigma = 1.) spec =
+  { mu; sigma; ranges = Sandbox.Spec.input_ranges spec; spec }
+
+let initial g t = Sandbox.Spec.random_floats g t.spec
+
+let step g t xs =
+  Array.mapi
+    (fun i x ->
+      let r = t.ranges.(i) in
+      let x' = x +. Rng.Dist.normal g ~mu:t.mu ~sigma:t.sigma in
+      if x' < r.Sandbox.Spec.lo || x' > r.Sandbox.Spec.hi then x else x')
+    xs

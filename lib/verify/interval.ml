@@ -1,0 +1,194 @@
+type itv = {
+  lo : float;
+  hi : float;
+}
+
+let top = { lo = Float.neg_infinity; hi = Float.infinity }
+
+let is_top i = i.lo = Float.neg_infinity && i.hi = Float.infinity
+
+let make lo hi = { lo; hi }
+
+(* Widen outward by one representable double: a sound (if slightly lazy)
+   account of round-to-nearest error for each arithmetic operation. *)
+let inflate i =
+  if is_top i then i
+  else { lo = Fp64.pred i.lo; hi = Fp64.succ i.hi }
+
+let lift2 f a b =
+  if is_top a || is_top b then top
+  else begin
+    let candidates = [ f a.lo b.lo; f a.lo b.hi; f a.hi b.lo; f a.hi b.hi ] in
+    let lo = List.fold_left Float.min Float.infinity candidates in
+    let hi = List.fold_left Float.max Float.neg_infinity candidates in
+    if Float.is_nan lo || Float.is_nan hi then top else inflate (make lo hi)
+  end
+
+let add = lift2 ( +. )
+let sub = lift2 ( -. )
+let mul = lift2 ( *. )
+
+let div a b =
+  if is_top a || is_top b then top
+  else if b.lo <= 0. && b.hi >= 0. then top (* divisor interval spans zero *)
+  else lift2 ( /. ) a b
+
+let sqrt_itv a =
+  if is_top a || a.lo < 0. then top
+  else inflate (make (Float.sqrt a.lo) (Float.sqrt a.hi))
+
+let hull a b = make (Float.min a.lo b.lo) (Float.max a.hi b.hi)
+
+let contains i x = x >= i.lo && x <= i.hi
+
+let width i = i.hi -. i.lo
+
+(* ----- term evaluation ----- *)
+
+exception Not_analyzable of string
+
+(* Values flowing through terms: raw bit patterns (constants) stay
+   uninterpreted until they reach a floating-point operation of known
+   width. *)
+type av =
+  | Bits of int64
+  | Itv of itv
+
+let as_f64 = function
+  | Bits v -> let x = Int64.float_of_bits v in make x x
+  | Itv i -> i
+
+let as_f32 = function
+  | Bits v -> let x = Int32.float_of_bits (Int64.to_int32 v) in make x x
+  | Itv i -> i
+
+let rec eval env (t : Symbolic.term) : av =
+  match t with
+  | Symbolic.Cst v -> Bits v
+  | Symbolic.Sym name ->
+    (match env name with
+     | Some i -> Itv i
+     | None -> raise (Not_analyzable (Printf.sprintf "unconstrained input %s" name)))
+  | Symbolic.App (op, args) ->
+    let binop width f =
+      match args with
+      | [ a; b ] ->
+        let conv = (match width with `F64 -> as_f64 | `F32 -> as_f32) in
+        Itv (f (conv (eval env a)) (conv (eval env b)))
+      | _ -> raise (Not_analyzable (op ^ ": bad arity"))
+    in
+    (match op with
+     | "addsd" -> binop `F64 add
+     | "subsd" -> binop `F64 sub
+     | "mulsd" -> binop `F64 mul
+     | "divsd" -> binop `F64 div
+     | "addss" -> binop `F32 add
+     | "subss" -> binop `F32 sub
+     | "mulss" -> binop `F32 mul
+     | "divss" -> binop `F32 div
+     | "minss" -> binop `F32 (fun a b -> make (Float.min a.lo b.lo) (Float.min a.hi b.hi))
+     | "maxss" -> binop `F32 (fun a b -> make (Float.max a.lo b.lo) (Float.max a.hi b.hi))
+     | "sqrtss" | "sqrtsd" ->
+       (match args with
+        | [ a ] ->
+          let conv = if op = "sqrtss" then as_f32 else as_f64 in
+          Itv (sqrt_itv (conv (eval env a)))
+        | _ -> raise (Not_analyzable "sqrt arity"))
+     | _ ->
+       raise
+         (Not_analyzable
+            (Printf.sprintf "bit-level operation %s defeats interval reasoning" op)))
+
+(* Spacing of representable values at the top magnitude of the interval
+   hull; used to scale an absolute difference into "scaled ULPs". *)
+let ulp_size_at magnitude ~single =
+  let m = Float.max magnitude 1e-300 in
+  let e = snd (Float.frexp m) in
+  let p = if single then 24 else 53 in
+  Float.pow 2. (float_of_int (e - p))
+
+type analysis = {
+  bound_ulps : float;
+  target_range : itv;
+  rewrite_range : itv;
+}
+
+let env_of_spec (spec : Sandbox.Spec.t) =
+  (* Named float inputs in0, in1, …; memory-cell inputs are named
+     base[offset] after the fixed pointer they are reached through. *)
+  let tbl = Hashtbl.create 17 in
+  let fixed_ptrs =
+    List.filter_map
+      (fun fx ->
+        match fx with
+        | Sandbox.Spec.Fix_gp (r, v) -> Some (Reg.gp_name Reg.Q r, v)
+        | Sandbox.Spec.Fix_mem _ -> None)
+      spec.Sandbox.Spec.fixed_inputs
+  in
+  let register_mem addr range =
+    List.iter
+      (fun (name, base) ->
+        let off = Int64.sub addr base in
+        if Int64.compare off 0L >= 0 && Int64.compare off 4096L < 0 then
+          Hashtbl.replace tbl
+            (Printf.sprintf "%s[%Ld]" name off)
+            (make range.Sandbox.Spec.lo range.Sandbox.Spec.hi))
+      fixed_ptrs
+  in
+  List.iteri
+    (fun idx fi ->
+      let name = Printf.sprintf "in%d" idx in
+      match fi with
+      | Sandbox.Spec.Fin_xmm_f64 (_, r)
+      | Sandbox.Spec.Fin_xmm_f32 (_, r)
+      | Sandbox.Spec.Fin_xmm_f32_hi (_, r) ->
+        Hashtbl.replace tbl name (make r.Sandbox.Spec.lo r.Sandbox.Spec.hi)
+      | Sandbox.Spec.Fin_mem_f32 (addr, r) | Sandbox.Spec.Fin_mem_f64 (addr, r) ->
+        register_mem addr r)
+    spec.Sandbox.Spec.float_inputs;
+  fun name -> Hashtbl.find_opt tbl name
+
+let single_output (spec : Sandbox.Spec.t) idx =
+  match List.nth spec.Sandbox.Spec.outputs idx with
+  | Sandbox.Spec.Out_xmm_f32 _ | Sandbox.Spec.Out_xmm_f32_hi _ -> true
+  | Sandbox.Spec.Out_xmm_f64 _ | Sandbox.Spec.Out_gp _ -> false
+
+let static_ulp_bound (spec : Sandbox.Spec.t) ~rewrite =
+  match Symbolic.exec spec spec.Sandbox.Spec.program, Symbolic.exec spec rewrite with
+  | Error e, _ -> Error (Printf.sprintf "target not analyzable: %s" e)
+  | _, Error e -> Error (Printf.sprintf "rewrite not analyzable: %s" e)
+  | Ok t_terms, Ok r_terms ->
+    let env = env_of_spec spec in
+    (try
+       let bound = ref 0. in
+       let t_range = ref (make 0. 0.) in
+       let r_range = ref (make 0. 0.) in
+       Array.iteri
+         (fun idx t_term ->
+           let r_term = r_terms.(idx) in
+           let ti =
+             if single_output spec idx then as_f32 (eval env t_term)
+             else as_f64 (eval env t_term)
+           in
+           let ri =
+             if single_output spec idx then as_f32 (eval env r_term)
+             else as_f64 (eval env r_term)
+           in
+           t_range := if idx = 0 then ti else hull !t_range ti;
+           r_range := if idx = 0 then ri else hull !r_range ri;
+           if Symbolic.equal_term t_term r_term then ()
+           else begin
+             let diff = sub ti ri in
+             if is_top diff then raise (Not_analyzable "difference unbounded")
+             else begin
+               let abs_diff = Float.max (Float.abs diff.lo) (Float.abs diff.hi) in
+               let magnitude =
+                 Float.max (Float.abs ti.lo) (Float.abs ti.hi)
+               in
+               let u = ulp_size_at magnitude ~single:(single_output spec idx) in
+               bound := Float.max !bound (abs_diff /. u)
+             end
+           end)
+         t_terms;
+       Ok { bound_ulps = !bound; target_range = !t_range; rewrite_range = !r_range }
+     with Not_analyzable msg -> Error msg)

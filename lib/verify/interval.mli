@@ -1,0 +1,43 @@
+(** Interval abstract interpretation with rounding inflation.
+
+    Evaluates the symbolic output terms of a target and rewrite over the
+    spec's input ranges, widening every arithmetic result outward by one
+    representable value to absorb rounding error, and bounds the absolute
+    difference between the two programs' outputs.  The bound is converted
+    into "scaled ULPs" at the output's maximum magnitude.
+
+    As the paper observes (§4, §6.1), this is only applicable to kernels
+    without bit-level manipulation of floating-point representations —
+    terms containing bitwise operations on symbolic data evaluate to ⊤ and
+    the analysis reports failure — and even where it applies, the bound is
+    far coarser than what MCMC validation finds (§6.3: 1363.5 static vs 5
+    observed ULPs). *)
+
+type itv = {
+  lo : float;
+  hi : float;
+}
+
+val top : itv
+val is_top : itv -> bool
+
+val add : itv -> itv -> itv
+val sub : itv -> itv -> itv
+val mul : itv -> itv -> itv
+val div : itv -> itv -> itv
+(** All four widen outward by one representable double after the real
+    interval computation. *)
+
+val contains : itv -> float -> bool
+val width : itv -> float
+
+type analysis = {
+  bound_ulps : float;  (** scaled-ULP bound on the output difference *)
+  target_range : itv;
+  rewrite_range : itv;
+}
+
+val static_ulp_bound :
+  Sandbox.Spec.t -> rewrite:Program.t -> (analysis, string) Stdlib.result
+(** [Error] when either program leaves the symbolically-executable fragment
+    or the outputs depend on bit-manipulated values. *)

@@ -1,0 +1,39 @@
+(** Symbolic execution with uninterpreted floating-point operations.
+
+    Floating-point instructions become uninterpreted applications over
+    bit-vector terms; data movement, shuffles, and constant logic are
+    interpreted precisely.  Two programs whose live-out terms normalize to
+    the same DAG are bit-wise equivalent for all inputs — the technique the
+    paper uses (via Z3) to verify the dot-product rewrite of Figure 6.
+
+    Commutative operations ([addss], [mulss], and the bitwise logicals) are
+    normalized by argument sorting, which is sound for bit-wise equality up
+    to NaN payload propagation.
+
+    The executor is deliberately partial: instructions whose precise
+    bit-level effect we cannot track (flag-dependent control, packed
+    integer arithmetic on symbolic data, …) abort with [Error], mirroring
+    the scaling limits of the decision procedures discussed in §4. *)
+
+type term =
+  | Sym of string  (** a fresh 32-bit input cell *)
+  | Cst of int64  (** constant bit pattern *)
+  | App of string * term list
+
+val term_to_string : term -> string
+
+val normalize : term -> term
+(** Sort arguments of commutative applications, fold pack/unpack pairs. *)
+
+val equal_term : term -> term -> bool
+(** Structural equality of normalized terms. *)
+
+val exec : Sandbox.Spec.t -> Program.t -> (term array, string) result
+(** Symbolic outputs (one per spec output) of running the program from the
+    spec's symbolic initial state. *)
+
+val equivalent : Sandbox.Spec.t -> rewrite:Program.t -> (bool, string) result
+(** [Ok true] proves the rewrite bit-wise equivalent to the spec's target
+    on every input; [Ok false] means the terms differ (no counterexample is
+    produced); [Error reason] when either program leaves the supported
+    fragment. *)

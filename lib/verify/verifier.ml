@@ -1,0 +1,35 @@
+type outcome =
+  | Proved_bitwise
+  | Refuted_bitwise
+  | Static_bound of Interval.analysis
+  | Not_verifiable of string
+
+let check spec ~rewrite ~eta =
+  ignore eta;
+  match Symbolic.equivalent spec ~rewrite with
+  | Ok true -> Proved_bitwise
+  | Ok false ->
+    (match Interval.static_ulp_bound spec ~rewrite with
+     | Ok r -> Static_bound r
+     | Error _ -> Refuted_bitwise)
+  | Error symbolic_reason ->
+    (match Interval.static_ulp_bound spec ~rewrite with
+     | Ok r -> Static_bound r
+     | Error interval_reason ->
+       Not_verifiable
+         (Printf.sprintf "symbolic: %s; interval: %s" symbolic_reason
+            interval_reason))
+
+let verified_within outcome eta =
+  match outcome with
+  | Proved_bitwise -> true
+  | Refuted_bitwise | Not_verifiable _ -> false
+  | Static_bound r ->
+    Ulp.compare (Ulp.of_float r.Interval.bound_ulps) eta <= 0
+
+let outcome_to_string = function
+  | Proved_bitwise -> "proved bit-wise equivalent (uninterpreted functions)"
+  | Refuted_bitwise -> "not bit-wise equivalent"
+  | Static_bound r ->
+    Printf.sprintf "static interval bound: %.1f scaled ULPs" r.Interval.bound_ulps
+  | Not_verifiable reason -> "not statically verifiable (" ^ reason ^ ")"

@@ -1,0 +1,26 @@
+(** The two-tier correctness check of Eq. 5/12.
+
+    [check] tries the sound techniques in order of strength — symbolic
+    bit-wise equivalence, then interval abstract interpretation — and
+    reports which one applied.  Kernels mixing fixed- and floating-point
+    computation defeat both (as the paper's libimf and S3D kernels do), in
+    which case the caller falls back to MCMC validation. *)
+
+type outcome =
+  | Proved_bitwise
+      (** symbolic UF terms normalize identically: equal on every input *)
+  | Refuted_bitwise
+      (** terms differ — programs are not bit-wise equivalent (they may
+          still be η-close) *)
+  | Static_bound of Interval.analysis
+      (** bit-wise proof failed or inapplicable, but interval AI bounded
+          the output difference *)
+  | Not_verifiable of string
+      (** neither technique applies; use validation *)
+
+val check : Sandbox.Spec.t -> rewrite:Program.t -> eta:Ulp.t -> outcome
+
+val verified_within : outcome -> Ulp.t -> bool
+(** Does the outcome establish equivalence within the given η? *)
+
+val outcome_to_string : outcome -> string

@@ -1,0 +1,32 @@
+(* Completion time of each instruction = its latency plus the latest
+   completion among producers of its inputs.  Memory is modelled as a
+   single location: every access depends on the previous access (no
+   disambiguation), which is conservative but safe for a cost model. *)
+
+let of_program_detailed (p : Program.t) =
+  let instrs = Array.of_list (Program.instrs p) in
+  let n = Array.length instrs in
+  let finish = Array.make n 0 in
+  (* last writer (completion time) per location *)
+  let ready : (Liveness.loc, int) Hashtbl.t = Hashtbl.create 32 in
+  let path = ref 0 in
+  for i = 0 to n - 1 do
+    let instr = instrs.(i) in
+    let input_ready =
+      Liveness.Locset.fold
+        (fun loc acc ->
+          match Hashtbl.find_opt ready loc with
+          | Some t -> Stdlib.max acc t
+          | None -> acc)
+        (Liveness.uses instr) 0
+    in
+    (* stores also serialize against earlier loads through Lmem being in
+       both uses (loads) and defs (stores) of memory instructions *)
+    let t = input_ready + Latency.of_instr instr in
+    finish.(i) <- t;
+    Liveness.Locset.iter (fun loc -> Hashtbl.replace ready loc t) (Liveness.defs instr);
+    if t > !path then path := t
+  done;
+  (!path, finish)
+
+let of_program p = fst (of_program_detailed p)

@@ -1,0 +1,18 @@
+(** Dependency-aware performance model: the critical path through a
+    loop-free program's data-dependence DAG.
+
+    The plain latency sum of {!Latency} models a fully serial machine; a
+    wide out-of-order core is better approximated by the longest chain of
+    data-dependent instructions, each weighted by its latency.  Dependences
+    tracked: read-after-write through registers and flags, and all
+    orderings through memory (loads and stores are not disambiguated).
+
+    The cost function can use either model — the ablation bench compares
+    them — and reports from both appear in the Figure 8 table generator. *)
+
+val of_program : Program.t -> int
+(** Length in cycles of the longest dependence chain (0 for the empty
+    program). *)
+
+val of_program_detailed : Program.t -> int * int array
+(** The critical path plus each active instruction's completion time. *)

@@ -1,0 +1,557 @@
+(* Decoding proceeds in the classic phases: legacy prefix, REX or VEX,
+   opcode bytes, ModRM/SIB/displacement, immediate.  The tables below cover
+   exactly the forms Encoder emits. *)
+
+type cursor = {
+  bytes : string;
+  mutable pos : int;
+}
+
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
+
+let peek c =
+  if c.pos >= String.length c.bytes then bad "truncated instruction"
+  else Char.code c.bytes.[c.pos]
+
+let next c =
+  let b = peek c in
+  c.pos <- c.pos + 1;
+  b
+
+let next_i32 c =
+  let b0 = next c in
+  let b1 = next c in
+  let b2 = next c in
+  let b3 = next c in
+  let v = b0 lor (b1 lsl 8) lor (b2 lsl 16) lor (b3 lsl 24) in
+  (* sign-extend from 32 bits *)
+  Int64.of_int32 (Int32.of_int v)
+
+let next_i64 c =
+  let lo = Int64.logand (next_i32 c) 0xffff_ffffL in
+  let hi = next_i32 c in
+  Int64.logor lo (Int64.shift_left hi 32)
+
+(* ----- ModRM / SIB ----- *)
+
+type rm_operand =
+  | Rreg of int  (** register number, class decided by the opcode *)
+  | Rmem of Operand.mem
+
+let decode_modrm c ~rex_r ~rex_x ~rex_b =
+  let modrm = next c in
+  let md = modrm lsr 6 in
+  let reg = ((modrm lsr 3) land 7) lor (if rex_r then 8 else 0) in
+  let rm3 = modrm land 7 in
+  if md = 0b11 then (reg, Rreg (rm3 lor (if rex_b then 8 else 0)))
+  else begin
+    let base, index =
+      if rm3 = 0b100 then begin
+        (* SIB byte *)
+        let sib = next c in
+        let scale = 1 lsl (sib lsr 6) in
+        let idx3 = (sib lsr 3) land 7 in
+        let base3 = sib land 7 in
+        let index =
+          let n = idx3 lor (if rex_x then 8 else 0) in
+          if n = 4 then None (* rsp encoding means "no index" *)
+          else Some (Reg.gp_of_index n, scale)
+        in
+        let base =
+          if base3 = 5 && md = 0 then bad "no-base SIB form unsupported"
+          else Some (Reg.gp_of_index (base3 lor (if rex_b then 8 else 0)))
+        in
+        (base, index)
+      end
+      else if rm3 = 0b101 && md = 0 then bad "RIP-relative unsupported"
+      else (Some (Reg.gp_of_index (rm3 lor (if rex_b then 8 else 0))), None)
+    in
+    let disp =
+      match md with
+      | 0b00 -> 0
+      | 0b01 ->
+        let d = next c in
+        if d >= 128 then d - 256 else d
+      | 0b10 -> Int64.to_int (next_i32 c)
+      | _ -> assert false
+    in
+    (reg, Rmem { Operand.base; index; disp })
+  end
+
+let gp n = Operand.Gp (Reg.gp_of_index n)
+let xmm n = Operand.Xmm (Reg.xmm_of_index n)
+
+let rm_as_gp = function
+  | Rreg n -> gp n
+  | Rmem m -> Operand.Mem m
+
+let rm_as_xmm = function
+  | Rreg n -> xmm n
+  | Rmem m -> Operand.Mem m
+
+let cond_of_code code : Opcode.cond =
+  match code with
+  | 0x2 -> Opcode.B
+  | 0x3 -> Opcode.Ae
+  | 0x4 -> Opcode.E
+  | 0x5 -> Opcode.Ne
+  | 0x6 -> Opcode.Be
+  | 0x7 -> Opcode.A
+  | 0x8 -> Opcode.S
+  | 0xa -> Opcode.P
+  | 0xc -> Opcode.L
+  | 0xd -> Opcode.Ge
+  | 0xe -> Opcode.Le
+  | 0xf -> Opcode.G
+  | _ -> bad "unsupported condition code %x" code
+
+let w_of rex_w = if rex_w then Reg.Q else Reg.L
+
+(* AT&T operand order: sources first, destination last. *)
+let mk op operands = Instr.make_unchecked op (Array.of_list operands)
+
+(* ----- one-byte-map (no 0F escape) opcodes ----- *)
+
+let decode_onebyte c ~prefix ~rex_w ~rex_r ~rex_x ~rex_b opcode =
+  ignore prefix;
+  let w = w_of rex_w in
+  let modrm_mr opc_ctor =
+    let reg, rm = decode_modrm c ~rex_r ~rex_x ~rex_b in
+    mk opc_ctor [ gp reg; rm_as_gp rm ]
+  in
+  let modrm_rm opc_ctor =
+    let reg, rm = decode_modrm c ~rex_r ~rex_x ~rex_b in
+    mk opc_ctor [ rm_as_gp rm; gp reg ]
+  in
+  match opcode with
+  | 0x01 -> modrm_mr (Opcode.Add w)
+  | 0x03 -> modrm_rm (Opcode.Add w)
+  | 0x09 -> modrm_mr (Opcode.Or w)
+  | 0x0b -> modrm_rm (Opcode.Or w)
+  | 0x21 -> modrm_mr (Opcode.And w)
+  | 0x23 -> modrm_rm (Opcode.And w)
+  | 0x29 -> modrm_mr (Opcode.Sub w)
+  | 0x2b -> modrm_rm (Opcode.Sub w)
+  | 0x31 -> modrm_mr (Opcode.Xor w)
+  | 0x33 -> modrm_rm (Opcode.Xor w)
+  | 0x39 -> modrm_mr (Opcode.Cmp w)
+  | 0x3b -> modrm_rm (Opcode.Cmp w)
+  | 0x85 -> modrm_mr (Opcode.Test w)
+  | 0x89 -> modrm_mr (Opcode.Mov w)
+  | 0x8b -> modrm_rm (Opcode.Mov w)
+  | 0x8d ->
+    let reg, rm = decode_modrm c ~rex_r ~rex_x ~rex_b in
+    (match rm with
+     | Rmem m -> mk (Opcode.Lea w) [ Operand.Mem m; gp reg ]
+     | Rreg _ -> bad "lea with register source")
+  | b when b land 0xf8 = 0xb8 ->
+    (* movabs imm64 -> r64 *)
+    let r = (b land 7) lor (if rex_b then 8 else 0) in
+    let v = next_i64 c in
+    mk Opcode.Movabs [ Operand.Imm v; gp r ]
+  | 0x81 ->
+    let digit, rm = decode_modrm c ~rex_r ~rex_x ~rex_b in
+    let v = next_i32 c in
+    let ctor =
+      match digit land 7 with
+      | 0 -> Opcode.Add w
+      | 1 -> Opcode.Or w
+      | 4 -> Opcode.And w
+      | 5 -> Opcode.Sub w
+      | 6 -> Opcode.Xor w
+      | 7 -> Opcode.Cmp w
+      | d -> bad "0x81 /%d unsupported" d
+    in
+    mk ctor [ Operand.Imm v; rm_as_gp rm ]
+  | 0xc1 ->
+    let digit, rm = decode_modrm c ~rex_r ~rex_x ~rex_b in
+    let v = next c in
+    let ctor =
+      match digit land 7 with
+      | 4 -> Opcode.Shl w
+      | 5 -> Opcode.Shr w
+      | 7 -> Opcode.Sar w
+      | d -> bad "0xc1 /%d unsupported" d
+    in
+    mk ctor [ Operand.Imm (Int64.of_int v); rm_as_gp rm ]
+  | 0xc7 ->
+    let digit, rm = decode_modrm c ~rex_r ~rex_x ~rex_b in
+    if digit land 7 <> 0 then bad "0xc7 /%d unsupported" (digit land 7);
+    let v = next_i32 c in
+    mk (Opcode.Mov w) [ Operand.Imm v; rm_as_gp rm ]
+  | 0xf7 ->
+    let digit, rm = decode_modrm c ~rex_r ~rex_x ~rex_b in
+    (match digit land 7 with
+     | 0 ->
+       let v = next_i32 c in
+       mk (Opcode.Test w) [ Operand.Imm v; rm_as_gp rm ]
+     | 2 -> mk (Opcode.Not w) [ rm_as_gp rm ]
+     | 3 -> mk (Opcode.Neg w) [ rm_as_gp rm ]
+     | d -> bad "0xf7 /%d unsupported" d)
+  | 0xff ->
+    let digit, rm = decode_modrm c ~rex_r ~rex_x ~rex_b in
+    (match digit land 7 with
+     | 0 -> mk (Opcode.Inc w) [ rm_as_gp rm ]
+     | 1 -> mk (Opcode.Dec w) [ rm_as_gp rm ]
+     | d -> bad "0xff /%d unsupported" d)
+  | b -> bad "one-byte opcode 0x%02x unsupported" b
+
+(* ----- 0F-map opcodes ----- *)
+
+let decode_twobyte c ~prefix ~rex_w ~rex_r ~rex_x ~rex_b opcode =
+  let w = w_of rex_w in
+  let modrm () = decode_modrm c ~rex_r ~rex_x ~rex_b in
+  (* SSE "RM" form: xmm destination in the reg field, AT&T order
+     (src, dst). *)
+  let sse_rm ctor =
+    let reg, rm = modrm () in
+    mk ctor [ rm_as_xmm rm; xmm reg ]
+  in
+  (* SSE "MR" store form: xmm source in reg, memory destination. *)
+  let sse_mr ctor =
+    let reg, rm = modrm () in
+    mk ctor [ xmm reg; rm_as_xmm rm ]
+  in
+  let pick ?(none = fun () -> bad "bare form of 0x%02x unsupported" opcode)
+      ?(p66 = fun () -> bad "66 form of 0x%02x unsupported" opcode)
+      ?(pf2 = fun () -> bad "F2 form of 0x%02x unsupported" opcode)
+      ?(pf3 = fun () -> bad "F3 form of 0x%02x unsupported" opcode) () =
+    match prefix with
+    | None -> none ()
+    | Some 0x66 -> p66 ()
+    | Some 0xf2 -> pf2 ()
+    | Some 0xf3 -> pf3 ()
+    | Some p -> bad "prefix 0x%02x" p
+  in
+  match opcode with
+  | 0x10 ->
+    pick
+      ~none:(fun () -> sse_rm Opcode.Movups)
+      ~pf2:(fun () -> sse_rm Opcode.Movsd)
+      ~pf3:(fun () -> sse_rm Opcode.Movss)
+      ()
+  | 0x11 ->
+    pick
+      ~none:(fun () -> sse_mr Opcode.Movups)
+      ~pf2:(fun () -> sse_mr Opcode.Movsd)
+      ~pf3:(fun () -> sse_mr Opcode.Movss)
+      ()
+  | 0x12 -> pick ~none:(fun () -> sse_rm Opcode.Movhlps) ()
+  | 0x14 ->
+    pick
+      ~none:(fun () -> sse_rm Opcode.Unpcklps)
+      ~p66:(fun () -> sse_rm Opcode.Unpcklpd)
+      ()
+  | 0x16 -> pick ~none:(fun () -> sse_rm Opcode.Movlhps) ()
+  | 0x28 -> pick ~none:(fun () -> sse_rm Opcode.Movaps) ()
+  | 0x29 -> pick ~none:(fun () -> sse_mr Opcode.Movaps) ()
+  | 0x2a ->
+    pick
+      ~pf2:(fun () ->
+        let reg, rm = modrm () in
+        mk (Opcode.Cvtsi2sd w) [ rm_as_gp rm; xmm reg ])
+      ~pf3:(fun () ->
+        let reg, rm = modrm () in
+        mk (Opcode.Cvtsi2ss w) [ rm_as_gp rm; xmm reg ])
+      ()
+  | 0x2c ->
+    pick
+      ~pf2:(fun () ->
+        let reg, rm = modrm () in
+        mk (Opcode.Cvttsd2si w) [ rm_as_xmm rm; gp reg ])
+      ~pf3:(fun () ->
+        let reg, rm = modrm () in
+        mk (Opcode.Cvttss2si w) [ rm_as_xmm rm; gp reg ])
+      ()
+  | 0x2d ->
+    pick
+      ~pf2:(fun () ->
+        let reg, rm = modrm () in
+        mk (Opcode.Cvtsd2si w) [ rm_as_xmm rm; gp reg ])
+      ()
+  | 0x2e ->
+    pick
+      ~none:(fun () -> sse_rm Opcode.Ucomiss)
+      ~p66:(fun () -> sse_rm Opcode.Ucomisd)
+      ()
+  | 0x2f ->
+    pick
+      ~none:(fun () -> sse_rm Opcode.Comiss)
+      ~p66:(fun () -> sse_rm Opcode.Comisd)
+      ()
+  | b when b land 0xf0 = 0x40 ->
+    let reg, rm = modrm () in
+    mk (Opcode.Cmov (cond_of_code (b land 0xf), w)) [ rm_as_gp rm; gp reg ]
+  | 0x51 ->
+    pick
+      ~pf2:(fun () -> sse_rm Opcode.Sqrtsd)
+      ~pf3:(fun () -> sse_rm Opcode.Sqrtss)
+      ()
+  | 0x54 ->
+    pick
+      ~none:(fun () -> sse_rm Opcode.Andps)
+      ~p66:(fun () -> sse_rm Opcode.Andpd)
+      ()
+  | 0x55 -> pick ~none:(fun () -> sse_rm Opcode.Andnps) ()
+  | 0x56 ->
+    pick
+      ~none:(fun () -> sse_rm Opcode.Orps)
+      ~p66:(fun () -> sse_rm Opcode.Orpd)
+      ()
+  | 0x57 ->
+    pick
+      ~none:(fun () -> sse_rm Opcode.Xorps)
+      ~p66:(fun () -> sse_rm Opcode.Xorpd)
+      ()
+  | 0x58 ->
+    pick
+      ~none:(fun () -> sse_rm Opcode.Addps)
+      ~p66:(fun () -> sse_rm Opcode.Addpd)
+      ~pf2:(fun () -> sse_rm Opcode.Addsd)
+      ~pf3:(fun () -> sse_rm Opcode.Addss)
+      ()
+  | 0x59 ->
+    pick
+      ~none:(fun () -> sse_rm Opcode.Mulps)
+      ~p66:(fun () -> sse_rm Opcode.Mulpd)
+      ~pf2:(fun () -> sse_rm Opcode.Mulsd)
+      ~pf3:(fun () -> sse_rm Opcode.Mulss)
+      ()
+  | 0x5a ->
+    pick
+      ~pf2:(fun () -> sse_rm Opcode.Cvtsd2ss)
+      ~pf3:(fun () -> sse_rm Opcode.Cvtss2sd)
+      ()
+  | 0x5c ->
+    pick
+      ~none:(fun () -> sse_rm Opcode.Subps)
+      ~p66:(fun () -> sse_rm Opcode.Subpd)
+      ~pf2:(fun () -> sse_rm Opcode.Subsd)
+      ~pf3:(fun () -> sse_rm Opcode.Subss)
+      ()
+  | 0x5d ->
+    pick
+      ~none:(fun () -> sse_rm Opcode.Minps)
+      ~pf2:(fun () -> sse_rm Opcode.Minsd)
+      ~pf3:(fun () -> sse_rm Opcode.Minss)
+      ()
+  | 0x5e ->
+    pick
+      ~none:(fun () -> sse_rm Opcode.Divps)
+      ~p66:(fun () -> sse_rm Opcode.Divpd)
+      ~pf2:(fun () -> sse_rm Opcode.Divsd)
+      ~pf3:(fun () -> sse_rm Opcode.Divss)
+      ()
+  | 0x5f ->
+    pick
+      ~none:(fun () -> sse_rm Opcode.Maxps)
+      ~pf2:(fun () -> sse_rm Opcode.Maxsd)
+      ~pf3:(fun () -> sse_rm Opcode.Maxss)
+      ()
+  | 0x62 -> pick ~p66:(fun () -> sse_rm Opcode.Punpckldq) ()
+  | 0x6c -> pick ~p66:(fun () -> sse_rm Opcode.Punpcklqdq) ()
+  | 0x6e ->
+    pick
+      ~p66:(fun () ->
+        let reg, rm = modrm () in
+        match rm with
+        | Rreg n ->
+          if rex_w then mk Opcode.Movq [ gp n; xmm reg ]
+          else mk Opcode.Movd [ gp n; xmm reg ]
+        | Rmem _ -> bad "movd/movq 0x6e with memory unsupported")
+      ()
+  | 0x70 ->
+    let ctor =
+      pick
+        ~p66:(fun () -> Opcode.Pshufd)
+        ~pf2:(fun () -> Opcode.Pshuflw)
+        ()
+    in
+    let reg, rm = modrm () in
+    let sel = next c in
+    (match rm with
+     | Rreg n -> mk ctor [ Operand.Imm (Int64.of_int sel); xmm n; xmm reg ]
+     | Rmem _ -> bad "pshuf with memory unsupported")
+  | 0x72 | 0x73 ->
+    let digit, rm = modrm () in
+    let sel = next c in
+    let ctor =
+      match opcode, digit land 7 with
+      | 0x72, 6 -> Opcode.Pslld
+      | 0x72, 2 -> Opcode.Psrld
+      | 0x73, 6 -> Opcode.Psllq
+      | 0x73, 2 -> Opcode.Psrlq
+      | _, d -> bad "vector shift /%d unsupported" d
+    in
+    (match rm with
+     | Rreg n -> mk ctor [ Operand.Imm (Int64.of_int sel); xmm n ]
+     | Rmem _ -> bad "vector shift with memory")
+  | 0x7e ->
+    pick
+      ~p66:(fun () ->
+        let reg, rm = modrm () in
+        match rm with
+        | Rreg n ->
+          if rex_w then mk Opcode.Movq [ xmm reg; gp n ]
+          else mk Opcode.Movd [ xmm reg; gp n ]
+        | Rmem _ -> bad "movd store form unsupported")
+      ~pf3:(fun () -> sse_rm Opcode.Movq)
+      ()
+  | b when b land 0xf0 = 0x90 ->
+    let _, rm = modrm () in
+    mk (Opcode.Setcc (cond_of_code (b land 0xf))) [ rm_as_gp rm ]
+  | 0xaf ->
+    let reg, rm = modrm () in
+    mk (Opcode.Imul w) [ rm_as_gp rm; gp reg ]
+  | 0xc6 ->
+    let reg, rm = modrm () in
+    let sel = next c in
+    (match rm with
+     | Rreg n -> mk Opcode.Shufps [ Operand.Imm (Int64.of_int sel); xmm n; xmm reg ]
+     | Rmem _ -> bad "shufps with memory unsupported")
+  | 0xd4 -> pick ~p66:(fun () -> sse_rm Opcode.Paddq) ()
+  | 0xd6 -> pick ~p66:(fun () -> sse_mr Opcode.Movq) ()
+  | 0xdb -> pick ~p66:(fun () -> sse_rm Opcode.Pand) ()
+  | 0xeb -> pick ~p66:(fun () -> sse_rm Opcode.Por) ()
+  | 0xef -> pick ~p66:(fun () -> sse_rm Opcode.Pxor) ()
+  | 0xf0 -> pick ~pf2:(fun () -> sse_rm Opcode.Lddqu) ()
+  | 0xfa -> pick ~p66:(fun () -> sse_rm Opcode.Psubd) ()
+  | 0xfb -> pick ~p66:(fun () -> sse_rm Opcode.Psubq) ()
+  | 0xfe -> pick ~p66:(fun () -> sse_rm Opcode.Paddd) ()
+  | b -> bad "0F-map opcode 0x%02x unsupported" b
+
+(* 0F 3A map: roundss/roundsd *)
+let decode_0f3a c ~prefix ~rex_r ~rex_x ~rex_b opcode =
+  if prefix <> Some 0x66 then bad "0F3A needs the 66 prefix";
+  let ctor =
+    match opcode with
+    | 0x0a -> Opcode.Roundss
+    | 0x0b -> Opcode.Roundsd
+    | b -> bad "0F3A opcode 0x%02x unsupported" b
+  in
+  let reg, rm = decode_modrm c ~rex_r ~rex_x ~rex_b in
+  let sel = next c in
+  match rm with
+  | Rreg n -> mk ctor [ Operand.Imm (Int64.of_int sel); xmm n; xmm reg ]
+  | Rmem _ -> bad "rounds* with memory unsupported"
+
+(* ----- VEX ----- *)
+
+let decode_vex c first =
+  let r_inv, x_inv, b_inv, mmap, w, vvvv_inv, pp =
+    if first = 0xc5 then begin
+      let b1 = next c in
+      (b1 lsr 7, 1, 1, 1, false, (b1 lsr 3) land 0xf, b1 land 3)
+    end
+    else begin
+      let b1 = next c in
+      let b2 = next c in
+      ( b1 lsr 7, (b1 lsr 6) land 1, (b1 lsr 5) land 1, b1 land 0x1f,
+        b2 lsr 7 = 1, (b2 lsr 3) land 0xf, b2 land 3 )
+    end
+  in
+  let rex_r = r_inv = 0 and rex_x = x_inv = 0 and rex_b = b_inv = 0 in
+  let vvvv = lnot vvvv_inv land 0xf in
+  let opcode = next c in
+  let modrm () = decode_modrm c ~rex_r ~rex_x ~rex_b in
+  let avx3 ctor =
+    let reg, rm = modrm () in
+    mk ctor [ rm_as_xmm rm; xmm vvvv; xmm reg ]
+  in
+  match mmap, pp, opcode with
+  | 1, 2, 0x58 -> avx3 Opcode.Vaddss
+  | 1, 2, 0x59 -> avx3 Opcode.Vmulss
+  | 1, 2, 0x5c -> avx3 Opcode.Vsubss
+  | 1, 2, 0x5d -> avx3 Opcode.Vminss
+  | 1, 2, 0x5e -> avx3 Opcode.Vdivss
+  | 1, 2, 0x5f -> avx3 Opcode.Vmaxss
+  | 1, 3, 0x51 -> avx3 Opcode.Vsqrtsd
+  | 1, 3, 0x58 -> avx3 Opcode.Vaddsd
+  | 1, 3, 0x59 -> avx3 Opcode.Vmulsd
+  | 1, 3, 0x5c -> avx3 Opcode.Vsubsd
+  | 1, 3, 0x5d -> avx3 Opcode.Vminsd
+  | 1, 3, 0x5e -> avx3 Opcode.Vdivsd
+  | 1, 3, 0x5f -> avx3 Opcode.Vmaxsd
+  | 1, 0, 0x14 -> avx3 Opcode.Vunpcklps
+  | 1, 0, 0x54 -> avx3 Opcode.Vandps
+  | 1, 0, 0x57 -> avx3 Opcode.Vxorps
+  | 1, 0, 0x58 -> avx3 Opcode.Vaddps
+  | 1, 0, 0x59 -> avx3 Opcode.Vmulps
+  | 1, 0, 0x5c -> avx3 Opcode.Vsubps
+  | 1, 1, 0x58 -> avx3 Opcode.Vaddpd
+  | 1, 1, 0x59 -> avx3 Opcode.Vmulpd
+  | 1, 3, 0x70 ->
+    let reg, rm = modrm () in
+    let sel = next c in
+    mk Opcode.Vpshuflw [ Operand.Imm (Int64.of_int sel); rm_as_xmm rm; xmm reg ]
+  | 2, 1, b ->
+    let ctor =
+      match b, w with
+      | 0x99, true -> Opcode.Vfmadd132sd
+      | 0xa9, true -> Opcode.Vfmadd213sd
+      | 0xb9, true -> Opcode.Vfmadd231sd
+      | 0x99, false -> Opcode.Vfmadd132ss
+      | 0xa9, false -> Opcode.Vfmadd213ss
+      | 0xb9, false -> Opcode.Vfmadd231ss
+      | 0xad, true -> Opcode.Vfnmadd213sd
+      | 0xbd, true -> Opcode.Vfnmadd231sd
+      | 0xab, true -> Opcode.Vfmsub213sd
+      | _, _ -> bad "VEX 0F38 opcode 0x%02x unsupported" b
+    in
+    avx3 ctor
+  | _, _, b -> bad "VEX map %d pp %d opcode 0x%02x unsupported" mmap pp b
+
+(* ----- top level ----- *)
+
+let decode_one c =
+  (* optional mandatory prefix *)
+  let prefix =
+    match peek c with
+    | (0x66 | 0xf2 | 0xf3) as p ->
+      ignore (next c);
+      Some p
+    | _ -> None
+  in
+  match peek c with
+  | 0xc4 | 0xc5 when prefix = None ->
+    let first = next c in
+    decode_vex c first
+  | _ ->
+    let rex_w, rex_r, rex_x, rex_b =
+      if peek c land 0xf0 = 0x40 then begin
+        let rex = next c in
+        (rex land 8 <> 0, rex land 4 <> 0, rex land 2 <> 0, rex land 1 <> 0)
+      end
+      else (false, false, false, false)
+    in
+    let b = next c in
+    if b = 0x0f then begin
+      let b2 = next c in
+      if b2 = 0x3a then
+        decode_0f3a c ~prefix ~rex_r ~rex_x ~rex_b (next c)
+      else decode_twobyte c ~prefix ~rex_w ~rex_r ~rex_x ~rex_b b2
+    end
+    else decode_onebyte c ~prefix ~rex_w ~rex_r ~rex_x ~rex_b b
+
+let decode_instr bytes ~pos =
+  let c = { bytes; pos } in
+  match decode_one c with
+  | i -> Ok (i, c.pos)
+  | exception Bad msg -> Error msg
+
+let decode_all bytes =
+  let rec go acc pos =
+    if pos >= String.length bytes then Ok (List.rev acc)
+    else
+      match decode_instr bytes ~pos with
+      | Ok (i, pos') -> go (i :: acc) pos'
+      | Error e -> Error (Printf.sprintf "at offset %d: %s" pos e)
+  in
+  go [] 0
+
+let disassemble bytes =
+  Result.map
+    (fun instrs -> String.concat "\n" (List.map Instr.to_string instrs))
+    (decode_all bytes)

@@ -1,0 +1,17 @@
+(** Instruction decoder (disassembler) for the modelled subset — the
+    inverse of {!Encoder}.
+
+    Decodes legacy prefixes, REX, two- and three-byte VEX, ModRM/SIB
+    addressing and immediates back into {!Instr.t} values.  Complete for
+    every encoding {!Encoder} emits, which the test suite checks by
+    round-tripping random pool instructions and every benchmark kernel. *)
+
+val decode_instr : string -> pos:int -> (Instr.t * int, string) result
+(** [decode_instr bytes ~pos] decodes one instruction starting at byte
+    offset [pos]; returns the instruction and the offset just past it. *)
+
+val decode_all : string -> (Instr.t list, string) result
+(** Decode a whole byte string into an instruction sequence. *)
+
+val disassemble : string -> (string, string) result
+(** Decode and pretty-print, one instruction per line. *)

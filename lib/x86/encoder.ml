@@ -1,0 +1,545 @@
+let hex s =
+  String.to_seq s
+  |> Seq.map (fun c -> Printf.sprintf "%02x" (Char.code c))
+  |> List.of_seq |> String.concat " "
+
+(* Byte-buffer helpers *)
+
+type buf = Buffer.t
+
+let byte (b : buf) v = Buffer.add_char b (Char.chr (v land 0xff))
+
+let imm8 b (v : int64) = byte b (Int64.to_int v land 0xff)
+
+let imm32 b (v : int64) =
+  let v = Int64.to_int (Int64.logand v 0xffff_ffffL) in
+  byte b v;
+  byte b (v lsr 8);
+  byte b (v lsr 16);
+  byte b (v lsr 24)
+
+let imm64 b (v : int64) =
+  imm32 b v;
+  imm32 b (Int64.shift_right_logical v 32)
+
+let disp32 b (v : int) =
+  byte b v;
+  byte b (v lsr 8);
+  byte b (v lsr 16);
+  byte b (v lsr 24)
+
+(* The ModRM "reg or extension" field and the r/m target.  [reg] is a
+   hardware register number (possibly an opcode extension digit); [rm] is
+   either a register number or a memory operand. *)
+
+type rm =
+  | Rm_reg of int
+  | Rm_mem of Operand.mem
+
+let fits_disp8 d = d >= -128 && d <= 127
+
+(* Emit ModRM (+ SIB + displacement) for the given reg-field value and r/m
+   operand.  Returns nothing; REX bits must be computed by the caller via
+   [rex_bits]. *)
+let emit_modrm b ~reg rm =
+  let reg3 = reg land 7 in
+  match rm with
+  | Rm_reg r -> byte b (0xc0 lor (reg3 lsl 3) lor (r land 7))
+  | Rm_mem m ->
+    (match m.Operand.base, m.Operand.index with
+     | None, _ -> invalid_arg "Encoder: memory operand without base register"
+     | Some base, index ->
+       let base_num = Reg.gp_index base in
+       let base3 = base_num land 7 in
+       let need_sib = index <> None || base3 = 4 in
+       (* mod=00 with base rbp/r13 means disp32-only, so force disp8. *)
+       let disp_mode =
+         if m.Operand.disp = 0 && base3 <> 5 then `None
+         else if fits_disp8 m.Operand.disp then `Disp8
+         else `Disp32
+       in
+       let md =
+         match disp_mode with
+         | `None -> 0b00
+         | `Disp8 -> 0b01
+         | `Disp32 -> 0b10
+       in
+       if need_sib then begin
+         byte b ((md lsl 6) lor (reg3 lsl 3) lor 0b100);
+         let scale_bits s =
+           match s with
+           | 1 -> 0
+           | 2 -> 1
+           | 4 -> 2
+           | 8 -> 3
+           | _ -> invalid_arg "Encoder: bad scale"
+         in
+         let idx3, ss =
+           match index with
+           | None -> (0b100, 0)
+           | Some (r, s) ->
+             let n = Reg.gp_index r in
+             if n land 7 = 4 && n < 8 then
+               invalid_arg "Encoder: rsp cannot be an index register";
+             (n land 7, scale_bits s)
+         in
+         byte b ((ss lsl 6) lor (idx3 lsl 3) lor base3)
+       end
+       else byte b ((md lsl 6) lor (reg3 lsl 3) lor base3);
+       (match disp_mode with
+        | `None -> ()
+        | `Disp8 -> byte b (m.Operand.disp land 0xff)
+        | `Disp32 -> disp32 b m.Operand.disp))
+
+(* REX bits implied by the reg field and r/m operand. *)
+let rex_bits ~reg rm =
+  let r = if reg >= 8 then 0b100 else 0 in
+  let xb =
+    match rm with
+    | Rm_reg n -> if n >= 8 then 0b001 else 0
+    | Rm_mem m ->
+      let b_bit =
+        match m.Operand.base with
+        | Some base when Reg.gp_index base >= 8 -> 0b001
+        | Some _ | None -> 0
+      in
+      let x_bit =
+        match m.Operand.index with
+        | Some (idx, _) when Reg.gp_index idx >= 8 -> 0b010
+        | Some _ | None -> 0
+      in
+      b_bit lor x_bit
+  in
+  r lor xb
+
+let emit_rex b ~w ~reg rm =
+  let bits = rex_bits ~reg rm in
+  let rex = (if w then 0x48 else 0x40) lor bits in
+  if w || bits <> 0 then byte b rex
+
+(* Legacy-encoded instruction with an optional mandatory prefix.  [prefix]
+   precedes REX; escape bytes (0F …) are part of [opc]. *)
+let legacy b ?prefix ?(w = false) ~opc ~reg rm =
+  Option.iter (fun p -> byte b p) prefix;
+  emit_rex b ~w ~reg rm;
+  List.iter (fun o -> byte b o) opc;
+  emit_modrm b ~reg rm
+
+(* VEX-encoded instruction.  [pp] is the SIMD-prefix code (0 none, 1 66,
+   2 F3, 3 F2); [mmap] the opcode map (1 = 0F, 2 = 0F38, 3 = 0F3A);
+   [vvvv] the extra source register number. *)
+let vex b ~pp ~mmap ~w ~vvvv ~opc ~reg rm =
+  let bits = rex_bits ~reg rm in
+  let r_inv = if bits land 0b100 = 0 then 1 else 0 in
+  let x_inv = if bits land 0b010 = 0 then 1 else 0 in
+  let b_inv = if bits land 0b001 = 0 then 1 else 0 in
+  let v_inv = lnot vvvv land 0xf in
+  if (not w) && mmap = 1 && x_inv = 1 && b_inv = 1 then begin
+    (* two-byte form *)
+    byte b 0xc5;
+    byte b ((r_inv lsl 7) lor (v_inv lsl 3) lor pp)
+  end
+  else begin
+    byte b 0xc4;
+    byte b ((r_inv lsl 7) lor (x_inv lsl 6) lor (b_inv lsl 5) lor mmap);
+    byte b (((if w then 1 else 0) lsl 7) lor (v_inv lsl 3) lor pp)
+  end;
+  byte b opc;
+  emit_modrm b ~reg rm
+
+let cond_code : Opcode.cond -> int = function
+  | Opcode.B -> 0x2
+  | Opcode.Ae -> 0x3
+  | Opcode.E -> 0x4
+  | Opcode.Ne -> 0x5
+  | Opcode.Be -> 0x6
+  | Opcode.A -> 0x7
+  | Opcode.S -> 0x8
+  | Opcode.P -> 0xa
+  | Opcode.L -> 0xc
+  | Opcode.Ge -> 0xd
+  | Opcode.Le -> 0xe
+  | Opcode.G -> 0xf
+
+let gp_num = Reg.gp_index
+let xmm_num = Reg.xmm_index
+
+let rm_of_operand = function
+  | Operand.Gp r -> Rm_reg (gp_num r)
+  | Operand.Xmm r -> Rm_reg (xmm_num r)
+  | Operand.Mem m -> Rm_mem m
+  | Operand.Imm _ -> invalid_arg "Encoder: immediate cannot be r/m"
+
+let is_w = function
+  | Reg.Q -> true
+  | Reg.L -> false
+
+exception Unencodable of string
+
+let unsupported i =
+  raise
+    (Unencodable (Printf.sprintf "unsupported operand form: %s" (Instr.to_string i)))
+
+(* ALU opcodes: (r/m,r form), (r,r/m form), /digit for the imm form. *)
+let alu_bytes : Opcode.t -> (int * int * int) option = function
+  | Opcode.Add _ -> Some (0x01, 0x03, 0)
+  | Opcode.Or _ -> Some (0x09, 0x0b, 1)
+  | Opcode.And _ -> Some (0x21, 0x23, 4)
+  | Opcode.Sub _ -> Some (0x29, 0x2b, 5)
+  | Opcode.Xor _ -> Some (0x31, 0x33, 6)
+  | Opcode.Cmp _ -> Some (0x39, 0x3b, 7)
+  | _ -> None
+
+(* SSE scalar/packed op where the last (AT&T) operand is the destination
+   register: RM encoding with reg = dst. *)
+let sse_rm b ?prefix ~opc (i : Instr.t) =
+  let n = Array.length i.Instr.operands in
+  match i.Instr.operands.(n - 1) with
+  | Operand.Xmm dst ->
+    legacy b ?prefix ~opc ~reg:(xmm_num dst) (rm_of_operand i.Instr.operands.(0))
+  | _ -> unsupported i
+
+let encode_into b (i : Instr.t) =
+  let ops = i.Instr.operands in
+  let n = Array.length ops in
+  let src k = ops.(k) in
+  let dst () = ops.(n - 1) in
+  match i.Instr.op with
+  | Mov w ->
+    let wq = is_w w in
+    (match src 0, dst () with
+     | Operand.Gp s, (Operand.Gp _ | Operand.Mem _) ->
+       legacy b ~w:wq ~opc:[ 0x89 ] ~reg:(gp_num s) (rm_of_operand (dst ()))
+     | Operand.Mem _, Operand.Gp d ->
+       legacy b ~w:wq ~opc:[ 0x8b ] ~reg:(gp_num d) (rm_of_operand (src 0))
+     | Operand.Imm v, (Operand.Gp _ | Operand.Mem _) ->
+       legacy b ~w:wq ~opc:[ 0xc7 ] ~reg:0 (rm_of_operand (dst ()));
+       imm32 b v
+     | _ -> unsupported i)
+  | Movabs ->
+    (match src 0, dst () with
+     | Operand.Imm v, Operand.Gp d ->
+       let num = gp_num d in
+       byte b (0x48 lor (if num >= 8 then 1 else 0));
+       byte b (0xb8 lor (num land 7));
+       imm64 b v
+     | _ -> unsupported i)
+  | Lea w ->
+    (match src 0, dst () with
+     | Operand.Mem _, Operand.Gp d ->
+       legacy b ~w:(is_w w) ~opc:[ 0x8d ] ~reg:(gp_num d) (rm_of_operand (src 0))
+     | _ -> unsupported i)
+  | (Add _ | Sub _ | And _ | Or _ | Xor _ | Cmp _) as op ->
+    let mr, rm_form, digit = Option.get (alu_bytes op) in
+    let wq =
+      match op with
+      | Add w | Sub w | And w | Or w | Xor w | Cmp w -> is_w w
+      | _ -> false
+    in
+    (match src 0, dst () with
+     | Operand.Gp s, (Operand.Gp _ | Operand.Mem _) ->
+       legacy b ~w:wq ~opc:[ mr ] ~reg:(gp_num s) (rm_of_operand (dst ()))
+     | Operand.Mem _, Operand.Gp d ->
+       legacy b ~w:wq ~opc:[ rm_form ] ~reg:(gp_num d) (rm_of_operand (src 0))
+     | Operand.Imm v, (Operand.Gp _ | Operand.Mem _) ->
+       legacy b ~w:wq ~opc:[ 0x81 ] ~reg:digit (rm_of_operand (dst ()));
+       imm32 b v
+     | _ -> unsupported i)
+  | Test w ->
+    (match src 0, dst () with
+     | Operand.Gp s, (Operand.Gp _ | Operand.Mem _) ->
+       legacy b ~w:(is_w w) ~opc:[ 0x85 ] ~reg:(gp_num s) (rm_of_operand (dst ()))
+     | Operand.Imm v, (Operand.Gp _ | Operand.Mem _) ->
+       legacy b ~w:(is_w w) ~opc:[ 0xf7 ] ~reg:0 (rm_of_operand (dst ()));
+       imm32 b v
+     | Operand.Mem _, Operand.Gp d ->
+       (* test is commutative; encode as the MR form. *)
+       legacy b ~w:(is_w w) ~opc:[ 0x85 ] ~reg:(gp_num d) (rm_of_operand (src 0))
+     | _ -> unsupported i)
+  | Imul w ->
+    (match dst () with
+     | Operand.Gp d ->
+       legacy b ~w:(is_w w) ~opc:[ 0x0f; 0xaf ] ~reg:(gp_num d)
+         (rm_of_operand (src 0))
+     | _ -> unsupported i)
+  | Not w -> legacy b ~w:(is_w w) ~opc:[ 0xf7 ] ~reg:2 (rm_of_operand (dst ()))
+  | Neg w -> legacy b ~w:(is_w w) ~opc:[ 0xf7 ] ~reg:3 (rm_of_operand (dst ()))
+  | Inc w -> legacy b ~w:(is_w w) ~opc:[ 0xff ] ~reg:0 (rm_of_operand (dst ()))
+  | Dec w -> legacy b ~w:(is_w w) ~opc:[ 0xff ] ~reg:1 (rm_of_operand (dst ()))
+  | (Shl w | Shr w | Sar w) as op ->
+    let digit =
+      match op with
+      | Shl _ -> 4
+      | Shr _ -> 5
+      | _ -> 7
+    in
+    (match src 0 with
+     | Operand.Imm v ->
+       legacy b ~w:(is_w w) ~opc:[ 0xc1 ] ~reg:digit (rm_of_operand (dst ()));
+       imm8 b v
+     | _ -> unsupported i)
+  | Cmov (c, w) ->
+    (match dst () with
+     | Operand.Gp d ->
+       legacy b ~w:(is_w w)
+         ~opc:[ 0x0f; 0x40 lor cond_code c ]
+         ~reg:(gp_num d) (rm_of_operand (src 0))
+     | _ -> unsupported i)
+  | Setcc c ->
+    legacy b ~opc:[ 0x0f; 0x90 lor cond_code c ] ~reg:0 (rm_of_operand (dst ()))
+  | Movss ->
+    (match src 0, dst () with
+     | (Operand.Xmm _ | Operand.Mem _), Operand.Xmm d ->
+       legacy b ~prefix:0xf3 ~opc:[ 0x0f; 0x10 ] ~reg:(xmm_num d)
+         (rm_of_operand (src 0))
+     | Operand.Xmm s, Operand.Mem _ ->
+       legacy b ~prefix:0xf3 ~opc:[ 0x0f; 0x11 ] ~reg:(xmm_num s)
+         (rm_of_operand (dst ()))
+     | _ -> unsupported i)
+  | Movsd ->
+    (match src 0, dst () with
+     | (Operand.Xmm _ | Operand.Mem _), Operand.Xmm d ->
+       legacy b ~prefix:0xf2 ~opc:[ 0x0f; 0x10 ] ~reg:(xmm_num d)
+         (rm_of_operand (src 0))
+     | Operand.Xmm s, Operand.Mem _ ->
+       legacy b ~prefix:0xf2 ~opc:[ 0x0f; 0x11 ] ~reg:(xmm_num s)
+         (rm_of_operand (dst ()))
+     | _ -> unsupported i)
+  | Movaps | Movups ->
+    let load, store =
+      match i.Instr.op with
+      | Movaps -> (0x28, 0x29)
+      | _ -> (0x10, 0x11)
+    in
+    (match src 0, dst () with
+     | (Operand.Xmm _ | Operand.Mem _), Operand.Xmm d ->
+       legacy b ~opc:[ 0x0f; load ] ~reg:(xmm_num d) (rm_of_operand (src 0))
+     | Operand.Xmm s, Operand.Mem _ ->
+       legacy b ~opc:[ 0x0f; store ] ~reg:(xmm_num s) (rm_of_operand (dst ()))
+     | _ -> unsupported i)
+  | Lddqu -> sse_rm b ~prefix:0xf2 ~opc:[ 0x0f; 0xf0 ] i
+  | Movq ->
+    (match src 0, dst () with
+     | Operand.Gp s, Operand.Xmm d ->
+       byte b 0x66;
+       emit_rex b ~w:true ~reg:(xmm_num d) (Rm_reg (gp_num s));
+       byte b 0x0f;
+       byte b 0x6e;
+       emit_modrm b ~reg:(xmm_num d) (Rm_reg (gp_num s))
+     | Operand.Xmm s, Operand.Gp d ->
+       byte b 0x66;
+       emit_rex b ~w:true ~reg:(xmm_num s) (Rm_reg (gp_num d));
+       byte b 0x0f;
+       byte b 0x7e;
+       emit_modrm b ~reg:(xmm_num s) (Rm_reg (gp_num d))
+     | (Operand.Mem _ | Operand.Xmm _), Operand.Xmm d ->
+       legacy b ~prefix:0xf3 ~opc:[ 0x0f; 0x7e ] ~reg:(xmm_num d)
+         (rm_of_operand (src 0))
+     | Operand.Xmm s, Operand.Mem _ ->
+       legacy b ~prefix:0x66 ~opc:[ 0x0f; 0xd6 ] ~reg:(xmm_num s)
+         (rm_of_operand (dst ()))
+     | _ -> unsupported i)
+  | Movd ->
+    (match src 0, dst () with
+     | Operand.Gp s, Operand.Xmm d ->
+       legacy b ~prefix:0x66 ~opc:[ 0x0f; 0x6e ] ~reg:(xmm_num d)
+         (Rm_reg (gp_num s))
+     | Operand.Xmm s, Operand.Gp d ->
+       legacy b ~prefix:0x66 ~opc:[ 0x0f; 0x7e ] ~reg:(xmm_num s)
+         (Rm_reg (gp_num d))
+     | _ -> unsupported i)
+  | Movlhps -> sse_rm b ~opc:[ 0x0f; 0x16 ] i
+  | Movhlps -> sse_rm b ~opc:[ 0x0f; 0x12 ] i
+  | Addss -> sse_rm b ~prefix:0xf3 ~opc:[ 0x0f; 0x58 ] i
+  | Addsd -> sse_rm b ~prefix:0xf2 ~opc:[ 0x0f; 0x58 ] i
+  | Subss -> sse_rm b ~prefix:0xf3 ~opc:[ 0x0f; 0x5c ] i
+  | Subsd -> sse_rm b ~prefix:0xf2 ~opc:[ 0x0f; 0x5c ] i
+  | Mulss -> sse_rm b ~prefix:0xf3 ~opc:[ 0x0f; 0x59 ] i
+  | Mulsd -> sse_rm b ~prefix:0xf2 ~opc:[ 0x0f; 0x59 ] i
+  | Divss -> sse_rm b ~prefix:0xf3 ~opc:[ 0x0f; 0x5e ] i
+  | Divsd -> sse_rm b ~prefix:0xf2 ~opc:[ 0x0f; 0x5e ] i
+  | Sqrtss -> sse_rm b ~prefix:0xf3 ~opc:[ 0x0f; 0x51 ] i
+  | Sqrtsd -> sse_rm b ~prefix:0xf2 ~opc:[ 0x0f; 0x51 ] i
+  | Minss -> sse_rm b ~prefix:0xf3 ~opc:[ 0x0f; 0x5d ] i
+  | Minsd -> sse_rm b ~prefix:0xf2 ~opc:[ 0x0f; 0x5d ] i
+  | Maxss -> sse_rm b ~prefix:0xf3 ~opc:[ 0x0f; 0x5f ] i
+  | Maxsd -> sse_rm b ~prefix:0xf2 ~opc:[ 0x0f; 0x5f ] i
+  | Ucomiss -> sse_rm b ~opc:[ 0x0f; 0x2e ] i
+  | Ucomisd -> sse_rm b ~prefix:0x66 ~opc:[ 0x0f; 0x2e ] i
+  | Comiss -> sse_rm b ~opc:[ 0x0f; 0x2f ] i
+  | Comisd -> sse_rm b ~prefix:0x66 ~opc:[ 0x0f; 0x2f ] i
+  | Andps -> sse_rm b ~opc:[ 0x0f; 0x54 ] i
+  | Andpd -> sse_rm b ~prefix:0x66 ~opc:[ 0x0f; 0x54 ] i
+  | Andnps -> sse_rm b ~opc:[ 0x0f; 0x55 ] i
+  | Orps -> sse_rm b ~opc:[ 0x0f; 0x56 ] i
+  | Orpd -> sse_rm b ~prefix:0x66 ~opc:[ 0x0f; 0x56 ] i
+  | Xorps -> sse_rm b ~opc:[ 0x0f; 0x57 ] i
+  | Xorpd -> sse_rm b ~prefix:0x66 ~opc:[ 0x0f; 0x57 ] i
+  | Pand -> sse_rm b ~prefix:0x66 ~opc:[ 0x0f; 0xdb ] i
+  | Por -> sse_rm b ~prefix:0x66 ~opc:[ 0x0f; 0xeb ] i
+  | Pxor -> sse_rm b ~prefix:0x66 ~opc:[ 0x0f; 0xef ] i
+  | Paddd -> sse_rm b ~prefix:0x66 ~opc:[ 0x0f; 0xfe ] i
+  | Paddq -> sse_rm b ~prefix:0x66 ~opc:[ 0x0f; 0xd4 ] i
+  | Psubd -> sse_rm b ~prefix:0x66 ~opc:[ 0x0f; 0xfa ] i
+  | Psubq -> sse_rm b ~prefix:0x66 ~opc:[ 0x0f; 0xfb ] i
+  | Addps -> sse_rm b ~opc:[ 0x0f; 0x58 ] i
+  | Addpd -> sse_rm b ~prefix:0x66 ~opc:[ 0x0f; 0x58 ] i
+  | Subps -> sse_rm b ~opc:[ 0x0f; 0x5c ] i
+  | Subpd -> sse_rm b ~prefix:0x66 ~opc:[ 0x0f; 0x5c ] i
+  | Mulps -> sse_rm b ~opc:[ 0x0f; 0x59 ] i
+  | Mulpd -> sse_rm b ~prefix:0x66 ~opc:[ 0x0f; 0x59 ] i
+  | Divps -> sse_rm b ~opc:[ 0x0f; 0x5e ] i
+  | Divpd -> sse_rm b ~prefix:0x66 ~opc:[ 0x0f; 0x5e ] i
+  | Minps -> sse_rm b ~opc:[ 0x0f; 0x5d ] i
+  | Maxps -> sse_rm b ~opc:[ 0x0f; 0x5f ] i
+  | Shufps ->
+    (match src 0, src 1, dst () with
+     | Operand.Imm v, Operand.Xmm s, Operand.Xmm d ->
+       legacy b ~opc:[ 0x0f; 0xc6 ] ~reg:(xmm_num d) (Rm_reg (xmm_num s));
+       imm8 b v
+     | _ -> unsupported i)
+  | Pshufd | Pshuflw ->
+    let prefix =
+      match i.Instr.op with
+      | Pshufd -> 0x66
+      | _ -> 0xf2
+    in
+    (match src 0, src 1, dst () with
+     | Operand.Imm v, Operand.Xmm s, Operand.Xmm d ->
+       legacy b ~prefix ~opc:[ 0x0f; 0x70 ] ~reg:(xmm_num d)
+         (Rm_reg (xmm_num s));
+       imm8 b v
+     | _ -> unsupported i)
+  | Punpckldq -> sse_rm b ~prefix:0x66 ~opc:[ 0x0f; 0x62 ] i
+  | Punpcklqdq -> sse_rm b ~prefix:0x66 ~opc:[ 0x0f; 0x6c ] i
+  | Unpcklps -> sse_rm b ~opc:[ 0x0f; 0x14 ] i
+  | Unpcklpd -> sse_rm b ~prefix:0x66 ~opc:[ 0x0f; 0x14 ] i
+  | (Pslld | Psrld | Psllq | Psrlq) as op ->
+    let opc, digit =
+      match op with
+      | Pslld -> (0x72, 6)
+      | Psrld -> (0x72, 2)
+      | Psllq -> (0x73, 6)
+      | _ -> (0x73, 2)
+    in
+    (match src 0, dst () with
+     | Operand.Imm v, Operand.Xmm d ->
+       legacy b ~prefix:0x66 ~opc:[ 0x0f; opc ] ~reg:digit
+         (Rm_reg (xmm_num d));
+       imm8 b v
+     | _ -> unsupported i)
+  | Cvtss2sd -> sse_rm b ~prefix:0xf3 ~opc:[ 0x0f; 0x5a ] i
+  | Cvtsd2ss -> sse_rm b ~prefix:0xf2 ~opc:[ 0x0f; 0x5a ] i
+  | Cvtsi2sd w ->
+    (match dst () with
+     | Operand.Xmm d ->
+       legacy b ~prefix:0xf2 ~w:(is_w w) ~opc:[ 0x0f; 0x2a ] ~reg:(xmm_num d)
+         (rm_of_operand (src 0))
+     | _ -> unsupported i)
+  | Cvtsi2ss w ->
+    (match dst () with
+     | Operand.Xmm d ->
+       legacy b ~prefix:0xf3 ~w:(is_w w) ~opc:[ 0x0f; 0x2a ] ~reg:(xmm_num d)
+         (rm_of_operand (src 0))
+     | _ -> unsupported i)
+  | (Cvttsd2si w | Cvttss2si w | Cvtsd2si w) as op ->
+    let prefix, opc =
+      match op with
+      | Cvttsd2si _ -> (0xf2, 0x2c)
+      | Cvttss2si _ -> (0xf3, 0x2c)
+      | _ -> (0xf2, 0x2d)
+    in
+    (match src 0, dst () with
+     | Operand.Xmm s, Operand.Gp d ->
+       legacy b ~prefix ~w:(is_w w) ~opc:[ 0x0f; opc ] ~reg:(gp_num d)
+         (Rm_reg (xmm_num s))
+     | _ -> unsupported i)
+  | Roundsd | Roundss ->
+    let opc =
+      match i.Instr.op with
+      | Roundsd -> 0x0b
+      | _ -> 0x0a
+    in
+    (match src 0, src 1, dst () with
+     | Operand.Imm v, Operand.Xmm s, Operand.Xmm d ->
+       legacy b ~prefix:0x66 ~opc:[ 0x0f; 0x3a; opc ] ~reg:(xmm_num d)
+         (Rm_reg (xmm_num s));
+       imm8 b v
+     | _ -> unsupported i)
+  | (Vaddss | Vsubss | Vmulss | Vdivss | Vminss | Vmaxss | Vaddsd | Vsubsd
+    | Vmulsd | Vdivsd | Vminsd | Vmaxsd | Vsqrtsd | Vaddps | Vsubps | Vmulps
+    | Vaddpd | Vmulpd | Vxorps | Vandps | Vunpcklps) as op ->
+    let pp, opc =
+      match op with
+      | Vaddss -> (2, 0x58)
+      | Vsubss -> (2, 0x5c)
+      | Vmulss -> (2, 0x59)
+      | Vdivss -> (2, 0x5e)
+      | Vminss -> (2, 0x5d)
+      | Vmaxss -> (2, 0x5f)
+      | Vaddsd -> (3, 0x58)
+      | Vsubsd -> (3, 0x5c)
+      | Vmulsd -> (3, 0x59)
+      | Vdivsd -> (3, 0x5e)
+      | Vminsd -> (3, 0x5d)
+      | Vmaxsd -> (3, 0x5f)
+      | Vsqrtsd -> (3, 0x51)
+      | Vaddps -> (0, 0x58)
+      | Vsubps -> (0, 0x5c)
+      | Vmulps -> (0, 0x59)
+      | Vaddpd -> (1, 0x58)
+      | Vmulpd -> (1, 0x59)
+      | Vxorps -> (0, 0x57)
+      | Vandps -> (0, 0x54)
+      | _ -> (0, 0x14)
+    in
+    (match src 1, dst () with
+     | Operand.Xmm v1, Operand.Xmm d ->
+       vex b ~pp ~mmap:1 ~w:false ~vvvv:(xmm_num v1) ~opc ~reg:(xmm_num d)
+         (rm_of_operand (src 0))
+     | _ -> unsupported i)
+  | Vpshuflw ->
+    (match src 0, src 1, dst () with
+     | Operand.Imm v, (Operand.Xmm _ | Operand.Mem _), Operand.Xmm d ->
+       vex b ~pp:3 ~mmap:1 ~w:false ~vvvv:0 ~opc:0x70 ~reg:(xmm_num d)
+         (rm_of_operand (src 1));
+       imm8 b v
+     | _ -> unsupported i)
+  | (Vfmadd132sd | Vfmadd213sd | Vfmadd231sd | Vfmadd132ss | Vfmadd213ss
+    | Vfmadd231ss | Vfnmadd213sd | Vfnmadd231sd | Vfmsub213sd) as op ->
+    let w, opc =
+      match op with
+      | Vfmadd132sd -> (true, 0x99)
+      | Vfmadd213sd -> (true, 0xa9)
+      | Vfmadd231sd -> (true, 0xb9)
+      | Vfmadd132ss -> (false, 0x99)
+      | Vfmadd213ss -> (false, 0xa9)
+      | Vfmadd231ss -> (false, 0xb9)
+      | Vfnmadd213sd -> (true, 0xad)
+      | Vfnmadd231sd -> (true, 0xbd)
+      | _ -> (true, 0xab)
+    in
+    (match src 1, dst () with
+     | Operand.Xmm v1, Operand.Xmm d ->
+       vex b ~pp:1 ~mmap:2 ~w ~vvvv:(xmm_num v1) ~opc ~reg:(xmm_num d)
+         (rm_of_operand (src 0))
+     | _ -> unsupported i)
+
+let encode_instr i =
+  let b = Buffer.create 16 in
+  match encode_into b i with
+  | () -> Ok (Buffer.contents b)
+  | exception Unencodable msg -> Error msg
+  | exception Invalid_argument msg -> Error msg
+
+let encode_program p =
+  let b = Buffer.create 256 in
+  let rec go = function
+    | [] -> Ok (Buffer.contents b)
+    | i :: rest ->
+      (match encode_into b i with
+       | () -> go rest
+       | exception Unencodable msg -> Error msg
+       | exception Invalid_argument msg -> Error msg)
+  in
+  go (Program.instrs p)

@@ -1,0 +1,54 @@
+type t = {
+  op : Opcode.t;
+  operands : Operand.t array;
+}
+
+let is_well_formed i = Option.is_some (Shape.shape_of i.op i.operands)
+
+let make op operands =
+  let i = { op; operands = Array.of_list operands } in
+  if not (is_well_formed i) then
+    invalid_arg
+      (Printf.sprintf "Instr.make: operands fit no shape of %s"
+         (Opcode.to_string op));
+  i
+
+let make_unchecked op operands = { op; operands }
+
+let shape i =
+  match Shape.shape_of i.op i.operands with
+  | Some s -> s
+  | None -> invalid_arg "Instr.shape: ill-formed instruction"
+
+let gp_width i =
+  match i.op with
+  | Opcode.Mov w | Opcode.Lea w | Opcode.Add w | Opcode.Sub w | Opcode.Imul w
+  | Opcode.And w | Opcode.Or w | Opcode.Xor w | Opcode.Not w | Opcode.Neg w
+  | Opcode.Inc w | Opcode.Dec w | Opcode.Shl w | Opcode.Shr w | Opcode.Sar w
+  | Opcode.Cmp w | Opcode.Test w | Opcode.Cmov (_, w) | Opcode.Cvtsi2sd w
+  | Opcode.Cvtsi2ss w | Opcode.Cvttsd2si w | Opcode.Cvttss2si w
+  | Opcode.Cvtsd2si w ->
+    w
+  | Opcode.Setcc _ -> Reg.L
+  | _ -> Reg.Q
+
+let equal a b =
+  Opcode.equal a.op b.op
+  && Array.length a.operands = Array.length b.operands
+  && (let ok = ref true in
+      Array.iteri
+        (fun i o -> if not (Operand.equal o b.operands.(i)) then ok := false)
+        a.operands;
+      !ok)
+
+let to_string i =
+  let w = gp_width i in
+  let ops =
+    Array.to_list i.operands
+    |> List.map (Operand.to_string ~w)
+    |> String.concat ", "
+  in
+  if String.length ops = 0 then Opcode.to_string i.op
+  else Opcode.to_string i.op ^ " " ^ ops
+
+let pp ppf i = Format.pp_print_string ppf (to_string i)

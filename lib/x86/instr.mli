@@ -1,0 +1,27 @@
+(** A single instruction: an opcode plus operands in AT&T order. *)
+
+type t = {
+  op : Opcode.t;
+  operands : Operand.t array;
+}
+
+val make : Opcode.t -> Operand.t list -> t
+(** Raises [Invalid_argument] when the operands fit no shape of the
+    opcode. *)
+
+val make_unchecked : Opcode.t -> Operand.t array -> t
+
+val is_well_formed : t -> bool
+
+val shape : t -> Shape.kind array
+(** The shape the instruction inhabits (raises if ill-formed). *)
+
+val gp_width : t -> Reg.w
+(** The width used when printing GP operands of this instruction. *)
+
+val equal : t -> t -> bool
+
+val to_string : t -> string
+(** Paper-style AT&T rendering, e.g. ["mulss 8(rdi), xmm1"]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,20 @@
+(** Static per-opcode latency approximation (Haswell-like), used for the
+    [perf] term of the cost function during search and for the cycle model
+    that times whole applications.
+
+    STOKE itself scores candidate performance with a static latency sum
+    during search; only final results are measured on hardware.  The numbers
+    here reflect published Haswell instruction tables closely enough that
+    relative comparisons (who wins, by what factor) are preserved. *)
+
+val of_opcode : Opcode.t -> int
+(** Base latency in cycles. *)
+
+val of_instr : Instr.t -> int
+(** Adds the memory-access penalty when an operand is a memory reference. *)
+
+val of_program : Program.t -> int
+(** Sum over active slots — the paper's [perf(·)] approximation. *)
+
+val mem_penalty : int
+(** Extra cycles charged per memory operand. *)

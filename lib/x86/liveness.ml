@@ -1,0 +1,203 @@
+type loc =
+  | Lgp of Reg.gp
+  | Lxmm of Reg.xmm
+  | Lflags
+  | Lmem
+
+module Locset = Set.Make (struct
+  type t = loc
+
+  let compare = Stdlib.compare
+end)
+
+let mem_addr_uses (m : Operand.mem) =
+  let s = Locset.empty in
+  let s =
+    match m.base with
+    | None -> s
+    | Some r -> Locset.add (Lgp r) s
+  in
+  match m.index with
+  | None -> s
+  | Some (r, _) -> Locset.add (Lgp r) s
+
+let operand_read_uses = function
+  | Operand.Gp r -> Locset.singleton (Lgp r)
+  | Operand.Xmm r -> Locset.singleton (Lxmm r)
+  | Operand.Imm _ -> Locset.empty
+  | Operand.Mem m -> Locset.add Lmem (mem_addr_uses m)
+
+let operand_def = function
+  | Operand.Gp r -> Locset.singleton (Lgp r)
+  | Operand.Xmm r -> Locset.singleton (Lxmm r)
+  | Operand.Imm _ -> Locset.empty
+  | Operand.Mem _ -> Locset.singleton Lmem
+
+(* The flags-defining opcodes of our subset. *)
+let defines_flags : Opcode.t -> bool = function
+  | Add _ | Sub _ | Imul _ | And _ | Or _ | Xor _ | Neg _ | Inc _ | Dec _
+  | Shl _ | Shr _ | Sar _ | Cmp _ | Test _ | Ucomiss | Ucomisd | Comiss
+  | Comisd ->
+    true
+  | _ -> false
+
+let uses_flags : Opcode.t -> bool = function
+  | Cmov _ | Setcc _ -> true
+  | _ -> false
+
+(* Does the destination's previous value feed the result?  True for
+   read-modify-write ALU ops, for merging SSE scalar writes from registers,
+   and for FMA forms where the destination is a multiplicand/addend. *)
+let dst_is_source (i : Instr.t) =
+  let from_mem =
+    Array.length i.operands >= 2
+    && (match i.operands.(0) with
+        | Operand.Mem _ -> true
+        | _ -> false)
+  in
+  match i.op with
+  | Mov _ | Movabs | Lea _ | Cmp _ | Test _ -> false
+  | Add _ | Sub _ | Imul _ | And _ | Or _ | Xor _ | Not _ | Neg _ | Inc _
+  | Dec _ | Shl _ | Shr _ | Sar _ ->
+    true
+  | Cmov _ -> true
+  | Setcc _ -> true (* writes only the low byte *)
+  | Movss | Movsd ->
+    (* reg-to-reg forms merge into the destination's upper bits; loads from
+       memory overwrite the register. *)
+    not from_mem
+    && (match i.operands.(i.operands |> Array.length |> fun n -> n - 1) with
+        | Operand.Xmm _ -> true
+        | _ -> false)
+  | Movaps | Movups | Lddqu | Movq | Movd -> false
+  | Movlhps | Movhlps -> true
+  | Addss | Addsd | Subss | Subsd | Mulss | Mulsd | Divss | Divsd | Minss
+  | Minsd | Maxss | Maxsd ->
+    true
+  | Sqrtss | Sqrtsd -> true (* upper bits merge *)
+  | Ucomiss | Ucomisd | Comiss | Comisd -> false (* no destination at all *)
+  | Andps | Andpd | Andnps | Orps | Orpd | Xorps | Xorpd | Pand | Por | Pxor
+  | Paddd | Paddq | Psubd | Psubq | Addps | Addpd | Subps | Subpd | Mulps
+  | Mulpd | Divps | Divpd | Minps | Maxps ->
+    true
+  | Shufps -> true
+  | Pshufd | Pshuflw -> false
+  | Punpckldq | Punpcklqdq | Unpcklps | Unpcklpd -> true
+  | Pslld | Psrld | Psllq | Psrlq -> true
+  | Cvtss2sd | Cvtsd2ss | Cvtsi2sd _ | Cvtsi2ss _ -> true (* merge upper *)
+  | Cvttsd2si _ | Cvttss2si _ | Cvtsd2si _ -> false
+  | Roundsd | Roundss -> true
+  | Vaddss | Vaddsd | Vsubss | Vsubsd | Vmulss | Vmulsd | Vdivss | Vdivsd
+  | Vminss | Vminsd | Vmaxss | Vmaxsd | Vsqrtsd | Vaddps | Vsubps | Vmulps
+  | Vaddpd | Vmulpd | Vxorps | Vandps | Vpshuflw | Vunpcklps ->
+    false
+  | Vfmadd132sd | Vfmadd213sd | Vfmadd231sd | Vfmadd132ss | Vfmadd213ss
+  | Vfmadd231ss | Vfnmadd213sd | Vfnmadd231sd | Vfmsub213sd ->
+    true
+
+let has_dst (i : Instr.t) =
+  match i.op with
+  | Cmp _ | Test _ | Ucomiss | Ucomisd | Comiss | Comisd -> false
+  | _ -> Array.length i.operands > 0
+
+let defs (i : Instr.t) =
+  let n = Array.length i.operands in
+  let base =
+    if has_dst i && n > 0 then operand_def i.operands.(n - 1) else Locset.empty
+  in
+  if defines_flags i.op then Locset.add Lflags base else base
+
+let uses (i : Instr.t) =
+  let n = Array.length i.operands in
+  let srcs =
+    Array.to_list i.operands
+    |> List.mapi (fun idx o -> (idx, o))
+    |> List.fold_left
+         (fun acc (idx, o) ->
+           let is_dst = has_dst i && idx = n - 1 in
+           if is_dst then
+             match o with
+             | Operand.Mem m ->
+               (* A store uses its address registers regardless. *)
+               Locset.union acc (mem_addr_uses m)
+             | Operand.Gp _ | Operand.Xmm _ ->
+               if dst_is_source i then Locset.union acc (operand_read_uses o)
+               else acc
+             | Operand.Imm _ -> acc
+           else
+             match i.op, o with
+             | Opcode.Lea _, Operand.Mem m ->
+               (* lea computes the address without reading memory. *)
+               Locset.union acc (mem_addr_uses m)
+             | _, _ -> Locset.union acc (operand_read_uses o))
+         Locset.empty
+  in
+  if uses_flags i.op then Locset.add Lflags srcs else srcs
+
+let kills (i : Instr.t) = Locset.remove Lmem (defs i)
+
+let live_before p ~live_out =
+  let slots = p.Program.slots in
+  let n = Array.length slots in
+  let result = Array.make n Locset.empty in
+  let live = ref live_out in
+  for idx = n - 1 downto 0 do
+    (match slots.(idx) with
+     | Program.Unused -> ()
+     | Program.Active i ->
+       live := Locset.union (Locset.diff !live (kills i)) (uses i));
+    result.(idx) <- !live
+  done;
+  result
+
+let live_in p ~live_out =
+  let before = live_before p ~live_out in
+  if Array.length before = 0 then live_out else before.(0)
+
+let is_store (i : Instr.t) =
+  has_dst i
+  &&
+  let n = Array.length i.operands in
+  n > 0
+  &&
+  match i.operands.(n - 1) with
+  | Operand.Mem _ -> true
+  | _ -> false
+
+let dead_slots p ~live_out =
+  let slots = p.Program.slots in
+  let n = Array.length slots in
+  let dead = Array.make n false in
+  (* Live sets *after* each slot: live_before shifted by one. *)
+  let before = live_before p ~live_out in
+  let after idx = if idx = n - 1 then live_out else before.(idx + 1) in
+  for idx = 0 to n - 1 do
+    match slots.(idx) with
+    | Program.Unused -> ()
+    | Program.Active i ->
+      if (not (is_store i)) && Locset.disjoint (defs i) (after idx) then
+        dead.(idx) <- true
+  done;
+  dead
+
+let dce p ~live_out =
+  let p = Program.copy p in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let dead = dead_slots p ~live_out in
+    Array.iteri
+      (fun idx d ->
+        if d then begin
+          p.Program.slots.(idx) <- Program.Unused;
+          changed := true
+        end)
+      dead
+  done;
+  p
+
+let loc_to_string = function
+  | Lgp r -> Reg.gp_name Reg.Q r
+  | Lxmm r -> Reg.xmm_name r
+  | Lflags -> "flags"
+  | Lmem -> "mem"

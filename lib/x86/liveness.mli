@@ -1,0 +1,40 @@
+(** Def/use sets and backward liveness for loop-free programs.
+
+    Locations are registers, the flags, and memory as a single blob (stores
+    never kill the blob, so the analysis stays sound for partial updates).
+    Used by the cost function to know which locations to compare, by the
+    operand pools, and for dead-code elimination when reporting rewrites. *)
+
+type loc =
+  | Lgp of Reg.gp
+  | Lxmm of Reg.xmm
+  | Lflags
+  | Lmem
+
+module Locset : Set.S with type elt = loc
+
+val defs : Instr.t -> Locset.t
+val uses : Instr.t -> Locset.t
+
+val kills : Instr.t -> Locset.t
+(** Subset of {!defs} that fully overwrites the location ([Lmem] is never
+    killed; partially-merging SSE writes still kill at register
+    granularity because we only compare the bits the kernel declares
+    live-out). *)
+
+val live_before : Program.t -> live_out:Locset.t -> Locset.t array
+(** [live_before p ~live_out] has one entry per {e slot}: the locations live
+    immediately before that slot executes. *)
+
+val live_in : Program.t -> live_out:Locset.t -> Locset.t
+(** Locations the program reads before writing. *)
+
+val dead_slots : Program.t -> live_out:Locset.t -> bool array
+(** Slots whose instruction defines only dead locations (and is not a
+    store). *)
+
+val dce : Program.t -> live_out:Locset.t -> Program.t
+(** Iterated dead-code elimination: replaces dead slots with [Unused] until
+    a fixed point. *)
+
+val loc_to_string : loc -> string

@@ -1,0 +1,86 @@
+let lower_opcode : Opcode.t -> (Opcode.t, string) result = function
+  | Opcode.Addsd -> Ok Opcode.Addss
+  | Opcode.Subsd -> Ok Opcode.Subss
+  | Opcode.Mulsd -> Ok Opcode.Mulss
+  | Opcode.Divsd -> Ok Opcode.Divss
+  | Opcode.Sqrtsd -> Ok Opcode.Sqrtss
+  | Opcode.Minsd -> Ok Opcode.Minss
+  | Opcode.Maxsd -> Ok Opcode.Maxss
+  | Opcode.Ucomisd -> Ok Opcode.Ucomiss
+  | Opcode.Comisd -> Ok Opcode.Comiss
+  | Opcode.Movsd -> Ok Opcode.Movss
+  | Opcode.Vaddsd -> Ok Opcode.Vaddss
+  | Opcode.Vsubsd -> Ok Opcode.Vsubss
+  | Opcode.Vmulsd -> Ok Opcode.Vmulss
+  | Opcode.Vdivsd -> Ok Opcode.Vdivss
+  | Opcode.Vminsd -> Ok Opcode.Vminss
+  | Opcode.Vmaxsd -> Ok Opcode.Vmaxss
+  | Opcode.Vfmadd132sd -> Ok Opcode.Vfmadd132ss
+  | Opcode.Vfmadd213sd -> Ok Opcode.Vfmadd213ss
+  | Opcode.Vfmadd231sd -> Ok Opcode.Vfmadd231ss
+  | Opcode.Cvtsi2sd w -> Ok (Opcode.Cvtsi2ss w)
+  | Opcode.Cvttsd2si w -> Ok (Opcode.Cvttss2si w)
+  | Opcode.Roundsd -> Ok Opcode.Roundss
+  (* anything touching the binary64 representation or without a single
+     twin in the subset stays untranslatable *)
+  | (Opcode.Cvtsd2si _ | Opcode.Movq | Opcode.Movabs | Opcode.Shl _
+    | Opcode.Shr _ | Opcode.Sar _) as op ->
+    Error (Opcode.to_string op)
+  | op -> Ok op (* pure GP / packed-untouched instructions pass through *)
+
+(* movabs $f64bits, r; movq r, xmm  ==>  movl $f32bits, r32; movd r32, xmm *)
+let narrow_constant_pair (a : Instr.t) (b : Instr.t) =
+  match a.Instr.op, b.Instr.op, a.Instr.operands, b.Instr.operands with
+  | ( Opcode.Movabs,
+      Opcode.Movq,
+      [| Operand.Imm bits; Operand.Gp r1 |],
+      [| Operand.Gp r2; (Operand.Xmm _ as x) |] )
+    when Reg.equal_gp r1 r2 ->
+    let value = Int64.float_of_bits bits in
+    (* represent the 32-bit pattern as a signed imm32 so it fits movl's
+       immediate form; the instruction masks to 32 bits either way *)
+    let bits32 = Int64.of_int32 (Int32.bits_of_float value) in
+    Some
+      [
+        Instr.make (Opcode.Mov Reg.L) [ Operand.Imm bits32; Operand.Gp r1 ];
+        Instr.make Opcode.Movd [ Operand.Gp r1; x ];
+      ]
+  | _, _, _, _ -> None
+
+let lower_to_single p ~abi =
+  let rec lower_body = function
+    | [] -> Ok []
+    | a :: b :: rest when narrow_constant_pair a b <> None ->
+      Result.map
+        (fun tail -> Option.get (narrow_constant_pair a b) @ tail)
+        (lower_body rest)
+    | i :: rest ->
+      (match lower_opcode i.Instr.op with
+       | Error op ->
+         Error
+           (Printf.sprintf
+              "instruction %s manipulates the binary64 representation; \
+               mechanical lowering cannot preserve it"
+              op)
+       | Ok op ->
+         let j = Instr.make_unchecked op i.Instr.operands in
+         if not (Instr.is_well_formed j) then
+           Error
+             (Printf.sprintf "%s has no single-precision form for operands %s"
+                (Opcode.to_string i.Instr.op) (Instr.to_string i))
+         else Result.map (fun tail -> j :: tail) (lower_body rest))
+  in
+  match lower_body (Program.instrs p) with
+  | Error _ as e -> e
+  | Ok body ->
+    let entry =
+      List.map
+        (fun r -> Instr.make Opcode.Cvtsd2ss [ Operand.Xmm r; Operand.Xmm r ])
+        abi
+    in
+    let exit_ =
+      List.map
+        (fun r -> Instr.make Opcode.Cvtss2sd [ Operand.Xmm r; Operand.Xmm r ])
+        abi
+    in
+    Ok (Program.of_instrs (entry @ body @ exit_))

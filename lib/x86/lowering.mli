@@ -1,0 +1,20 @@
+(** Mechanical double→single precision lowering — the baseline the paper's
+    related work discusses (brute-force replacement of double-precision
+    instructions with their single-precision equivalents, in the style of
+    Lam et al.; §7).
+
+    The transformation maps each scalar-double opcode to its
+    scalar-single twin, narrows [movabs]+[movq] constant loads to 32-bit
+    constant loads, and brackets the kernel with [cvtsd2ss]/[cvtss2sd] so
+    the double-precision ABI is preserved.  It {e preserves the program as
+    written}: kernels that manipulate the binary64 representation directly
+    (exponent-field shifts, [cvtsd2si] round-tripping) cannot be lowered
+    and are rejected — exactly the limitation that motivates stochastic
+    search. *)
+
+val lower_to_single :
+  Program.t -> abi:Reg.xmm list -> (Program.t, string) result
+(** [lower_to_single p ~abi] lowers the body and converts the registers in
+    [abi] (the kernel's live-in/live-out doubles, usually [[Xmm0]]) at
+    entry and exit.  [Error] explains the first untranslatable
+    instruction. *)

@@ -1,0 +1,33 @@
+(** Instruction operands.
+
+    Operands are stored in AT&T order throughout (sources first, destination
+    last), matching the paper's listings. *)
+
+(** Memory operand: [disp(base, index, scale)]. *)
+type mem = {
+  base : Reg.gp option;
+  index : (Reg.gp * int) option;  (** scale must be 1, 2, 4 or 8 *)
+  disp : int;
+}
+
+type t =
+  | Gp of Reg.gp
+  | Xmm of Reg.xmm
+  | Imm of int64
+  | Mem of mem
+
+val mem : ?index:Reg.gp * int -> ?disp:int -> Reg.gp -> t
+(** Convenience constructor with a base register. *)
+
+val imm : int -> t
+val imm64 : int64 -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val equal_mem : mem -> mem -> bool
+
+val to_string : w:Reg.w -> t -> string
+(** Render with the given width for GP registers. *)
+
+val pp : w:Reg.w -> Format.formatter -> t -> unit

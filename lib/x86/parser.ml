@@ -1,0 +1,171 @@
+type error = {
+  line : int;
+  message : string;
+}
+
+let strip_comment s =
+  match String.index_opt s '#' with
+  | None -> s
+  | Some i -> String.sub s 0 i
+
+let is_space c = c = ' ' || c = '\t' || c = '\r'
+
+let trim = String.trim
+
+let split_operands s =
+  (* Operands are comma separated; commas inside parentheses belong to
+     memory operands. *)
+  let out = ref [] in
+  let buf = Buffer.create 16 in
+  let depth = ref 0 in
+  String.iter
+    (fun c ->
+      match c with
+      | '(' ->
+        incr depth;
+        Buffer.add_char buf c
+      | ')' ->
+        decr depth;
+        Buffer.add_char buf c
+      | ',' when !depth = 0 ->
+        out := Buffer.contents buf :: !out;
+        Buffer.clear buf
+      | _ -> Buffer.add_char buf c)
+    s;
+  if Buffer.length buf > 0 || !out <> [] then
+    out := Buffer.contents buf :: !out;
+  List.rev_map trim !out |> List.filter (fun s -> String.length s > 0)
+
+let strip_sigil prefix s =
+  if String.length s > 0 && s.[0] = prefix then
+    String.sub s 1 (String.length s - 1)
+  else s
+
+let parse_int64 s =
+  let s = strip_sigil '$' s in
+  match Int64.of_string_opt s with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "bad immediate %S" s)
+
+let parse_reg s =
+  let s = strip_sigil '%' s in
+  match Reg.xmm_of_name s with
+  | Some x -> Ok (Operand.Xmm x)
+  | None ->
+    (match Reg.gp_of_name s with
+     | Some (_, r) -> Ok (Operand.Gp r)
+     | None ->
+       (match Reg.gp8_of_name s with
+        | Some r -> Ok (Operand.Gp r)
+        | None -> Error (Printf.sprintf "unknown register %S" s)))
+
+let parse_base_reg s =
+  let s = strip_sigil '%' s in
+  match Reg.gp_of_name s with
+  | Some (_, r) -> Ok r
+  | None -> Error (Printf.sprintf "unknown base register %S" s)
+
+let parse_mem s =
+  match String.index_opt s '(' with
+  | None -> Error "expected memory operand"
+  | Some open_i ->
+    if s.[String.length s - 1] <> ')' then Error "unterminated memory operand"
+    else begin
+      let disp_str = trim (String.sub s 0 open_i) in
+      let inner = String.sub s (open_i + 1) (String.length s - open_i - 2) in
+      let disp =
+        if String.length disp_str = 0 then Ok 0
+        else
+          match int_of_string_opt disp_str with
+          | Some d -> Ok d
+          | None -> Error (Printf.sprintf "bad displacement %S" disp_str)
+      in
+      match disp with
+      | Error _ as e -> e |> Result.map (fun _ -> Operand.Imm 0L)
+      | Ok disp ->
+        let parts = String.split_on_char ',' inner |> List.map trim in
+        (match parts with
+         | [ base ] ->
+           Result.map
+             (fun b -> Operand.Mem { base = Some b; index = None; disp })
+             (parse_base_reg base)
+         | [ base; index ] ->
+           Result.bind (parse_base_reg base) (fun b ->
+               Result.map
+                 (fun i ->
+                   Operand.Mem { base = Some b; index = Some (i, 1); disp })
+                 (parse_base_reg index))
+         | [ base; index; scale ] ->
+           Result.bind (parse_base_reg base) (fun b ->
+               Result.bind (parse_base_reg index) (fun i ->
+                   match int_of_string_opt scale with
+                   | Some s when s = 1 || s = 2 || s = 4 || s = 8 ->
+                     Ok (Operand.Mem { base = Some b; index = Some (i, s); disp })
+                   | Some _ | None ->
+                     Error (Printf.sprintf "bad scale %S" scale)))
+         | [] | _ :: _ :: _ :: _ :: _ -> Error "bad memory operand")
+    end
+
+let parse_operand s =
+  if String.length s = 0 then Error "empty operand"
+  else if String.contains s '(' then parse_mem s
+  else if s.[0] = '$' || s.[0] = '-' || (s.[0] >= '0' && s.[0] <= '9') then
+    Result.map (fun v -> Operand.Imm v) (parse_int64 s)
+  else parse_reg s
+
+let rec result_all = function
+  | [] -> Ok []
+  | Error e :: _ -> Error e
+  | Ok x :: rest -> Result.map (fun xs -> x :: xs) (result_all rest)
+
+let parse_instr line =
+  let line = trim (strip_comment line) in
+  let mnemonic, rest =
+    match String.index_opt line ' ' with
+    | None ->
+      (match String.index_opt line '\t' with
+       | None -> (line, "")
+       | Some i ->
+         (String.sub line 0 i, String.sub line i (String.length line - i)))
+    | Some i -> (String.sub line 0 i, String.sub line i (String.length line - i))
+  in
+  let mnemonic = trim mnemonic in
+  if String.exists (fun c -> is_space c) mnemonic then
+    Error "internal: mnemonic contains spaces"
+  else
+    match Opcode.all_of_string mnemonic with
+    | [] -> Error (Printf.sprintf "unknown mnemonic %S" mnemonic)
+    | candidates ->
+      Result.bind (result_all (List.map parse_operand (split_operands rest)))
+        (fun operands ->
+          let operands = Array.of_list operands in
+          let fits =
+            List.find_opt
+              (fun op -> Instr.is_well_formed (Instr.make_unchecked op operands))
+              candidates
+          in
+          match fits with
+          | Some op -> Ok (Instr.make_unchecked op operands)
+          | None ->
+            Error
+              (Printf.sprintf "operands fit no shape of %s" mnemonic))
+
+let parse_program text =
+  let lines = String.split_on_char '\n' text in
+  let rec go acc line_no = function
+    | [] -> Ok (Program.of_instrs (List.rev acc))
+    | line :: rest ->
+      let stripped = trim (strip_comment line) in
+      if String.length stripped = 0 then go acc (line_no + 1) rest
+      else
+        (match parse_instr stripped with
+         | Ok i -> go (i :: acc) (line_no + 1) rest
+         | Error message -> Error { line = line_no; message })
+  in
+  go [] 1 lines
+
+let parse_program_exn text =
+  match parse_program text with
+  | Ok p -> p
+  | Error { line; message } ->
+    failwith (Printf.sprintf "parse error at line %d: %s" line message)

@@ -1,0 +1,18 @@
+(** Hand-written recursive-descent parser for the textual assembly used
+    throughout the paper's listings (AT&T operand order, optional [%] and
+    [$] sigils, [disp(base,index,scale)] memory syntax, [#]-comments). *)
+
+type error = {
+  line : int;  (** 1-based line number. *)
+  message : string;
+}
+
+val parse_instr : string -> (Instr.t, string) result
+(** Parse one instruction line (no comments). *)
+
+val parse_program : string -> (Program.t, error) result
+(** Parse a whole listing: one instruction per line; blank lines and
+    [#]-to-end-of-line comments ignored. *)
+
+val parse_program_exn : string -> Program.t
+(** Raises [Failure] with a located message. *)

@@ -1,0 +1,51 @@
+type slot =
+  | Unused
+  | Active of Instr.t
+
+type t = { slots : slot array }
+
+let of_instrs instrs =
+  { slots = Array.of_list (List.map (fun i -> Active i) instrs) }
+
+let with_padding extra instrs =
+  if extra < 0 then invalid_arg "Program.with_padding: negative padding";
+  let active = List.map (fun i -> Active i) instrs in
+  { slots = Array.of_list (active @ List.init extra (fun _ -> Unused)) }
+
+let instrs t =
+  Array.to_list t.slots
+  |> List.filter_map (function
+       | Unused -> None
+       | Active i -> Some i)
+
+let length t =
+  Array.fold_left
+    (fun acc slot ->
+      match slot with
+      | Unused -> acc
+      | Active _ -> acc + 1)
+    0 t.slots
+
+let slot_count t = Array.length t.slots
+
+let copy t = { slots = Array.copy t.slots }
+
+let equal a b =
+  Array.length a.slots = Array.length b.slots
+  && (let ok = ref true in
+      Array.iteri
+        (fun i s ->
+          let same =
+            match s, b.slots.(i) with
+            | Unused, Unused -> true
+            | Active x, Active y -> Instr.equal x y
+            | (Unused | Active _), _ -> false
+          in
+          if not same then ok := false)
+        a.slots;
+      !ok)
+
+let to_string t =
+  instrs t |> List.map Instr.to_string |> String.concat "\n"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,75 @@
+(** Register file of the modelled x86-64 subset: the sixteen general-purpose
+    registers (with 8/16/32/64-bit views) and the sixteen SSE/AVX [xmm]
+    registers. *)
+
+type gp =
+  | Rax
+  | Rcx
+  | Rdx
+  | Rbx
+  | Rsp
+  | Rbp
+  | Rsi
+  | Rdi
+  | R8
+  | R9
+  | R10
+  | R11
+  | R12
+  | R13
+  | R14
+  | R15
+
+type xmm =
+  | Xmm0
+  | Xmm1
+  | Xmm2
+  | Xmm3
+  | Xmm4
+  | Xmm5
+  | Xmm6
+  | Xmm7
+  | Xmm8
+  | Xmm9
+  | Xmm10
+  | Xmm11
+  | Xmm12
+  | Xmm13
+  | Xmm14
+  | Xmm15
+
+(** Operand width for general-purpose operations: 32-bit ([L]) or 64-bit
+    ([Q]).  The 8/16-bit views exist only for printing [set__]-style
+    destinations. *)
+type w = L | Q
+
+val gp_index : gp -> int
+(** Hardware encoding number (0–15), used by the binary encoder. *)
+
+val xmm_index : xmm -> int
+
+val gp_of_index : int -> gp
+val xmm_of_index : int -> xmm
+
+val all_gp : gp list
+val all_xmm : xmm list
+
+val gp_name : w -> gp -> string
+(** ["rax"], ["eax"], … according to the width. *)
+
+val gp_name8 : gp -> string
+(** Low-byte view: ["al"], ["r8b"], … *)
+
+val xmm_name : xmm -> string
+
+val gp_of_name : string -> (w * gp) option
+(** Recognizes 32- and 64-bit names. *)
+
+val gp8_of_name : string -> gp option
+
+val xmm_of_name : string -> xmm option
+
+val compare_gp : gp -> gp -> int
+val compare_xmm : xmm -> xmm -> int
+val equal_gp : gp -> gp -> bool
+val equal_xmm : xmm -> xmm -> bool

@@ -1,0 +1,258 @@
+(* Tests for the application substrates: PPM images, the kernel runner,
+   the aek ray tracer, and the S3D diffusion leaf task. *)
+
+let ppm_tests =
+  [
+    Alcotest.test_case "set/get roundtrip" `Quick (fun () ->
+        let img = Apps.Ppm.create 4 3 in
+        Apps.Ppm.set img ~x:2 ~y:1 (10, 20, 30);
+        Alcotest.(check (triple int int int)) "pixel" (10, 20, 30)
+          (Apps.Ppm.get img ~x:2 ~y:1));
+    Alcotest.test_case "out of range raises" `Quick (fun () ->
+        let img = Apps.Ppm.create 4 3 in
+        Alcotest.(check bool)
+          "raises" true
+          (try
+             ignore (Apps.Ppm.get img ~x:4 ~y:0);
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "diff_count" `Quick (fun () ->
+        let a = Apps.Ppm.create 4 3 in
+        let b = Apps.Ppm.create 4 3 in
+        Alcotest.(check int) "identical" 0 (Apps.Ppm.diff_count a b);
+        Apps.Ppm.set b ~x:0 ~y:0 (1, 1, 1);
+        Apps.Ppm.set b ~x:3 ~y:2 (2, 2, 2);
+        Alcotest.(check int) "two" 2 (Apps.Ppm.diff_count a b));
+    Alcotest.test_case "diff_image marks differing pixels white" `Quick (fun () ->
+        let a = Apps.Ppm.create 2 2 in
+        let b = Apps.Ppm.create 2 2 in
+        Apps.Ppm.set b ~x:1 ~y:1 (9, 9, 9);
+        let d = Apps.Ppm.diff_image a b in
+        Alcotest.(check (triple int int int)) "same" (0, 0, 0) (Apps.Ppm.get d ~x:0 ~y:0);
+        Alcotest.(check (triple int int int)) "diff" (255, 255, 255) (Apps.Ppm.get d ~x:1 ~y:1));
+    Alcotest.test_case "write produces a P6 file" `Quick (fun () ->
+        let img = Apps.Ppm.create 2 2 in
+        let path = Filename.temp_file "stoke_test" ".ppm" in
+        Apps.Ppm.write img path;
+        let ic = open_in_bin path in
+        let header = really_input_string ic 2 in
+        close_in ic;
+        Sys.remove path;
+        Alcotest.(check string) "magic" "P6" header);
+  ]
+
+let vec3_tests =
+  [
+    Alcotest.test_case "components rounded to single" `Quick (fun () ->
+        let v = Apps.Vec3.make 0.1 0.2 0.3 in
+        Alcotest.(check bool) "x" true (Fp32.is_representable v.Apps.Vec3.x));
+    Alcotest.test_case "dot" `Quick (fun () ->
+        let a = Apps.Vec3.make 1. 2. 3. and b = Apps.Vec3.make 4. 5. 6. in
+        Alcotest.(check (float 0.)) "dot" 32. (Apps.Vec3.dot a b));
+    Alcotest.test_case "cross of basis" `Quick (fun () ->
+        let x = Apps.Vec3.make 1. 0. 0. and y = Apps.Vec3.make 0. 1. 0. in
+        let z = Apps.Vec3.cross x y in
+        Alcotest.(check (float 0.)) "z" 1. z.Apps.Vec3.z);
+    Alcotest.test_case "norm has unit length" `Quick (fun () ->
+        let v = Apps.Vec3.norm (Apps.Vec3.make 3. 4. 0.) in
+        Alcotest.(check (float 1e-6)) "length" 1. (Apps.Vec3.dot v v));
+  ]
+
+let runner_tests =
+  [
+    Alcotest.test_case "kernel runner matches native ops" `Quick (fun () ->
+        let runner = Apps.Kernel_runner.create () in
+        let v1 = Apps.Vec3.make 1.5 (-2.25) 0.75 in
+        let v2 = Apps.Vec3.make 0.5 3.0 (-1.0) in
+        let d =
+          Apps.Kernel_runner.dot runner
+            Kernels.Aek_kernels.dot_spec.Sandbox.Spec.program v1 v2
+        in
+        Alcotest.(check (float 0.)) "dot" (Apps.Vec3.dot v1 v2) d;
+        let s =
+          Apps.Kernel_runner.scale runner
+            Kernels.Aek_kernels.scale_spec.Sandbox.Spec.program v1 2.0
+        in
+        Alcotest.(check (float 0.)) "scale.x" 3.0 s.Apps.Vec3.x;
+        let a =
+          Apps.Kernel_runner.add3 runner
+            Kernels.Aek_kernels.add_spec.Sandbox.Spec.program v1 v2
+        in
+        Alcotest.(check (float 0.)) "add.y" 0.75 a.Apps.Vec3.y);
+    Alcotest.test_case "cycles accumulate across calls" `Quick (fun () ->
+        let runner = Apps.Kernel_runner.create () in
+        let v = Apps.Vec3.make 1. 2. 3. in
+        let p = Kernels.Aek_kernels.dot_spec.Sandbox.Spec.program in
+        ignore (Apps.Kernel_runner.dot runner p v v);
+        let c1 = Apps.Kernel_runner.cycles runner in
+        ignore (Apps.Kernel_runner.dot runner p v v);
+        Alcotest.(check int) "doubles" (2 * c1) (Apps.Kernel_runner.cycles runner);
+        Alcotest.(check int) "calls" 2 (Apps.Kernel_runner.calls runner);
+        Apps.Kernel_runner.reset_counters runner;
+        Alcotest.(check int) "reset" 0 (Apps.Kernel_runner.cycles runner));
+    Alcotest.test_case "exp64 matches direct execution" `Quick (fun () ->
+        let runner = Apps.Kernel_runner.create () in
+        let got = Apps.Kernel_runner.exp64 runner Kernels.S3d.exp_program (-1.25) in
+        Alcotest.(check bool)
+          "close to exp" true
+          (Float.abs (got -. Float.exp (-1.25)) < 1e-6));
+    Alcotest.test_case "state does not leak between calls" `Quick (fun () ->
+        let runner = Apps.Kernel_runner.create () in
+        let p = Kernels.Aek_kernels.delta_spec.Sandbox.Spec.program in
+        let a = Apps.Vec3.make 0.01 0.02 0. in
+        let b = Apps.Vec3.make 0. 0. 0.015 in
+        let first = Apps.Kernel_runner.delta runner p a b 0.3 0.7 in
+        (* run something else in between *)
+        ignore (Apps.Kernel_runner.exp64 runner Kernels.S3d.exp_program (-2.));
+        let again = Apps.Kernel_runner.delta runner p a b 0.3 0.7 in
+        Alcotest.(check (float 0.)) "x" first.Apps.Vec3.x again.Apps.Vec3.x;
+        Alcotest.(check (float 0.)) "y" first.Apps.Vec3.y again.Apps.Vec3.y;
+        Alcotest.(check (float 0.)) "z" first.Apps.Vec3.z again.Apps.Vec3.z);
+  ]
+
+let tiny_render ops = Apps.Raytracer.render ~width:24 ~height:18 ~samples:2 ~seed:5L ops
+
+let raytracer_tests =
+  [
+    Alcotest.test_case "deterministic for a fixed seed" `Quick (fun () ->
+        let img1, _ = tiny_render (Apps.Raytracer.native_ops ()) in
+        let img2, _ = tiny_render (Apps.Raytracer.native_ops ()) in
+        Alcotest.(check bool) "equal" true (Apps.Ppm.equal img1 img2));
+    Alcotest.test_case "target kernels reproduce native rendering exactly" `Slow
+      (fun () ->
+        let native, _ = tiny_render (Apps.Raytracer.native_ops ()) in
+        let kernel, stats =
+          tiny_render (Apps.Raytracer.kernel_ops Apps.Raytracer.target_kernels)
+        in
+        Alcotest.(check int) "identical pixels" 0 (Apps.Ppm.diff_count native kernel);
+        Alcotest.(check bool) "cycles counted" true (stats.Apps.Raytracer.kernel_cycles > 0));
+    Alcotest.test_case "scene has content (not a flat image)" `Quick (fun () ->
+        let img, _ = tiny_render (Apps.Raytracer.native_ops ()) in
+        let colors = Hashtbl.create 16 in
+        for y = 0 to 17 do
+          for x = 0 to 23 do
+            Hashtbl.replace colors (Apps.Ppm.get img ~x ~y) ()
+          done
+        done;
+        Alcotest.(check bool)
+          (Printf.sprintf "%d distinct colors" (Hashtbl.length colors))
+          true
+          (Hashtbl.length colors > 10));
+    Alcotest.test_case "delta' visibly changes the image (Fig 9d/e)" `Slow (fun () ->
+        let valid, _ =
+          tiny_render (Apps.Raytracer.kernel_ops Apps.Raytracer.target_kernels)
+        in
+        let invalid, _ =
+          tiny_render
+            (Apps.Raytracer.kernel_ops
+               {
+                 Apps.Raytracer.target_kernels with
+                 Apps.Raytracer.k_delta = Kernels.Aek_kernels.delta_prime;
+               })
+        in
+        let diff = Apps.Ppm.diff_count valid invalid in
+        Alcotest.(check bool)
+          (Printf.sprintf "%d pixels differ" diff)
+          true
+          (diff > 24 * 18 / 10));
+  ]
+
+let diffusion_tests =
+  [
+    Alcotest.test_case "deterministic" `Quick (fun () ->
+        let cfg = { Apps.Diffusion.default_config with Apps.Diffusion.nx = 6; ny = 6 } in
+        let a = Apps.Diffusion.run cfg in
+        let b = Apps.Diffusion.run cfg in
+        Alcotest.(check (float 0.)) "checksum" a.Apps.Diffusion.checksum
+          b.Apps.Diffusion.checksum);
+    Alcotest.test_case "exp call count matches the grid" `Quick (fun () ->
+        let cfg =
+          { Apps.Diffusion.default_config with Apps.Diffusion.nx = 4; ny = 3; species = 5 }
+        in
+        let o = Apps.Diffusion.run cfg in
+        Alcotest.(check int) "calls" (4 * 3 * 5 * 5) o.Apps.Diffusion.exp_calls);
+    Alcotest.test_case "identical kernel tolerated, speedup 1" `Quick (fun () ->
+        let cfg = { Apps.Diffusion.default_config with Apps.Diffusion.nx = 6; ny = 6 } in
+        let baseline = Apps.Diffusion.run cfg in
+        let again = Apps.Diffusion.run ~exp_program:Kernels.S3d.exp_program cfg in
+        Alcotest.(check bool) "tolerated" true (Apps.Diffusion.tolerates ~baseline again);
+        Alcotest.(check (float 1e-9)) "speedup" 1. (Apps.Diffusion.speedup ~baseline again));
+    Alcotest.test_case "exp fraction near the calibrated 42%" `Quick (fun () ->
+        let cfg = { Apps.Diffusion.default_config with Apps.Diffusion.nx = 4; ny = 4 } in
+        let o = Apps.Diffusion.run cfg in
+        let frac =
+          float_of_int o.Apps.Diffusion.exp_cycles /. float_of_int o.Apps.Diffusion.total_cycles
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "fraction %.3f" frac)
+          true
+          (frac > 0.35 && frac < 0.5));
+    Alcotest.test_case "a faster exp speeds the task up" `Quick (fun () ->
+        let cfg = { Apps.Diffusion.default_config with Apps.Diffusion.nx = 4; ny = 4 } in
+        let baseline = Apps.Diffusion.run cfg in
+        (* a crude truncated exp: fewer Horner terms *)
+        let instrs = Program.instrs Kernels.S3d.exp_program in
+        let n = List.length instrs in
+        let shorter =
+          Program.of_instrs (List.filteri (fun i _ -> i < n - 13 || i >= n - 5) instrs)
+        in
+        let o = Apps.Diffusion.run ~exp_program:shorter cfg in
+        Alcotest.(check bool)
+          "faster" true
+          (Apps.Diffusion.speedup ~baseline o > 1.0));
+  ]
+
+let render_full_tests =
+  [
+    Alcotest.test_case "image is the quantized radiance" `Quick (fun () ->
+        let r =
+          Apps.Raytracer.render_full ~width:16 ~height:12 ~samples:2 ~seed:5L
+            (Apps.Raytracer.native_ops ())
+        in
+        Array.iteri
+          (fun i (v : Apps.Vec3.t) ->
+            let x = i mod 16 and y = i / 16 in
+            let expect =
+              ( int_of_float (Float.min 255. v.Apps.Vec3.x),
+                int_of_float (Float.min 255. v.Apps.Vec3.y),
+                int_of_float (Float.min 255. v.Apps.Vec3.z) )
+            in
+            if Apps.Ppm.get r.Apps.Raytracer.image ~x ~y <> expect then
+              Alcotest.failf "pixel (%d,%d) mismatch" x y)
+          r.Apps.Raytracer.radiance);
+    Alcotest.test_case "render matches render_full" `Quick (fun () ->
+        let img, stats =
+          Apps.Raytracer.render ~width:16 ~height:12 ~samples:2 ~seed:5L
+            (Apps.Raytracer.native_ops ())
+        in
+        let r =
+          Apps.Raytracer.render_full ~width:16 ~height:12 ~samples:2 ~seed:5L
+            (Apps.Raytracer.native_ops ())
+        in
+        Alcotest.(check bool) "same image" true (Apps.Ppm.equal img r.Apps.Raytracer.image);
+        Alcotest.(check int) "same cycles" stats.Apps.Raytracer.kernel_cycles
+          r.Apps.Raytracer.stats.Apps.Raytracer.kernel_cycles);
+    Alcotest.test_case "radiance_diff_count on identical renders" `Quick (fun () ->
+        let r1 =
+          Apps.Raytracer.render_full ~width:12 ~height:8 ~samples:1 ~seed:6L
+            (Apps.Raytracer.native_ops ())
+        in
+        let r2 =
+          Apps.Raytracer.render_full ~width:12 ~height:8 ~samples:1 ~seed:6L
+            (Apps.Raytracer.native_ops ())
+        in
+        Alcotest.(check int) "zero" 0
+          (Apps.Raytracer.radiance_diff_count r1.Apps.Raytracer.radiance
+             r2.Apps.Raytracer.radiance));
+  ]
+
+let () =
+  Alcotest.run "apps"
+    [
+      ("ppm", ppm_tests);
+      ("vec3", vec3_tests);
+      ("kernel-runner", runner_tests);
+      ("raytracer", raytracer_tests);
+      ("render-full", render_full_tests);
+      ("diffusion", diffusion_tests);
+    ]

@@ -1,0 +1,179 @@
+(* Tests for the benchmark kernels: accuracy against reference math,
+   structural properties (LOC, latency), and the paper rewrites'
+   correctness characteristics. *)
+
+let run_f64 (spec : Sandbox.Spec.t) program x =
+  let tc = Sandbox.Spec.testcase_of_floats spec [| x |] in
+  let m, r = Sandbox.Exec.run_testcase ~mem_size:spec.Sandbox.Spec.mem_size program tc in
+  match r.Sandbox.Exec.outcome with
+  | Sandbox.Exec.Finished -> Sandbox.Machine.get_f64 m Reg.Xmm0
+  | Sandbox.Exec.Faulted f ->
+    Alcotest.failf "kernel faulted on %g: %s" x (Sandbox.Semantics.fault_to_string f)
+
+(* Sampled relative-accuracy check of a kernel against the mathematical
+   function it approximates.  Tolerances are those of the hand-written
+   polynomial approximations, not of the search. *)
+let accuracy_case name (spec : Sandbox.Spec.t) reference tolerance =
+  Alcotest.test_case (name ^ " accuracy") `Quick (fun () ->
+      let ranges = Sandbox.Spec.input_ranges spec in
+      let { Sandbox.Spec.lo; hi } = ranges.(0) in
+      for i = 0 to 400 do
+        let x = lo +. ((hi -. lo) *. float_of_int i /. 400.) in
+        let got = run_f64 spec spec.Sandbox.Spec.program x in
+        let want = reference x in
+        let denom = Float.max (Float.abs want) 1e-3 in
+        let rel = Float.abs ((got -. want) /. denom) in
+        if rel > tolerance then
+          Alcotest.failf "%s(%.6f) = %.17g but reference %.17g (rel %.2e)" name x
+            got want rel
+      done)
+
+let accuracy_tests =
+  [
+    accuracy_case "sin" Kernels.Libimf.sin_spec Float.sin 1e-6;
+    accuracy_case "cos" Kernels.Libimf.cos_spec Float.cos 1e-7;
+    accuracy_case "log" Kernels.Libimf.log_spec Float.log 1e-8;
+    accuracy_case "tan" Kernels.Libimf.tan_spec Float.tan 1e-6;
+    accuracy_case "s3d-exp" Kernels.S3d.exp_spec Float.exp 1e-7;
+    (* the full-precision libimf exp carries 13 Horner terms *)
+    accuracy_case "libimf-exp" Kernels.Libimf.exp_spec Float.exp 1e-12;
+  ]
+
+let structure_tests =
+  [
+    Alcotest.test_case "kernel sizes are in the paper's regime" `Quick (fun () ->
+        let check name p lo hi =
+          let n = Program.length p in
+          if n < lo || n > hi then
+            Alcotest.failf "%s has %d LOC, expected %d..%d" name n lo hi
+        in
+        check "sin" Kernels.Libimf.sin_spec.Sandbox.Spec.program 35 70;
+        check "log" Kernels.Libimf.log_spec.Sandbox.Spec.program 45 80;
+        check "tan" Kernels.Libimf.tan_spec.Sandbox.Spec.program 70 110;
+        check "exp" Kernels.S3d.exp_program 40 60;
+        check "dot" Kernels.Aek_kernels.dot_spec.Sandbox.Spec.program 8 8;
+        check "delta" Kernels.Aek_kernels.delta_spec.Sandbox.Spec.program 29 29);
+    Alcotest.test_case "log kernel mixes fixed- and floating-point" `Quick (fun () ->
+        let instrs = Program.instrs Kernels.Libimf.log_spec.Sandbox.Spec.program in
+        let has op = List.exists (fun i -> Opcode.equal i.Instr.op op) instrs in
+        Alcotest.(check bool) "shr" true (has (Opcode.Shr Reg.Q));
+        Alcotest.(check bool) "and" true (has (Opcode.And Reg.Q));
+        Alcotest.(check bool) "or" true (has (Opcode.Or Reg.Q)));
+    Alcotest.test_case "exp kernel rebuilds 2^k with bit ops" `Quick (fun () ->
+        let instrs = Program.instrs Kernels.S3d.exp_program in
+        let has op = List.exists (fun i -> Opcode.equal i.Instr.op op) instrs in
+        Alcotest.(check bool) "shl 52" true (has (Opcode.Shl Reg.Q));
+        Alcotest.(check bool) "cvtsd2si" true (has (Opcode.Cvtsd2si Reg.Q)));
+    Alcotest.test_case "all specs run clean on random tests" `Quick (fun () ->
+        let g = Rng.Xoshiro256.create 17L in
+        List.iter
+          (fun (name, (spec : Sandbox.Spec.t)) ->
+            for _ = 1 to 50 do
+              let tc = Sandbox.Spec.random_testcase g spec in
+              let _, r =
+                Sandbox.Exec.run_testcase ~mem_size:spec.Sandbox.Spec.mem_size
+                  spec.Sandbox.Spec.program tc
+              in
+              if Sandbox.Exec.outcome_is_signal r.Sandbox.Exec.outcome then
+                Alcotest.failf "%s signalled" name
+            done)
+          (Kernels.Libimf.all
+          @ [ ("exp", Kernels.S3d.exp_spec) ]
+          @ Kernels.Aek_kernels.all_specs));
+    Alcotest.test_case "reference lookup" `Quick (fun () ->
+        Alcotest.(check (float 1e-12)) "sin" (Float.sin 1.) (Kernels.Libimf.reference "sin" 1.);
+        Alcotest.(check bool)
+          "unknown raises" true
+          (try
+             ignore (Kernels.Libimf.reference "nope" 1.);
+             false
+           with Invalid_argument _ -> true));
+  ]
+
+(* ULP error of a paper rewrite over random spec inputs. *)
+let max_rewrite_err (spec : Sandbox.Spec.t) rewrite n =
+  let e = Validate.Errfn.create spec ~rewrite in
+  let g = Rng.Xoshiro256.create 23L in
+  let worst = ref 0L in
+  for _ = 1 to n do
+    let xs = Sandbox.Spec.random_floats g spec in
+    let u = Validate.Errfn.eval_ulp e xs in
+    if Ulp.compare u !worst > 0 then worst := u
+  done;
+  !worst
+
+let rewrite_tests =
+  [
+    Alcotest.test_case "dot rewrite is exact on random inputs" `Quick (fun () ->
+        Alcotest.(check int64)
+          "0 ULPs" 0L
+          (max_rewrite_err Kernels.Aek_kernels.dot_spec Kernels.Aek_kernels.dot_rewrite 2_000));
+    Alcotest.test_case "scale rewrite is exact on random inputs" `Quick (fun () ->
+        Alcotest.(check int64)
+          "0 ULPs" 0L
+          (max_rewrite_err Kernels.Aek_kernels.scale_spec Kernels.Aek_kernels.scale_rewrite
+             2_000));
+    Alcotest.test_case "add rewrite is exact on random inputs" `Quick (fun () ->
+        Alcotest.(check int64)
+          "0 ULPs" 0L
+          (max_rewrite_err Kernels.Aek_kernels.add_spec Kernels.Aek_kernels.add_rewrite 2_000));
+    Alcotest.test_case "delta rewrite errs by only a few ULPs (Fig 7)" `Quick (fun () ->
+        let worst =
+          max_rewrite_err Kernels.Aek_kernels.delta_spec Kernels.Aek_kernels.delta_rewrite
+            5_000
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s <= 8 ULPs" (Ulp.to_string worst))
+          true
+          (Ulp.compare worst 8L <= 0));
+    Alcotest.test_case "delta' kills the perturbation (Fig 9d)" `Quick (fun () ->
+        let worst =
+          max_rewrite_err Kernels.Aek_kernels.delta_spec Kernels.Aek_kernels.delta_prime 500
+        in
+        Alcotest.(check bool)
+          "error is enormous" true
+          (Ulp.to_float worst > 1e6));
+    Alcotest.test_case "rewrites are faster than their targets" `Quick (fun () ->
+        let check name (spec : Sandbox.Spec.t) rewrite =
+          if Latency.of_program rewrite >= Latency.of_program spec.Sandbox.Spec.program then
+            Alcotest.failf "%s rewrite not faster" name
+        in
+        check "dot" Kernels.Aek_kernels.dot_spec Kernels.Aek_kernels.dot_rewrite;
+        check "scale" Kernels.Aek_kernels.scale_spec Kernels.Aek_kernels.scale_rewrite;
+        check "add" Kernels.Aek_kernels.add_spec Kernels.Aek_kernels.add_rewrite;
+        check "delta" Kernels.Aek_kernels.delta_spec Kernels.Aek_kernels.delta_rewrite);
+  ]
+
+(* property: Horner builder evaluates the polynomial it is given *)
+let prop_horner =
+  QCheck.Test.make ~name:"Builder.horner_f64 evaluates the polynomial" ~count:100
+    (QCheck.pair
+       (QCheck.list_of_size (QCheck.Gen.int_range 1 6) (QCheck.float_range (-2.) 2.))
+       (QCheck.float_range (-1.5) 1.5))
+    (fun (coeffs, x) ->
+      QCheck.assume (coeffs <> []);
+      let p =
+        Program.of_instrs
+          (Kernels.Builder.horner_f64 ~x:Reg.Xmm0 ~acc:Reg.Xmm1 ~tmp:Reg.Xmm2
+             ~via:Reg.Rax coeffs)
+      in
+      let tc = Sandbox.Testcase.of_f64 [ (Reg.Xmm0, x) ] in
+      let m, r = Sandbox.Exec.run_testcase p tc in
+      match r.Sandbox.Exec.outcome with
+      | Sandbox.Exec.Faulted _ -> false
+      | Sandbox.Exec.Finished ->
+        let got = Sandbox.Machine.get_f64 m Reg.Xmm1 in
+        let want = List.fold_left (fun acc c -> (acc *. x) +. c) 0. coeffs in
+        (* identical op order, so results are bitwise equal *)
+        Int64.equal (Int64.bits_of_float got) (Int64.bits_of_float want))
+
+let props = [ QCheck_alcotest.to_alcotest prop_horner ]
+
+let () =
+  Alcotest.run "kernels"
+    [
+      ("accuracy", accuracy_tests);
+      ("structure", structure_tests);
+      ("paper-rewrites", rewrite_tests);
+      ("properties", props);
+    ]

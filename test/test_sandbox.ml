@@ -1,0 +1,804 @@
+(* Tests for the sandbox library: memory faults, machine state invariants,
+   per-opcode interpreter semantics, execution, and kernel specs. *)
+
+let parse_i s =
+  match Parser.parse_instr s with
+  | Ok i -> i
+  | Error e -> Alcotest.failf "parse %S: %s" s e
+
+let fresh () = Sandbox.Machine.create ~mem_size:4096 ()
+
+(* Run a one-liner on a machine prepared by [setup]; return the machine. *)
+let exec1 ?(setup = fun _ -> ()) asm =
+  let m = fresh () in
+  setup m;
+  (match Sandbox.Semantics.step m (parse_i asm) with
+   | Ok () -> ()
+   | Error f -> Alcotest.failf "%s faulted: %s" asm (Sandbox.Semantics.fault_to_string f));
+  m
+
+let exec_expect_fault ?(setup = fun _ -> ()) asm =
+  let m = fresh () in
+  setup m;
+  match Sandbox.Semantics.step m (parse_i asm) with
+  | Ok () -> Alcotest.failf "%s did not fault" asm
+  | Error f -> f
+
+let check_f64 = Alcotest.(check (float 0.))
+let base = 0x100000L
+
+let memory_tests =
+  [
+    Alcotest.test_case "read/write roundtrip" `Quick (fun () ->
+        let mem = Sandbox.Memory.create 64 in
+        (match Sandbox.Memory.write mem base 8 0x1122334455667788L with
+         | Ok () -> ()
+         | Error _ -> Alcotest.fail "write");
+        (match Sandbox.Memory.read mem base 8 with
+         | Ok v -> Alcotest.(check int64) "value" 0x1122334455667788L v
+         | Error _ -> Alcotest.fail "read"));
+    Alcotest.test_case "little endian" `Quick (fun () ->
+        let mem = Sandbox.Memory.create 64 in
+        ignore (Sandbox.Memory.write mem base 4 0x0a0b0c0dL);
+        (match Sandbox.Memory.read mem base 1 with
+         | Ok v -> Alcotest.(check int64) "low byte first" 0x0dL v
+         | Error _ -> Alcotest.fail "read"));
+    Alcotest.test_case "out of bounds low" `Quick (fun () ->
+        let mem = Sandbox.Memory.create 64 in
+        Alcotest.(check bool)
+          "fault" true
+          (Result.is_error (Sandbox.Memory.read mem (Int64.sub base 1L) 4)));
+    Alcotest.test_case "out of bounds high" `Quick (fun () ->
+        let mem = Sandbox.Memory.create 64 in
+        Alcotest.(check bool)
+          "fault" true
+          (Result.is_error (Sandbox.Memory.read mem (Int64.add base 61L) 4)));
+    Alcotest.test_case "straddling end faults" `Quick (fun () ->
+        let mem = Sandbox.Memory.create 64 in
+        Alcotest.(check bool)
+          "fault" true
+          (Result.is_error (Sandbox.Memory.write mem (Int64.add base 60L) 8 0L)));
+    Alcotest.test_case "aligned 128-bit access" `Quick (fun () ->
+        let mem = Sandbox.Memory.create 64 in
+        (match Sandbox.Memory.write128 ~aligned:true mem base (1L, 2L) with
+         | Ok () -> ()
+         | Error _ -> Alcotest.fail "write128");
+        (match Sandbox.Memory.read128 ~aligned:true mem base with
+         | Ok (lo, hi) ->
+           Alcotest.(check int64) "lo" 1L lo;
+           Alcotest.(check int64) "hi" 2L hi
+         | Error _ -> Alcotest.fail "read128"));
+    Alcotest.test_case "misaligned 128-bit faults when checked" `Quick (fun () ->
+        let mem = Sandbox.Memory.create 64 in
+        Alcotest.(check bool)
+          "fault" true
+          (Result.is_error (Sandbox.Memory.read128 ~aligned:true mem (Int64.add base 4L)));
+        Alcotest.(check bool)
+          "unchecked ok" true
+          (Result.is_ok (Sandbox.Memory.read128 mem (Int64.add base 4L))));
+    Alcotest.test_case "set_bytes out of range raises" `Quick (fun () ->
+        let mem = Sandbox.Memory.create 16 in
+        Alcotest.(check bool)
+          "raises" true
+          (try
+             Sandbox.Memory.set_bytes mem (Int64.add base 100L) "xx";
+             false
+           with Invalid_argument _ -> true));
+  ]
+
+let machine_tests =
+  [
+    Alcotest.test_case "set_gp32 zero-extends" `Quick (fun () ->
+        let m = fresh () in
+        Sandbox.Machine.set_gp m Reg.Rax (-1L);
+        Sandbox.Machine.set_gp32 m Reg.Rax 0x1234L;
+        Alcotest.(check int64) "upper cleared" 0x1234L (Sandbox.Machine.get_gp m Reg.Rax));
+    Alcotest.test_case "set_f32 preserves other bits" `Quick (fun () ->
+        let m = fresh () in
+        Sandbox.Machine.set_xmm m Reg.Xmm3 (0x1111111122222222L, 0x33L);
+        Sandbox.Machine.set_f32 m Reg.Xmm3 1.5;
+        let lo, hi = Sandbox.Machine.get_xmm m Reg.Xmm3 in
+        Alcotest.(check int64) "upper dword kept" 0x11111111L (Int64.shift_right_logical lo 32);
+        Alcotest.(check int64) "high quad kept" 0x33L hi;
+        check_f64 "value" 1.5 (Sandbox.Machine.get_f32 m Reg.Xmm3));
+    Alcotest.test_case "rsp starts mid-arena" `Quick (fun () ->
+        let m = fresh () in
+        Alcotest.(check int64)
+          "rsp" (Sandbox.Machine.default_rsp m)
+          (Sandbox.Machine.get_gp m Reg.Rsp));
+    Alcotest.test_case "restore_from resets everything" `Quick (fun () ->
+        let m = fresh () in
+        let pristine = Sandbox.Machine.copy m in
+        Sandbox.Machine.set_gp m Reg.Rbx 99L;
+        Sandbox.Machine.set_f64 m Reg.Xmm9 3.25;
+        ignore (Sandbox.Memory.write m.Sandbox.Machine.mem base 8 77L);
+        m.Sandbox.Machine.flags.Sandbox.Machine.zf <- true;
+        Sandbox.Machine.restore_from ~src:pristine ~dst:m;
+        Alcotest.(check int64) "gp" 0L (Sandbox.Machine.get_gp m Reg.Rbx);
+        check_f64 "xmm" 0. (Sandbox.Machine.get_f64 m Reg.Xmm9);
+        Alcotest.(check bool) "zf" false m.Sandbox.Machine.flags.Sandbox.Machine.zf;
+        match Sandbox.Memory.read m.Sandbox.Machine.mem base 8 with
+        | Ok v -> Alcotest.(check int64) "mem" 0L v
+        | Error _ -> Alcotest.fail "read");
+  ]
+
+let gp_semantics_tests =
+  [
+    Alcotest.test_case "movl zero-extends into 64-bit" `Quick (fun () ->
+        let m =
+          exec1 "movl eax, ecx" ~setup:(fun m ->
+              Sandbox.Machine.set_gp m Reg.Rax 0xdeadbeef12345678L;
+              Sandbox.Machine.set_gp m Reg.Rcx (-1L))
+        in
+        Alcotest.(check int64) "rcx" 0x12345678L (Sandbox.Machine.get_gp m Reg.Rcx));
+    Alcotest.test_case "movabs" `Quick (fun () ->
+        let m = exec1 "movabs $0x4000000000000000, rax" in
+        Alcotest.(check int64) "rax" 0x4000000000000000L (Sandbox.Machine.get_gp m Reg.Rax));
+    Alcotest.test_case "add and flags" `Quick (fun () ->
+        let m =
+          exec1 "addq rcx, rax" ~setup:(fun m ->
+              Sandbox.Machine.set_gp m Reg.Rax 2L;
+              Sandbox.Machine.set_gp m Reg.Rcx (-2L))
+        in
+        Alcotest.(check int64) "sum" 0L (Sandbox.Machine.get_gp m Reg.Rax);
+        Alcotest.(check bool) "zf" true m.Sandbox.Machine.flags.Sandbox.Machine.zf;
+        Alcotest.(check bool) "cf" true m.Sandbox.Machine.flags.Sandbox.Machine.cf);
+    Alcotest.test_case "sub borrow sets cf" `Quick (fun () ->
+        let m =
+          exec1 "subq rcx, rax" ~setup:(fun m ->
+              Sandbox.Machine.set_gp m Reg.Rax 1L;
+              Sandbox.Machine.set_gp m Reg.Rcx 2L)
+        in
+        Alcotest.(check int64) "diff" (-1L) (Sandbox.Machine.get_gp m Reg.Rax);
+        Alcotest.(check bool) "cf" true m.Sandbox.Machine.flags.Sandbox.Machine.cf;
+        Alcotest.(check bool) "sf" true m.Sandbox.Machine.flags.Sandbox.Machine.sf);
+    Alcotest.test_case "signed overflow sets of" `Quick (fun () ->
+        let m =
+          exec1 "addq rcx, rax" ~setup:(fun m ->
+              Sandbox.Machine.set_gp m Reg.Rax Int64.max_int;
+              Sandbox.Machine.set_gp m Reg.Rcx 1L)
+        in
+        Alcotest.(check bool) "of" true m.Sandbox.Machine.flags.Sandbox.Machine.o_f);
+    Alcotest.test_case "imul" `Quick (fun () ->
+        let m =
+          exec1 "imulq rcx, rax" ~setup:(fun m ->
+              Sandbox.Machine.set_gp m Reg.Rax (-6L);
+              Sandbox.Machine.set_gp m Reg.Rcx 7L)
+        in
+        Alcotest.(check int64) "product" (-42L) (Sandbox.Machine.get_gp m Reg.Rax));
+    Alcotest.test_case "logic ops" `Quick (fun () ->
+        let m =
+          exec1 "andq rcx, rax" ~setup:(fun m ->
+              Sandbox.Machine.set_gp m Reg.Rax 0xff00L;
+              Sandbox.Machine.set_gp m Reg.Rcx 0x0ff0L)
+        in
+        Alcotest.(check int64) "and" 0x0f00L (Sandbox.Machine.get_gp m Reg.Rax));
+    Alcotest.test_case "xor self zeroes and sets zf" `Quick (fun () ->
+        let m =
+          exec1 "xorq rax, rax" ~setup:(fun m ->
+              Sandbox.Machine.set_gp m Reg.Rax 123L)
+        in
+        Alcotest.(check int64) "zero" 0L (Sandbox.Machine.get_gp m Reg.Rax);
+        Alcotest.(check bool) "zf" true m.Sandbox.Machine.flags.Sandbox.Machine.zf);
+    Alcotest.test_case "shl/shr/sar" `Quick (fun () ->
+        let m = exec1 "shlq $52, rax" ~setup:(fun m -> Sandbox.Machine.set_gp m Reg.Rax 1023L) in
+        Alcotest.(check int64) "shl" (Int64.shift_left 1023L 52) (Sandbox.Machine.get_gp m Reg.Rax);
+        let m = exec1 "shrq $52, rax" ~setup:(fun m ->
+            Sandbox.Machine.set_gp m Reg.Rax (Int64.bits_of_float 1.0)) in
+        Alcotest.(check int64) "shr" 1023L (Sandbox.Machine.get_gp m Reg.Rax);
+        let m = exec1 "sarq $1, rax" ~setup:(fun m -> Sandbox.Machine.set_gp m Reg.Rax (-8L)) in
+        Alcotest.(check int64) "sar" (-4L) (Sandbox.Machine.get_gp m Reg.Rax));
+    Alcotest.test_case "shift count of 32-bit op masked to 5 bits" `Quick (fun () ->
+        let m = exec1 "shll $33, eax" ~setup:(fun m -> Sandbox.Machine.set_gp m Reg.Rax 1L) in
+        Alcotest.(check int64) "<<33 is <<1" 2L (Sandbox.Machine.get_gp m Reg.Rax));
+    Alcotest.test_case "neg and not" `Quick (fun () ->
+        let m = exec1 "negq rax" ~setup:(fun m -> Sandbox.Machine.set_gp m Reg.Rax 5L) in
+        Alcotest.(check int64) "neg" (-5L) (Sandbox.Machine.get_gp m Reg.Rax);
+        let m = exec1 "notq rax" ~setup:(fun m -> Sandbox.Machine.set_gp m Reg.Rax 0L) in
+        Alcotest.(check int64) "not" (-1L) (Sandbox.Machine.get_gp m Reg.Rax));
+    Alcotest.test_case "inc/dec preserve cf" `Quick (fun () ->
+        let m =
+          exec1 "incq rax" ~setup:(fun m ->
+              m.Sandbox.Machine.flags.Sandbox.Machine.cf <- true;
+              Sandbox.Machine.set_gp m Reg.Rax 7L)
+        in
+        Alcotest.(check int64) "inc" 8L (Sandbox.Machine.get_gp m Reg.Rax);
+        Alcotest.(check bool) "cf kept" true m.Sandbox.Machine.flags.Sandbox.Machine.cf);
+    Alcotest.test_case "cmp + cmov taken and not taken" `Quick (fun () ->
+        let run av bv =
+          let m = fresh () in
+          Sandbox.Machine.set_gp m Reg.Rax av;
+          Sandbox.Machine.set_gp m Reg.Rcx bv;
+          Sandbox.Machine.set_gp m Reg.Rdx 111L;
+          (match Sandbox.Semantics.step m (parse_i "cmpq rcx, rax") with
+           | Ok () -> ()
+           | Error _ -> Alcotest.fail "cmp");
+          (match Sandbox.Semantics.step m (parse_i "cmovlq rdx, rbx") with
+           | Ok () -> ()
+           | Error _ -> Alcotest.fail "cmov");
+          Sandbox.Machine.get_gp m Reg.Rbx
+        in
+        Alcotest.(check int64) "taken (1 < 2)" 111L (run 1L 2L);
+        Alcotest.(check int64) "not taken (3 > 2)" 0L (run 3L 2L));
+    Alcotest.test_case "setcc writes only the low byte" `Quick (fun () ->
+        let m =
+          exec1 "sete al" ~setup:(fun m ->
+              m.Sandbox.Machine.flags.Sandbox.Machine.zf <- true;
+              Sandbox.Machine.set_gp m Reg.Rax 0xff00L)
+        in
+        Alcotest.(check int64) "low byte 1" 0xff01L (Sandbox.Machine.get_gp m Reg.Rax));
+    Alcotest.test_case "lea computes address without access" `Quick (fun () ->
+        let m =
+          exec1 "leaq 24(rdi,rcx,8), rax" ~setup:(fun m ->
+              Sandbox.Machine.set_gp m Reg.Rdi 1000L;
+              Sandbox.Machine.set_gp m Reg.Rcx 2L)
+        in
+        Alcotest.(check int64) "ea" 1040L (Sandbox.Machine.get_gp m Reg.Rax));
+  ]
+
+let fp_semantics_tests =
+  [
+    Alcotest.test_case "addsd" `Quick (fun () ->
+        let m =
+          exec1 "addsd xmm1, xmm0" ~setup:(fun m ->
+              Sandbox.Machine.set_f64 m Reg.Xmm0 1.5;
+              Sandbox.Machine.set_f64 m Reg.Xmm1 2.25)
+        in
+        check_f64 "sum" 3.75 (Sandbox.Machine.get_f64 m Reg.Xmm0));
+    Alcotest.test_case "subsd order: dst -= src" `Quick (fun () ->
+        let m =
+          exec1 "subsd xmm1, xmm0" ~setup:(fun m ->
+              Sandbox.Machine.set_f64 m Reg.Xmm0 10.;
+              Sandbox.Machine.set_f64 m Reg.Xmm1 4.)
+        in
+        check_f64 "diff" 6. (Sandbox.Machine.get_f64 m Reg.Xmm0));
+    Alcotest.test_case "divsd by zero gives inf (no signal)" `Quick (fun () ->
+        let m =
+          exec1 "divsd xmm1, xmm0" ~setup:(fun m ->
+              Sandbox.Machine.set_f64 m Reg.Xmm0 1.;
+              Sandbox.Machine.set_f64 m Reg.Xmm1 0.)
+        in
+        check_f64 "inf" Float.infinity (Sandbox.Machine.get_f64 m Reg.Xmm0));
+    Alcotest.test_case "sqrtsd of negative is nan" `Quick (fun () ->
+        let m =
+          exec1 "sqrtsd xmm1, xmm0" ~setup:(fun m ->
+              Sandbox.Machine.set_f64 m Reg.Xmm1 (-4.))
+        in
+        Alcotest.(check bool) "nan" true (Float.is_nan (Sandbox.Machine.get_f64 m Reg.Xmm0)));
+    Alcotest.test_case "minsd unordered returns source" `Quick (fun () ->
+        let m =
+          exec1 "minsd xmm1, xmm0" ~setup:(fun m ->
+              Sandbox.Machine.set_f64 m Reg.Xmm0 Float.nan;
+              Sandbox.Machine.set_f64 m Reg.Xmm1 7.)
+        in
+        check_f64 "src" 7. (Sandbox.Machine.get_f64 m Reg.Xmm0));
+    Alcotest.test_case "addss rounds to single" `Quick (fun () ->
+        let m =
+          exec1 "addss xmm1, xmm0" ~setup:(fun m ->
+              Sandbox.Machine.set_f32 m Reg.Xmm0 33554432.;
+              Sandbox.Machine.set_f32 m Reg.Xmm1 1.)
+        in
+        check_f64 "absorbed" 33554432. (Sandbox.Machine.get_f32 m Reg.Xmm0));
+    Alcotest.test_case "mulss memory operand" `Quick (fun () ->
+        let m =
+          exec1 "mulss 8(rdi), xmm1" ~setup:(fun m ->
+              Sandbox.Machine.set_gp m Reg.Rdi base;
+              Sandbox.Memory.set_bytes m.Sandbox.Machine.mem (Int64.add base 8L)
+                (Sandbox.Testcase.f32_bytes 2.5);
+              Sandbox.Machine.set_f32 m Reg.Xmm1 4.)
+        in
+        check_f64 "product" 10. (Sandbox.Machine.get_f32 m Reg.Xmm1));
+    Alcotest.test_case "ucomisd flag cases" `Quick (fun () ->
+        let flags a b =
+          let m =
+            exec1 "ucomisd xmm1, xmm0" ~setup:(fun m ->
+                Sandbox.Machine.set_f64 m Reg.Xmm0 a;
+                Sandbox.Machine.set_f64 m Reg.Xmm1 b)
+          in
+          let f = m.Sandbox.Machine.flags in
+          (f.Sandbox.Machine.zf, f.Sandbox.Machine.pf, f.Sandbox.Machine.cf)
+        in
+        Alcotest.(check (triple bool bool bool)) "less" (false, false, true) (flags 1. 2.);
+        Alcotest.(check (triple bool bool bool)) "greater" (false, false, false) (flags 2. 1.);
+        Alcotest.(check (triple bool bool bool)) "equal" (true, false, false) (flags 2. 2.);
+        Alcotest.(check (triple bool bool bool)) "unordered" (true, true, true) (flags Float.nan 1.));
+    Alcotest.test_case "movss reg-reg merges, load zeroes" `Quick (fun () ->
+        let m =
+          exec1 "movss xmm1, xmm0" ~setup:(fun m ->
+              Sandbox.Machine.set_xmm m Reg.Xmm0 (0xaaaaaaaabbbbbbbbL, 0xccL);
+              Sandbox.Machine.set_f32 m Reg.Xmm1 1.0)
+        in
+        let lo, hi = Sandbox.Machine.get_xmm m Reg.Xmm0 in
+        Alcotest.(check int64) "upper dword kept" 0xaaaaaaaaL (Int64.shift_right_logical lo 32);
+        Alcotest.(check int64) "high quad kept" 0xccL hi;
+        let m2 =
+          exec1 "movss (rdi), xmm0" ~setup:(fun m ->
+              Sandbox.Machine.set_gp m Reg.Rdi base;
+              Sandbox.Machine.set_xmm m Reg.Xmm0 (-1L, -1L))
+        in
+        let lo2, hi2 = Sandbox.Machine.get_xmm m2 Reg.Xmm0 in
+        Alcotest.(check int64) "upper zeroed" 0L (Int64.shift_right_logical lo2 32);
+        Alcotest.(check int64) "high zeroed" 0L hi2);
+    Alcotest.test_case "movq between gp and xmm" `Quick (fun () ->
+        let m =
+          exec1 "movq rax, xmm1" ~setup:(fun m ->
+              Sandbox.Machine.set_gp m Reg.Rax (Int64.bits_of_float 6.5);
+              Sandbox.Machine.set_xmm m Reg.Xmm1 (-1L, -1L))
+        in
+        check_f64 "value" 6.5 (Sandbox.Machine.get_f64 m Reg.Xmm1);
+        let _, hi = Sandbox.Machine.get_xmm m Reg.Xmm1 in
+        Alcotest.(check int64) "upper zeroed" 0L hi);
+    Alcotest.test_case "movaps alignment fault" `Quick (fun () ->
+        let f =
+          exec_expect_fault "movaps (rdi), xmm0" ~setup:(fun m ->
+              Sandbox.Machine.set_gp m Reg.Rdi (Int64.add base 4L))
+        in
+        match f with
+        | Sandbox.Semantics.Segv _ -> ()
+        | _ -> Alcotest.fail "expected segv");
+    Alcotest.test_case "movups tolerates misalignment" `Quick (fun () ->
+        ignore
+          (exec1 "movups (rdi), xmm0" ~setup:(fun m ->
+               Sandbox.Machine.set_gp m Reg.Rdi (Int64.add base 4L))));
+    Alcotest.test_case "out-of-arena store faults" `Quick (fun () ->
+        let f =
+          exec_expect_fault "movsd xmm0, (rdi)" ~setup:(fun m ->
+              Sandbox.Machine.set_gp m Reg.Rdi 0x500000L)
+        in
+        match f with
+        | Sandbox.Semantics.Segv _ -> ()
+        | _ -> Alcotest.fail "expected segv");
+  ]
+
+let packed_shuffle_tests =
+  [
+    Alcotest.test_case "xorps self zeroes 128 bits" `Quick (fun () ->
+        let m =
+          exec1 "xorps xmm0, xmm0" ~setup:(fun m ->
+              Sandbox.Machine.set_xmm m Reg.Xmm0 (-1L, -1L))
+        in
+        Alcotest.(check (pair int64 int64)) "zero" (0L, 0L) (Sandbox.Machine.get_xmm m Reg.Xmm0));
+    Alcotest.test_case "addps lanes" `Quick (fun () ->
+        let pack a b = Int64.logor
+            (Int64.logand (Int64.of_int32 (Int32.bits_of_float a)) 0xffffffffL)
+            (Int64.shift_left (Int64.of_int32 (Int32.bits_of_float b)) 32)
+        in
+        let m =
+          exec1 "addps xmm1, xmm0" ~setup:(fun m ->
+              Sandbox.Machine.set_xmm m Reg.Xmm0 (pack 1. 2., pack 3. 4.);
+              Sandbox.Machine.set_xmm m Reg.Xmm1 (pack 10. 20., pack 30. 40.))
+        in
+        check_f64 "lane0" 11. (Sandbox.Machine.get_f32 m Reg.Xmm0);
+        check_f64 "lane1" 22. (Sandbox.Machine.get_f32_hi m Reg.Xmm0));
+    Alcotest.test_case "punpckldq interleaves" `Quick (fun () ->
+        let m =
+          exec1 "punpckldq xmm1, xmm0" ~setup:(fun m ->
+              Sandbox.Machine.set_xmm m Reg.Xmm0 (0x00000002_00000001L, 0L);
+              Sandbox.Machine.set_xmm m Reg.Xmm1 (0x00000004_00000003L, 0L))
+        in
+        let lo, hi = Sandbox.Machine.get_xmm m Reg.Xmm0 in
+        Alcotest.(check int64) "lo" 0x00000003_00000001L lo;
+        Alcotest.(check int64) "hi" 0x00000004_00000002L hi);
+    Alcotest.test_case "pshufd broadcast" `Quick (fun () ->
+        let m =
+          exec1 "pshufd $0, xmm1, xmm0" ~setup:(fun m ->
+              Sandbox.Machine.set_xmm m Reg.Xmm1 (0x00000002_00000007L, 0L))
+        in
+        let lo, hi = Sandbox.Machine.get_xmm m Reg.Xmm0 in
+        Alcotest.(check int64) "lo" 0x00000007_00000007L lo;
+        Alcotest.(check int64) "hi" 0x00000007_00000007L hi);
+    Alcotest.test_case "pshuflw 0xfe moves dword1 to dword0" `Quick (fun () ->
+        let m =
+          exec1 "pshuflw $254, xmm1, xmm0" ~setup:(fun m ->
+              Sandbox.Machine.set_xmm m Reg.Xmm1 (0x00000002_00000001L, 0x99L))
+        in
+        check_f64 "lane0 = old lane1"
+          (Int32.float_of_bits 2l |> Fp32.round)
+          (Sandbox.Machine.get_f32 m Reg.Xmm0);
+        let _, hi = Sandbox.Machine.get_xmm m Reg.Xmm0 in
+        Alcotest.(check int64) "high quad copied" 0x99L hi);
+    Alcotest.test_case "psllq/psrlq" `Quick (fun () ->
+        let m =
+          exec1 "psllq $8, xmm0" ~setup:(fun m ->
+              Sandbox.Machine.set_xmm m Reg.Xmm0 (0xffL, 0x1L))
+        in
+        Alcotest.(check (pair int64 int64)) "shifted" (0xff00L, 0x100L)
+          (Sandbox.Machine.get_xmm m Reg.Xmm0));
+    Alcotest.test_case "movlhps/movhlps" `Quick (fun () ->
+        let m =
+          exec1 "movlhps xmm1, xmm0" ~setup:(fun m ->
+              Sandbox.Machine.set_xmm m Reg.Xmm0 (1L, 2L);
+              Sandbox.Machine.set_xmm m Reg.Xmm1 (3L, 4L))
+        in
+        Alcotest.(check (pair int64 int64)) "lh" (1L, 3L) (Sandbox.Machine.get_xmm m Reg.Xmm0));
+    Alcotest.test_case "shufps" `Quick (fun () ->
+        (* selector 0b01_00_11_10: dst0=d2, dst1=d3, dst2=s0, dst3=s1 *)
+        let m =
+          exec1 "shufps $78, xmm1, xmm0" ~setup:(fun m ->
+              Sandbox.Machine.set_xmm m Reg.Xmm0 (0x00000002_00000001L, 0x00000004_00000003L);
+              Sandbox.Machine.set_xmm m Reg.Xmm1 (0x00000006_00000005L, 0x00000008_00000007L))
+        in
+        let lo, hi = Sandbox.Machine.get_xmm m Reg.Xmm0 in
+        Alcotest.(check int64) "lo" 0x00000004_00000003L lo;
+        Alcotest.(check int64) "hi" 0x00000006_00000005L hi);
+  ]
+
+let convert_tests =
+  [
+    Alcotest.test_case "cvtsi2sdq" `Quick (fun () ->
+        let m =
+          exec1 "cvtsi2sdq rax, xmm0" ~setup:(fun m ->
+              Sandbox.Machine.set_gp m Reg.Rax (-42L))
+        in
+        check_f64 "value" (-42.) (Sandbox.Machine.get_f64 m Reg.Xmm0));
+    Alcotest.test_case "cvtsi2sdl sign-extends 32-bit" `Quick (fun () ->
+        let m =
+          exec1 "cvtsi2sdl eax, xmm0" ~setup:(fun m ->
+              Sandbox.Machine.set_gp m Reg.Rax 0xffffffffL)
+        in
+        check_f64 "minus one" (-1.) (Sandbox.Machine.get_f64 m Reg.Xmm0));
+    Alcotest.test_case "cvttsd2si truncates toward zero" `Quick (fun () ->
+        let run x =
+          let m =
+            exec1 "cvttsd2siq xmm0, rax" ~setup:(fun m ->
+                Sandbox.Machine.set_f64 m Reg.Xmm0 x)
+          in
+          Sandbox.Machine.get_gp m Reg.Rax
+        in
+        Alcotest.(check int64) "pos" 2L (run 2.9);
+        Alcotest.(check int64) "neg" (-2L) (run (-2.9)));
+    Alcotest.test_case "cvtsd2si rounds to nearest even" `Quick (fun () ->
+        let run x =
+          let m =
+            exec1 "cvtsd2siq xmm0, rax" ~setup:(fun m ->
+                Sandbox.Machine.set_f64 m Reg.Xmm0 x)
+          in
+          Sandbox.Machine.get_gp m Reg.Rax
+        in
+        Alcotest.(check int64) "2.5 -> 2" 2L (run 2.5);
+        Alcotest.(check int64) "3.5 -> 4" 4L (run 3.5);
+        Alcotest.(check int64) "-2.5 -> -2" (-2L) (run (-2.5));
+        Alcotest.(check int64) "2.4 -> 2" 2L (run 2.4));
+    Alcotest.test_case "nan converts to integer indefinite" `Quick (fun () ->
+        let m =
+          exec1 "cvttsd2siq xmm0, rax" ~setup:(fun m ->
+              Sandbox.Machine.set_f64 m Reg.Xmm0 Float.nan)
+        in
+        Alcotest.(check int64) "indefinite" Int64.min_int (Sandbox.Machine.get_gp m Reg.Rax));
+    Alcotest.test_case "cvtsd2ss rounds" `Quick (fun () ->
+        let m =
+          exec1 "cvtsd2ss xmm1, xmm0" ~setup:(fun m ->
+              Sandbox.Machine.set_f64 m Reg.Xmm1 0.1)
+        in
+        check_f64 "rounded" (Fp32.round 0.1) (Sandbox.Machine.get_f32 m Reg.Xmm0));
+    Alcotest.test_case "roundsd modes" `Quick (fun () ->
+        let run mode x =
+          let m =
+            exec1 (Printf.sprintf "roundsd $%d, xmm1, xmm0" mode) ~setup:(fun m ->
+                Sandbox.Machine.set_f64 m Reg.Xmm1 x)
+          in
+          Sandbox.Machine.get_f64 m Reg.Xmm0
+        in
+        check_f64 "nearest-even" 2. (run 0 2.5);
+        check_f64 "floor" 2. (run 1 2.9);
+        check_f64 "ceil" 3. (run 2 2.1);
+        check_f64 "trunc" (-2.) (run 3 (-2.9)));
+  ]
+
+let avx_tests =
+  [
+    Alcotest.test_case "vaddsd three-operand" `Quick (fun () ->
+        let m =
+          exec1 "vaddsd xmm1, xmm2, xmm3" ~setup:(fun m ->
+              Sandbox.Machine.set_f64 m Reg.Xmm1 1.;
+              Sandbox.Machine.set_f64 m Reg.Xmm2 10.)
+        in
+        check_f64 "sum" 11. (Sandbox.Machine.get_f64 m Reg.Xmm3));
+    Alcotest.test_case "vaddss upper bits come from src1" `Quick (fun () ->
+        let m =
+          exec1 "vaddss xmm1, xmm2, xmm3" ~setup:(fun m ->
+              Sandbox.Machine.set_f32 m Reg.Xmm1 1.;
+              Sandbox.Machine.set_xmm m Reg.Xmm2 (0xaaaaaaaa_00000000L, 0xbbL);
+              Sandbox.Machine.set_f32 m Reg.Xmm2 2.)
+        in
+        check_f64 "sum" 3. (Sandbox.Machine.get_f32 m Reg.Xmm3);
+        let lo, hi = Sandbox.Machine.get_xmm m Reg.Xmm3 in
+        Alcotest.(check int64) "upper dword from src1" 0xaaaaaaaaL
+          (Int64.shift_right_logical lo 32);
+        Alcotest.(check int64) "high quad from src1" 0xbbL hi);
+    Alcotest.test_case "vfmadd213sd computes x2*x1+x3 fused" `Quick (fun () ->
+        let m =
+          exec1 "vfmadd213sd xmm1, xmm2, xmm3" ~setup:(fun m ->
+              Sandbox.Machine.set_f64 m Reg.Xmm1 4.;   (* x3: addend *)
+              Sandbox.Machine.set_f64 m Reg.Xmm2 3.;   (* x2 *)
+              Sandbox.Machine.set_f64 m Reg.Xmm3 2.)   (* x1 = dst *)
+        in
+        check_f64 "2*3+4" 10. (Sandbox.Machine.get_f64 m Reg.Xmm3));
+    Alcotest.test_case "vfmadd231sd computes x2*x3+x1" `Quick (fun () ->
+        let m =
+          exec1 "vfmadd231sd xmm1, xmm2, xmm3" ~setup:(fun m ->
+              Sandbox.Machine.set_f64 m Reg.Xmm1 4.;
+              Sandbox.Machine.set_f64 m Reg.Xmm2 3.;
+              Sandbox.Machine.set_f64 m Reg.Xmm3 2.)
+        in
+        check_f64 "3*4+2" 14. (Sandbox.Machine.get_f64 m Reg.Xmm3));
+    Alcotest.test_case "fma is fused (single rounding)" `Quick (fun () ->
+        (* a*b+c where the product needs the extra precision *)
+        let a = 1. +. 0x1p-30 in
+        let m =
+          exec1 "vfmadd213sd xmm1, xmm2, xmm3" ~setup:(fun m ->
+              Sandbox.Machine.set_f64 m Reg.Xmm1 (-1.);
+              Sandbox.Machine.set_f64 m Reg.Xmm2 a;
+              Sandbox.Machine.set_f64 m Reg.Xmm3 a)
+        in
+        check_f64 "fused" (Float.fma a a (-1.)) (Sandbox.Machine.get_f64 m Reg.Xmm3));
+    Alcotest.test_case "vfnmadd213sd negates the product" `Quick (fun () ->
+        let m =
+          exec1 "vfnmadd213sd xmm1, xmm2, xmm3" ~setup:(fun m ->
+              Sandbox.Machine.set_f64 m Reg.Xmm1 10.;
+              Sandbox.Machine.set_f64 m Reg.Xmm2 3.;
+              Sandbox.Machine.set_f64 m Reg.Xmm3 2.)
+        in
+        check_f64 "-(2*3)+10" 4. (Sandbox.Machine.get_f64 m Reg.Xmm3));
+  ]
+
+let exec_tests =
+  [
+    Alcotest.test_case "cycles accumulate" `Quick (fun () ->
+        let p = Parser.parse_program_exn "addsd xmm1, xmm0\nmulsd xmm1, xmm0" in
+        let _, r = Sandbox.Exec.run_testcase p Sandbox.Testcase.empty in
+        Alcotest.(check int) "cycles" (Latency.of_program p) r.Sandbox.Exec.cycles;
+        Alcotest.(check int) "executed" 2 r.Sandbox.Exec.executed);
+    Alcotest.test_case "fault stops execution" `Quick (fun () ->
+        let p =
+          Parser.parse_program_exn
+            "movsd xmm0, (rdi)\naddsd xmm1, xmm0"
+        in
+        let tc = Sandbox.Testcase.with_gp Reg.Rdi 0x1L Sandbox.Testcase.empty in
+        let _, r = Sandbox.Exec.run_testcase p tc in
+        Alcotest.(check bool) "signalled" true (Sandbox.Exec.outcome_is_signal r.Sandbox.Exec.outcome);
+        Alcotest.(check int) "stopped at first" 1 r.Sandbox.Exec.executed);
+    Alcotest.test_case "unused slots are skipped" `Quick (fun () ->
+        let p = Program.with_padding 5 (Program.instrs Kernels.Aek_kernels.add_rewrite) in
+        let tc =
+          Sandbox.Spec.random_testcase (Rng.Xoshiro256.create 1L) Kernels.Aek_kernels.add_spec
+        in
+        let _, r = Sandbox.Exec.run_testcase p tc in
+        Alcotest.(check int) "executed" 3 r.Sandbox.Exec.executed);
+  ]
+
+let spec_tests =
+  [
+    Alcotest.test_case "testcase_of_floats packs f32 pairs" `Quick (fun () ->
+        let spec = Kernels.Aek_kernels.scale_spec in
+        let tc = Sandbox.Spec.testcase_of_floats spec [| 1.; 2.; 3.; 4. |] in
+        let m = fresh () in
+        Sandbox.Testcase.apply tc m;
+        check_f64 "x" 1. (Sandbox.Machine.get_f32 m Reg.Xmm0);
+        check_f64 "y" 2. (Sandbox.Machine.get_f32_hi m Reg.Xmm0);
+        check_f64 "z" 3. (Sandbox.Machine.get_f32 m Reg.Xmm1);
+        check_f64 "k" 4. (Sandbox.Machine.get_f32 m Reg.Xmm2));
+    Alcotest.test_case "arity mismatch raises" `Quick (fun () ->
+        Alcotest.(check bool)
+          "raises" true
+          (try
+             ignore (Sandbox.Spec.testcase_of_floats Kernels.S3d.exp_spec [| 1.; 2. |]);
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "random floats stay in range" `Quick (fun () ->
+        let g = Rng.Xoshiro256.create 5L in
+        let ranges = Sandbox.Spec.input_ranges Kernels.Aek_kernels.delta_spec in
+        for _ = 1 to 200 do
+          let xs = Sandbox.Spec.random_floats g Kernels.Aek_kernels.delta_spec in
+          Array.iteri
+            (fun i x ->
+              if x < ranges.(i).Sandbox.Spec.lo || x > ranges.(i).Sandbox.Spec.hi then
+                Alcotest.failf "input %d out of range" i)
+            xs
+        done);
+    Alcotest.test_case "degenerate range pins the value" `Quick (fun () ->
+        let g = Rng.Xoshiro256.create 6L in
+        for _ = 1 to 50 do
+          let xs = Sandbox.Spec.random_floats g Kernels.Aek_kernels.delta_spec in
+          check_f64 "v1.z pinned" 0. xs.(4);
+          check_f64 "v2.x pinned" 0. xs.(5)
+        done);
+    Alcotest.test_case "value_ulp on integers" `Quick (fun () ->
+        Alcotest.(check int64) "diff" 5L
+          (Sandbox.Spec.value_ulp (Sandbox.Spec.Vi64 10L) (Sandbox.Spec.Vi64 5L)));
+    Alcotest.test_case "read_outputs shape" `Quick (fun () ->
+        let m = fresh () in
+        Sandbox.Machine.set_f32 m Reg.Xmm0 1.5;
+        let vs = Sandbox.Spec.read_outputs Kernels.Aek_kernels.dot_spec m in
+        Alcotest.(check int) "one output" 1 (Array.length vs));
+  ]
+
+(* interpreter vs OCaml arithmetic on random bit patterns, specials
+   included *)
+let prop_addsd_matches_ocaml =
+  QCheck.Test.make ~name:"addsd agrees with OCaml (+.) bitwise" ~count:2000
+    (QCheck.pair QCheck.int64 QCheck.int64)
+    (fun (abits, bbits) ->
+      let a = Int64.float_of_bits abits and b = Int64.float_of_bits bbits in
+      let m = fresh () in
+      Sandbox.Machine.set_f64 m Reg.Xmm0 a;
+      Sandbox.Machine.set_f64 m Reg.Xmm1 b;
+      match Sandbox.Semantics.step m (parse_i "addsd xmm1, xmm0") with
+      | Error _ -> false
+      | Ok () ->
+        let got = Sandbox.Machine.get_f64 m Reg.Xmm0 in
+        let want = a +. b in
+        (Float.is_nan got && Float.is_nan want)
+        || Int64.equal (Int64.bits_of_float got) (Int64.bits_of_float want))
+
+let prop_mulss_single_rounded =
+  QCheck.Test.make ~name:"mulss result is always a binary32 value" ~count:2000
+    (QCheck.pair QCheck.int32 QCheck.int32)
+    (fun (abits, bbits) ->
+      let a = Int32.float_of_bits abits and b = Int32.float_of_bits bbits in
+      let m = fresh () in
+      Sandbox.Machine.set_f32 m Reg.Xmm0 a;
+      Sandbox.Machine.set_f32 m Reg.Xmm1 b;
+      match Sandbox.Semantics.step m (parse_i "mulss xmm1, xmm0") with
+      | Error _ -> false
+      | Ok () -> Fp32.is_representable (Sandbox.Machine.get_f32 m Reg.Xmm0))
+
+let prop_mulsd_matches_ocaml =
+  QCheck.Test.make ~name:"mulsd agrees with OCaml ( *. ) bitwise" ~count:2000
+    (QCheck.pair QCheck.int64 QCheck.int64)
+    (fun (abits, bbits) ->
+      let a = Int64.float_of_bits abits and b = Int64.float_of_bits bbits in
+      let m = fresh () in
+      Sandbox.Machine.set_f64 m Reg.Xmm0 a;
+      Sandbox.Machine.set_f64 m Reg.Xmm1 b;
+      match Sandbox.Semantics.step m (parse_i "mulsd xmm1, xmm0") with
+      | Error _ -> false
+      | Ok () ->
+        let got = Sandbox.Machine.get_f64 m Reg.Xmm0 in
+        let want = a *. b in
+        (Float.is_nan got && Float.is_nan want)
+        || Int64.equal (Int64.bits_of_float got) (Int64.bits_of_float want))
+
+let prop_divsd_matches_ocaml =
+  QCheck.Test.make ~name:"divsd agrees with OCaml ( /. ) bitwise" ~count:2000
+    (QCheck.pair QCheck.int64 QCheck.int64)
+    (fun (abits, bbits) ->
+      let a = Int64.float_of_bits abits and b = Int64.float_of_bits bbits in
+      let m = fresh () in
+      Sandbox.Machine.set_f64 m Reg.Xmm0 a;
+      Sandbox.Machine.set_f64 m Reg.Xmm1 b;
+      match Sandbox.Semantics.step m (parse_i "divsd xmm1, xmm0") with
+      | Error _ -> false
+      | Ok () ->
+        let got = Sandbox.Machine.get_f64 m Reg.Xmm0 in
+        let want = a /. b in
+        (Float.is_nan got && Float.is_nan want)
+        || Int64.equal (Int64.bits_of_float got) (Int64.bits_of_float want))
+
+let prop_cvt_roundtrip =
+  QCheck.Test.make ~name:"cvtsi2sdq/cvttsd2siq roundtrips small integers"
+    ~count:1000
+    (QCheck.int_range (-1_000_000) 1_000_000)
+    (fun n ->
+      let m = fresh () in
+      Sandbox.Machine.set_gp m Reg.Rax (Int64.of_int n);
+      match
+        ( Sandbox.Semantics.step m (parse_i "cvtsi2sdq rax, xmm0"),
+          Sandbox.Semantics.step m (parse_i "cvttsd2siq xmm0, rcx") )
+      with
+      | Ok (), Ok () ->
+        Int64.equal (Sandbox.Machine.get_gp m Reg.Rcx) (Int64.of_int n)
+      | _, _ -> false)
+
+let prop_bitops_match =
+  QCheck.Test.make ~name:"GP bit operations agree with Int64" ~count:1000
+    (QCheck.triple QCheck.int64 QCheck.int64 (QCheck.int_range 0 63))
+    (fun (a, b, c) ->
+      let check asm setup expect =
+        let m = fresh () in
+        setup m;
+        match Sandbox.Semantics.step m (parse_i asm) with
+        | Error _ -> false
+        | Ok () -> Int64.equal (Sandbox.Machine.get_gp m Reg.Rax) expect
+      in
+      check "andq rcx, rax"
+        (fun m ->
+          Sandbox.Machine.set_gp m Reg.Rax a;
+          Sandbox.Machine.set_gp m Reg.Rcx b)
+        (Int64.logand a b)
+      && check "xorq rcx, rax"
+           (fun m ->
+             Sandbox.Machine.set_gp m Reg.Rax a;
+             Sandbox.Machine.set_gp m Reg.Rcx b)
+           (Int64.logxor a b)
+      && check
+           (Printf.sprintf "shlq $%d, rax" c)
+           (fun m -> Sandbox.Machine.set_gp m Reg.Rax a)
+           (if c = 0 then a else Int64.shift_left a c))
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_addsd_matches_ocaml; prop_mulss_single_rounded;
+      prop_mulsd_matches_ocaml; prop_divsd_matches_ocaml; prop_cvt_roundtrip;
+      prop_bitops_match;
+    ]
+
+(* Completeness: every opcode instance in the catalogue must be executable
+   by the interpreter in at least one shape — a new opcode cannot be added
+   to Opcode.all without semantics. *)
+let coverage_tests =
+  [
+    Alcotest.test_case "interpreter covers every catalogued opcode" `Quick
+      (fun () ->
+        let operand_of_kind (k : Shape.kind) =
+          match k with
+          | Shape.K_gp _ -> Operand.Gp Reg.Rcx
+          | Shape.K_xmm -> Operand.Xmm Reg.Xmm1
+          | Shape.K_imm8 -> Operand.Imm 3L
+          | Shape.K_imm32 -> Operand.Imm 1000L
+          | Shape.K_imm64 -> Operand.Imm 0x3ff0_0000_0000_0000L
+          | Shape.K_mem _ ->
+            Operand.Mem { Operand.base = Some Reg.Rdi; index = None; disp = 16 }
+        in
+        List.iter
+          (fun op ->
+            List.iter
+              (fun shape ->
+                let operands = Array.map operand_of_kind shape in
+                let i = Instr.make_unchecked op operands in
+                if Instr.is_well_formed i then begin
+                  let m = fresh () in
+                  (* rdi points into the arena, 16-byte aligned *)
+                  Sandbox.Machine.set_gp m Reg.Rdi base;
+                  match Sandbox.Semantics.step m i with
+                  | Ok () -> ()
+                  | Error (Sandbox.Semantics.Segv _) ->
+                    Alcotest.failf "%s segfaulted on aligned in-arena access"
+                      (Instr.to_string i)
+                  | Error f ->
+                    Alcotest.failf "%s: %s" (Instr.to_string i)
+                      (Sandbox.Semantics.fault_to_string f)
+                end)
+              (Shape.shapes op))
+          Opcode.all);
+    Alcotest.test_case "every executable shape is also encodable or flagged"
+      `Quick (fun () ->
+        (* the encoder may reject exotic forms, but must reject them with a
+           message, never raise *)
+        let operand_of_kind (k : Shape.kind) =
+          match k with
+          | Shape.K_gp _ -> Operand.Gp Reg.R9
+          | Shape.K_xmm -> Operand.Xmm Reg.Xmm9
+          | Shape.K_imm8 -> Operand.Imm 5L
+          | Shape.K_imm32 -> Operand.Imm (-7L)
+          | Shape.K_imm64 -> Operand.Imm (-1L)
+          | Shape.K_mem _ ->
+            Operand.Mem
+              { Operand.base = Some Reg.R8; index = Some (Reg.R9, 4); disp = -24 }
+        in
+        List.iter
+          (fun op ->
+            List.iter
+              (fun shape ->
+                let i = Instr.make_unchecked op (Array.map operand_of_kind shape) in
+                if Instr.is_well_formed i then ignore (Encoder.encode_instr i))
+              (Shape.shapes op))
+          Opcode.all);
+  ]
+
+let () =
+  Alcotest.run "sandbox"
+    [
+      ("memory", memory_tests);
+      ("machine", machine_tests);
+      ("gp-semantics", gp_semantics_tests);
+      ("fp-semantics", fp_semantics_tests);
+      ("packed-shuffle", packed_shuffle_tests);
+      ("converts", convert_tests);
+      ("avx-fma", avx_tests);
+      ("exec", exec_tests);
+      ("spec", spec_tests);
+      ("coverage", coverage_tests);
+      ("properties", props);
+    ]

@@ -1,0 +1,490 @@
+(* Tests for the search library: operand/opcode pools, the four proposal
+   moves and their undo, the ULP cost function, acceptance rules, and the
+   optimizer end-to-end on small kernels. *)
+
+let exp_spec = Kernels.S3d.exp_spec
+let add_spec = Kernels.Aek_kernels.add_spec
+
+let pools_of spec = Search.Pools.make ~target:spec.Sandbox.Spec.program ~spec
+
+let pools_tests =
+  [
+    Alcotest.test_case "imm64 pool holds the target's constants" `Quick (fun () ->
+        let pools = pools_of exp_spec in
+        let imm64s = Search.Pools.operands_of_kind pools Shape.K_imm64 in
+        let has v =
+          Array.exists (fun o -> Operand.equal o (Operand.Imm v)) imm64s
+        in
+        Alcotest.(check bool)
+          "log2e constant present" true
+          (has (Int64.bits_of_float (1. /. Float.log 2.))));
+    Alcotest.test_case "mem pool holds the target's memory operands" `Quick (fun () ->
+        let pools = pools_of add_spec in
+        let mems = Search.Pools.operands_of_kind pools (Shape.K_mem Shape.M32) in
+        Alcotest.(check bool) "nonempty" true (Array.length mems > 0));
+    Alcotest.test_case "no mem operands for register-only kernel" `Quick (fun () ->
+        let pools = pools_of Kernels.Aek_kernels.scale_spec in
+        let mems = Search.Pools.operands_of_kind pools (Shape.K_mem Shape.M128) in
+        (* scale spills through rsp, so the pool is actually nonempty; the
+           libimf sin kernel has no memory operands at all. *)
+        ignore mems;
+        let pools_sin = pools_of Kernels.Libimf.sin_spec in
+        Alcotest.(check int)
+          "sin mem pool empty" 0
+          (Array.length (Search.Pools.operands_of_kind pools_sin (Shape.K_mem Shape.M64))));
+    Alcotest.test_case "opcode pool excludes shapes without operands" `Quick (fun () ->
+        let pools = pools_of Kernels.Libimf.sin_spec in
+        let ops = Search.Pools.all_opcodes pools in
+        (* lddqu only has an m128 form, which sin cannot instantiate *)
+        Alcotest.(check bool)
+          "lddqu excluded" false
+          (Array.exists (fun op -> Opcode.equal op Opcode.Lddqu) ops);
+        Alcotest.(check bool)
+          "addsd included" true
+          (Array.exists (fun op -> Opcode.equal op Opcode.Addsd) ops));
+    Alcotest.test_case "opcodes_with_shape respects the shape" `Quick (fun () ->
+        let pools = pools_of exp_spec in
+        let shape = [| Shape.K_xmm; Shape.K_xmm |] in
+        let ops = Search.Pools.opcodes_with_shape pools shape in
+        Alcotest.(check bool)
+          "addsd has xx shape" true
+          (Array.exists (fun op -> Opcode.equal op Opcode.Addsd) ops);
+        Alcotest.(check bool)
+          "movabs lacks xx shape" false
+          (Array.exists (fun op -> Opcode.equal op Opcode.Movabs) ops));
+    Alcotest.test_case "random_instr always well-formed" `Quick (fun () ->
+        let pools = pools_of add_spec in
+        let g = Rng.Xoshiro256.create 3L in
+        for _ = 1 to 2_000 do
+          let i = Search.Pools.random_instr g pools in
+          if not (Instr.is_well_formed i) then
+            Alcotest.failf "ill-formed: %s" (Instr.to_string i)
+        done);
+  ]
+
+let transform_tests =
+  [
+    Alcotest.test_case "propose/undo restores the program" `Quick (fun () ->
+        let pools = pools_of exp_spec in
+        let g = Rng.Xoshiro256.create 4L in
+        let p =
+          Program.with_padding 4 (Program.instrs exp_spec.Sandbox.Spec.program)
+        in
+        let original = Program.copy p in
+        for _ = 1 to 5_000 do
+          match Search.Transform.propose g pools p with
+          | None -> ()
+          | Some (_kind, undo) ->
+            Search.Transform.undo p undo;
+            if not (Program.equal p original) then Alcotest.fail "undo failed"
+        done);
+    Alcotest.test_case "proposals preserve well-formedness" `Quick (fun () ->
+        let pools = pools_of add_spec in
+        let g = Rng.Xoshiro256.create 5L in
+        let p =
+          Program.with_padding 4 (Program.instrs add_spec.Sandbox.Spec.program)
+        in
+        for _ = 1 to 5_000 do
+          ignore (Search.Transform.propose g pools p);
+          Array.iter
+            (function
+              | Program.Unused -> ()
+              | Program.Active i ->
+                if not (Instr.is_well_formed i) then
+                  Alcotest.failf "ill-formed after move: %s" (Instr.to_string i))
+            p.Program.slots
+        done);
+    Alcotest.test_case "all four moves occur" `Quick (fun () ->
+        let pools = pools_of add_spec in
+        let g = Rng.Xoshiro256.create 6L in
+        let p =
+          Program.with_padding 4 (Program.instrs add_spec.Sandbox.Spec.program)
+        in
+        let seen = Hashtbl.create 4 in
+        for _ = 1 to 2_000 do
+          match Search.Transform.propose g pools p with
+          | None -> ()
+          | Some (kind, undo) ->
+            Hashtbl.replace seen (Search.Transform.kind_to_string kind) ();
+            Search.Transform.undo p undo
+        done;
+        Alcotest.(check int) "four kinds" 4 (Hashtbl.length seen));
+    Alcotest.test_case "instruction move can empty and refill a slot" `Quick (fun () ->
+        let pools = pools_of add_spec in
+        let g = Rng.Xoshiro256.create 7L in
+        let p =
+          Program.with_padding 2 (Program.instrs add_spec.Sandbox.Spec.program)
+        in
+        let saw_shrink = ref false and saw_grow = ref false in
+        for _ = 1 to 3_000 do
+          let before = Program.length p in
+          (match Search.Transform.propose g pools p with
+           | Some (Search.Transform.Instruction_move, _) ->
+             let after = Program.length p in
+             if after < before then saw_shrink := true;
+             if after > before then saw_grow := true
+           | _ -> ())
+        done;
+        Alcotest.(check bool) "deletions proposed" true !saw_shrink;
+        Alcotest.(check bool) "insertions proposed" true !saw_grow);
+  ]
+
+let mk_ctx ?(eta = 0L) ?(n = 16) spec =
+  let tests = Stoke.make_tests ~n ~seed:99L spec in
+  Search.Cost.create spec (Search.Cost.default_params ~eta) tests
+
+let cost_tests =
+  [
+    Alcotest.test_case "target has zero eq cost" `Quick (fun () ->
+        let ctx = mk_ctx exp_spec in
+        let c = Search.Cost.eval ctx exp_spec.Sandbox.Spec.program in
+        Alcotest.(check (float 0.)) "eq" 0. c.Search.Cost.eq;
+        Alcotest.(check bool) "correct" true (Search.Cost.correct c));
+    Alcotest.test_case "perf term is the latency" `Quick (fun () ->
+        let ctx = mk_ctx exp_spec in
+        let c = Search.Cost.eval ctx exp_spec.Sandbox.Spec.program in
+        Alcotest.(check (float 0.))
+          "perf"
+          (float_of_int (Latency.of_program exp_spec.Sandbox.Spec.program))
+          c.Search.Cost.perf);
+    Alcotest.test_case "wrong program has positive eq cost" `Quick (fun () ->
+        let ctx = mk_ctx exp_spec in
+        let wrong = Parser.parse_program_exn "addsd xmm0, xmm0" in
+        let c = Search.Cost.eval ctx wrong in
+        Alcotest.(check bool) "eq > 0" true (c.Search.Cost.eq > 0.));
+    Alcotest.test_case "signalling program is heavily penalized" `Quick (fun () ->
+        let ctx = mk_ctx exp_spec in
+        let bad = Parser.parse_program_exn "movsd (rax), xmm0" in
+        let c = Search.Cost.eval ctx bad in
+        Alcotest.(check int) "all tests signal" 16 c.Search.Cost.signals;
+        Alcotest.(check bool) "huge" true (c.Search.Cost.eq >= 1e18));
+    Alcotest.test_case "eta forgives small errors" `Quick (fun () ->
+        (* drop the c6 = 1/720 Horner step (instructions 15–18: mulsd,
+           movabs, movq, addsd): a ~1e-3 relative perturbation, far below
+           η = 1e15 but far above η = 0 *)
+        let instrs = Program.instrs exp_spec.Sandbox.Spec.program in
+        let truncated = List.filteri (fun i _ -> i < 15 || i >= 19) instrs in
+        let p = Program.of_instrs truncated in
+        let strict = Search.Cost.eval (mk_ctx ~eta:0L exp_spec) p in
+        let loose =
+          Search.Cost.eval (mk_ctx ~eta:(Ulp.of_float 1e15) exp_spec) p
+        in
+        Alcotest.(check bool) "strict rejects" true (strict.Search.Cost.eq > 0.);
+        Alcotest.(check (float 0.)) "loose accepts" 0. loose.Search.Cost.eq);
+    Alcotest.test_case "max reduction bounds the cost" `Quick (fun () ->
+        let ctx = mk_ctx ~eta:0L exp_spec in
+        let empty = Program.of_instrs [] in
+        let c = Search.Cost.eval ctx empty in
+        (* even for a wildly wrong program, max-reduction keeps eq finite *)
+        Alcotest.(check bool) "finite" true (Float.is_finite c.Search.Cost.eq));
+    Alcotest.test_case "sum reduction exceeds max reduction" `Quick (fun () ->
+        let tests = Stoke.make_tests ~n:16 ~seed:99L exp_spec in
+        let base = Search.Cost.default_params ~eta:0L in
+        let ctx_max = Search.Cost.create exp_spec base tests in
+        let ctx_sum =
+          Search.Cost.create exp_spec
+            { base with Search.Cost.reduction = Search.Cost.Sum }
+            tests
+        in
+        let wrong = Parser.parse_program_exn "mulsd xmm0, xmm0" in
+        let cm = Search.Cost.eval ctx_max wrong in
+        let cs = Search.Cost.eval ctx_sum wrong in
+        Alcotest.(check bool) "sum >= max" true (cs.Search.Cost.eq >= cm.Search.Cost.eq));
+    Alcotest.test_case "evaluations are counted" `Quick (fun () ->
+        let ctx = mk_ctx exp_spec in
+        let n0 = Search.Cost.evaluations ctx in
+        ignore (Search.Cost.eval ctx exp_spec.Sandbox.Spec.program);
+        ignore (Search.Cost.eval ctx exp_spec.Sandbox.Spec.program);
+        Alcotest.(check int) "two more" (n0 + 2) (Search.Cost.evaluations ctx));
+  ]
+
+let strategy_tests =
+  [
+    Alcotest.test_case "every strategy accepts improvements" `Quick (fun () ->
+        let g = Rng.Xoshiro256.create 8L in
+        List.iter
+          (fun s ->
+            Alcotest.(check bool)
+              (Search.Strategy.to_string s)
+              true
+              (Search.Strategy.accept s g ~iter:1 ~delta:(-5.)))
+          [ Search.Strategy.Mcmc { beta = 1.0 }; Search.Strategy.Hill;
+            Search.Strategy.default_anneal; Search.Strategy.Random_walk ]);
+    Alcotest.test_case "hill rejects any worsening" `Quick (fun () ->
+        let g = Rng.Xoshiro256.create 9L in
+        Alcotest.(check bool)
+          "reject" false
+          (Search.Strategy.accept Search.Strategy.Hill g ~iter:1 ~delta:0.001));
+    Alcotest.test_case "random accepts worsening" `Quick (fun () ->
+        let g = Rng.Xoshiro256.create 10L in
+        Alcotest.(check bool)
+          "accept" true
+          (Search.Strategy.accept Search.Strategy.Random_walk g ~iter:1 ~delta:1e9));
+    Alcotest.test_case "mcmc acceptance rate tracks exp(-beta delta)" `Quick (fun () ->
+        let g = Rng.Xoshiro256.create 11L in
+        let s = Search.Strategy.Mcmc { beta = 1.0 } in
+        let n = 50_000 in
+        let accepted = ref 0 in
+        for _ = 1 to n do
+          if Search.Strategy.accept s g ~iter:1 ~delta:1.0 then incr accepted
+        done;
+        let rate = float_of_int !accepted /. float_of_int n in
+        Alcotest.(check bool)
+          (Printf.sprintf "rate %.3f near e^-1" rate)
+          true
+          (Float.abs (rate -. Float.exp (-1.)) < 0.02));
+    Alcotest.test_case "of_string/to_string" `Quick (fun () ->
+        List.iter
+          (fun name ->
+            match Search.Strategy.of_string name with
+            | Some s -> Alcotest.(check string) name name (Search.Strategy.to_string s)
+            | None -> Alcotest.failf "%s not parsed" name)
+          [ "mcmc"; "hill"; "anneal"; "rand" ]);
+  ]
+
+let optimizer_tests =
+  [
+    Alcotest.test_case "search removes dead code" `Quick (fun () ->
+        (* target with an obviously removable instruction pair *)
+        let target =
+          Parser.parse_program_exn
+            "movabs $0x3ff0000000000000, rax\nmovq rax, xmm5\nmulsd xmm0, xmm0"
+        in
+        let spec =
+          Sandbox.Spec.make ~name:"square" ~program:target
+            ~float_inputs:
+              [ Sandbox.Spec.Fin_xmm_f64 (Reg.Xmm0, { Sandbox.Spec.lo = -2.; hi = 2. }) ]
+            ~outputs:[ Sandbox.Spec.Out_xmm_f64 Reg.Xmm0 ]
+            ()
+        in
+        let ctx =
+          Search.Cost.create spec
+            (Search.Cost.default_params ~eta:0L)
+            (Stoke.make_tests ~n:8 ~seed:1L spec)
+        in
+        let config =
+          { Search.Optimizer.default_config with Search.Optimizer.proposals = 20_000 }
+        in
+        let r = Search.Optimizer.run ctx config in
+        match r.Search.Optimizer.best_correct with
+        | None -> Alcotest.fail "no correct rewrite"
+        | Some p ->
+          Alcotest.(check int) "one instruction" 1 (Program.length p));
+    Alcotest.test_case "trace is monotone in best cost" `Quick (fun () ->
+        let spec = Kernels.Aek_kernels.add_spec in
+        let ctx =
+          Search.Cost.create spec
+            (Search.Cost.default_params ~eta:0L)
+            (Stoke.make_tests ~n:8 ~seed:2L spec)
+        in
+        let config =
+          { Search.Optimizer.default_config with Search.Optimizer.proposals = 10_000 }
+        in
+        let r = Search.Optimizer.run ctx config in
+        let rec check_desc = function
+          | a :: (b :: _ as rest) ->
+            Alcotest.(check bool)
+              "non-increasing" true
+              (b.Search.Optimizer.best_total <= a.Search.Optimizer.best_total +. 1e-9);
+            check_desc rest
+          | _ -> ()
+        in
+        check_desc r.Search.Optimizer.trace);
+    Alcotest.test_case "best_correct is eta-correct and no slower" `Quick (fun () ->
+        let spec = Kernels.Aek_kernels.scale_spec in
+        let tests = Stoke.make_tests ~n:8 ~seed:3L spec in
+        let ctx = Search.Cost.create spec (Search.Cost.default_params ~eta:0L) tests in
+        let config =
+          { Search.Optimizer.default_config with Search.Optimizer.proposals = 30_000 }
+        in
+        let r = Search.Optimizer.run ctx config in
+        match r.Search.Optimizer.best_correct with
+        | None -> Alcotest.fail "no correct rewrite"
+        | Some p ->
+          let ctx2 = Search.Cost.create spec (Search.Cost.default_params ~eta:0L) tests in
+          let c = Search.Cost.eval ctx2 p in
+          Alcotest.(check bool) "correct" true (Search.Cost.correct c);
+          Alcotest.(check bool)
+            "no slower than target" true
+            (Latency.of_program p <= Latency.of_program spec.Sandbox.Spec.program));
+    Alcotest.test_case "same seed gives the same result" `Quick (fun () ->
+        let spec = Kernels.Aek_kernels.add_spec in
+        let run () =
+          let ctx =
+            Search.Cost.create spec
+              (Search.Cost.default_params ~eta:0L)
+              (Stoke.make_tests ~n:8 ~seed:4L spec)
+          in
+          let config =
+            { Search.Optimizer.default_config with Search.Optimizer.proposals = 5_000 }
+          in
+          Search.Optimizer.run ctx config
+        in
+        let a = run () and b = run () in
+        Alcotest.(check bool)
+          "same best program" true
+          (match a.Search.Optimizer.best_correct, b.Search.Optimizer.best_correct with
+           | None, None -> true
+           | Some p, Some q -> Program.equal p q
+           | _ -> false));
+  ]
+
+let perf_model_tests =
+  [
+    Alcotest.test_case "critical-path perf never exceeds latency sum" `Quick
+      (fun () ->
+        let tests = Stoke.make_tests ~n:8 ~seed:31L exp_spec in
+        let base = Search.Cost.default_params ~eta:0L in
+        let ctx_sum = Search.Cost.create exp_spec base tests in
+        let ctx_cp =
+          Search.Cost.create exp_spec
+            { base with Search.Cost.perf_model = Search.Cost.Critical_path }
+            tests
+        in
+        let p = exp_spec.Sandbox.Spec.program in
+        let cs = Search.Cost.eval ctx_sum p in
+        let cc = Search.Cost.eval ctx_cp p in
+        Alcotest.(check bool) "cp <= sum" true (cc.Search.Cost.perf <= cs.Search.Cost.perf);
+        Alcotest.(check bool) "cp positive" true (cc.Search.Cost.perf > 0.));
+    Alcotest.test_case "synthesis mode finds a tiny kernel from nothing" `Slow
+      (fun () ->
+        (* target: y = x + x.  Synthesis (k = 0) from an empty rewrite. *)
+        let target = Parser.parse_program_exn "addsd xmm0, xmm0" in
+        let spec =
+          Sandbox.Spec.make ~name:"double" ~program:target
+            ~float_inputs:
+              [ Sandbox.Spec.Fin_xmm_f64 (Reg.Xmm0, { Sandbox.Spec.lo = -8.; hi = 8. }) ]
+            ~outputs:[ Sandbox.Spec.Out_xmm_f64 Reg.Xmm0 ]
+            ()
+        in
+        let params =
+          { (Search.Cost.default_params ~eta:0L) with Search.Cost.k = 0. }
+        in
+        let ctx = Search.Cost.create spec params (Stoke.make_tests ~n:8 ~seed:32L spec) in
+        let config =
+          { Search.Optimizer.default_config with Search.Optimizer.proposals = 60_000 }
+        in
+        let r = Search.Optimizer.synthesize ctx config ~slots:4 in
+        match r.Search.Optimizer.best_correct with
+        | None -> Alcotest.fail "synthesis failed"
+        | Some p ->
+          Alcotest.(check bool) "small" true (Program.length p <= 4));
+  ]
+
+let parallel_tests =
+  [
+    Alcotest.test_case "parallel chains return a valid result" `Slow (fun () ->
+        let spec = Kernels.Aek_kernels.add_spec in
+        let tests = Stoke.make_tests ~n:8 ~seed:33L spec in
+        let params = Search.Cost.default_params ~eta:0L in
+        let config =
+          { Search.Optimizer.default_config with Search.Optimizer.proposals = 10_000 }
+        in
+        let r = Search.Parallel.run ~domains:3 ~spec ~params ~tests ~config () in
+        Alcotest.(check int) "proposals summed" 30_000 r.Search.Optimizer.proposals_made;
+        match r.Search.Optimizer.best_correct with
+        | None -> Alcotest.fail "no rewrite"
+        | Some p ->
+          let ctx = Search.Cost.create spec params tests in
+          Alcotest.(check bool)
+            "correct" true
+            (Search.Cost.correct (Search.Cost.eval ctx p)));
+    Alcotest.test_case "parallel is at least as good as one chain" `Slow (fun () ->
+        let spec = Kernels.Aek_kernels.scale_spec in
+        let tests = Stoke.make_tests ~n:8 ~seed:34L spec in
+        let params = Search.Cost.default_params ~eta:0L in
+        let config =
+          { Search.Optimizer.default_config with Search.Optimizer.proposals = 8_000 }
+        in
+        let single =
+          Search.Optimizer.run (Search.Cost.create spec params tests) config
+        in
+        let multi = Search.Parallel.run ~domains:4 ~spec ~params ~tests ~config () in
+        let perf r =
+          match r.Search.Optimizer.best_correct_cost with
+          | Some (c : Search.Cost.cost) -> c.Search.Cost.perf
+          | None -> Float.infinity
+        in
+        Alcotest.(check bool) "multi <= single" true (perf multi <= perf single));
+  ]
+
+let telemetry_tests =
+  [
+    Alcotest.test_case "move statistics add up" `Quick (fun () ->
+        let spec = Kernels.Aek_kernels.add_spec in
+        let ctx =
+          Search.Cost.create spec
+            (Search.Cost.default_params ~eta:0L)
+            (Stoke.make_tests ~n:8 ~seed:51L spec)
+        in
+        let config =
+          { Search.Optimizer.default_config with Search.Optimizer.proposals = 5_000 }
+        in
+        let r = Search.Optimizer.run ctx config in
+        let total_proposed =
+          Array.fold_left ( + ) 0 r.Search.Optimizer.moves.Search.Optimizer.proposed
+        in
+        let total_accepted =
+          Array.fold_left ( + ) 0
+            r.Search.Optimizer.moves.Search.Optimizer.accepted_by_kind
+        in
+        (* some draws are inapplicable (return None), so proposed <= made *)
+        Alcotest.(check bool)
+          "proposed bounded" true
+          (total_proposed <= r.Search.Optimizer.proposals_made);
+        Alcotest.(check int) "accepted consistent" r.Search.Optimizer.accepted
+          total_accepted;
+        Array.iteri
+          (fun i p ->
+            if r.Search.Optimizer.moves.Search.Optimizer.accepted_by_kind.(i) > p
+            then Alcotest.fail "accepted more than proposed")
+          r.Search.Optimizer.moves.Search.Optimizer.proposed);
+  ]
+
+(* Liveness/DCE soundness against the interpreter: a random well-formed
+   program and its DCE'd version must produce identical live-out values on
+   any test case where both run to completion. *)
+let prop_dce_preserves_outputs =
+  let spec = Kernels.Aek_kernels.add_spec in
+  let pools = Search.Pools.make ~target:spec.Sandbox.Spec.program ~spec in
+  let live_out = Sandbox.Spec.live_out_set spec in
+  QCheck.Test.make ~name:"DCE preserves live-out values" ~count:300 QCheck.int64
+    (fun seed ->
+      let g = Rng.Xoshiro256.create seed in
+      let n = 3 + Rng.Dist.int g 8 in
+      let p =
+        Program.of_instrs (List.init n (fun _ -> Search.Pools.random_instr g pools))
+      in
+      let q = Liveness.dce p ~live_out in
+      let tc = Sandbox.Spec.random_testcase g spec in
+      let run prog =
+        let m, r =
+          Sandbox.Exec.run_testcase ~mem_size:spec.Sandbox.Spec.mem_size prog tc
+        in
+        match r.Sandbox.Exec.outcome with
+        | Sandbox.Exec.Finished -> Some (Sandbox.Spec.read_outputs spec m)
+        | Sandbox.Exec.Faulted _ -> None
+      in
+      match run p, run q with
+      | None, _ -> true (* original faults: nothing to compare *)
+      | Some _, None -> false (* DCE must never introduce a fault *)
+      | Some a, Some b ->
+        Array.for_all2
+          (fun x y -> Int64.equal (Sandbox.Spec.value_ulp x y) 0L)
+          a b)
+
+let props = [ QCheck_alcotest.to_alcotest prop_dce_preserves_outputs ]
+
+let () =
+  Alcotest.run "search"
+    [
+      ("pools", pools_tests);
+      ("transform", transform_tests);
+      ("cost", cost_tests);
+      ("strategy", strategy_tests);
+      ("optimizer", optimizer_tests);
+      ("perf-model-synthesis", perf_model_tests);
+      ("parallel", parallel_tests);
+      ("telemetry", telemetry_tests);
+      ("properties", props);
+    ]

@@ -1,0 +1,151 @@
+(* Tests for the stats library: descriptive statistics, spectral density,
+   and the Geweke convergence diagnostic (§5.3 of the paper). *)
+
+let feq = Alcotest.(check (float 1e-9))
+
+let descriptive_tests =
+  [
+    Alcotest.test_case "mean" `Quick (fun () ->
+        feq "mean" 2.5 (Stats.Descriptive.mean [| 1.; 2.; 3.; 4. |]));
+    Alcotest.test_case "mean of singleton" `Quick (fun () ->
+        feq "mean" 7. (Stats.Descriptive.mean [| 7. |]));
+    Alcotest.test_case "mean of empty raises" `Quick (fun () ->
+        Alcotest.check_raises "empty" (Invalid_argument "Descriptive.mean: empty")
+          (fun () -> ignore (Stats.Descriptive.mean [||])));
+    Alcotest.test_case "variance" `Quick (fun () ->
+        (* sample variance of 1..4 is 5/3 *)
+        feq "var" (5. /. 3.) (Stats.Descriptive.variance [| 1.; 2.; 3.; 4. |]));
+    Alcotest.test_case "variance of constant" `Quick (fun () ->
+        feq "var" 0. (Stats.Descriptive.variance [| 5.; 5.; 5. |]));
+    Alcotest.test_case "stddev" `Quick (fun () ->
+        feq "sd" (sqrt (5. /. 3.)) (Stats.Descriptive.stddev [| 1.; 2.; 3.; 4. |]));
+    Alcotest.test_case "min/max" `Quick (fun () ->
+        feq "min" (-2.) (Stats.Descriptive.min [| 3.; -2.; 7. |]);
+        feq "max" 7. (Stats.Descriptive.max [| 3.; -2.; 7. |]));
+    Alcotest.test_case "quantiles" `Quick (fun () ->
+        let a = [| 4.; 1.; 3.; 2. |] in
+        feq "median" 2.5 (Stats.Descriptive.quantile a 0.5);
+        feq "min" 1. (Stats.Descriptive.quantile a 0.);
+        feq "max" 4. (Stats.Descriptive.quantile a 1.));
+    Alcotest.test_case "quantile does not mutate" `Quick (fun () ->
+        let a = [| 4.; 1.; 3. |] in
+        ignore (Stats.Descriptive.quantile a 0.5);
+        Alcotest.(check (array (float 0.))) "unchanged" [| 4.; 1.; 3. |] a);
+  ]
+
+let spectral_tests =
+  [
+    Alcotest.test_case "lag-0 autocovariance is biased variance" `Quick (fun () ->
+        let a = [| 1.; 2.; 3.; 4. |] in
+        feq "acov0" 1.25 (Stats.Spectral.autocovariance a 0));
+    Alcotest.test_case "iid-ish noise: small lag-k" `Quick (fun () ->
+        let g = Rng.Xoshiro256.create 1L in
+        let a = Array.init 10_000 (fun _ -> Rng.Dist.normal g ~mu:0. ~sigma:1.) in
+        let c0 = Stats.Spectral.autocovariance a 0 in
+        let c5 = Stats.Spectral.autocovariance a 5 in
+        Alcotest.(check bool) "decorrelated" true (Float.abs (c5 /. c0) < 0.05));
+    Alcotest.test_case "density positive" `Quick (fun () ->
+        let g = Rng.Xoshiro256.create 2L in
+        let a = Array.init 1_000 (fun _ -> Rng.Dist.normal g ~mu:0. ~sigma:1.) in
+        Alcotest.(check bool) "positive" true (Stats.Spectral.density_at_zero a > 0.));
+    Alcotest.test_case "autocorrelated chain has higher density" `Quick (fun () ->
+        let g = Rng.Xoshiro256.create 3L in
+        let n = 5_000 in
+        let iid = Array.init n (fun _ -> Rng.Dist.normal g ~mu:0. ~sigma:1.) in
+        let ar = Array.make n 0. in
+        for i = 1 to n - 1 do
+          (* AR(1) with strong positive correlation *)
+          ar.(i) <- (0.9 *. ar.(i - 1)) +. Rng.Dist.normal g ~mu:0. ~sigma:1.
+        done;
+        Alcotest.(check bool)
+          "ar density exceeds iid" true
+          (Stats.Spectral.density_at_zero ar > 2. *. Stats.Spectral.density_at_zero iid));
+  ]
+
+let geweke_tests =
+  [
+    Alcotest.test_case "stationary iid chain converges" `Quick (fun () ->
+        let g = Rng.Xoshiro256.create 4L in
+        let a = Array.init 20_000 (fun _ -> Rng.Dist.normal g ~mu:5. ~sigma:2.) in
+        let v = Stats.Geweke.z_statistic a in
+        Alcotest.(check bool)
+          (Printf.sprintf "z=%.3f small" v.Stats.Geweke.z)
+          true
+          (Stats.Geweke.converged v));
+    Alcotest.test_case "strong trend fails the diagnostic" `Quick (fun () ->
+        let g = Rng.Xoshiro256.create 5L in
+        let a =
+          Array.init 20_000 (fun i ->
+              (float_of_int i /. 1000.) +. Rng.Dist.normal g ~mu:0. ~sigma:0.1)
+        in
+        let v = Stats.Geweke.z_statistic a in
+        Alcotest.(check bool)
+          (Printf.sprintf "z=%.1f large" v.Stats.Geweke.z)
+          false
+          (Stats.Geweke.converged v));
+    Alcotest.test_case "means reported per window" `Quick (fun () ->
+        let a = Array.init 1000 (fun i -> if i < 100 then 0. else 10.) in
+        let v = Stats.Geweke.z_statistic a in
+        feq "early" 0. v.Stats.Geweke.mean_a;
+        feq "late" 10. v.Stats.Geweke.mean_b);
+    Alcotest.test_case "short chain raises" `Quick (fun () ->
+        Alcotest.check_raises "short"
+          (Invalid_argument "Geweke.z_statistic: chain too short") (fun () ->
+            ignore (Stats.Geweke.z_statistic [| 1.; 2.; 3. |])));
+    Alcotest.test_case "custom threshold" `Quick (fun () ->
+        let v = { Stats.Geweke.z = 1.0; mean_a = 0.; mean_b = 0.; n = 100 } in
+        Alcotest.(check bool) "loose" true (Stats.Geweke.converged ~threshold:1.5 v);
+        Alcotest.(check bool) "tight" false (Stats.Geweke.converged ~threshold:0.5 v));
+  ]
+
+let gelman_rubin_tests =
+  [
+    Alcotest.test_case "identical-distribution chains converge" `Quick (fun () ->
+        let g = Rng.Xoshiro256.create 21L in
+        let chains =
+          Array.init 4 (fun _ ->
+              Array.init 5_000 (fun _ -> Rng.Dist.normal g ~mu:3. ~sigma:1.))
+        in
+        let v = Stats.Gelman_rubin.r_hat chains in
+        Alcotest.(check bool)
+          (Printf.sprintf "r_hat=%.4f near 1" v.Stats.Gelman_rubin.r_hat)
+          true
+          (Stats.Gelman_rubin.converged v));
+    Alcotest.test_case "chains at different modes fail" `Quick (fun () ->
+        let g = Rng.Xoshiro256.create 22L in
+        let chains =
+          Array.init 4 (fun i ->
+              Array.init 2_000 (fun _ ->
+                  Rng.Dist.normal g ~mu:(10. *. float_of_int i) ~sigma:1.))
+        in
+        let v = Stats.Gelman_rubin.r_hat chains in
+        Alcotest.(check bool)
+          (Printf.sprintf "r_hat=%.1f large" v.Stats.Gelman_rubin.r_hat)
+          false
+          (Stats.Gelman_rubin.converged v));
+    Alcotest.test_case "chains truncated to shortest" `Quick (fun () ->
+        let a = Array.make 100 1. and b = Array.make 50 1. in
+        let v = Stats.Gelman_rubin.r_hat [| a; b |] in
+        Alcotest.(check int) "n" 50 v.Stats.Gelman_rubin.n;
+        Alcotest.(check int) "m" 2 v.Stats.Gelman_rubin.m);
+    Alcotest.test_case "single chain rejected" `Quick (fun () ->
+        Alcotest.(check bool)
+          "raises" true
+          (try
+             ignore (Stats.Gelman_rubin.r_hat [| Array.make 10 0. |]);
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "constant chains give r_hat 1" `Quick (fun () ->
+        let chains = Array.init 3 (fun _ -> Array.make 20 5.) in
+        let v = Stats.Gelman_rubin.r_hat chains in
+        Alcotest.(check (float 1e-9)) "one" 1. v.Stats.Gelman_rubin.r_hat);
+  ]
+
+let () =
+  Alcotest.run "stats"
+    [
+      ("descriptive", descriptive_tests);
+      ("spectral", spectral_tests);
+      ("geweke", geweke_tests);
+      ("gelman-rubin", gelman_rubin_tests);
+    ]

@@ -1,0 +1,223 @@
+(* Tests for the validate library: the error function of Eq. 13, the
+   clipped Gaussian proposals of Eq. 16, and the MCMC max-error driver with
+   Geweke termination. *)
+
+let exp_spec = Kernels.S3d.exp_spec
+
+(* exp with the last Horner refinement term removed — a genuinely lower
+   precision rewrite whose maximum error we can also find by brute force. *)
+let truncated_exp =
+  let instrs = Program.instrs Kernels.S3d.exp_program in
+  let n = List.length instrs in
+  (* remove the 4-instruction Horner step just before the 2^k scaling
+     epilogue (5 instructions) *)
+  Program.of_instrs (List.filteri (fun i _ -> i < n - 9 || i >= n - 5) instrs)
+
+let errfn_tests =
+  [
+    Alcotest.test_case "identical program has zero error" `Quick (fun () ->
+        let e = Validate.Errfn.create exp_spec ~rewrite:Kernels.S3d.exp_program in
+        List.iter
+          (fun x ->
+            Alcotest.(check int64) "zero" 0L (Validate.Errfn.eval_ulp e [| x |]))
+          [ -3.; -1.5; -0.25; 0. ]);
+    Alcotest.test_case "truncated exp has positive error" `Quick (fun () ->
+        let e = Validate.Errfn.create exp_spec ~rewrite:truncated_exp in
+        Alcotest.(check bool)
+          "err > 0" true
+          (Ulp.compare (Validate.Errfn.eval_ulp e [| -2.9 |]) 0L > 0));
+    Alcotest.test_case "signalling rewrite charges top" `Quick (fun () ->
+        let bad = Parser.parse_program_exn "movsd (rax), xmm0" in
+        let e = Validate.Errfn.create exp_spec ~rewrite:bad in
+        Alcotest.(check int64)
+          "max" Ulp.max_value
+          (Validate.Errfn.eval_ulp e [| -1. |]);
+        Alcotest.(check (float 0.))
+          "float top" Validate.Errfn.top_eta
+          (Validate.Errfn.eval e [| -1. |]));
+    Alcotest.test_case "eval is to_float of eval_ulp" `Quick (fun () ->
+        let e = Validate.Errfn.create exp_spec ~rewrite:truncated_exp in
+        let u = Validate.Errfn.eval_ulp e [| -2. |] in
+        Alcotest.(check (float 1.))
+          "consistent" (Ulp.to_float u)
+          (Validate.Errfn.eval e [| -2. |]));
+  ]
+
+let proposal_tests =
+  [
+    Alcotest.test_case "initial draws stay in range" `Quick (fun () ->
+        let p = Validate.Proposal.create exp_spec in
+        let g = Rng.Xoshiro256.create 1L in
+        for _ = 1 to 500 do
+          let xs = Validate.Proposal.initial g p in
+          if xs.(0) < -3. || xs.(0) > 0. then Alcotest.fail "out of range"
+        done);
+    Alcotest.test_case "steps stay in range (clipping)" `Quick (fun () ->
+        let p = Validate.Proposal.create ~sigma:5.0 exp_spec in
+        let g = Rng.Xoshiro256.create 2L in
+        let xs = ref [| -1.5 |] in
+        for _ = 1 to 2_000 do
+          xs := Validate.Proposal.step g p !xs;
+          if !xs.(0) < -3. || !xs.(0) > 0. then Alcotest.fail "escaped range"
+        done);
+    Alcotest.test_case "steps actually move" `Quick (fun () ->
+        let p = Validate.Proposal.create exp_spec in
+        let g = Rng.Xoshiro256.create 3L in
+        let xs = Validate.Proposal.step g p [| -1.5 |] in
+        Alcotest.(check bool) "moved" true (xs.(0) <> -1.5));
+    Alcotest.test_case "degenerate range is never moved" `Quick (fun () ->
+        let p = Validate.Proposal.create Kernels.Aek_kernels.delta_spec in
+        let g = Rng.Xoshiro256.create 4L in
+        let xs = ref (Validate.Proposal.initial g p) in
+        for _ = 1 to 200 do
+          xs := Validate.Proposal.step g p !xs;
+          Alcotest.(check (float 0.)) "pinned" 0. !xs.(4)
+        done);
+    Alcotest.test_case "step does not mutate its argument" `Quick (fun () ->
+        let p = Validate.Proposal.create exp_spec in
+        let g = Rng.Xoshiro256.create 5L in
+        let xs = [| -1.5 |] in
+        ignore (Validate.Proposal.step g p xs);
+        Alcotest.(check (float 0.)) "unchanged" (-1.5) xs.(0));
+  ]
+
+let quick_config =
+  {
+    Validate.Driver.default_config with
+    Validate.Driver.max_proposals = 60_000;
+    min_samples = 10_000;
+    check_every = 10_000;
+  }
+
+let brute_force_max e lo hi n =
+  let best = ref Ulp.zero in
+  for i = 0 to n do
+    let x = lo +. ((hi -. lo) *. float_of_int i /. float_of_int n) in
+    let u = Validate.Errfn.eval_ulp e [| x |] in
+    if Ulp.compare u !best > 0 then best := u
+  done;
+  !best
+
+let driver_tests =
+  [
+    Alcotest.test_case "identical rewrite validates at eta 0" `Quick (fun () ->
+        let e = Validate.Errfn.create exp_spec ~rewrite:Kernels.S3d.exp_program in
+        let v = Validate.Driver.run ~config:quick_config ~eta:0L e in
+        Alcotest.(check int64) "max 0" 0L v.Validate.Driver.max_err;
+        Alcotest.(check bool) "mixed" true v.Validate.Driver.mixed;
+        Alcotest.(check bool) "validated" true v.Validate.Driver.validated);
+    Alcotest.test_case "finds errors close to brute force" `Quick (fun () ->
+        let e = Validate.Errfn.create exp_spec ~rewrite:truncated_exp in
+        let brute = brute_force_max e (-3.) 0. 20_000 in
+        let v = Validate.Driver.run ~config:quick_config ~eta:0L e in
+        (* MCMC should find at least half the brute-force maximum (in
+           practice it finds more; brute force itself is only a grid) *)
+        Alcotest.(check bool)
+          (Printf.sprintf "mcmc %s vs brute %s" (Ulp.to_string v.Validate.Driver.max_err)
+             (Ulp.to_string brute))
+          true
+          (Ulp.to_float v.Validate.Driver.max_err >= 0.5 *. Ulp.to_float brute));
+    Alcotest.test_case "validated flag respects eta" `Quick (fun () ->
+        let e = Validate.Errfn.create exp_spec ~rewrite:truncated_exp in
+        let v_strict = Validate.Driver.run ~config:quick_config ~eta:1L e in
+        Alcotest.(check bool) "strict fails" false v_strict.Validate.Driver.validated;
+        let v_loose =
+          Validate.Driver.run ~config:quick_config ~eta:(Ulp.of_float 1e16) e
+        in
+        Alcotest.(check bool)
+          "loose passes when mixed" v_loose.Validate.Driver.mixed
+          v_loose.Validate.Driver.validated);
+    Alcotest.test_case "max_err_input reproduces max_err" `Quick (fun () ->
+        let e = Validate.Errfn.create exp_spec ~rewrite:truncated_exp in
+        let v = Validate.Driver.run ~config:quick_config ~eta:0L e in
+        Alcotest.(check int64)
+          "reproducible" v.Validate.Driver.max_err
+          (Validate.Errfn.eval_ulp e v.Validate.Driver.max_err_input));
+    Alcotest.test_case "trace best is non-decreasing" `Quick (fun () ->
+        let e = Validate.Errfn.create exp_spec ~rewrite:truncated_exp in
+        let v = Validate.Driver.run ~config:quick_config ~eta:0L e in
+        let rec go = function
+          | a :: (b :: _ as rest) ->
+            Alcotest.(check bool)
+              "monotone" true
+              (b.Validate.Driver.best_err >= a.Validate.Driver.best_err);
+            go rest
+          | _ -> ()
+        in
+        go v.Validate.Driver.trace);
+    Alcotest.test_case "all four strategies run" `Quick (fun () ->
+        let e = Validate.Errfn.create exp_spec ~rewrite:truncated_exp in
+        let tiny =
+          { quick_config with Validate.Driver.max_proposals = 5_000; min_samples = 1_000;
+            check_every = 1_000 }
+        in
+        List.iter
+          (fun s ->
+            let v = Validate.Driver.run_strategy ~config:tiny ~strategy:s ~eta:0L e in
+            Alcotest.(check bool) "found something" true
+              (Ulp.compare v.Validate.Driver.max_err 0L > 0))
+          [ `Mcmc; `Hill; `Anneal; `Random ]);
+    Alcotest.test_case "deterministic for a fixed seed" `Quick (fun () ->
+        let e = Validate.Errfn.create exp_spec ~rewrite:truncated_exp in
+        let v1 = Validate.Driver.run ~config:quick_config ~eta:0L e in
+        let v2 = Validate.Driver.run ~config:quick_config ~eta:0L e in
+        Alcotest.(check int64) "same max" v1.Validate.Driver.max_err v2.Validate.Driver.max_err);
+  ]
+
+let multi_chain_tests =
+  [
+    Alcotest.test_case "identical rewrite validates across chains" `Quick (fun () ->
+        let e = Validate.Errfn.create exp_spec ~rewrite:Kernels.S3d.exp_program in
+        let config =
+          { Validate.Multi_chain.default_config with
+            Validate.Multi_chain.chains = 3; proposals_per_chain = 3_000 }
+        in
+        let v = Validate.Multi_chain.run ~config ~eta:0L e in
+        Alcotest.(check int64) "zero err" 0L v.Validate.Multi_chain.max_err;
+        Alcotest.(check bool) "mixed" true v.Validate.Multi_chain.mixed;
+        Alcotest.(check bool) "validated" true v.Validate.Multi_chain.validated);
+    Alcotest.test_case "finds the truncation error like the single chain" `Quick
+      (fun () ->
+        let e = Validate.Errfn.create exp_spec ~rewrite:truncated_exp in
+        let config =
+          { Validate.Multi_chain.default_config with
+            Validate.Multi_chain.chains = 3; proposals_per_chain = 10_000 }
+        in
+        let v = Validate.Multi_chain.run ~config ~eta:0L e in
+        Alcotest.(check bool)
+          "substantial error found" true
+          (Ulp.to_float v.Validate.Multi_chain.max_err > 1e9));
+    Alcotest.test_case "per-chain maxima reported" `Quick (fun () ->
+        let e = Validate.Errfn.create exp_spec ~rewrite:truncated_exp in
+        let config =
+          { Validate.Multi_chain.default_config with
+            Validate.Multi_chain.chains = 4; proposals_per_chain = 2_000 }
+        in
+        let v = Validate.Multi_chain.run ~config ~eta:0L e in
+        Alcotest.(check int) "four" 4 (Array.length v.Validate.Multi_chain.per_chain_max);
+        (* global max is the max of the per-chain maxima *)
+        let m =
+          Array.fold_left Ulp.max Ulp.zero v.Validate.Multi_chain.per_chain_max
+        in
+        Alcotest.(check int64) "consistent" m v.Validate.Multi_chain.max_err);
+    Alcotest.test_case "fewer than two chains rejected" `Quick (fun () ->
+        let e = Validate.Errfn.create exp_spec ~rewrite:Kernels.S3d.exp_program in
+        let config =
+          { Validate.Multi_chain.default_config with Validate.Multi_chain.chains = 1 }
+        in
+        Alcotest.(check bool)
+          "raises" true
+          (try
+             ignore (Validate.Multi_chain.run ~config ~eta:0L e);
+             false
+           with Invalid_argument _ -> true));
+  ]
+
+let () =
+  Alcotest.run "validate"
+    [
+      ("errfn", errfn_tests);
+      ("proposal", proposal_tests);
+      ("driver", driver_tests);
+      ("multi-chain", multi_chain_tests);
+    ]

@@ -1,0 +1,235 @@
+(* Tests for the verify library: symbolic UF equivalence (Figure 6),
+   interval abstract interpretation, and the two-tier dispatch. *)
+
+let dot_spec = Kernels.Aek_kernels.dot_spec
+let delta_spec = Kernels.Aek_kernels.delta_spec
+
+let term_tests =
+  [
+    Alcotest.test_case "commutative normalization" `Quick (fun () ->
+        let a = Verify.Symbolic.Sym "a" and b = Verify.Symbolic.Sym "b" in
+        Alcotest.(check bool)
+          "addss commutes" true
+          (Verify.Symbolic.equal_term
+             (Verify.Symbolic.App ("addss", [ a; b ]))
+             (Verify.Symbolic.App ("addss", [ b; a ]))));
+    Alcotest.test_case "subss does not commute" `Quick (fun () ->
+        let a = Verify.Symbolic.Sym "a" and b = Verify.Symbolic.Sym "b" in
+        Alcotest.(check bool)
+          "ordered" false
+          (Verify.Symbolic.equal_term
+             (Verify.Symbolic.App ("subss", [ a; b ]))
+             (Verify.Symbolic.App ("subss", [ b; a ]))));
+    Alcotest.test_case "pack64 of lo32/hi32 collapses" `Quick (fun () ->
+        let t = Verify.Symbolic.Sym "x" in
+        let packed =
+          Verify.Symbolic.App
+            ("pack64",
+             [ Verify.Symbolic.App ("lo32", [ t ]); Verify.Symbolic.App ("hi32", [ t ]) ])
+        in
+        Alcotest.(check bool) "collapsed" true (Verify.Symbolic.equal_term packed t));
+    Alcotest.test_case "xor of equal terms is zero" `Quick (fun () ->
+        let t = Verify.Symbolic.Sym "x" in
+        Alcotest.(check bool)
+          "zero" true
+          (Verify.Symbolic.equal_term
+             (Verify.Symbolic.App ("xor32", [ t; t ]))
+             (Verify.Symbolic.Cst 0L)));
+    Alcotest.test_case "constant folding of logicals" `Quick (fun () ->
+        Alcotest.(check bool)
+          "and" true
+          (Verify.Symbolic.equal_term
+             (Verify.Symbolic.App ("and32", [ Verify.Symbolic.Cst 0xff0L; Verify.Symbolic.Cst 0x0ffL ]))
+             (Verify.Symbolic.Cst 0x0f0L)));
+  ]
+
+let symbolic_tests =
+  [
+    Alcotest.test_case "dot rewrite is bit-wise equivalent (Fig 6)" `Quick (fun () ->
+        match Verify.Symbolic.equivalent dot_spec ~rewrite:Kernels.Aek_kernels.dot_rewrite with
+        | Ok b -> Alcotest.(check bool) "equivalent" true b
+        | Error e -> Alcotest.failf "not analyzable: %s" e);
+    Alcotest.test_case "target is equivalent to itself" `Quick (fun () ->
+        List.iter
+          (fun (name, (spec : Sandbox.Spec.t)) ->
+            match Verify.Symbolic.equivalent spec ~rewrite:spec.Sandbox.Spec.program with
+            | Ok b -> Alcotest.(check bool) name true b
+            | Error e -> Alcotest.failf "%s: %s" name e)
+          [ ("dot", dot_spec);
+            ("scale", Kernels.Aek_kernels.scale_spec);
+            ("add", Kernels.Aek_kernels.add_spec);
+            ("delta", delta_spec) ]);
+    Alcotest.test_case "scale rewrite is bit-wise equivalent" `Quick (fun () ->
+        match
+          Verify.Symbolic.equivalent Kernels.Aek_kernels.scale_spec
+            ~rewrite:Kernels.Aek_kernels.scale_rewrite
+        with
+        | Ok b -> Alcotest.(check bool) "equivalent" true b
+        | Error e -> Alcotest.failf "not analyzable: %s" e);
+    Alcotest.test_case "wrong rewrite is refuted" `Quick (fun () ->
+        let wrong =
+          Parser.parse_program_exn "mulss (rdi), xmm0\nmulss 8(rdi), xmm1\naddss xmm1, xmm0"
+        in
+        match Verify.Symbolic.equivalent dot_spec ~rewrite:wrong with
+        | Ok b -> Alcotest.(check bool) "different" false b
+        | Error e -> Alcotest.failf "not analyzable: %s" e);
+    Alcotest.test_case "delta rewrite is NOT bit-wise equivalent" `Quick (fun () ->
+        match
+          Verify.Symbolic.equivalent delta_spec ~rewrite:Kernels.Aek_kernels.delta_rewrite
+        with
+        | Ok b -> Alcotest.(check bool) "reassociated" false b
+        | Error e -> Alcotest.failf "not analyzable: %s" e);
+    Alcotest.test_case "bit-manipulating kernels abort analysis" `Quick (fun () ->
+        (* libimf log extracts exponent bits — beyond the fragment *)
+        match
+          Verify.Symbolic.exec Kernels.Libimf.log_spec
+            Kernels.Libimf.log_spec.Sandbox.Spec.program
+        with
+        | Ok _ -> Alcotest.fail "expected unsupported"
+        | Error _ -> ());
+    Alcotest.test_case "add rewrite differs only in dead lanes" `Quick (fun () ->
+        (* the lddqu/addps rewrite puts garbage in lanes 2–3 but our
+           outputs only read lanes 0–1 of xmm0 and lane 0 of xmm1 *)
+        match
+          Verify.Symbolic.equivalent Kernels.Aek_kernels.add_spec
+            ~rewrite:Kernels.Aek_kernels.add_rewrite
+        with
+        | Ok b -> Alcotest.(check bool) "equivalent on live outputs" true b
+        | Error e -> Alcotest.failf "not analyzable: %s" e);
+  ]
+
+let itv a b = { Verify.Interval.lo = a; hi = b }
+
+let interval_tests =
+  [
+    Alcotest.test_case "add intervals" `Quick (fun () ->
+        let r = Verify.Interval.add (itv 1. 2.) (itv 10. 20.) in
+        Alcotest.(check bool) "contains" true (Verify.Interval.contains r 11.);
+        Alcotest.(check bool) "contains" true (Verify.Interval.contains r 22.);
+        Alcotest.(check bool) "inflated" true (r.Verify.Interval.lo < 11.));
+    Alcotest.test_case "mul with sign crossing" `Quick (fun () ->
+        let r = Verify.Interval.mul (itv (-2.) 3.) (itv (-1.) 4.) in
+        Alcotest.(check bool) "lo" true (r.Verify.Interval.lo <= -8.);
+        Alcotest.(check bool) "hi" true (r.Verify.Interval.hi >= 12.));
+    Alcotest.test_case "div by interval containing zero is top" `Quick (fun () ->
+        Alcotest.(check bool)
+          "top" true
+          (Verify.Interval.is_top (Verify.Interval.div (itv 1. 2.) (itv (-1.) 1.))));
+    Alcotest.test_case "operations on top stay top" `Quick (fun () ->
+        Alcotest.(check bool)
+          "top" true
+          (Verify.Interval.is_top (Verify.Interval.add Verify.Interval.top (itv 0. 1.))));
+    Alcotest.test_case "delta rewrite gets a finite static bound" `Quick (fun () ->
+        match
+          Verify.Interval.static_ulp_bound delta_spec
+            ~rewrite:Kernels.Aek_kernels.delta_rewrite
+        with
+        | Ok a ->
+          Alcotest.(check bool)
+            (Printf.sprintf "bound %.1f finite and positive" a.Verify.Interval.bound_ulps)
+            true
+            (Float.is_finite a.Verify.Interval.bound_ulps
+            && a.Verify.Interval.bound_ulps >= 0.)
+        | Error e -> Alcotest.failf "not analyzable: %s" e);
+    Alcotest.test_case "static bound is much weaker than validation (§6.3)" `Quick
+      (fun () ->
+        match
+          Verify.Interval.static_ulp_bound delta_spec
+            ~rewrite:Kernels.Aek_kernels.delta_rewrite
+        with
+        | Error e -> Alcotest.failf "not analyzable: %s" e
+        | Ok a ->
+          let e = Validate.Errfn.create delta_spec ~rewrite:Kernels.Aek_kernels.delta_rewrite in
+          let config =
+            { Validate.Driver.default_config with
+              Validate.Driver.max_proposals = 30_000; min_samples = 5_000;
+              check_every = 5_000 }
+          in
+          let v = Validate.Driver.run ~config ~eta:0L e in
+          Alcotest.(check bool)
+            (Printf.sprintf "static %.1f >> observed %s" a.Verify.Interval.bound_ulps
+               (Ulp.to_string v.Validate.Driver.max_err))
+            true
+            (a.Verify.Interval.bound_ulps
+             > 10. *. Ulp.to_float v.Validate.Driver.max_err));
+    Alcotest.test_case "bit-level terms defeat interval analysis" `Quick (fun () ->
+        match
+          Verify.Interval.static_ulp_bound Kernels.Libimf.log_spec
+            ~rewrite:Kernels.Libimf.log_spec.Sandbox.Spec.program
+        with
+        | Ok _ -> Alcotest.fail "expected failure"
+        | Error _ -> ());
+  ]
+
+(* soundness property: for random concrete points inside the operand
+   intervals, the concrete result lies inside the abstract result *)
+let prop_interval_sound =
+  let pair_range = QCheck.float_range (-1e3) 1e3 in
+  let gen = QCheck.(triple (pair pair_range pair_range) (pair pair_range pair_range) (pair (float_range 0. 1.) (float_range 0. 1.))) in
+  QCheck.Test.make ~name:"interval arithmetic is sound on samples" ~count:500 gen
+    (fun ((a1, a2), (b1, b2), (ta, tb)) ->
+      let ia = { Verify.Interval.lo = Float.min a1 a2; hi = Float.max a1 a2 } in
+      let ib = { Verify.Interval.lo = Float.min b1 b2; hi = Float.max b1 b2 } in
+      let xa = ia.Verify.Interval.lo +. (ta *. Verify.Interval.width ia) in
+      let xb = ib.Verify.Interval.lo +. (tb *. Verify.Interval.width ib) in
+      Verify.Interval.contains (Verify.Interval.add ia ib) (xa +. xb)
+      && Verify.Interval.contains (Verify.Interval.sub ia ib) (xa -. xb)
+      && Verify.Interval.contains (Verify.Interval.mul ia ib) (xa *. xb)
+      && (Verify.Interval.is_top (Verify.Interval.div ia ib)
+          || Verify.Interval.contains (Verify.Interval.div ia ib) (xa /. xb)))
+
+(* agreement property: when the symbolic executor supports a program and
+   claims bit-wise equivalence, the interpreter agrees on random inputs *)
+let prop_symbolic_agrees_with_interpreter =
+  QCheck.Test.make ~name:"proved-equivalent programs agree concretely" ~count:200
+    QCheck.int64 (fun seed ->
+      let g = Rng.Xoshiro256.create seed in
+      let spec = Kernels.Aek_kernels.dot_spec in
+      let xs = Sandbox.Spec.random_floats g spec in
+      let e = Validate.Errfn.create spec ~rewrite:Kernels.Aek_kernels.dot_rewrite in
+      Int64.equal (Validate.Errfn.eval_ulp e xs) 0L)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_interval_sound; prop_symbolic_agrees_with_interpreter ]
+
+let verifier_tests =
+  [
+    Alcotest.test_case "dispatch proves dot bitwise" `Quick (fun () ->
+        match
+          Verify.Verifier.check dot_spec ~rewrite:Kernels.Aek_kernels.dot_rewrite ~eta:0L
+        with
+        | Verify.Verifier.Proved_bitwise -> ()
+        | o -> Alcotest.failf "unexpected: %s" (Verify.Verifier.outcome_to_string o));
+    Alcotest.test_case "dispatch bounds delta statically" `Quick (fun () ->
+        match
+          Verify.Verifier.check delta_spec ~rewrite:Kernels.Aek_kernels.delta_rewrite
+            ~eta:0L
+        with
+        | Verify.Verifier.Static_bound _ -> ()
+        | o -> Alcotest.failf "unexpected: %s" (Verify.Verifier.outcome_to_string o));
+    Alcotest.test_case "dispatch gives up on libimf kernels" `Quick (fun () ->
+        match
+          Verify.Verifier.check Kernels.Libimf.log_spec
+            ~rewrite:Kernels.Libimf.log_spec.Sandbox.Spec.program ~eta:0L
+        with
+        | Verify.Verifier.Not_verifiable _ -> ()
+        | o -> Alcotest.failf "unexpected: %s" (Verify.Verifier.outcome_to_string o));
+    Alcotest.test_case "verified_within semantics" `Quick (fun () ->
+        Alcotest.(check bool)
+          "bitwise within any eta" true
+          (Verify.Verifier.verified_within Verify.Verifier.Proved_bitwise 0L);
+        Alcotest.(check bool)
+          "refuted never" false
+          (Verify.Verifier.verified_within Verify.Verifier.Refuted_bitwise Ulp.max_value));
+  ]
+
+let () =
+  Alcotest.run "verify"
+    [
+      ("terms", term_tests);
+      ("symbolic", symbolic_tests);
+      ("interval", interval_tests);
+      ("verifier", verifier_tests);
+      ("properties", props);
+    ]

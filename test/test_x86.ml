@@ -1,0 +1,565 @@
+(* Tests for the x86 library: the ISA model, parser/printer, shapes,
+   liveness, latencies, and the binary encoder (checked against known-good
+   byte sequences produced by standard assemblers). *)
+
+let parse_i s =
+  match Parser.parse_instr s with
+  | Ok i -> i
+  | Error e -> Alcotest.failf "parse %S: %s" s e
+
+let reg_tests =
+  [
+    Alcotest.test_case "gp indices are the hardware numbers" `Quick (fun () ->
+        Alcotest.(check int) "rax" 0 (Reg.gp_index Reg.Rax);
+        Alcotest.(check int) "rsp" 4 (Reg.gp_index Reg.Rsp);
+        Alcotest.(check int) "r15" 15 (Reg.gp_index Reg.R15));
+    Alcotest.test_case "index roundtrip" `Quick (fun () ->
+        List.iter
+          (fun r ->
+            Alcotest.(check bool)
+              "gp" true
+              (Reg.equal_gp r (Reg.gp_of_index (Reg.gp_index r))))
+          Reg.all_gp;
+        List.iter
+          (fun r ->
+            Alcotest.(check bool)
+              "xmm" true
+              (Reg.equal_xmm r (Reg.xmm_of_index (Reg.xmm_index r))))
+          Reg.all_xmm);
+    Alcotest.test_case "names by width" `Quick (fun () ->
+        Alcotest.(check string) "64" "rax" (Reg.gp_name Reg.Q Reg.Rax);
+        Alcotest.(check string) "32" "eax" (Reg.gp_name Reg.L Reg.Rax);
+        Alcotest.(check string) "8" "r9b" (Reg.gp_name8 Reg.R9));
+    Alcotest.test_case "name parsing" `Quick (fun () ->
+        Alcotest.(check bool)
+          "edi" true
+          (match Reg.gp_of_name "edi" with
+           | Some (Reg.L, Reg.Rdi) -> true
+           | _ -> false);
+        Alcotest.(check bool)
+          "xmm13" true
+          (match Reg.xmm_of_name "xmm13" with
+           | Some Reg.Xmm13 -> true
+           | _ -> false);
+        Alcotest.(check bool) "bogus" true (Reg.gp_of_name "foo" = None));
+  ]
+
+let opcode_tests =
+  [
+    Alcotest.test_case "catalogue size" `Quick (fun () ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%d opcodes" (List.length Opcode.all))
+          true
+          (List.length Opcode.all > 140));
+    Alcotest.test_case "to_string/of_string roundtrip for all" `Quick (fun () ->
+        List.iter
+          (fun op ->
+            let name = Opcode.to_string op in
+            match Opcode.all_of_string name with
+            | [] -> Alcotest.failf "%s not parseable" name
+            | candidates ->
+              if not (List.exists (Opcode.equal op) candidates) then
+                Alcotest.failf "%s parses to a different opcode" name)
+          Opcode.all);
+    Alcotest.test_case "every opcode has a shape" `Quick (fun () ->
+        List.iter
+          (fun op ->
+            if Shape.shapes op = [] then
+              Alcotest.failf "%s has no shape" (Opcode.to_string op))
+          Opcode.all);
+    Alcotest.test_case "every opcode has a latency" `Quick (fun () ->
+        List.iter
+          (fun op ->
+            if Latency.of_opcode op <= 0 then
+              Alcotest.failf "%s has non-positive latency" (Opcode.to_string op))
+          Opcode.all);
+    Alcotest.test_case "movq mnemonic is shared" `Quick (fun () ->
+        Alcotest.(check int) "two movq" 2 (List.length (Opcode.all_of_string "movq")));
+  ]
+
+let parser_tests =
+  [
+    Alcotest.test_case "simple instruction" `Quick (fun () ->
+        let i = parse_i "addsd xmm1, xmm0" in
+        Alcotest.(check string) "print" "addsd xmm1, xmm0" (Instr.to_string i));
+    Alcotest.test_case "memory operand with displacement" `Quick (fun () ->
+        let i = parse_i "mulss 8(rdi), xmm1" in
+        Alcotest.(check string) "print" "mulss 8(rdi), xmm1" (Instr.to_string i));
+    Alcotest.test_case "negative displacement" `Quick (fun () ->
+        let i = parse_i "movq xmm0, -16(rsp)" in
+        Alcotest.(check string) "print" "movq xmm0, -16(rsp)" (Instr.to_string i));
+    Alcotest.test_case "base+index+scale" `Quick (fun () ->
+        let i = parse_i "movl (rdi,rcx,4), eax" in
+        Alcotest.(check string) "print" "movl (rdi,rcx,4), eax" (Instr.to_string i));
+    Alcotest.test_case "immediates decimal and hex" `Quick (fun () ->
+        ignore (parse_i "shlq $52, rcx");
+        ignore (parse_i "movabs $0x3ff0000000000000, rax"));
+    Alcotest.test_case "percent sigils accepted" `Quick (fun () ->
+        let i = parse_i "addsd %xmm1, %xmm0" in
+        Alcotest.(check string) "print" "addsd xmm1, xmm0" (Instr.to_string i));
+    Alcotest.test_case "three-operand AVX" `Quick (fun () ->
+        let i = parse_i "vaddss xmm0, xmm2, xmm5" in
+        Alcotest.(check string) "print" "vaddss xmm0, xmm2, xmm5" (Instr.to_string i));
+    Alcotest.test_case "movq disambiguation" `Quick (fun () ->
+        let gp = parse_i "movq rax, rcx" in
+        let sse = parse_i "movq rax, xmm0" in
+        Alcotest.(check bool) "gp move" true (Opcode.equal gp.Instr.op (Opcode.Mov Reg.Q));
+        Alcotest.(check bool) "sse move" true (Opcode.equal sse.Instr.op Opcode.Movq));
+    Alcotest.test_case "unknown mnemonic rejected" `Quick (fun () ->
+        Alcotest.(check bool)
+          "error" true
+          (Result.is_error (Parser.parse_instr "frobnicate xmm0")));
+    Alcotest.test_case "ill-shaped operands rejected" `Quick (fun () ->
+        Alcotest.(check bool)
+          "error" true
+          (Result.is_error (Parser.parse_instr "addsd rax, xmm0")));
+    Alcotest.test_case "program with comments and blanks" `Quick (fun () ->
+        let p =
+          Parser.parse_program_exn
+            "# header\n\n  addsd xmm1, xmm0  # body\n\nmulsd xmm2, xmm0\n"
+        in
+        Alcotest.(check int) "LOC" 2 (Program.length p));
+    Alcotest.test_case "program error is located" `Quick (fun () ->
+        match Parser.parse_program "addsd xmm1, xmm0\nbogus xmm1" with
+        | Ok _ -> Alcotest.fail "expected error"
+        | Error e -> Alcotest.(check int) "line" 2 e.Parser.line);
+    Alcotest.test_case "roundtrip whole program" `Quick (fun () ->
+        let text = Program.to_string Kernels.S3d.exp_program in
+        let p = Parser.parse_program_exn text in
+        Alcotest.(check bool) "equal" true (Program.equal p Kernels.S3d.exp_program));
+  ]
+
+let program_tests =
+  [
+    Alcotest.test_case "padding adds unused slots" `Quick (fun () ->
+        let p = Program.with_padding 3 (Program.instrs Kernels.Aek_kernels.dot_rewrite) in
+        Alcotest.(check int) "LOC" 6 (Program.length p);
+        Alcotest.(check int) "slots" 9 (Program.slot_count p));
+    Alcotest.test_case "copy is deep for slots" `Quick (fun () ->
+        let p = Program.with_padding 1 (Program.instrs Kernels.Aek_kernels.add_rewrite) in
+        let q = Program.copy p in
+        q.Program.slots.(0) <- Program.Unused;
+        Alcotest.(check bool) "original intact" false (Program.equal p q));
+  ]
+
+(* Known-good encodings, cross-checked against gas/nasm output. *)
+let encoder_cases =
+  [
+    ("addsd xmm1, xmm0", "f2 0f 58 c1");
+    ("addss xmm1, xmm0", "f3 0f 58 c1");
+    ("mulss 8(rdi), xmm1", "f3 0f 59 4f 08");
+    ("movss (rdi), xmm0", "f3 0f 10 07");
+    ("movss xmm0, (rdi)", "f3 0f 11 07");
+    ("movq rax, xmm0", "66 48 0f 6e c0");
+    ("movq xmm0, rax", "66 48 0f 7e c0");
+    ("movq xmm0, -16(rsp)", "66 0f d6 44 24 f0");
+    ("movq -16(rsp), xmm0", "f3 0f 7e 44 24 f0");
+    ("movq rax, rcx", "48 89 c1");
+    ("movl eax, ecx", "89 c1");
+    ("movl $1, eax", "c7 c0 01 00 00 00");
+    ("movabs $0x3ff0000000000000, rax", "48 b8 00 00 00 00 00 00 f0 3f");
+    ("addq $1023, rcx", "48 81 c1 ff 03 00 00");
+    ("shlq $52, rcx", "48 c1 e1 34");
+    ("shrq $52, rax", "48 c1 e8 34");
+    ("subq $1023, rax", "48 81 e8 ff 03 00 00");
+    ("andq rdx, rcx", "48 21 d1");
+    ("orq rdx, rcx", "48 09 d1");
+    ("xorl eax, eax", "31 c0");
+    ("cmpq rax, rcx", "48 39 c1");
+    ("testq rax, rax", "48 85 c0");
+    ("leaq 8(rdi), rax", "48 8d 47 08");
+    ("imulq rcx, rax", "48 0f af c1");
+    ("cmoveq rcx, rax", "48 0f 44 c1");
+    ("sete al", "0f 94 c0");
+    ("cvtsi2sdq rcx, xmm1", "f2 48 0f 2a c9");
+    ("cvtsd2siq xmm1, rcx", "f2 48 0f 2d c9");
+    ("cvttsd2siq xmm1, rcx", "f2 48 0f 2c c9");
+    ("cvtss2sd xmm0, xmm1", "f3 0f 5a c8");
+    ("sqrtsd xmm0, xmm1", "f2 0f 51 c8");
+    ("ucomisd xmm1, xmm0", "66 0f 2e c1");
+    ("xorps xmm1, xmm0", "0f 57 c1");
+    ("pxor xmm1, xmm0", "66 0f ef c1");
+    ("punpckldq xmm3, xmm0", "66 0f 62 c3");
+    ("pshufd $1, xmm0, xmm4", "66 0f 70 e0 01");
+    ("pshuflw $254, xmm0, xmm2", "f2 0f 70 d0 fe");
+    ("psllq $52, xmm1", "66 0f 73 f1 34");
+    ("movaps xmm1, xmm0", "0f 28 c1");
+    ("lddqu (rdi), xmm2", "f2 0f f0 17");
+    ("movd eax, xmm2", "66 0f 6e d0");
+    ("movd xmm2, eax", "66 0f 7e d0");
+    ("addps xmm2, xmm0", "0f 58 c2");
+    ("mulpd xmm2, xmm0", "66 0f 59 c2");
+    ("vaddss xmm0, xmm2, xmm5", "c5 ea 58 e8");
+    ("vmulsd xmm1, xmm2, xmm3", "c5 eb 59 d9");
+    ("vaddsd 8(rdi), xmm2, xmm3", "c5 eb 58 5f 08");
+    ("vpshuflw $254, xmm0, xmm2", "c5 fb 70 d0 fe");
+    ("vfmadd213sd xmm1, xmm2, xmm3", "c4 e2 e9 a9 d9");
+    ("vfmadd213ss xmm1, xmm2, xmm3", "c4 e2 69 a9 d9");
+    ("vfmadd231sd xmm1, xmm2, xmm3", "c4 e2 e9 b9 d9");
+    ("roundsd $3, xmm1, xmm0", "66 0f 3a 0b c1 03");
+    (* extended registers exercise REX/VEX R/X/B bits *)
+    ("addsd xmm9, xmm10", "f2 45 0f 58 d1");
+    ("movq r9, xmm8", "66 4d 0f 6e c1");
+    ("movl (r8,r9,2), eax", "43 8b 04 48");
+    ("vaddss xmm8, xmm2, xmm5", "c4 c1 6a 58 e8");
+  ]
+
+let encoder_tests =
+  List.map
+    (fun (asm, expect) ->
+      Alcotest.test_case asm `Quick (fun () ->
+          match Encoder.encode_instr (parse_i asm) with
+          | Ok bytes -> Alcotest.(check string) asm expect (Encoder.hex bytes)
+          | Error e -> Alcotest.failf "unencodable: %s" e))
+    encoder_cases
+
+let encoder_program_tests =
+  [
+    Alcotest.test_case "whole kernels are encodable" `Quick (fun () ->
+        List.iter
+          (fun (name, (spec : Sandbox.Spec.t)) ->
+            match Encoder.encode_program spec.Sandbox.Spec.program with
+            | Ok bytes ->
+              Alcotest.(check bool)
+                (name ^ " nonempty") true
+                (String.length bytes > 0)
+            | Error e -> Alcotest.failf "%s unencodable: %s" name e)
+          (Kernels.Libimf.all @ Kernels.Aek_kernels.all_specs
+          @ [ ("exp", Kernels.S3d.exp_spec) ]));
+    Alcotest.test_case "rbp-based address forces disp8" `Quick (fun () ->
+        match Encoder.encode_instr (parse_i "movq (rbp), xmm0") with
+        | Ok bytes -> Alcotest.(check string) "disp8 form" "f3 0f 7e 45 00" (Encoder.hex bytes)
+        | Error e -> Alcotest.failf "unencodable: %s" e);
+  ]
+
+let liveness_tests =
+  let locset = Alcotest.testable
+      (fun ppf s ->
+        Format.pp_print_string ppf
+          (String.concat "," (List.map Liveness.loc_to_string (Liveness.Locset.elements s))))
+      Liveness.Locset.equal
+  in
+  [
+    Alcotest.test_case "mov defines dst, uses src" `Quick (fun () ->
+        let i = parse_i "movq rax, rcx" in
+        Alcotest.check locset "defs"
+          (Liveness.Locset.singleton (Liveness.Lgp Reg.Rcx))
+          (Liveness.defs i);
+        Alcotest.check locset "uses"
+          (Liveness.Locset.singleton (Liveness.Lgp Reg.Rax))
+          (Liveness.uses i));
+    Alcotest.test_case "addsd reads its destination" `Quick (fun () ->
+        let i = parse_i "addsd xmm1, xmm0" in
+        Alcotest.(check bool)
+          "dst used" true
+          (Liveness.Locset.mem (Liveness.Lxmm Reg.Xmm0) (Liveness.uses i)));
+    Alcotest.test_case "store uses address registers" `Quick (fun () ->
+        let i = parse_i "movss xmm0, -16(rsp)" in
+        Alcotest.(check bool)
+          "rsp used" true
+          (Liveness.Locset.mem (Liveness.Lgp Reg.Rsp) (Liveness.uses i));
+        Alcotest.(check bool)
+          "mem defined" true
+          (Liveness.Locset.mem Liveness.Lmem (Liveness.defs i)));
+    Alcotest.test_case "load uses memory" `Quick (fun () ->
+        let i = parse_i "movss (rdi), xmm0" in
+        Alcotest.(check bool)
+          "mem used" true
+          (Liveness.Locset.mem Liveness.Lmem (Liveness.uses i)));
+    Alcotest.test_case "cmp defines flags only" `Quick (fun () ->
+        let i = parse_i "cmpq rax, rcx" in
+        Alcotest.check locset "defs"
+          (Liveness.Locset.singleton Liveness.Lflags)
+          (Liveness.defs i));
+    Alcotest.test_case "cmov uses flags" `Quick (fun () ->
+        let i = parse_i "cmoveq rcx, rax" in
+        Alcotest.(check bool)
+          "flags used" true
+          (Liveness.Locset.mem Liveness.Lflags (Liveness.uses i)));
+    Alcotest.test_case "live_in of exp kernel is its argument" `Quick (fun () ->
+        let live_out = Liveness.Locset.singleton (Liveness.Lxmm Reg.Xmm0) in
+        let live_in = Liveness.live_in Kernels.S3d.exp_program ~live_out in
+        Alcotest.(check bool)
+          "xmm0 live in" true
+          (Liveness.Locset.mem (Liveness.Lxmm Reg.Xmm0) live_in));
+    Alcotest.test_case "dce removes a dead instruction" `Quick (fun () ->
+        let p =
+          Parser.parse_program_exn
+            "mulsd xmm1, xmm0\nmovabs $5, rax\nmovq rax, xmm7"
+        in
+        let live_out = Liveness.Locset.singleton (Liveness.Lxmm Reg.Xmm0) in
+        let q = Liveness.dce p ~live_out in
+        Alcotest.(check int) "LOC after dce" 1 (Program.length q));
+    Alcotest.test_case "dce keeps live chains" `Quick (fun () ->
+        let live_out = Liveness.Locset.singleton (Liveness.Lxmm Reg.Xmm0) in
+        let q = Liveness.dce Kernels.S3d.exp_program ~live_out in
+        Alcotest.(check int)
+          "nothing removed"
+          (Program.length Kernels.S3d.exp_program)
+          (Program.length q));
+    Alcotest.test_case "dce keeps stores" `Quick (fun () ->
+        let p = Parser.parse_program_exn "movss xmm0, -16(rsp)" in
+        let q = Liveness.dce p ~live_out:Liveness.Locset.empty in
+        Alcotest.(check int) "store kept" 1 (Program.length q));
+  ]
+
+let critical_path_tests =
+  [
+    Alcotest.test_case "empty program has zero path" `Quick (fun () ->
+        Alcotest.(check int) "zero" 0
+          (Critical_path.of_program (Program.of_instrs [])));
+    Alcotest.test_case "serial chain equals the latency sum" `Quick (fun () ->
+        let p =
+          Parser.parse_program_exn
+            "addsd xmm1, xmm0\nmulsd xmm0, xmm0\nsqrtsd xmm0, xmm0"
+        in
+        Alcotest.(check int) "chain" (Latency.of_program p)
+          (Critical_path.of_program p));
+    Alcotest.test_case "independent instructions run in parallel" `Quick (fun () ->
+        let p =
+          Parser.parse_program_exn "mulsd xmm1, xmm1\nmulsd xmm2, xmm2\nmulsd xmm3, xmm3"
+        in
+        Alcotest.(check int) "one mul deep" (Latency.of_opcode Opcode.Mulsd)
+          (Critical_path.of_program p));
+    Alcotest.test_case "joins take the slower input" `Quick (fun () ->
+        (* divsd (20) and addsd (3) feed a final addsd: path = 20 + 3 *)
+        let p =
+          Parser.parse_program_exn
+            "divsd xmm2, xmm1\naddsd xmm4, xmm3\naddsd xmm1, xmm3"
+        in
+        Alcotest.(check int) "path"
+          (Latency.of_opcode Opcode.Divsd + Latency.of_opcode Opcode.Addsd)
+          (Critical_path.of_program p));
+    Alcotest.test_case "memory accesses serialize" `Quick (fun () ->
+        let p =
+          Parser.parse_program_exn
+            "movss xmm0, -16(rsp)\nmovss -16(rsp), xmm1"
+        in
+        let store = Latency.of_instr (parse_i "movss xmm0, -16(rsp)") in
+        let load = Latency.of_instr (parse_i "movss -16(rsp), xmm1") in
+        Alcotest.(check int) "ordered" (store + load) (Critical_path.of_program p));
+    Alcotest.test_case "path never exceeds the latency sum" `Quick (fun () ->
+        List.iter
+          (fun (name, (spec : Sandbox.Spec.t)) ->
+            let p = spec.Sandbox.Spec.program in
+            if Critical_path.of_program p > Latency.of_program p then
+              Alcotest.failf "%s: path exceeds sum" name)
+          (Kernels.Libimf.all @ Kernels.Aek_kernels.all_specs));
+    Alcotest.test_case "flags dependences are tracked" `Quick (fun () ->
+        let p = Parser.parse_program_exn "cmpq rcx, rax\ncmoveq rdx, rbx" in
+        Alcotest.(check int) "serial"
+          (Latency.of_opcode (Opcode.Cmp Reg.Q) + Latency.of_opcode (Opcode.Cmov (Opcode.E, Reg.Q)))
+          (Critical_path.of_program p));
+  ]
+
+let lowering_tests =
+  [
+    Alcotest.test_case "sin lowers to a runnable single kernel" `Quick (fun () ->
+        match
+          Lowering.lower_to_single Kernels.Libimf.sin_spec.Sandbox.Spec.program
+            ~abi:[ Reg.Xmm0 ]
+        with
+        | Error e -> Alcotest.failf "lowering failed: %s" e
+        | Ok lowered ->
+          (* body + one entry and one exit convert *)
+          Alcotest.(check int)
+            "LOC" (Program.length Kernels.Libimf.sin_spec.Sandbox.Spec.program + 2)
+            (Program.length lowered);
+          (* runs clean and lands within a single-precision error budget *)
+          let e = Validate.Errfn.create Kernels.Libimf.sin_spec ~rewrite:lowered in
+          let u = Validate.Errfn.eval_ulp e [| 0.5 |] in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s ULPs at 0.5 within single budget" (Ulp.to_string u))
+            true
+            (Ulp.compare u Ulp.eta_single <= 0));
+    Alcotest.test_case "lowered kernel uses no double arithmetic" `Quick (fun () ->
+        match
+          Lowering.lower_to_single Kernels.Libimf.cos_spec.Sandbox.Spec.program
+            ~abi:[ Reg.Xmm0 ]
+        with
+        | Error e -> Alcotest.failf "lowering failed: %s" e
+        | Ok lowered ->
+          List.iter
+            (fun (i : Instr.t) ->
+              if Opcode.is_sse_scalar_f64 i.Instr.op then
+                Alcotest.failf "double op survived: %s" (Instr.to_string i))
+            (Program.instrs lowered));
+    Alcotest.test_case "bit-manipulating kernels are rejected" `Quick (fun () ->
+        Alcotest.(check bool)
+          "log rejected" true
+          (Result.is_error
+             (Lowering.lower_to_single Kernels.Libimf.log_spec.Sandbox.Spec.program
+                ~abi:[ Reg.Xmm0 ]));
+        Alcotest.(check bool)
+          "s3d exp rejected" true
+          (Result.is_error
+             (Lowering.lower_to_single Kernels.S3d.exp_program ~abi:[ Reg.Xmm0 ])));
+    Alcotest.test_case "constant pairs are narrowed" `Quick (fun () ->
+        let p =
+          Parser.parse_program_exn
+            "movabs $0x3ff0000000000000, rax\nmovq rax, xmm1\naddsd xmm1, xmm0"
+        in
+        match Lowering.lower_to_single p ~abi:[ Reg.Xmm0 ] with
+        | Error e -> Alcotest.failf "lowering failed: %s" e
+        | Ok lowered ->
+          let has op =
+            List.exists
+              (fun (i : Instr.t) -> Opcode.equal i.Instr.op op)
+              (Program.instrs lowered)
+          in
+          Alcotest.(check bool) "movl" true (has (Opcode.Mov Reg.L));
+          Alcotest.(check bool) "movd" true (has Opcode.Movd);
+          Alcotest.(check bool) "addss" true (has Opcode.Addss);
+          Alcotest.(check bool) "no movabs" false (has Opcode.Movabs));
+  ]
+
+let latency_tests =
+  [
+    Alcotest.test_case "divide slower than add" `Quick (fun () ->
+        Alcotest.(check bool)
+          "divsd > addsd" true
+          (Latency.of_opcode Opcode.Divsd > Latency.of_opcode Opcode.Addsd));
+    Alcotest.test_case "memory penalty applies" `Quick (fun () ->
+        let reg = parse_i "addsd xmm1, xmm0" in
+        let mem = parse_i "addsd 8(rdi), xmm0" in
+        Alcotest.(check int)
+          "penalty"
+          (Latency.of_instr reg + Latency.mem_penalty)
+          (Latency.of_instr mem));
+    Alcotest.test_case "lea exempt from memory penalty" `Quick (fun () ->
+        let i = parse_i "leaq 8(rdi), rax" in
+        Alcotest.(check int) "lat" (Latency.of_opcode (Opcode.Lea Reg.Q)) (Latency.of_instr i));
+    Alcotest.test_case "program latency is the sum" `Quick (fun () ->
+        let p = Parser.parse_program_exn "addsd xmm1, xmm0\nmulsd xmm2, xmm0" in
+        Alcotest.(check int)
+          "sum"
+          (Latency.of_opcode Opcode.Addsd + Latency.of_opcode Opcode.Mulsd)
+          (Latency.of_program p));
+  ]
+
+let decoder_tests =
+  [
+    Alcotest.test_case "encode/decode roundtrip of known cases" `Quick (fun () ->
+        List.iter
+          (fun (asm, _) ->
+            let i = parse_i asm in
+            match Encoder.encode_instr i with
+            | Error e -> Alcotest.failf "%s unencodable: %s" asm e
+            | Ok bytes ->
+              (match Decoder.decode_instr bytes ~pos:0 with
+               | Error e -> Alcotest.failf "%s undecodable: %s" asm e
+               | Ok (j, consumed) ->
+                 Alcotest.(check int)
+                   (asm ^ " length") (String.length bytes) consumed;
+                 if not (Instr.equal i j) then
+                   Alcotest.failf "%s decoded as %s" asm (Instr.to_string j)))
+          encoder_cases);
+    Alcotest.test_case "whole kernels roundtrip through bytes" `Quick (fun () ->
+        List.iter
+          (fun (name, (spec : Sandbox.Spec.t)) ->
+            let p = spec.Sandbox.Spec.program in
+            match Encoder.encode_program p with
+            | Error e -> Alcotest.failf "%s unencodable: %s" name e
+            | Ok bytes ->
+              (match Decoder.decode_all bytes with
+               | Error e -> Alcotest.failf "%s undecodable: %s" name e
+               | Ok instrs ->
+                 let q = Program.of_instrs instrs in
+                 if not (Program.equal p q) then
+                   Alcotest.failf "%s roundtrip mismatch:\n%s\n---\n%s" name
+                     (Program.to_string p) (Program.to_string q)))
+          (Kernels.Libimf.all @ Kernels.Aek_kernels.all_specs
+          @ [ ("exp", Kernels.S3d.exp_spec) ]));
+    Alcotest.test_case "disassemble formats text" `Quick (fun () ->
+        let bytes =
+          Result.get_ok (Encoder.encode_instr (parse_i "addsd xmm1, xmm0"))
+        in
+        Alcotest.(check (result string string))
+          "text" (Ok "addsd xmm1, xmm0")
+          (Decoder.disassemble bytes));
+    Alcotest.test_case "truncated input reports an error" `Quick (fun () ->
+        Alcotest.(check bool)
+          "error" true
+          (Result.is_error (Decoder.decode_instr "\x48" ~pos:0)));
+  ]
+
+(* property: print→parse roundtrip over randomly assembled instructions *)
+let prop_print_parse_roundtrip =
+  let spec = Kernels.Aek_kernels.delta_spec in
+  let pools = Search.Pools.make ~target:spec.Sandbox.Spec.program ~spec in
+  let gen_instr =
+    QCheck.make (fun st ->
+        let seed = Int64.of_int (QCheck.Gen.int_bound 1_000_000 st) in
+        let g = Rng.Xoshiro256.create seed in
+        Search.Pools.random_instr g pools)
+  in
+  QCheck.Test.make ~name:"print/parse roundtrip of random instructions"
+    ~count:500 gen_instr (fun i ->
+      match Parser.parse_instr (Instr.to_string i) with
+      | Ok j -> Instr.equal i j
+      | Error _ -> false)
+
+let prop_random_instrs_encodable =
+  let spec = Kernels.S3d.exp_spec in
+  let pools = Search.Pools.make ~target:spec.Sandbox.Spec.program ~spec in
+  let gen_instr =
+    QCheck.make (fun st ->
+        let seed = Int64.of_int (QCheck.Gen.int_bound 1_000_000 st) in
+        let g = Rng.Xoshiro256.create seed in
+        Search.Pools.random_instr g pools)
+  in
+  QCheck.Test.make ~name:"random pool instructions are encodable" ~count:500
+    gen_instr (fun i -> Result.is_ok (Encoder.encode_instr i))
+
+let prop_encode_decode_roundtrip =
+  let spec = Kernels.Aek_kernels.delta_spec in
+  let pools = Search.Pools.make ~target:spec.Sandbox.Spec.program ~spec in
+  let gen_instr =
+    QCheck.make (fun st ->
+        let seed = Int64.of_int (QCheck.Gen.int_bound 10_000_000 st) in
+        let g = Rng.Xoshiro256.create seed in
+        Search.Pools.random_instr g pools)
+  in
+  QCheck.Test.make ~name:"decode inverts encode on random instructions"
+    ~count:1000 gen_instr (fun i ->
+      match Encoder.encode_instr i with
+      | Error _ -> false
+      | Ok bytes ->
+        (match Decoder.decode_instr bytes ~pos:0 with
+         | Error _ -> false
+         | Ok (j, consumed) ->
+           (* test is flag-only and commutative; the encoder canonicalizes
+              its mem-source form, so accept the operand swap *)
+           let same =
+             Instr.equal i j
+             || (match i.Instr.op with
+                 | Opcode.Test _ ->
+                   Opcode.equal i.Instr.op j.Instr.op
+                   && Array.length i.Instr.operands = 2
+                   && Operand.equal i.Instr.operands.(0) j.Instr.operands.(1)
+                   && Operand.equal i.Instr.operands.(1) j.Instr.operands.(0)
+                 | _ -> false)
+           in
+           consumed = String.length bytes && same))
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_print_parse_roundtrip; prop_random_instrs_encodable;
+      prop_encode_decode_roundtrip ]
+
+let () =
+  Alcotest.run "x86"
+    [
+      ("reg", reg_tests);
+      ("opcode", opcode_tests);
+      ("parser", parser_tests);
+      ("program", program_tests);
+      ("encoder", encoder_tests);
+      ("encoder-programs", encoder_program_tests);
+      ("decoder", decoder_tests);
+      ("liveness", liveness_tests);
+      ("critical-path", critical_path_tests);
+      ("lowering", lowering_tests);
+      ("latency", latency_tests);
+      ("properties", props);
+    ]
