@@ -41,7 +41,7 @@ let run_optimization () =
                 trace_points = 10;
               }
             in
-            (sname, Search.Optimizer.run ctx config))
+            (sname, Search.Optimizer.run ~obs:(Util.obs ()) ctx config))
           strategies
       in
       (* normalize to the target's initial cost *)
@@ -138,7 +138,9 @@ let run_validation () =
               | `Anneal -> "anneal"
               | `Mcmc -> "mcmc"
             in
-            (name, Validate.Driver.run_strategy ~config ~strategy ~eta e))
+            ( name,
+              Validate.Driver.run_strategy ~obs:(Util.obs ()) ~config ~strategy
+                ~eta e ))
           [ `Random; `Hill; `Anneal; `Mcmc ]
       in
       Printf.printf "%-8s" "iter";

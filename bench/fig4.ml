@@ -18,7 +18,7 @@ let run_sweep name (spec : Sandbox.Spec.t) =
   let points =
     Stoke.precision_sweep
       ~config:(Util.search_config ~proposals:40_000 ())
-      ~validate_results:false ~tests:24 ~seed:41L spec
+      ~validate_results:false ~tests:24 ~obs:(Util.obs ()) ~seed:41L spec
   in
   let rewrites =
     List.map
@@ -26,6 +26,7 @@ let run_sweep name (spec : Sandbox.Spec.t) =
         (* quick validation pass per point *)
         let v =
           Validate.Driver.run
+            ~obs:(Util.obs ())
             ~config:(Util.validate_config ~proposals:30_000 ())
             ~eta:p.Stoke.eta
             (Validate.Errfn.create spec ~rewrite:p.Stoke.rewrite)

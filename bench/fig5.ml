@@ -27,7 +27,7 @@ let run () =
   let points =
     Stoke.precision_sweep
       ~config:(Util.search_config ~proposals:40_000 ())
-      ~tests:24 ~seed:51L spec
+      ~tests:24 ~obs:(Util.obs ()) ~seed:51L spec
   in
   let chosen = ref None in
   let rewrites =
@@ -57,6 +57,7 @@ let run () =
         curve (paper: 1,730,391 ULPs for its eta=1e7 rewrite) *)
      let v =
        Validate.Driver.run
+         ~obs:(Util.obs ())
          ~config:(Util.validate_config ~proposals:80_000 ())
          ~eta:p.Stoke.eta
          (Validate.Errfn.create spec ~rewrite:p.Stoke.rewrite)

@@ -24,7 +24,7 @@ let () =
   List.iter
     (fun name ->
       match List.assoc_opt name experiments with
-      | Some run -> run ()
+      | Some run -> Util.with_trace name run
       | None ->
         Printf.eprintf "unknown experiment %S (known: %s)\n" name
           (String.concat ", " (List.map fst experiments));

@@ -27,6 +27,38 @@ let validate_config ?(proposals = 60_000) () =
     check_every = scaled 15_000;
   }
 
+(* Telemetry: each experiment streams the same JSONL events the CLI's
+   --trace-out flag produces into BENCH_<name>.json next to the printed
+   tables (directory overridable with STOKE_BENCH_TRACE_DIR).  Experiments
+   fetch the current sink with [obs ()]; outside [with_trace] it is the
+   null sink, so single-figure runs and unit tests pay nothing. *)
+
+let trace_dir =
+  match Sys.getenv_opt "STOKE_BENCH_TRACE_DIR" with
+  | Some d when d <> "" -> d
+  | _ -> "."
+
+let current_sink = ref Obs.Sink.null
+
+let obs () = !current_sink
+
+let with_trace name f =
+  let path = Filename.concat trace_dir (Printf.sprintf "BENCH_%s.json" name) in
+  let sink = Obs.Sink.to_file path in
+  current_sink := sink;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Sink.emit sink "experiment_end" [ ("name", Obs.Json.String name) ];
+      current_sink := Obs.Sink.null;
+      Obs.Sink.close sink)
+    (fun () ->
+      Obs.Sink.emit sink "experiment_start"
+        [
+          ("name", Obs.Json.String name);
+          ("scale", Obs.Json.Float scale);
+        ];
+      f ())
+
 let heading title =
   Printf.printf "\n============================================================\n";
   Printf.printf "%s\n" title;

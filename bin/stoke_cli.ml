@@ -49,6 +49,75 @@ let exit_err msg =
   Printf.eprintf "stoke: %s\n" msg;
   exit 1
 
+(* ----- telemetry options (see docs/TELEMETRY.md) ----- *)
+
+let trace_out_arg =
+  let doc =
+    "Write the JSONL telemetry stream (one event per line) to $(docv); with \
+     --domains N, chain $(i,i) writes $(docv).chain$(i,i) instead."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc = "Print a final metrics summary as one JSON object on stderr." in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+let progress_arg =
+  let doc =
+    "Print a progress line to stderr every $(docv) search proposals (during \
+     validation: at every Geweke check and new maximum)."
+  in
+  Arg.(value & opt (some int) None & info [ "progress" ] ~docv:"N" ~doc)
+
+let field ev key = List.assoc_opt key ev.Obs.Sink.fields
+let field_int ev key = Option.bind (field ev key) Obs.Json.to_int_opt
+let field_float ev key = Option.bind (field ev key) Obs.Json.to_float_opt
+let iget ev key = Option.value ~default:0 (field_int ev key)
+let fget ev key = Option.value ~default:0. (field_float ev key)
+
+let progress_printer ev =
+  match ev.Obs.Sink.name with
+  | "progress" ->
+    Printf.eprintf
+      "progress: chain %d iter %d  best %.1f  current %.1f  accepted %d  %.0f evals/s\n%!"
+      (iget ev "chain") (iget ev "iter") (fget ev "best_total")
+      (fget ev "current_total") (iget ev "accepted") (fget ev "evals_per_s")
+  | "geweke" ->
+    Printf.eprintf "progress: iter %d  Geweke Z %.3f  (%d samples)\n%!"
+      (iget ev "iter") (fget ev "z") (iget ev "n_samples")
+  | "val_new_max" ->
+    Printf.eprintf "progress: iter %d  new max error %.3e ULPs\n%!"
+      (iget ev "iter") (fget ev "err_ulps")
+  | _ -> ()
+
+(* A sink combining --trace-out (JSONL file) and --progress (stderr). *)
+let make_sink ~trace_out ~progress =
+  let file =
+    match trace_out with
+    | None -> Obs.Sink.null
+    | Some path -> (
+      try Obs.Sink.to_file path
+      with Sys_error e -> exit_err (Printf.sprintf "--trace-out: %s" e))
+  in
+  let printer =
+    match progress with
+    | None -> Obs.Sink.null
+    | Some _ -> Obs.Sink.callback progress_printer
+  in
+  Obs.Sink.tee file printer
+
+let sandbox_counters_json () =
+  let c = Sandbox.Exec.Counters.snapshot () in
+  Obs.Json.Obj
+    [
+      ("runs", Obs.Json.Int c.Sandbox.Exec.Counters.runs);
+      ("instrs", Obs.Json.Int c.Sandbox.Exec.Counters.instrs);
+      ("cycles", Obs.Json.Int c.Sandbox.Exec.Counters.cycles);
+      ("faults", Obs.Json.Int c.Sandbox.Exec.Counters.faults);
+    ]
+
+let print_metrics fields = prerr_endline (Obs.Json.to_string (Obs.Json.Obj fields))
+
 (* ----- list ----- *)
 
 let list_cmd =
@@ -81,7 +150,7 @@ let show_cmd =
 (* ----- optimize ----- *)
 
 let optimize_cmd =
-  let run name eta proposals seed domains out =
+  let run name eta proposals seed domains out trace_out metrics progress =
     match find_kernel name with
     | Error e -> exit_err e
     | Ok spec ->
@@ -92,15 +161,47 @@ let optimize_cmd =
           seed = Int64.of_int seed;
         }
       in
+      if metrics then Sandbox.Exec.Counters.enable ();
+      let t0 = Obs.Clock.now_ns () in
       let result =
-        if domains <= 1 then Stoke.optimize ~config ~eta:(Ulp.of_float eta) spec
+        if domains <= 1 then begin
+          let sink = make_sink ~trace_out ~progress in
+          Fun.protect
+            ~finally:(fun () -> Obs.Sink.close sink)
+            (fun () ->
+              Stoke.optimize ~config ~obs:sink ?progress_every:progress
+                ~eta:(Ulp.of_float eta) spec)
+        end
         else begin
           let tests = Stoke.make_tests ~seed:(Int64.of_int (seed + 100)) spec in
-          Search.Parallel.run ~domains ~spec
+          (* one sink per chain, created inside its domain; the stderr
+             progress printer is shared (it only writes a line) *)
+          let obs ~chain =
+            make_sink
+              ~trace_out:
+                (Option.map
+                   (fun path -> Printf.sprintf "%s.chain%d" path chain)
+                   trace_out)
+              ~progress
+          in
+          Search.Parallel.run ~domains ~obs ?progress_every:progress ~spec
             ~params:(Search.Cost.default_params ~eta:(Ulp.of_float eta))
             ~tests ~config ()
         end
       in
+      if metrics then
+        print_metrics
+          [
+            ("command", Obs.Json.String "optimize");
+            ("kernel", Obs.Json.String name);
+            ("domains", Obs.Json.Int (Stdlib.max 1 domains));
+            ("proposals_made", Obs.Json.Int result.Search.Optimizer.proposals_made);
+            ("accepted", Obs.Json.Int result.Search.Optimizer.accepted);
+            ("evaluations", Obs.Json.Int result.Search.Optimizer.evaluations);
+            ("elapsed_s", Obs.Json.Float (Obs.Clock.elapsed_s ~since:t0));
+            ("moves", Search.Optimizer.moves_json result.Search.Optimizer.moves);
+            ("sandbox", sandbox_counters_json ());
+          ];
       let target = spec.Sandbox.Spec.program in
       (match result.Search.Optimizer.best_correct with
        | None -> print_endline "no η-correct rewrite found"
@@ -133,12 +234,12 @@ let optimize_cmd =
     (Cmd.info "optimize" ~doc:"Search for a faster η-correct rewrite")
     Term.(
       const run $ kernel_arg $ eta_arg $ proposals_arg $ seed_arg $ domains_arg
-      $ out_arg)
+      $ out_arg $ trace_out_arg $ metrics_arg $ progress_arg)
 
 (* ----- refine ----- *)
 
 let refine_cmd =
-  let run name eta proposals seed =
+  let run name eta proposals seed trace_out progress =
     match find_kernel name with
     | Error e -> exit_err e
     | Ok spec ->
@@ -149,9 +250,13 @@ let refine_cmd =
           seed = Int64.of_int seed;
         }
       in
+      let sink = make_sink ~trace_out ~progress in
       let r =
-        Stoke.optimize_refined ~config ~seed:(Int64.of_int seed)
-          ~eta:(Ulp.of_float eta) spec
+        Fun.protect
+          ~finally:(fun () -> Obs.Sink.close sink)
+          (fun () ->
+            Stoke.optimize_refined ~config ~obs:sink ~seed:(Int64.of_int seed)
+              ~eta:(Ulp.of_float eta) spec)
       in
       Printf.printf "rounds: %d, counterexamples fed back: %d\n" r.Stoke.rounds
         r.Stoke.counterexamples;
@@ -175,12 +280,14 @@ let refine_cmd =
        ~doc:
          "Counterexample-refined optimization: search, validate, feed failures \
           back into the test set, repeat")
-    Term.(const run $ kernel_arg $ eta_arg $ proposals_arg $ seed_arg)
+    Term.(
+      const run $ kernel_arg $ eta_arg $ proposals_arg $ seed_arg
+      $ trace_out_arg $ progress_arg)
 
 (* ----- validate ----- *)
 
 let validate_cmd =
-  let run name eta rewrite_file proposals chains =
+  let run name eta rewrite_file proposals chains trace_out progress =
     match find_kernel name with
     | Error e -> exit_err e
     | Ok spec ->
@@ -189,6 +296,8 @@ let validate_cmd =
         | None -> spec.Sandbox.Spec.program
         | Some path -> read_program path
       in
+      let sink = make_sink ~trace_out ~progress in
+      Fun.protect ~finally:(fun () -> Obs.Sink.close sink) @@ fun () ->
       if chains <= 1 then begin
         let config =
           {
@@ -196,7 +305,9 @@ let validate_cmd =
             Validate.Driver.max_proposals = proposals;
           }
         in
-        let v = Stoke.validate ~config ~eta:(Ulp.of_float eta) spec rewrite in
+        let v =
+          Stoke.validate ~config ~obs:sink ~eta:(Ulp.of_float eta) spec rewrite
+        in
         Printf.printf
           "max observed error: %s ULPs (at input %s)\nmixed: %b (Geweke Z = %.3f after %d iterations)\nvalidated within η: %b\n"
           (Ulp.to_string v.Validate.Driver.max_err)
@@ -215,7 +326,10 @@ let validate_cmd =
           }
         in
         let errfn = Validate.Errfn.create spec ~rewrite in
-        let v = Validate.Multi_chain.run ~config ~eta:(Ulp.of_float eta) errfn in
+        let v =
+          Validate.Multi_chain.run ~obs:sink ~config ~eta:(Ulp.of_float eta)
+            errfn
+        in
         Printf.printf
           "max observed error: %s ULPs across %d chains (per-chain: %s)\nmixed: %b (Gelman-Rubin R-hat = %.4f)\nvalidated within η: %b\n"
           (Ulp.to_string v.Validate.Multi_chain.max_err)
@@ -239,7 +353,7 @@ let validate_cmd =
        ~doc:"MCMC-validate a rewrite's maximum ULP error against the target")
     Term.(
       const run $ kernel_arg $ eta_arg $ rewrite_file_arg $ proposals_arg
-      $ chains_arg)
+      $ chains_arg $ trace_out_arg $ progress_arg)
 
 (* ----- verify ----- *)
 
@@ -263,7 +377,7 @@ let verify_cmd =
 (* ----- sweep ----- *)
 
 let sweep_cmd =
-  let run name proposals seed validate_results =
+  let run name proposals seed validate_results trace_out progress =
     match find_kernel name with
     | Error e -> exit_err e
     | Ok spec ->
@@ -274,9 +388,13 @@ let sweep_cmd =
           seed = Int64.of_int seed;
         }
       in
+      let sink = make_sink ~trace_out ~progress in
       let points =
-        Stoke.precision_sweep ~config ~validate_results ~seed:(Int64.of_int seed)
-          spec
+        Fun.protect
+          ~finally:(fun () -> Obs.Sink.close sink)
+          (fun () ->
+            Stoke.precision_sweep ~config ~validate_results ~obs:sink
+              ~seed:(Int64.of_int seed) spec)
       in
       Printf.printf "%-12s %6s %8s %8s %s\n" "eta" "LOC" "cycles" "speedup"
         "validated-err";
@@ -295,7 +413,9 @@ let sweep_cmd =
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Precision sweep over the η grid (Figure 4/5)")
-    Term.(const run $ kernel_arg $ proposals_arg $ seed_arg $ validate_flag)
+    Term.(
+      const run $ kernel_arg $ proposals_arg $ seed_arg $ validate_flag
+      $ trace_out_arg $ progress_arg)
 
 (* ----- encode ----- *)
 

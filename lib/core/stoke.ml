@@ -8,7 +8,7 @@ let make_tests ?(n = 32) ~seed spec =
   let g = Rng.Xoshiro256.create seed in
   Array.init n (fun _ -> Sandbox.Spec.random_testcase g spec)
 
-let optimize ?config ?tests ~eta spec =
+let optimize ?config ?tests ?obs ?progress_every ~eta spec =
   let config =
     match config with
     | Some c -> c
@@ -21,11 +21,11 @@ let optimize ?config ?tests ~eta spec =
   in
   let params = Search.Cost.default_params ~eta in
   let ctx = Search.Cost.create spec params tests in
-  Search.Optimizer.run ctx config
+  Search.Optimizer.run ?obs ?progress_every ctx config
 
-let validate ?config ~eta spec rewrite =
+let validate ?config ?obs ~eta spec rewrite =
   let errfn = Validate.Errfn.create spec ~rewrite in
-  Validate.Driver.run ?config ~eta errfn
+  Validate.Driver.run ?obs ?config ~eta errfn
 
 let verify ~eta spec rewrite = Verify.Verifier.check spec ~rewrite ~eta
 
@@ -36,8 +36,8 @@ type refined = {
   counterexamples : int;
 }
 
-let optimize_refined ?config ?validation ?(max_rounds = 4) ?(tests = 32) ~seed
-    ~eta spec =
+let optimize_refined ?config ?validation ?(max_rounds = 4) ?(tests = 32)
+    ?(obs = Obs.Sink.null) ~seed ~eta spec =
   let config =
     match config with
     | Some c -> c
@@ -57,10 +57,16 @@ let optimize_refined ?config ?validation ?(max_rounds = 4) ?(tests = 32) ~seed
   let test_list = ref (Array.to_list (make_tests ~n:tests ~seed spec)) in
   let counterexamples = ref 0 in
   let rec go round =
+    if Obs.Sink.enabled obs then
+      Obs.Sink.emit obs "refine_round"
+        [
+          ("round", Obs.Json.Int round);
+          ("tests", Obs.Json.Int (List.length !test_list));
+        ];
     let params = Search.Cost.default_params ~eta in
     let ctx = Search.Cost.create spec params (Array.of_list !test_list) in
     let result =
-      Search.Optimizer.run ctx
+      Search.Optimizer.run ~obs ctx
         { config with Search.Optimizer.seed = Int64.add config.Search.Optimizer.seed (Int64.of_int round) }
     in
     match result.Search.Optimizer.best_correct with
@@ -72,7 +78,7 @@ let optimize_refined ?config ?validation ?(max_rounds = 4) ?(tests = 32) ~seed
           counterexamples = !counterexamples }
       else begin
         let errfn = Validate.Errfn.create spec ~rewrite in
-        let v = Validate.Driver.run ~config:validation ~eta errfn in
+        let v = Validate.Driver.run ~obs ~config:validation ~eta errfn in
         if Ulp.compare v.Validate.Driver.max_err eta <= 0 then
           { rewrite = Some rewrite; verdict = Some v; rounds = round;
             counterexamples = !counterexamples }
@@ -82,6 +88,19 @@ let optimize_refined ?config ?validation ?(max_rounds = 4) ?(tests = 32) ~seed
         else begin
           (* feed the counterexample back into the fast check's test set *)
           incr counterexamples;
+          if Obs.Sink.enabled obs then
+            Obs.Sink.emit obs "counterexample"
+              [
+                ("round", Obs.Json.Int round);
+                ( "err_ulps",
+                  Obs.Json.Float (Ulp.to_float v.Validate.Driver.max_err) );
+                ( "input",
+                  Obs.Json.List
+                    (Array.to_list
+                       (Array.map
+                          (fun x -> Obs.Json.Float x)
+                          v.Validate.Driver.max_err_input)) );
+              ];
           test_list :=
             Sandbox.Spec.testcase_of_floats spec v.Validate.Driver.max_err_input
             :: !test_list;
@@ -112,7 +131,7 @@ let quick_validation_config =
   }
 
 let precision_sweep ?config ?(validate_results = false) ?etas ?(tests = 32)
-    ~seed spec =
+    ?(obs = Obs.Sink.null) ~seed spec =
   let etas =
     match etas with
     | Some e -> e
@@ -128,7 +147,7 @@ let precision_sweep ?config ?(validate_results = false) ?etas ?(tests = 32)
   let target_latency = Latency.of_program target in
   List.map
     (fun eta ->
-      let result = optimize ~config ~tests:test_array ~eta spec in
+      let result = optimize ~config ~tests:test_array ~obs ~eta spec in
       let rewrite =
         match result.Search.Optimizer.best_correct with
         | Some p -> p
@@ -141,19 +160,36 @@ let precision_sweep ?config ?(validate_results = false) ?etas ?(tests = 32)
       in
       let validated_err =
         if validate_results then begin
-          let v = validate ~config:quick_validation_config ~eta spec rewrite in
+          let v =
+            validate ~config:quick_validation_config ~obs ~eta spec rewrite
+          in
           Some v.Validate.Driver.max_err
         end
         else None
       in
-      {
-        eta;
-        rewrite;
-        loc = Program.length rewrite;
-        latency;
-        speedup = float_of_int target_latency /. float_of_int (Stdlib.max 1 latency);
-        validated_err;
-      })
+      let point =
+        {
+          eta;
+          rewrite;
+          loc = Program.length rewrite;
+          latency;
+          speedup = float_of_int target_latency /. float_of_int (Stdlib.max 1 latency);
+          validated_err;
+        }
+      in
+      if Obs.Sink.enabled obs then
+        Obs.Sink.emit obs "sweep_point"
+          [
+            ("eta", Obs.Json.String (Ulp.to_string eta));
+            ("loc", Obs.Json.Int point.loc);
+            ("latency", Obs.Json.Int point.latency);
+            ("speedup", Obs.Json.Float point.speedup);
+            ( "validated_err_ulps",
+              match point.validated_err with
+              | None -> Obs.Json.Null
+              | Some e -> Obs.Json.Float (Ulp.to_float e) );
+          ];
+      point)
     etas
 
 let error_curve spec rewrite ~inputs =

@@ -15,14 +15,18 @@ val make_tests :
 val optimize :
   ?config:Search.Optimizer.config ->
   ?tests:Sandbox.Testcase.t array ->
+  ?obs:Obs.Sink.t ->
+  ?progress_every:int ->
   eta:Ulp.t ->
   Sandbox.Spec.t ->
   Search.Optimizer.result
 (** Optimization mode (k = 1): minimize latency subject to η-correctness on
-    the test cases. *)
+    the test cases.  [obs] and [progress_every] are forwarded to
+    {!Search.Optimizer.run}; telemetry never changes the result. *)
 
 val validate :
   ?config:Validate.Driver.config ->
+  ?obs:Obs.Sink.t ->
   eta:Ulp.t ->
   Sandbox.Spec.t ->
   Program.t ->
@@ -47,6 +51,7 @@ val optimize_refined :
   ?validation:Validate.Driver.config ->
   ?max_rounds:int ->
   ?tests:int ->
+  ?obs:Obs.Sink.t ->
   seed:int64 ->
   eta:Ulp.t ->
   Sandbox.Spec.t ->
@@ -57,7 +62,11 @@ val optimize_refined :
     exceeding η, add it to the test set and search again (up to
     [max_rounds], default 4).  Returns the first rewrite validation fails
     to refute.  This is how test-case-driven optimizations become
-    trustworthy without formal verification. *)
+    trustworthy without formal verification.
+
+    [obs] receives the interleaved search and validation streams, plus a
+    [refine_round] event opening each round and a [counterexample] event
+    for every input fed back into the test set. *)
 
 type sweep_point = {
   eta : Ulp.t;
@@ -76,12 +85,14 @@ val precision_sweep :
   ?validate_results:bool ->
   ?etas:Ulp.t list ->
   ?tests:int ->
+  ?obs:Obs.Sink.t ->
   seed:int64 ->
   Sandbox.Spec.t ->
   sweep_point list
 (** One search per η (Figures 4(a–c) and 5(a)).  When the search finds no
     η-correct rewrite better than the target, the point reports the target
-    itself (speedup 1.0). *)
+    itself (speedup 1.0).  [obs] receives each search's stream followed
+    by a [sweep_point] summary event per η. *)
 
 val error_curve :
   Sandbox.Spec.t -> Program.t -> inputs:float array -> Ulp.t array

@@ -1,0 +1,326 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let rec equal a b =
+  match a, b with
+  | Null, Null -> true
+  | Bool a, Bool b -> Bool.equal a b
+  | Int a, Int b -> Int.equal a b
+  | Float a, Float b -> (Float.is_nan a && Float.is_nan b) || Float.equal a b
+  | String a, String b -> String.equal a b
+  | List a, List b ->
+    List.length a = List.length b && List.for_all2 equal a b
+  | Obj a, Obj b ->
+    List.length a = List.length b
+    && List.for_all2
+         (fun (ka, va) (kb, vb) -> String.equal ka kb && equal va vb)
+         a b
+  | _ -> false
+
+(* ----- printing ----- *)
+
+let add_escaped buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let float_repr f =
+  if Float.is_nan f then "NaN"
+  else if f = Float.infinity then "Infinity"
+  else if f = Float.neg_infinity then "-Infinity"
+  else begin
+    let s = Printf.sprintf "%.12g" f in
+    let s = if float_of_string s = f then s else Printf.sprintf "%.17g" f in
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s
+    else s ^ ".0"
+  end
+
+let rec add_json buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_repr f)
+  | String s ->
+    Buffer.add_char buf '"';
+    add_escaped buf s;
+    Buffer.add_char buf '"'
+  | List items ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i v ->
+        if i > 0 then Buffer.add_char buf ',';
+        add_json buf v)
+      items;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_char buf '"';
+        add_escaped buf k;
+        Buffer.add_string buf "\":";
+        add_json buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  add_json buf v;
+  Buffer.contents buf
+
+(* ----- parsing ----- *)
+
+exception Parse_error of string
+
+type state = {
+  s : string;
+  mutable pos : int;
+}
+
+let error st msg =
+  raise (Parse_error (Printf.sprintf "offset %d: %s" st.pos msg))
+
+let at_end st = st.pos >= String.length st.s
+let peek st = st.s.[st.pos]
+
+let skip_ws st =
+  while
+    (not (at_end st))
+    && (match peek st with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+  do
+    st.pos <- st.pos + 1
+  done
+
+let expect st c =
+  if at_end st || peek st <> c then error st (Printf.sprintf "expected %c" c);
+  st.pos <- st.pos + 1
+
+let literal st word value =
+  let n = String.length word in
+  if
+    st.pos + n <= String.length st.s
+    && String.equal (String.sub st.s st.pos n) word
+  then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else error st (Printf.sprintf "expected %s" word)
+
+let add_utf8 buf u =
+  if u < 0x80 then Buffer.add_char buf (Char.chr u)
+  else if u < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xc0 lor (u lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3f)))
+  end
+  else if u < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xe0 lor (u lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3f)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3f)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xf0 lor (u lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 12) land 0x3f)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3f)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3f)))
+  end
+
+let hex4 st =
+  if st.pos + 4 > String.length st.s then error st "truncated \\u escape";
+  let v = int_of_string ("0x" ^ String.sub st.s st.pos 4) in
+  st.pos <- st.pos + 4;
+  v
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if at_end st then error st "unterminated string";
+    match peek st with
+    | '"' -> st.pos <- st.pos + 1
+    | '\\' ->
+      st.pos <- st.pos + 1;
+      if at_end st then error st "unterminated escape";
+      let c = peek st in
+      st.pos <- st.pos + 1;
+      (match c with
+       | '"' -> Buffer.add_char buf '"'
+       | '\\' -> Buffer.add_char buf '\\'
+       | '/' -> Buffer.add_char buf '/'
+       | 'n' -> Buffer.add_char buf '\n'
+       | 'r' -> Buffer.add_char buf '\r'
+       | 't' -> Buffer.add_char buf '\t'
+       | 'b' -> Buffer.add_char buf '\b'
+       | 'f' -> Buffer.add_char buf '\012'
+       | 'u' ->
+         let u = hex4 st in
+         if u >= 0xd800 && u <= 0xdbff then begin
+           (* high surrogate: require the paired low surrogate *)
+           if
+             st.pos + 2 <= String.length st.s
+             && peek st = '\\'
+             && st.s.[st.pos + 1] = 'u'
+           then begin
+             st.pos <- st.pos + 2;
+             let lo = hex4 st in
+             if lo < 0xdc00 || lo > 0xdfff then error st "invalid surrogate pair";
+             add_utf8 buf
+               (0x10000 + ((u - 0xd800) lsl 10) + (lo - 0xdc00))
+           end
+           else error st "lone high surrogate"
+         end
+         else if u >= 0xdc00 && u <= 0xdfff then error st "lone low surrogate"
+         else add_utf8 buf u
+       | c -> error st (Printf.sprintf "invalid escape \\%c" c));
+      go ()
+    | c ->
+      st.pos <- st.pos + 1;
+      Buffer.add_char buf c;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number st =
+  let start = st.pos in
+  let is_num_char c =
+    match c with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while (not (at_end st)) && is_num_char (peek st) do
+    st.pos <- st.pos + 1
+  done;
+  let text = String.sub st.s start (st.pos - start) in
+  if text = "" then error st "expected a number";
+  let is_float =
+    String.exists (fun c -> c = '.' || c = 'e' || c = 'E') text
+  in
+  if is_float then
+    match float_of_string_opt text with
+    | Some f -> Float f
+    | None -> error st (Printf.sprintf "bad number %S" text)
+  else
+    match int_of_string_opt text with
+    | Some i -> Int i
+    | None ->
+      (* out of int range: fall back to float *)
+      (match float_of_string_opt text with
+       | Some f -> Float f
+       | None -> error st (Printf.sprintf "bad number %S" text))
+
+let rec parse_value st =
+  skip_ws st;
+  if at_end st then error st "unexpected end of input";
+  match peek st with
+  | '{' ->
+    st.pos <- st.pos + 1;
+    skip_ws st;
+    if (not (at_end st)) && peek st = '}' then begin
+      st.pos <- st.pos + 1;
+      Obj []
+    end
+    else begin
+      let rec fields acc =
+        skip_ws st;
+        let k = parse_string st in
+        skip_ws st;
+        expect st ':';
+        let v = parse_value st in
+        skip_ws st;
+        if at_end st then error st "unterminated object";
+        match peek st with
+        | ',' ->
+          st.pos <- st.pos + 1;
+          fields ((k, v) :: acc)
+        | '}' ->
+          st.pos <- st.pos + 1;
+          List.rev ((k, v) :: acc)
+        | _ -> error st "expected , or } in object"
+      in
+      Obj (fields [])
+    end
+  | '[' ->
+    st.pos <- st.pos + 1;
+    skip_ws st;
+    if (not (at_end st)) && peek st = ']' then begin
+      st.pos <- st.pos + 1;
+      List []
+    end
+    else begin
+      let rec items acc =
+        let v = parse_value st in
+        skip_ws st;
+        if at_end st then error st "unterminated array";
+        match peek st with
+        | ',' ->
+          st.pos <- st.pos + 1;
+          items (v :: acc)
+        | ']' ->
+          st.pos <- st.pos + 1;
+          List.rev (v :: acc)
+        | _ -> error st "expected , or ] in array"
+      in
+      List (items [])
+    end
+  | '"' -> String (parse_string st)
+  | 't' -> literal st "true" (Bool true)
+  | 'f' -> literal st "false" (Bool false)
+  | 'n' -> literal st "null" Null
+  | 'N' -> literal st "NaN" (Float Float.nan)
+  | 'I' -> literal st "Infinity" (Float Float.infinity)
+  | '-' when
+      st.pos + 1 < String.length st.s && st.s.[st.pos + 1] = 'I' ->
+    literal st "-Infinity" (Float Float.neg_infinity)
+  | '-' | '0' .. '9' -> parse_number st
+  | c -> error st (Printf.sprintf "unexpected character %C" c)
+
+let of_string s =
+  let st = { s; pos = 0 } in
+  match
+    let v = parse_value st in
+    skip_ws st;
+    if not (at_end st) then error st "trailing garbage after value";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error msg -> Error msg
+
+let of_string_exn s =
+  match of_string s with
+  | Ok v -> v
+  | Error msg -> invalid_arg ("Json.of_string_exn: " ^ msg)
+
+(* ----- accessors ----- *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_int_opt = function Int i -> Some i | _ -> None
+
+let to_float_opt = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None
+
+let to_string_opt = function String s -> Some s | _ -> None
+let to_bool_opt = function Bool b -> Some b | _ -> None
+let to_list_opt = function List l -> Some l | _ -> None

@@ -1,0 +1,46 @@
+(** A minimal JSON tree, printer, and parser — just enough for the JSONL
+    telemetry stream ({!Sink}) without an external dependency.
+
+    The printer emits one-line, machine-readable JSON.  Non-finite floats
+    are written as the bare tokens [NaN], [Infinity], and [-Infinity]
+    (the same non-strict extension Yojson uses), and the parser accepts
+    them back, so every event round-trips even when a metric is infinite
+    (e.g. the Geweke Z before the first convergence check). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val equal : t -> t -> bool
+(** Structural equality; two [NaN] floats compare equal so round-trip
+    tests can compare parsed events. *)
+
+val to_string : t -> string
+(** One line, no trailing newline.  Floats print with the fewest digits
+    that round-trip back to the same double. *)
+
+val of_string : string -> (t, string) result
+(** Parses a complete JSON value (rejecting trailing garbage).  Accepts
+    the [NaN]/[Infinity] extension and [\uXXXX] escapes (surrogate pairs
+    are combined and encoded as UTF-8). *)
+
+val of_string_exn : string -> t
+(** @raise Invalid_argument on parse errors. *)
+
+(** {2 Accessors} — convenience for tests and consumers. *)
+
+val member : string -> t -> t option
+(** [member key (Obj _)] is the value bound to [key], if any. *)
+
+val to_int_opt : t -> int option
+val to_float_opt : t -> float option
+(** [Int] values are also accepted and converted. *)
+
+val to_string_opt : t -> string option
+val to_bool_opt : t -> bool option
+val to_list_opt : t -> t list option

@@ -1,0 +1,197 @@
+module Counter = struct
+  type t = {
+    name : string;
+    mutable value : int;
+  }
+
+  let create ?(init = 0) name = { name; value = init }
+  let name t = t.name
+  let incr t = t.value <- t.value + 1
+  let add t n = t.value <- t.value + n
+  let value t = t.value
+  let reset t = t.value <- 0
+end
+
+module Timer = struct
+  type t = {
+    name : string;
+    mutable acc_ns : int64;
+    mutable started : int64 option;
+    mutable laps : int;
+  }
+
+  let create name = { name; acc_ns = 0L; started = None; laps = 0 }
+  let name t = t.name
+  let start t = t.started <- Some (Clock.now_ns ())
+
+  let stop t =
+    match t.started with
+    | None -> ()
+    | Some t0 ->
+      t.acc_ns <- Int64.add t.acc_ns (Int64.sub (Clock.now_ns ()) t0);
+      t.laps <- t.laps + 1;
+      t.started <- None
+
+  let time t f =
+    start t;
+    Fun.protect ~finally:(fun () -> stop t) f
+
+  let elapsed_s t =
+    let running =
+      match t.started with
+      | None -> 0L
+      | Some t0 -> Int64.sub (Clock.now_ns ()) t0
+    in
+    Int64.to_float (Int64.add t.acc_ns running) *. 1e-9
+
+  let laps t = t.laps
+
+  let rate t n =
+    let s = elapsed_s t in
+    if s > 0. then float_of_int n /. s else 0.
+
+  let reset t =
+    t.acc_ns <- 0L;
+    t.started <- None;
+    t.laps <- 0
+end
+
+module Histogram = struct
+  (* bucket 0: v <= 0 or NaN; bucket 1+i: frexp exponent i-64, i in 0..127 *)
+  let buckets = 129
+
+  type t = {
+    name : string;
+    counts : int array;
+    mutable count : int;
+    mutable sum : float;
+    mutable min_v : float;
+    mutable max_v : float;
+  }
+
+  let create name =
+    {
+      name;
+      counts = Array.make buckets 0;
+      count = 0;
+      sum = 0.;
+      min_v = Float.infinity;
+      max_v = Float.neg_infinity;
+    }
+
+  let name t = t.name
+
+  let bucket_of v =
+    if Float.is_nan v || v <= 0. then 0
+    else begin
+      let _, e = Float.frexp v in
+      1 + Stdlib.min 127 (Stdlib.max 0 (e + 64))
+    end
+
+  let observe t v =
+    t.counts.(bucket_of v) <- t.counts.(bucket_of v) + 1;
+    t.count <- t.count + 1;
+    t.sum <- t.sum +. v;
+    if v < t.min_v then t.min_v <- v;
+    if v > t.max_v then t.max_v <- v
+
+  let count t = t.count
+  let sum t = t.sum
+  let mean t = if t.count = 0 then 0. else t.sum /. float_of_int t.count
+  let min_value t = if t.count = 0 then 0. else t.min_v
+  let max_value t = if t.count = 0 then 0. else t.max_v
+
+  (* midpoint of bucket i: values in [2^(e-1), 2^e) for e = i - 65 *)
+  let representative i =
+    if i = 0 then 0. else 0.75 *. Float.ldexp 1.0 (i - 65)
+
+  let quantile t q =
+    if t.count = 0 then 0.
+    else begin
+      let q = Float.min 1. (Float.max 0. q) in
+      let target = Stdlib.max 1 (int_of_float (Float.round (q *. float_of_int t.count))) in
+      let rec go i cum =
+        if i >= buckets then max_value t
+        else begin
+          let cum = cum + t.counts.(i) in
+          if cum >= target then representative i else go (i + 1) cum
+        end
+      in
+      go 0 0
+    end
+
+  let reset t =
+    Array.fill t.counts 0 buckets 0;
+    t.count <- 0;
+    t.sum <- 0.;
+    t.min_v <- Float.infinity;
+    t.max_v <- Float.neg_infinity
+end
+
+type metric =
+  | M_counter of Counter.t
+  | M_timer of Timer.t
+  | M_histogram of Histogram.t
+
+type registry = { mutable metrics : metric list (* reversed *) }
+
+let registry () = { metrics = [] }
+
+let metric_name = function
+  | M_counter c -> Counter.name c
+  | M_timer t -> Timer.name t
+  | M_histogram h -> Histogram.name h
+
+let find r name =
+  List.find_opt (fun m -> String.equal (metric_name m) name) r.metrics
+
+let counter r name =
+  match find r name with
+  | Some (M_counter c) -> c
+  | Some _ -> invalid_arg (name ^ " is registered as a different metric kind")
+  | None ->
+    let c = Counter.create name in
+    r.metrics <- M_counter c :: r.metrics;
+    c
+
+let timer r name =
+  match find r name with
+  | Some (M_timer t) -> t
+  | Some _ -> invalid_arg (name ^ " is registered as a different metric kind")
+  | None ->
+    let t = Timer.create name in
+    r.metrics <- M_timer t :: r.metrics;
+    t
+
+let histogram r name =
+  match find r name with
+  | Some (M_histogram h) -> h
+  | Some _ -> invalid_arg (name ^ " is registered as a different metric kind")
+  | None ->
+    let h = Histogram.create name in
+    r.metrics <- M_histogram h :: r.metrics;
+    h
+
+let metric_to_json = function
+  | M_counter c -> Json.Int (Counter.value c)
+  | M_timer t ->
+    Json.Obj
+      [
+        ("elapsed_s", Json.Float (Timer.elapsed_s t));
+        ("laps", Json.Int (Timer.laps t));
+      ]
+  | M_histogram h ->
+    Json.Obj
+      [
+        ("count", Json.Int (Histogram.count h));
+        ("mean", Json.Float (Histogram.mean h));
+        ("min", Json.Float (Histogram.min_value h));
+        ("max", Json.Float (Histogram.max_value h));
+        ("p50", Json.Float (Histogram.quantile h 0.5));
+        ("p90", Json.Float (Histogram.quantile h 0.9));
+        ("p99", Json.Float (Histogram.quantile h 0.99));
+      ]
+
+let to_json r =
+  Json.Obj
+    (List.rev_map (fun m -> (metric_name m, metric_to_json m)) r.metrics)

@@ -1,0 +1,77 @@
+(** Lightweight in-process metrics: counters, monotonic timers, and
+    log₂-bucketed histograms, plus a registry that serializes them all as
+    one {!Json.t} object (the [--metrics] dump of [stoke_cli]).
+
+    None of these are synchronized: a metric belongs to the domain that
+    created it.  Parallel search keeps one set per chain and aggregates
+    after joining (see {!Search.Parallel}), preserving determinism. *)
+
+module Counter : sig
+  type t
+
+  val create : ?init:int -> string -> t
+  val name : t -> string
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+  val reset : t -> unit
+end
+
+(** Accumulating stopwatch on the monotonic clock.  [start]/[stop] pairs
+    add laps; [elapsed_s] includes a still-running lap. *)
+module Timer : sig
+  type t
+
+  val create : string -> t
+  val name : t -> string
+  val start : t -> unit
+  val stop : t -> unit
+  val time : t -> (unit -> 'a) -> 'a
+  (** Runs the thunk inside a [start]/[stop] lap (stops on exceptions). *)
+
+  val elapsed_s : t -> float
+  val laps : t -> int
+  val rate : t -> int -> float
+  (** [rate t n] is [n] events per accumulated second (0 if no time). *)
+
+  val reset : t -> unit
+end
+
+(** Fixed-size histogram over positive floats with one bucket per power
+    of two from 2{^-64} to 2{^63} (plus a bucket for zero/negative/NaN
+    observations).  Quantiles are approximate: the answer is the
+    midpoint of the bucket containing the requested rank, so it is
+    within 2x of the true value. *)
+module Histogram : sig
+  type t
+
+  val create : string -> t
+  val name : t -> string
+  val observe : t -> float -> unit
+  val count : t -> int
+  val sum : t -> float
+  val mean : t -> float
+  val min_value : t -> float
+  (** 0 when empty. *)
+
+  val max_value : t -> float
+  val quantile : t -> float -> float
+  (** [quantile h 0.5] is the approximate median; [q] clamped to [0,1]. *)
+
+  val reset : t -> unit
+end
+
+type registry
+
+val registry : unit -> registry
+
+val counter : registry -> string -> Counter.t
+(** Returns the already-registered counter of that name if one exists. *)
+
+val timer : registry -> string -> Timer.t
+val histogram : registry -> string -> Histogram.t
+
+val to_json : registry -> Json.t
+(** One object keyed by metric name, in registration order.  Counters
+    serialize as integers; timers as [{elapsed_s, laps}]; histograms as
+    [{count, mean, min, max, p50, p90, p99}]. *)

@@ -1,0 +1,113 @@
+type event = {
+  name : string;
+  t_ms : float;
+  fields : (string * Json.t) list;
+}
+
+type chan = {
+  oc : out_channel;
+  close_oc : bool;
+  mutable closed : bool;
+}
+
+type t =
+  | Null
+  | Chan of chan
+  | Mem of event list ref
+  | Cb of (event -> unit)
+  | Tee of t * t
+
+(* Fixed at module load, before any domain can spawn. *)
+let epoch = Clock.now_ns ()
+
+let null = Null
+
+let enabled = function
+  | Null -> false
+  | _ -> true
+
+let of_channel ?(close = false) oc = Chan { oc; close_oc = close; closed = false }
+let to_file path = of_channel ~close:true (open_out path)
+let memory () = Mem (ref [])
+let callback f = Cb f
+
+let tee a b =
+  match a, b with
+  | Null, s | s, Null -> s
+  | a, b -> Tee (a, b)
+
+let event_to_json ev =
+  Json.Obj
+    (("event", Json.String ev.name)
+    :: ("t_ms", Json.Float ev.t_ms)
+    :: ev.fields)
+
+let event_of_json json =
+  match json with
+  | Json.Obj fields ->
+    (match List.assoc_opt "event" fields, List.assoc_opt "t_ms" fields with
+     | Some (Json.String name), Some t ->
+       (match Json.to_float_opt t with
+        | Some t_ms ->
+          let fields =
+            List.filter
+              (fun (k, _) -> k <> "event" && k <> "t_ms")
+              fields
+          in
+          Ok { name; t_ms; fields }
+        | None -> Error "t_ms is not a number")
+     | _ -> Error "missing \"event\" or \"t_ms\" field")
+  | _ -> Error "event is not a JSON object"
+
+let event_to_string ev = Json.to_string (event_to_json ev)
+
+let event_of_string line =
+  match Json.of_string line with
+  | Error _ as e -> e
+  | Ok json -> event_of_json json
+
+let event_equal a b =
+  String.equal a.name b.name
+  && Json.equal (Json.Float a.t_ms) (Json.Float b.t_ms)
+  && Json.equal (Json.Obj a.fields) (Json.Obj b.fields)
+
+let rec deliver t ev =
+  match t with
+  | Null -> ()
+  | Mem buf -> buf := ev :: !buf
+  | Cb f -> f ev
+  | Chan c ->
+    if not c.closed then begin
+      output_string c.oc (event_to_string ev);
+      output_char c.oc '\n';
+      flush c.oc
+    end
+  | Tee (a, b) ->
+    deliver a ev;
+    deliver b ev
+
+let emit t name fields =
+  match t with
+  | Null -> ()
+  | t ->
+    let t_ms = Int64.to_float (Int64.sub (Clock.now_ns ()) epoch) *. 1e-6 in
+    deliver t { name; t_ms; fields }
+
+let rec drain = function
+  | Mem buf ->
+    let evs = List.rev !buf in
+    buf := [];
+    evs
+  | Tee (a, b) -> drain a @ drain b
+  | Null | Chan _ | Cb _ -> []
+
+let rec close = function
+  | Chan c ->
+    if not c.closed then begin
+      c.closed <- true;
+      if c.close_oc then close_out c.oc else flush c.oc
+    end
+  | Tee (a, b) ->
+    close a;
+    close b
+  | Null | Mem _ | Cb _ -> ()

@@ -1,0 +1,68 @@
+(** Pluggable event sinks: search and validation hot paths emit named,
+    timestamped events; a sink decides where they go — a JSONL file, an
+    in-memory buffer, a callback (the CLI's [--progress] printer), or
+    nowhere at all.
+
+    The {!null} sink is free: [emit] on it returns immediately, and
+    callers guard any expensive field construction with {!enabled}, so
+    an instrumented search with no sink attached behaves bit-identically
+    to an uninstrumented one (enforced by [test/test_obs.ml]).
+
+    Sinks are not synchronized.  Give each domain its own sink (see
+    {!Search.Parallel.run}) — never share one across domains. *)
+
+type event = {
+  name : string;  (** e.g. ["checkpoint"], ["geweke"], ["search_end"] *)
+  t_ms : float;  (** monotonic ms since process start *)
+  fields : (string * Json.t) list;
+}
+
+type t
+
+val null : t
+(** Drops everything; {!enabled} is [false]. *)
+
+val enabled : t -> bool
+(** [false] only for {!null} — guard expensive field construction. *)
+
+val of_channel : ?close:bool -> out_channel -> t
+(** JSONL writer: one event per line, flushed per event so an operator
+    can [tail -f] a run in flight.  [close] (default [false]) transfers
+    ownership of the channel to {!close}. *)
+
+val to_file : string -> t
+(** [of_channel ~close:true (open_out path)]. *)
+
+val memory : unit -> t
+(** Buffers events in memory; fetch them with {!drain}. *)
+
+val drain : t -> event list
+(** Events accumulated by a {!memory} sink (oldest first), clearing the
+    buffer; [[]] for non-memory sinks.  Recurses into {!tee}. *)
+
+val callback : (event -> unit) -> t
+
+val tee : t -> t -> t
+(** Deliver to both (collapses {!null} operands, so a tee of two null
+    sinks is itself disabled). *)
+
+val emit : t -> string -> (string * Json.t) list -> unit
+(** [emit sink name fields] — timestamps and delivers one event.  The
+    field names [event] and [t_ms] are reserved for the envelope. *)
+
+val close : t -> unit
+(** Flushes and closes file sinks (recursing into tees); other sinks
+    are unaffected.  Idempotent. *)
+
+(** {2 Serialization} — the JSONL representation, shared by writers,
+    tests, and external consumers (see [docs/TELEMETRY.md]). *)
+
+val event_to_json : event -> Json.t
+(** [{"event": name, "t_ms": ..., field...}] — a flat object. *)
+
+val event_of_json : Json.t -> (event, string) result
+val event_to_string : event -> string
+(** One JSONL line, without the trailing newline. *)
+
+val event_of_string : string -> (event, string) result
+val event_equal : event -> event -> bool

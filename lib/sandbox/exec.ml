@@ -8,6 +8,42 @@ type result = {
   executed : int;
 }
 
+module Counters = struct
+  type snapshot = {
+    runs : int;
+    instrs : int;
+    cycles : int;
+    faults : int;
+  }
+
+  let enabled = Atomic.make false
+  let runs = Atomic.make 0
+  let instrs = Atomic.make 0
+  let cycles = Atomic.make 0
+  let faults = Atomic.make 0
+
+  let enable () = Atomic.set enabled true
+  let disable () = Atomic.set enabled false
+  let is_enabled () = Atomic.get enabled
+
+  let reset () =
+    List.iter (fun c -> Atomic.set c 0) [ runs; instrs; cycles; faults ]
+
+  let snapshot () =
+    {
+      runs = Atomic.get runs;
+      instrs = Atomic.get instrs;
+      cycles = Atomic.get cycles;
+      faults = Atomic.get faults;
+    }
+
+  let record ~run_cycles ~run_instrs ~faulted =
+    Atomic.incr runs;
+    ignore (Atomic.fetch_and_add instrs run_instrs);
+    ignore (Atomic.fetch_and_add cycles run_cycles);
+    if faulted then Atomic.incr faults
+end
+
 let run (m : Machine.t) (p : Program.t) =
   let cycles = ref 0 in
   let executed = ref 0 in
@@ -30,6 +66,9 @@ let run (m : Machine.t) (p : Program.t) =
            Faulted f)
   in
   let outcome = go 0 in
+  if Atomic.get Counters.enabled then
+    Counters.record ~run_cycles:!cycles ~run_instrs:!executed
+      ~faulted:(match outcome with Finished -> false | Faulted _ -> true);
   { outcome; cycles = !cycles; executed = !executed }
 
 let run_testcase ?mem_size p tc =

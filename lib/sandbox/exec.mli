@@ -11,6 +11,28 @@ type result = {
   executed : int;  (** number of instructions executed *)
 }
 
+(** Process-wide execution counters for telemetry, disabled by default.
+
+    When disabled the only cost on the hot path is one atomic load per
+    {!run}; when enabled, every run adds its cycle and instruction
+    totals with atomic fetch-and-add, so the counters stay exact across
+    the parallel search's domains.  They measure interpreter work — the
+    denominator of evaluations/sec — not rewrite quality. *)
+module Counters : sig
+  type snapshot = {
+    runs : int;  (** programs executed (≈ cost evaluations × test cases) *)
+    instrs : int;  (** instructions stepped *)
+    cycles : int;  (** static-latency cycles accumulated *)
+    faults : int;  (** runs that ended in a fault *)
+  }
+
+  val enable : unit -> unit
+  val disable : unit -> unit
+  val is_enabled : unit -> bool
+  val reset : unit -> unit
+  val snapshot : unit -> snapshot
+end
+
 val run : Machine.t -> Program.t -> result
 (** Executes the active slots in order, mutating the machine.  Stops at the
     first fault. *)

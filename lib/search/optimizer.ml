@@ -74,7 +74,45 @@ type chain_state = {
   moves : move_stats;
 }
 
-let run_chain ctx pools config init g state =
+let kind_names =
+  [ Transform.Opcode_move; Transform.Operand_move; Transform.Swap_move;
+    Transform.Instruction_move ]
+
+let moves_json (moves : move_stats) =
+  Obs.Json.Obj
+    (List.map
+       (fun kind ->
+         let i = kind_index kind in
+         ( Transform.kind_to_string kind,
+           Obs.Json.Obj
+             [
+               ("proposed", Obs.Json.Int moves.proposed.(i));
+               ("accepted", Obs.Json.Int moves.accepted_by_kind.(i));
+             ] ))
+       kind_names)
+
+(* Shared by the log-spaced "checkpoint" and the fixed-cadence "progress"
+   events; [t0]/[evals0] anchor rates to the start of this [run_from]. *)
+let emit_point obs name ~chain ~iter ~t0 ~evals0 ctx state ~current_total =
+  let elapsed = Obs.Clock.elapsed_s ~since:t0 in
+  let evals = Cost.evaluations ctx - evals0 in
+  Obs.Sink.emit obs name
+    [
+      ("chain", Obs.Json.Int chain);
+      ("iter", Obs.Json.Int iter);
+      ("best_total", Obs.Json.Float state.best_overall_cost.Cost.total);
+      ("current_total", Obs.Json.Float current_total);
+      ("proposals_made", Obs.Json.Int state.proposals_made);
+      ("accepted", Obs.Json.Int state.accepted);
+      ("evaluations", Obs.Json.Int evals);
+      ("elapsed_s", Obs.Json.Float elapsed);
+      ( "evals_per_s",
+        Obs.Json.Float
+          (if elapsed > 0. then float_of_int evals /. elapsed else 0.) );
+    ]
+
+let run_chain ~obs ~progress_every ~chain ~t0 ~evals0 ctx pools config init g
+    state =
   let cur = Program.with_padding config.padding (Program.instrs init) in
   let cur_cost = ref (Cost.eval ctx cur) in
   let note_candidate cost =
@@ -95,6 +133,7 @@ let run_chain ctx pools config init g state =
     end
   in
   note_candidate !cur_cost;
+  let observing = Obs.Sink.enabled obs in
   let marks = ref (checkpoints config.proposals config.trace_points) in
   for iter = 1 to config.proposals do
     state.proposals_made <- state.proposals_made + 1;
@@ -122,11 +161,21 @@ let run_chain ctx pools config init g state =
            current_total = !cur_cost.Cost.total;
          }
          :: state.trace_rev;
-       marks := rest
+       marks := rest;
+       if observing then
+         emit_point obs "checkpoint" ~chain ~iter ~t0 ~evals0 ctx state
+           ~current_total:!cur_cost.Cost.total
+     | _ -> ());
+    (match progress_every with
+     | Some n when observing && n > 0 && iter mod n = 0 ->
+       emit_point obs "progress" ~chain ~iter ~t0 ~evals0 ctx state
+         ~current_total:!cur_cost.Cost.total
      | _ -> ())
   done
 
-let run_from ctx config init =
+let run_from ?(obs = Obs.Sink.null) ?progress_every ctx config init =
+  let t0 = Obs.Clock.now_ns () in
+  let evals0 = Cost.evaluations ctx in
   let spec = Cost.spec ctx in
   let pools = Pools.make ~target:spec.Sandbox.Spec.program ~spec in
   let g = Rng.Xoshiro256.create config.seed in
@@ -143,8 +192,23 @@ let run_from ctx config init =
       moves = { proposed = Array.make 4 0; accepted_by_kind = Array.make 4 0 };
     }
   in
-  for _chain = 1 to Stdlib.max 1 config.restarts do
-    run_chain ctx pools config init (Rng.Xoshiro256.split g) state
+  let observing = Obs.Sink.enabled obs in
+  if observing then
+    Obs.Sink.emit obs "search_start"
+      [
+        ("proposals", Obs.Json.Int config.proposals);
+        ("strategy", Obs.Json.String (Strategy.to_string config.strategy));
+        ("seed", Obs.Json.String (Int64.to_string config.seed));
+        ("padding", Obs.Json.Int config.padding);
+        ("restarts", Obs.Json.Int config.restarts);
+        ("trace_points", Obs.Json.Int config.trace_points);
+        ("init_total", Obs.Json.Float init_cost.Cost.total);
+      ];
+  for chain = 1 to Stdlib.max 1 config.restarts do
+    if observing then
+      Obs.Sink.emit obs "chain_start" [ ("chain", Obs.Json.Int chain) ];
+    run_chain ~obs ~progress_every ~chain ~t0 ~evals0 ctx pools config init
+      (Rng.Xoshiro256.split g) state
   done;
   let live_out = Sandbox.Spec.live_out_set spec in
   let best_correct =
@@ -160,23 +224,58 @@ let run_from ctx config init =
       if Cost.correct c then (Some p, Some c)
       else (state.best_correct, state.best_correct_cost)
   in
-  {
-    best_correct;
-    best_correct_cost;
-    best_overall = state.best_overall;
-    best_overall_cost = state.best_overall_cost;
-    trace = List.rev state.trace_rev;
-    proposals_made = state.proposals_made;
-    accepted = state.accepted;
-    evaluations = Cost.evaluations ctx;
-    moves = state.moves;
-  }
+  let result =
+    {
+      best_correct;
+      best_correct_cost;
+      best_overall = state.best_overall;
+      best_overall_cost = state.best_overall_cost;
+      trace = List.rev state.trace_rev;
+      proposals_made = state.proposals_made;
+      accepted = state.accepted;
+      evaluations = Cost.evaluations ctx;
+      moves = state.moves;
+    }
+  in
+  if observing then begin
+    let elapsed = Obs.Clock.elapsed_s ~since:t0 in
+    let evals = result.evaluations - evals0 in
+    Obs.Sink.emit obs "search_end"
+      [
+        ("best_correct", Obs.Json.Bool (Option.is_some result.best_correct));
+        ( "best_correct_perf",
+          match result.best_correct_cost with
+          | None -> Obs.Json.Null
+          | Some c -> Obs.Json.Float c.Cost.perf );
+        ( "best_correct_loc",
+          match result.best_correct with
+          | None -> Obs.Json.Null
+          | Some p -> Obs.Json.Int (Program.length p) );
+        ("best_overall_total", Obs.Json.Float result.best_overall_cost.Cost.total);
+        ("proposals_made", Obs.Json.Int result.proposals_made);
+        ("accepted", Obs.Json.Int result.accepted);
+        ( "acceptance_rate",
+          Obs.Json.Float
+            (if result.proposals_made = 0 then 0.
+             else float_of_int result.accepted /. float_of_int result.proposals_made)
+        );
+        ("evaluations", Obs.Json.Int evals);
+        ("elapsed_s", Obs.Json.Float elapsed);
+        ( "evals_per_s",
+          Obs.Json.Float
+            (if elapsed > 0. then float_of_int evals /. elapsed else 0.) );
+        ("moves", moves_json result.moves);
+      ]
+  end;
+  result
 
-let run ctx config =
-  run_from ctx config (Cost.spec ctx).Sandbox.Spec.program
+let run ?obs ?progress_every ctx config =
+  run_from ?obs ?progress_every ctx config (Cost.spec ctx).Sandbox.Spec.program
 
-let synthesize ctx config ~slots =
+let synthesize ?obs ?progress_every ctx config ~slots =
   if slots <= 0 then invalid_arg "Optimizer.synthesize: need positive slots";
   (* the chain pads its starting program, so an empty program with padding
      [slots] gives exactly [slots] free slots *)
-  run_from ctx { config with padding = slots } (Program.of_instrs [])
+  run_from ?obs ?progress_every ctx
+    { config with padding = slots }
+    (Program.of_instrs [])

@@ -3,7 +3,15 @@
 
     The driver is strategy-parameterized (Metropolis-Hastings by default)
     and records a best-cost trace at logarithmically spaced checkpoints for
-    the §6.4 comparison plots. *)
+    the §6.4 comparison plots.
+
+    Every entry point takes an optional {!Obs.Sink.t} and streams the
+    events documented in [docs/TELEMETRY.md] ([search_start],
+    [chain_start], [checkpoint], [progress], [search_end]) through it.
+    Telemetry is read-only: it never touches the RNG or the accept
+    decision, so a run with a sink attached returns exactly the result
+    of the same run without one, and with the default null sink the
+    instrumentation costs one branch per checkpoint. *)
 
 type config = {
   proposals : int;  (** total proposals (the paper uses 10M) *)
@@ -46,13 +54,29 @@ type result = {
 val kind_index : Transform.kind -> int
 (** Index into {!move_stats} arrays. *)
 
-val run : Cost.t -> config -> result
-(** Starts each chain from the target (STOKE's optimization mode). *)
+val moves_json : move_stats -> Obs.Json.t
+(** The per-kind [{proposed, accepted}] object embedded in [search_end]
+    events, for callers assembling their own metrics dumps. *)
 
-val run_from : Cost.t -> config -> Program.t -> result
+val run :
+  ?obs:Obs.Sink.t -> ?progress_every:int -> Cost.t -> config -> result
+(** Starts each chain from the target (STOKE's optimization mode).
+    [obs] receives the telemetry stream; [progress_every:n] additionally
+    emits a [progress] event every [n] proposals (for live monitoring at
+    a fixed cadence, on top of the log-spaced [checkpoint]s). *)
+
+val run_from :
+  ?obs:Obs.Sink.t ->
+  ?progress_every:int ->
+  Cost.t ->
+  config ->
+  Program.t ->
+  result
 (** Starts from a given rewrite instead. *)
 
-val synthesize : Cost.t -> config -> slots:int -> result
+val synthesize :
+  ?obs:Obs.Sink.t -> ?progress_every:int -> Cost.t -> config -> slots:int ->
+  result
 (** STOKE's synthesis mode (§2.2): start from the {e empty} rewrite of
     [slots] unused slots and search for any program equivalent to the
     target.  Callers normally pass a context whose [k] is 0 so the perf

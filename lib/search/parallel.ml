@@ -10,19 +10,30 @@ let better_result (a : Optimizer.result) (b : Optimizer.result) =
     then b
     else a
 
-let run ?domains ~spec ~params ~tests ~config () =
+let run ?domains ?obs ?progress_every ~spec ~params ~tests ~config () =
   let n =
     match domains with
     | Some d -> Stdlib.max 1 d
     | None -> Stdlib.min 8 (Domain.recommended_domain_count ())
   in
+  (* Everything a chain touches — cost context, machines, and its sink —
+     is created inside the chain itself, so domains share no mutable
+     state and per-domain telemetry cannot race. *)
   let chain i =
-    let ctx = Cost.create spec params tests in
-    let cfg =
-      { config with
-        Optimizer.seed = Int64.add config.Optimizer.seed (Int64.of_int i) }
+    let sink =
+      match obs with
+      | None -> Obs.Sink.null
+      | Some make -> make ~chain:i
     in
-    Optimizer.run ctx cfg
+    Fun.protect
+      ~finally:(fun () -> Obs.Sink.close sink)
+      (fun () ->
+        let ctx = Cost.create spec params tests in
+        let cfg =
+          { config with
+            Optimizer.seed = Int64.add config.Optimizer.seed (Int64.of_int i) }
+        in
+        Optimizer.run ~obs:sink ?progress_every ctx cfg)
   in
   if n = 1 then chain 0
   else begin
@@ -33,9 +44,26 @@ let run ?domains ~spec ~params ~tests ~config () =
     | first :: rest ->
       let best = List.fold_left better_result first rest in
       let sum f = List.fold_left (fun acc r -> acc + f r) 0 results in
+      (* Sum per-kind move stats into fresh arrays: reusing the winning
+         chain's arrays in place would corrupt that chain's result, and
+         keeping them un-summed would break the accepted =
+         Σ accepted_by_kind invariant that holds for a single chain. *)
+      let sum_kind proj =
+        Array.init 4 (fun k ->
+            List.fold_left (fun acc r -> acc + (proj r).(k)) 0 results)
+      in
+      let moves =
+        {
+          Optimizer.proposed =
+            sum_kind (fun r -> r.Optimizer.moves.Optimizer.proposed);
+          accepted_by_kind =
+            sum_kind (fun r -> r.Optimizer.moves.Optimizer.accepted_by_kind);
+        }
+      in
       { best with
         Optimizer.proposals_made = sum (fun r -> r.Optimizer.proposals_made);
         accepted = sum (fun r -> r.Optimizer.accepted);
-        evaluations = sum (fun r -> r.Optimizer.evaluations)
+        evaluations = sum (fun r -> r.Optimizer.evaluations);
+        moves
       }
   end

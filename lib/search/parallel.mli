@@ -1,13 +1,16 @@
 (** Parallel search: independent MCMC chains on OCaml 5 domains, mirroring
     the paper's 16 search threads (§6).
 
-    Chains share nothing — each domain builds its own cost context and
-    machines — so the result is deterministic for a given seed: chain [i]
-    runs with seed [seed + i] and the best η-correct rewrite across chains
-    wins (ties by lower latency, then lower chain index). *)
+    Chains share nothing — each domain builds its own cost context,
+    machines, and (when [obs] is given) its own event sink — so the
+    result is deterministic for a given seed: chain [i] runs with seed
+    [seed + i] and the best η-correct rewrite across chains wins (ties
+    by lower latency, then lower chain index). *)
 
 val run :
   ?domains:int ->
+  ?obs:(chain:int -> Obs.Sink.t) ->
+  ?progress_every:int ->
   spec:Sandbox.Spec.t ->
   params:Cost.params ->
   tests:Sandbox.Testcase.t array ->
@@ -15,5 +18,13 @@ val run :
   unit ->
   Optimizer.result
 (** [domains] defaults to [Domain.recommended_domain_count ()], capped
-    at 8.  The returned trace is the winning chain's trace; [evaluations]
-    and [proposals_made] are summed across chains. *)
+    at 8.  The returned trace is the winning chain's trace;
+    [evaluations], [proposals_made], [accepted], and the per-kind
+    [moves] arrays are summed across chains (into fresh arrays, leaving
+    each chain's own counters untouched).
+
+    [obs] is a factory, not a sink: it is called once {e inside} each
+    domain ([~chain] ranging over [0..domains-1]) so every chain owns a
+    private sink — e.g. one JSONL file per chain — and no event
+    delivery crosses domains.  Each chain's sink is closed when that
+    chain finishes.  [progress_every] is forwarded to every chain. *)

@@ -62,7 +62,28 @@ let checkpoints n count =
   in
   go [] 1
 
-let run_internal ~rule ?(config = default_config) ~eta errfn =
+let rule_name = function
+  | A_mcmc -> "mcmc"
+  | A_hill -> "hill"
+  | A_anneal -> "anneal"
+  | A_random -> "rand"
+
+let run_internal ~rule ?(obs = Obs.Sink.null) ?(config = default_config) ~eta
+    errfn =
+  let observing = Obs.Sink.enabled obs in
+  let t0 = Obs.Clock.now_ns () in
+  if observing then
+    Obs.Sink.emit obs "validate_start"
+      [
+        ("rule", Obs.Json.String (rule_name rule));
+        ("max_proposals", Obs.Json.Int config.max_proposals);
+        ("min_samples", Obs.Json.Int config.min_samples);
+        ("check_every", Obs.Json.Int config.check_every);
+        ("z_threshold", Obs.Json.Float config.z_threshold);
+        ("sigma", Obs.Json.Float config.sigma);
+        ("seed", Obs.Json.String (Int64.to_string config.seed));
+        ("eta", Obs.Json.Float (Ulp.to_float eta));
+      ];
   let g = Rng.Xoshiro256.create config.seed in
   let spec = Errfn.spec errfn in
   let proposal = Proposal.create ~sigma:config.sigma spec in
@@ -109,14 +130,32 @@ let run_internal ~rule ?(config = default_config) ~eta errfn =
        let exact = Errfn.eval_ulp errfn candidate in
        if Ulp.compare exact !max_err > 0 then begin
          max_err := exact;
-         max_err_input := Array.copy candidate
+         max_err_input := Array.copy candidate;
+         if observing then
+           Obs.Sink.emit obs "val_new_max"
+             [
+               ("iter", Obs.Json.Int iter);
+               ("err_ulps", Obs.Json.Float (Ulp.to_float exact));
+               ( "input",
+                 Obs.Json.List
+                   (Array.to_list
+                      (Array.map (fun x -> Obs.Json.Float x) candidate)) );
+             ]
        end;
        samples := !cur_err :: !samples;
        incr n_samples;
        (match !marks with
         | m :: rest when iter >= m ->
           trace := { iter; best_err = Ulp.to_float !max_err } :: !trace;
-          marks := rest
+          marks := rest;
+          if observing then
+            Obs.Sink.emit obs "val_checkpoint"
+              [
+                ("iter", Obs.Json.Int iter);
+                ("best_err", Obs.Json.Float (Ulp.to_float !max_err));
+                ( "elapsed_s",
+                  Obs.Json.Float (Obs.Clock.elapsed_s ~since:t0) );
+              ]
         | _ -> ());
        if
          !n_samples >= config.min_samples
@@ -125,7 +164,18 @@ let run_internal ~rule ?(config = default_config) ~eta errfn =
          let chain = Array.of_list (List.rev !samples) in
          let v = Stats.Geweke.z_statistic chain in
          last_z := v.Stats.Geweke.z;
-         if Stats.Geweke.converged ~threshold:config.z_threshold v then begin
+         let converged =
+           Stats.Geweke.converged ~threshold:config.z_threshold v
+         in
+         if observing then
+           Obs.Sink.emit obs "geweke"
+             [
+               ("iter", Obs.Json.Int iter);
+               ("z", Obs.Json.Float v.Stats.Geweke.z);
+               ("n_samples", Obs.Json.Int !n_samples);
+               ("converged", Obs.Json.Bool converged);
+             ];
+         if converged then begin
            mixed := true;
            raise Exit
          end
@@ -138,21 +188,49 @@ let run_internal ~rule ?(config = default_config) ~eta errfn =
     let chain = Array.of_list (List.rev !samples) in
     let v = Stats.Geweke.z_statistic chain in
     last_z := v.Stats.Geweke.z;
-    if Stats.Geweke.converged ~threshold:config.z_threshold v then mixed := true
+    let converged = Stats.Geweke.converged ~threshold:config.z_threshold v in
+    if observing then
+      Obs.Sink.emit obs "geweke"
+        [
+          ("iter", Obs.Json.Int !iterations);
+          ("z", Obs.Json.Float v.Stats.Geweke.z);
+          ("n_samples", Obs.Json.Int !n_samples);
+          ("converged", Obs.Json.Bool converged);
+        ];
+    if converged then mixed := true
   end;
-  {
-    max_err = !max_err;
-    max_err_input = !max_err_input;
-    validated = !mixed && Ulp.compare !max_err eta <= 0;
-    mixed = !mixed;
-    geweke_z = !last_z;
-    iterations = !iterations;
-    trace = List.rev !trace;
-  }
+  let verdict =
+    {
+      max_err = !max_err;
+      max_err_input = !max_err_input;
+      validated = !mixed && Ulp.compare !max_err eta <= 0;
+      mixed = !mixed;
+      geweke_z = !last_z;
+      iterations = !iterations;
+      trace = List.rev !trace;
+    }
+  in
+  if observing then begin
+    let elapsed = Obs.Clock.elapsed_s ~since:t0 in
+    Obs.Sink.emit obs "validate_end"
+      [
+        ("max_err_ulps", Obs.Json.Float (Ulp.to_float verdict.max_err));
+        ("validated", Obs.Json.Bool verdict.validated);
+        ("mixed", Obs.Json.Bool verdict.mixed);
+        ("geweke_z", Obs.Json.Float verdict.geweke_z);
+        ("iterations", Obs.Json.Int verdict.iterations);
+        ("elapsed_s", Obs.Json.Float elapsed);
+        ( "samples_per_s",
+          Obs.Json.Float
+            (if elapsed > 0. then float_of_int verdict.iterations /. elapsed
+             else 0.) );
+      ]
+  end;
+  verdict
 
-let run ?config ~eta errfn = run_internal ~rule:A_mcmc ?config ~eta errfn
+let run ?obs ?config ~eta errfn = run_internal ~rule:A_mcmc ?obs ?config ~eta errfn
 
-let run_strategy ?config ~strategy ~eta errfn =
+let run_strategy ?obs ?config ~strategy ~eta errfn =
   let rule =
     match strategy with
     | `Mcmc -> A_mcmc
@@ -160,4 +238,4 @@ let run_strategy ?config ~strategy ~eta errfn =
     | `Anneal -> A_anneal
     | `Random -> A_random
   in
-  run_internal ~rule ?config ~eta errfn
+  run_internal ~rule ?obs ?config ~eta errfn

@@ -4,7 +4,12 @@
     the chain has mixed.  The largest observed sample is the reported bound.
 
     This establishes strong evidence of correctness within η, not a formal
-    proof (the paper's "validation" vs "verification" distinction). *)
+    proof (the paper's "validation" vs "verification" distinction).
+
+    Both drivers stream telemetry through an optional {!Obs.Sink.t}
+    ([validate_start], [val_new_max], [val_checkpoint], [geweke],
+    [validate_end] — see [docs/TELEMETRY.md]).  Telemetry never touches
+    the RNG, so verdicts are identical with or without a sink. *)
 
 type config = {
   max_proposals : int;  (** hard iteration cap (the paper used 100M) *)
@@ -34,9 +39,10 @@ type verdict = {
   trace : trace_entry list;
 }
 
-val run : ?config:config -> eta:Ulp.t -> Errfn.t -> verdict
+val run : ?obs:Obs.Sink.t -> ?config:config -> eta:Ulp.t -> Errfn.t -> verdict
 
 val run_strategy :
+  ?obs:Obs.Sink.t ->
   ?config:config -> strategy:[ `Mcmc | `Hill | `Anneal | `Random ] ->
   eta:Ulp.t -> Errfn.t -> verdict
 (** §6.4 comparison: the same max-error hunt under alternate acceptance

@@ -26,7 +26,14 @@ type verdict = {
 
 (* One chain: Metropolis on the error density, recording the whole sample
    series for the R̂ computation. *)
-let run_chain ~config ~seed errfn =
+let run_chain ~obs ~chain ~config ~seed errfn =
+  if Obs.Sink.enabled obs then
+    Obs.Sink.emit obs "chain_start"
+      [
+        ("chain", Obs.Json.Int chain);
+        ("seed", Obs.Json.String (Int64.to_string seed));
+        ("proposals", Obs.Json.Int config.proposals_per_chain);
+      ];
   let g = Rng.Xoshiro256.create seed in
   let spec = Errfn.spec errfn in
   let proposal = Proposal.create ~sigma:config.sigma spec in
@@ -52,13 +59,21 @@ let run_chain ~config ~seed errfn =
     end;
     series.(i) <- !cur_err
   done;
+  if Obs.Sink.enabled obs then
+    Obs.Sink.emit obs "chain_end"
+      [
+        ("chain", Obs.Json.Int chain);
+        ("max_err_ulps", Obs.Json.Float (Ulp.to_float !best));
+      ];
   (!best, !best_input, series)
 
-let run ?(config = default_config) ~eta errfn =
+let run ?(obs = Obs.Sink.null) ?(config = default_config) ~eta errfn =
   if config.chains < 2 then invalid_arg "Multi_chain.run: need >= 2 chains";
   let results =
     List.init config.chains (fun i ->
-        run_chain ~config ~seed:(Int64.add config.seed (Int64.of_int i)) errfn)
+        run_chain ~obs ~chain:i ~config
+          ~seed:(Int64.add config.seed (Int64.of_int i))
+          errfn)
   in
   let per_chain_max = Array.of_list (List.map (fun (b, _, _) -> b) results) in
   let best, best_input =
@@ -72,11 +87,23 @@ let run ?(config = default_config) ~eta errfn =
   let chains = Array.of_list (List.map (fun (_, _, s) -> s) results) in
   let v = Stats.Gelman_rubin.r_hat chains in
   let mixed = Stats.Gelman_rubin.converged ~threshold:config.r_hat_threshold v in
-  {
-    max_err = best;
-    max_err_input = best_input;
-    r_hat = v.Stats.Gelman_rubin.r_hat;
-    mixed;
-    per_chain_max;
-    validated = mixed && Ulp.compare best eta <= 0;
-  }
+  let verdict =
+    {
+      max_err = best;
+      max_err_input = best_input;
+      r_hat = v.Stats.Gelman_rubin.r_hat;
+      mixed;
+      per_chain_max;
+      validated = mixed && Ulp.compare best eta <= 0;
+    }
+  in
+  if Obs.Sink.enabled obs then
+    Obs.Sink.emit obs "multi_chain_end"
+      [
+        ("chains", Obs.Json.Int config.chains);
+        ("r_hat", Obs.Json.Float verdict.r_hat);
+        ("mixed", Obs.Json.Bool verdict.mixed);
+        ("max_err_ulps", Obs.Json.Float (Ulp.to_float verdict.max_err));
+        ("validated", Obs.Json.Bool verdict.validated);
+      ];
+  verdict

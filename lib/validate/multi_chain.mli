@@ -26,4 +26,8 @@ type verdict = {
   validated : bool;  (** mixed and max_err ≤ η *)
 }
 
-val run : ?config:config -> eta:Ulp.t -> Errfn.t -> verdict
+val run : ?obs:Obs.Sink.t -> ?config:config -> eta:Ulp.t -> Errfn.t -> verdict
+(** Chains run sequentially, so one sink serves them all: events are
+    tagged with a [chain] index ([chain_start], [chain_end]) and the
+    final [multi_chain_end] event carries R̂ and the verdict (see
+    [docs/TELEMETRY.md]).  Telemetry does not perturb the chains. *)

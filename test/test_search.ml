@@ -406,6 +406,48 @@ let parallel_tests =
           | None -> Float.infinity
         in
         Alcotest.(check bool) "multi <= single" true (perf multi <= perf single));
+    Alcotest.test_case "per-domain sinks see every chain; stats sum" `Slow
+      (fun () ->
+        let spec = Kernels.Aek_kernels.add_spec in
+        let tests = Stoke.make_tests ~n:8 ~seed:35L spec in
+        let params = Search.Cost.default_params ~eta:0L in
+        let proposals = 6_000 and domains = 3 in
+        let config =
+          { Search.Optimizer.default_config with Search.Optimizer.proposals }
+        in
+        let sinks = Array.init domains (fun _ -> Obs.Sink.memory ()) in
+        let r =
+          Search.Parallel.run ~domains
+            ~obs:(fun ~chain -> sinks.(chain))
+            ~spec ~params ~tests ~config ()
+        in
+        (* every chain streamed into its own sink *)
+        Array.iteri
+          (fun i sink ->
+            let evs = Obs.Sink.drain sink in
+            let named n =
+              List.filter (fun (e : Obs.Sink.event) -> e.Obs.Sink.name = n) evs
+            in
+            Alcotest.(check int)
+              (Printf.sprintf "chain %d search_end" i)
+              1
+              (List.length (named "search_end"));
+            Alcotest.(check bool)
+              (Printf.sprintf "chain %d checkpoints" i)
+              true
+              (List.length (named "checkpoint") > 0))
+          sinks;
+        (* cross-chain sums are coherent (the aggregation builds fresh
+           arrays rather than mutating the winning chain's counters) *)
+        Alcotest.(check int) "proposals summed" (domains * proposals)
+          r.Search.Optimizer.proposals_made;
+        Alcotest.(check int) "accepted = sum of per-kind accepts"
+          r.Search.Optimizer.accepted
+          (Array.fold_left ( + ) 0
+             r.Search.Optimizer.moves.Search.Optimizer.accepted_by_kind);
+        Alcotest.(check bool) "proposed bounded by proposals" true
+          (Array.fold_left ( + ) 0 r.Search.Optimizer.moves.Search.Optimizer.proposed
+          <= r.Search.Optimizer.proposals_made));
   ]
 
 let telemetry_tests =
