@@ -47,7 +47,7 @@ let run_optimization () =
       (* normalize to the target's initial cost *)
       let init_cost =
         let ctx = Search.Cost.create spec (Search.Cost.default_params ~eta) tests in
-        (Search.Cost.eval ctx spec.Sandbox.Spec.program).Search.Cost.total
+        (Search.Cost.eval_full ctx spec.Sandbox.Spec.program).Search.Cost.total
       in
       Printf.printf "%-8s" "iter";
       List.iter (fun (sname, _) -> Printf.printf " %10s" sname) results;

@@ -150,7 +150,8 @@ let show_cmd =
 (* ----- optimize ----- *)
 
 let optimize_cmd =
-  let run name eta proposals seed domains out trace_out metrics progress =
+  let run name eta proposals seed domains no_prune out trace_out metrics
+      progress =
     match find_kernel name with
     | Error e -> exit_err e
     | Ok spec ->
@@ -159,6 +160,7 @@ let optimize_cmd =
           Search.Optimizer.default_config with
           Search.Optimizer.proposals;
           seed = Int64.of_int seed;
+          prune = not no_prune;
         }
       in
       if metrics then Sandbox.Exec.Counters.enable ();
@@ -198,6 +200,10 @@ let optimize_cmd =
             ("proposals_made", Obs.Json.Int result.Search.Optimizer.proposals_made);
             ("accepted", Obs.Json.Int result.Search.Optimizer.accepted);
             ("evaluations", Obs.Json.Int result.Search.Optimizer.evaluations);
+            ( "tests_executed",
+              Obs.Json.Int result.Search.Optimizer.tests_executed );
+            ("pruned_evals", Obs.Json.Int result.Search.Optimizer.pruned_evals);
+            ("cache_hits", Obs.Json.Int result.Search.Optimizer.cache_hits);
             ("elapsed_s", Obs.Json.Float (Obs.Clock.elapsed_s ~since:t0));
             ("moves", Search.Optimizer.moves_json result.Search.Optimizer.moves);
             ("sandbox", sandbox_counters_json ());
@@ -230,11 +236,23 @@ let optimize_cmd =
       & info [ "domains" ] ~docv:"N"
           ~doc:"Run N independent parallel search chains (OCaml domains).")
   in
+  let no_prune_arg =
+    Arg.(
+      value & flag
+      & info [ "no-prune" ]
+          ~doc:
+            "Disable early-termination cost evaluation and the proposal cost \
+             cache: run every test case to completion on every proposal.  \
+             The winning rewrite is bit-identical either way for a fixed \
+             seed; this escape hatch exists to measure the saving (compare \
+             the tests_executed counter with --metrics) and to rule pruning \
+             out when debugging.")
+  in
   Cmd.v
     (Cmd.info "optimize" ~doc:"Search for a faster η-correct rewrite")
     Term.(
       const run $ kernel_arg $ eta_arg $ proposals_arg $ seed_arg $ domains_arg
-      $ out_arg $ trace_out_arg $ metrics_arg $ progress_arg)
+      $ no_prune_arg $ out_arg $ trace_out_arg $ metrics_arg $ progress_arg)
 
 (* ----- refine ----- *)
 

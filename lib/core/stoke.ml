@@ -20,7 +20,10 @@ let optimize ?config ?tests ?obs ?progress_every ~eta spec =
     | None -> make_tests ~seed:(Int64.add config.Search.Optimizer.seed 100L) spec
   in
   let params = Search.Cost.default_params ~eta in
-  let ctx = Search.Cost.create spec params tests in
+  let ctx =
+    Search.Cost.create ~use_cache:config.Search.Optimizer.prune spec params
+      tests
+  in
   Search.Optimizer.run ?obs ?progress_every ctx config
 
 let validate ?config ?obs ~eta spec rewrite =
@@ -64,7 +67,10 @@ let optimize_refined ?config ?validation ?(max_rounds = 4) ?(tests = 32)
           ("tests", Obs.Json.Int (List.length !test_list));
         ];
     let params = Search.Cost.default_params ~eta in
-    let ctx = Search.Cost.create spec params (Array.of_list !test_list) in
+    let ctx =
+      Search.Cost.create ~use_cache:config.Search.Optimizer.prune spec params
+        (Array.of_list !test_list)
+    in
     let result =
       Search.Optimizer.run ~obs ctx
         { config with Search.Optimizer.seed = Int64.add config.Search.Optimizer.seed (Int64.of_int round) }

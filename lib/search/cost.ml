@@ -24,30 +24,57 @@ let default_params ~eta =
   { eta; k = 1.0; ws = 1e18; metric = Ulp_metric; reduction = Max;
     perf_model = Sum_latency }
 
+type cost = {
+  eq : float;
+  perf : float;
+  total : float;
+  signals : int;
+  max_ulp : Ulp.t;
+}
+
 type t = {
   spec : Sandbox.Spec.t;
   params : params;
   tests : Sandbox.Testcase.t array;
   expected : Sandbox.Spec.value array array;
-      (** per test: target's live-out values (only for tests where the
-          target ran to completion) *)
+      (** per test: target's live-out values ([[||]] on tests where the
+          target signalled) *)
   target_signalled : bool array;
+      (** per test: did the target fault?  A rewrite fault on such a test
+          {e matches} the target (sig term of Eq. 9/11) and costs nothing;
+          finishing where the target faulted costs [ws], and vice versa. *)
+  order : int array;
+      (** evaluation order over [tests]: a permutation maintained
+          move-to-front so that the test which most recently triggered a
+          cutoff abort runs first.  Per-context, so parallel search domains
+          stay independent. *)
   machine : Sandbox.Machine.t;  (** scratch machine, reused per run *)
   pristine : Sandbox.Machine.t;
+  cache : (int64 * Program.t * cost) option array;
+      (** direct-mapped proposal cost cache keyed by {!Program.hash};
+          [[||]] when disabled *)
   mutable evaluations : int;
+  mutable tests_executed : int;
+  mutable pruned_evals : int;
+  mutable cache_hits : int;
 }
 
 let spec t = t.spec
 let params t = t.params
 let tests t = t.tests
 let evaluations t = t.evaluations
+let tests_executed t = t.tests_executed
+let pruned_evals t = t.pruned_evals
+let cache_hits t = t.cache_hits
 
 let run_on t program tc =
   Sandbox.Machine.restore_from ~src:t.pristine ~dst:t.machine;
   Sandbox.Testcase.apply tc t.machine;
   Sandbox.Exec.run t.machine program
 
-let create spec params tests =
+let cache_size = 512
+
+let create ?(use_cache = true) spec params tests =
   let machine = Sandbox.Machine.create ~mem_size:spec.Sandbox.Spec.mem_size () in
   let pristine = Sandbox.Machine.copy machine in
   let t =
@@ -57,30 +84,35 @@ let create spec params tests =
       tests;
       expected = [||];
       target_signalled = [||];
+      order = Array.init (Array.length tests) Fun.id;
       machine;
       pristine;
+      cache = (if use_cache then Array.make cache_size None else [||]);
       evaluations = 0;
+      tests_executed = 0;
+      pruned_evals = 0;
+      cache_hits = 0;
     }
   in
+  let target_signalled = Array.make (Array.length tests) false in
   let expected =
-    Array.map
-      (fun tc ->
+    Array.mapi
+      (fun i tc ->
         let r = run_on t spec.Sandbox.Spec.program tc in
         match r.Sandbox.Exec.outcome with
         | Sandbox.Exec.Finished -> Sandbox.Spec.read_outputs spec t.machine
-        | Sandbox.Exec.Faulted f ->
-          invalid_arg
-            (Printf.sprintf "Cost.create: target faults on a test case (%s)"
-               (Sandbox.Semantics.fault_to_string f)))
+        | Sandbox.Exec.Faulted _ ->
+          target_signalled.(i) <- true;
+          [||])
       tests
   in
-  { t with
-    expected;
-    target_signalled = Array.map (fun _ -> false) tests
-  }
+  { t with expected; target_signalled }
 
 (* Error between one pair of values, already thresholded by η, as a float. *)
 let location_error params expected actual =
+  let ulp_fallback () =
+    Ulp.to_float (Ulp.sub_clamp (Sandbox.Spec.value_ulp expected actual) params.eta)
+  in
   match params.metric with
   | Ulp_metric ->
     let d = Sandbox.Spec.value_ulp expected actual in
@@ -94,67 +126,147 @@ let location_error params expected actual =
        (* Scale into roughly ULP-comparable magnitude so η stays usable:
           1 ULP near 1.0 is ~2e-16, so multiply by 2^52. *)
        Float.max 0. ((d *. 0x1p52) -. Ulp.to_float params.eta)
-     | Sandbox.Spec.Vi64 _, _ | _, Sandbox.Spec.Vi64 _ ->
-       Ulp.to_float (Ulp.sub_clamp (Sandbox.Spec.value_ulp expected actual) params.eta)
+     | Sandbox.Spec.Vi64 _, _ | _, Sandbox.Spec.Vi64 _ -> ulp_fallback ()
      | (Sandbox.Spec.Vf64 _ | Sandbox.Spec.Vf32 _), _ ->
        invalid_arg "Cost: mismatched value types")
   | Rel_metric ->
     (match expected, actual with
      | Sandbox.Spec.Vf64 a, Sandbox.Spec.Vf64 b
      | Sandbox.Spec.Vf32 a, Sandbox.Spec.Vf32 b ->
-       let d = Float.abs ((a -. b) /. a) in
-       let d = if Float.is_nan d then Float.infinity else d in
-       (* 1 ULP of relative error is ~2^-52. *)
-       Float.max 0. ((d *. 0x1p52) -. Ulp.to_float params.eta)
-     | Sandbox.Spec.Vi64 _, _ | _, Sandbox.Spec.Vi64 _ ->
-       Ulp.to_float (Ulp.sub_clamp (Sandbox.Spec.value_ulp expected actual) params.eta)
+       if Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b) then
+         (* Exact match (any bit pattern, including NaN) is zero error —
+            in particular when a = b = 0., where (a−b)/a is NaN and the
+            old code mapped an exactly-correct value to +∞. *)
+         0.
+       else if a = 0. then
+         (* Zero denominator: relative error is undefined, so score the
+            mismatch by ULP distance instead of +∞ (this also makes
+            -0. vs 0. free, as it should be). *)
+         ulp_fallback ()
+       else
+         let d = Float.abs ((a -. b) /. a) in
+         let d = if Float.is_nan d then Float.infinity else d in
+         (* 1 ULP of relative error is ~2^-52. *)
+         Float.max 0. ((d *. 0x1p52) -. Ulp.to_float params.eta)
+     | Sandbox.Spec.Vi64 _, _ | _, Sandbox.Spec.Vi64 _ -> ulp_fallback ()
      | (Sandbox.Spec.Vf64 _ | Sandbox.Spec.Vf32 _), _ ->
        invalid_arg "Cost: mismatched value types")
 
-type cost = {
-  eq : float;
-  perf : float;
-  total : float;
-  signals : int;
-  max_ulp : Ulp.t;
+type pruned = {
+  tests_run : int;
+  eq_partial : float;
 }
 
-let eval t program =
+type verdict =
+  | Evaluated of cost
+  | Pruned of pruned
+
+let move_to_front t pos =
+  if pos > 0 then begin
+    let ti = t.order.(pos) in
+    Array.blit t.order 0 t.order 1 pos;
+    t.order.(0) <- ti
+  end
+
+let cache_slot t hash = Int64.to_int hash land (Array.length t.cache - 1)
+
+let cache_find t program =
+  if Array.length t.cache = 0 then None
+  else begin
+    let h = Program.hash program in
+    match t.cache.(cache_slot t h) with
+    | Some (h', p, c) when Int64.equal h h' && Program.equal p program -> Some c
+    | _ -> None
+  end
+
+let cache_store t program c =
+  if Array.length t.cache > 0 then begin
+    let h = Program.hash program in
+    t.cache.(cache_slot t h) <- Some (h, Program.copy program, c)
+  end
+
+exception Prune of int
+
+let eval ?cutoff t program =
   t.evaluations <- t.evaluations + 1;
-  let params = t.params in
-  let eq = ref 0. in
-  let signals = ref 0 in
-  let max_ulp = ref Ulp.zero in
-  let combine v =
-    match params.reduction with
-    | Max -> eq := Float.max !eq v
-    | Sum -> eq := !eq +. v
-  in
-  Array.iteri
-    (fun ti tc ->
-      let r = run_on t program tc in
-      match r.Sandbox.Exec.outcome with
-      | Sandbox.Exec.Faulted _ ->
-        incr signals;
-        combine params.ws
-      | Sandbox.Exec.Finished ->
-        let actual = Sandbox.Spec.read_outputs t.spec t.machine in
-        let expected = t.expected.(ti) in
-        let test_err = ref 0. in
-        Array.iteri
-          (fun li e ->
-            let a = actual.(li) in
-            max_ulp := Ulp.max !max_ulp (Sandbox.Spec.value_ulp e a);
-            test_err := !test_err +. location_error params e a)
-          expected;
-        combine !test_err)
-    t.tests;
-  let perf =
-    match params.perf_model with
-    | Sum_latency -> float_of_int (Latency.of_program program)
-    | Critical_path -> float_of_int (Critical_path.of_program program)
-  in
-  { eq = !eq; perf; total = !eq +. (params.k *. perf); signals = !signals;
-    max_ulp = !max_ulp }
+  match cache_find t program with
+  | Some c ->
+    t.cache_hits <- t.cache_hits + 1;
+    Evaluated c
+  | None ->
+    let params = t.params in
+    let perf =
+      match params.perf_model with
+      | Sum_latency -> float_of_int (Latency.of_program program)
+      | Critical_path -> float_of_int (Critical_path.of_program program)
+    in
+    let kperf = params.k *. perf in
+    (* Aborting early is sound only under Max reduction: the running max is
+       the exact eq over the tests run so far, so [eq +. kperf] is a lower
+       bound on the final total in the very same floating-point terms the
+       acceptance test compares against.  A permuted partial Sum is only a
+       lower bound up to rounding, so a cutoff is ignored there. *)
+    let limit =
+      match cutoff, params.reduction with
+      | Some c, Max -> c
+      | (Some _ | None), _ -> Float.infinity
+    in
+    let eq = ref 0. in
+    let signals = ref 0 in
+    let max_ulp = ref Ulp.zero in
+    let combine v =
+      match params.reduction with
+      | Max -> eq := Float.max !eq v
+      | Sum -> eq := !eq +. v
+    in
+    let n = Array.length t.tests in
+    let pruned_at =
+      try
+        for pos = 0 to n - 1 do
+          let ti = t.order.(pos) in
+          let r = run_on t program t.tests.(ti) in
+          t.tests_executed <- t.tests_executed + 1;
+          (match r.Sandbox.Exec.outcome with
+           | Sandbox.Exec.Faulted _ ->
+             incr signals;
+             (* a fault only diverges when the target ran to completion *)
+             if not t.target_signalled.(ti) then combine params.ws
+           | Sandbox.Exec.Finished ->
+             if t.target_signalled.(ti) then combine params.ws
+             else begin
+               let actual = Sandbox.Spec.read_outputs t.spec t.machine in
+               let expected = t.expected.(ti) in
+               let test_err = ref 0. in
+               Array.iteri
+                 (fun li e ->
+                   let a = actual.(li) in
+                   max_ulp := Ulp.max !max_ulp (Sandbox.Spec.value_ulp e a);
+                   test_err := !test_err +. location_error params e a)
+                 expected;
+               combine !test_err
+             end);
+          if !eq +. kperf > limit then raise (Prune pos)
+        done;
+        -1
+      with Prune pos -> pos
+    in
+    if pruned_at >= 0 then begin
+      t.pruned_evals <- t.pruned_evals + 1;
+      move_to_front t pruned_at;
+      Pruned { tests_run = pruned_at + 1; eq_partial = !eq }
+    end
+    else begin
+      let c =
+        { eq = !eq; perf; total = !eq +. kperf; signals = !signals;
+          max_ulp = !max_ulp }
+      in
+      cache_store t program c;
+      Evaluated c
+    end
+
+let eval_full t program =
+  match eval t program with
+  | Evaluated c -> c
+  | Pruned _ -> assert false (* no cutoff was given *)
 
 let correct c = c.eq = 0.

@@ -1,11 +1,35 @@
-(** The paper's cost function (Eq. 2, 9–11).
+(** The paper's cost function (Eq. 2, 9–11), with early termination.
 
-    [eq_fast] compares the rewrite's live outputs against the target's
+    [eval] compares the rewrite's live outputs against the target's
     precomputed outputs on every test case, charging
     [max(0, ULP(f_R, f_T) − η)] per live-out location plus a large penalty
     for divergent signal behaviour, and reduces across test cases with
     [max] (§5.2; saturating, so costs never overflow).  The total cost is
     [eq + k·perf] where [perf] is the static latency sum of the rewrite.
+
+    Signal behaviour is scored symmetrically: a test where the {e target}
+    faults is recorded at {!create}, and a rewrite that faults on the same
+    test matches the target — cost 0 — while one that runs to completion
+    there diverges and pays [ws].
+
+    Three mechanisms keep the search's inner loop off the test-case
+    treadmill, all transparent to results:
+
+    - {b Cutoff}: [eval ?cutoff] aborts the test loop as soon as the
+      accumulated [eq] plus the (statically known) perf term provably
+      exceeds [cutoff], returning {!Pruned}.  The caller derives the
+      cutoff from the acceptance rule (the Metropolis bound
+      [c(R) − ln u/β] with the uniform sample drawn up front), so a
+      pruned evaluation is exactly a rejected proposal.  Active only
+      under [Max] reduction, where the running value is an exact lower
+      bound.
+    - {b Adaptive test order}: the test that triggered an abort moves to
+      the front of a per-context permutation, so discriminating tests run
+      first.  Order never changes results — the [Max] reduction is
+      order-independent — and contexts share no state across domains.
+    - {b Cost cache}: a small direct-mapped cache keyed by
+      {!Program.hash} (verified with [Program.equal], so hits are exact)
+      short-circuits re-proposed rewrites without touching the sandbox.
 
     The error metric and the reduction operator are configurable to support
     the ablation benches (ULP vs absolute vs relative error; max vs sum). *)
@@ -14,6 +38,9 @@ type metric =
   | Ulp_metric
   | Abs_metric  (** |a−b| scaled into ULP-comparable units *)
   | Rel_metric
+      (** |a−b|/|a| scaled into ULP-comparable units; an exact (bitwise)
+          match is zero error, and a zero expected value falls back to the
+          ULP metric instead of dividing by zero *)
 
 type reduction =
   | Max
@@ -37,10 +64,19 @@ val default_params : eta:Ulp.t -> params
 (** k = 1.0, ws = 1e18, ULP metric, max reduction, latency-sum perf. *)
 
 type t
-(** Evaluation context: spec, test cases, the target's expected outputs, and
+(** Evaluation context: spec, test cases, the target's expected outputs
+    (and fault behaviour), the adaptive test order, the cost cache, and
     reusable machines. *)
 
-val create : Sandbox.Spec.t -> params -> Sandbox.Testcase.t array -> t
+val create :
+  ?use_cache:bool ->
+  Sandbox.Spec.t ->
+  params ->
+  Sandbox.Testcase.t array ->
+  t
+(** Runs the target on every test case to record its outputs (or its fault
+    behaviour — a faulting target is recorded, not rejected).
+    [use_cache] (default [true]) enables the proposal cost cache. *)
 
 val spec : t -> Sandbox.Spec.t
 val params : t -> params
@@ -54,10 +90,38 @@ type cost = {
   max_ulp : Ulp.t;  (** worst per-location ULP error observed *)
 }
 
-val eval : t -> Program.t -> cost
+(** How far a cutoff evaluation got before the partial cost provably
+    exceeded the bound. *)
+type pruned = {
+  tests_run : int;  (** test cases executed before aborting (≥ 1) *)
+  eq_partial : float;  (** accumulated eq at the abort — a lower bound *)
+}
+
+type verdict =
+  | Evaluated of cost
+  | Pruned of pruned
+
+val eval : ?cutoff:float -> t -> Program.t -> verdict
+(** Without [cutoff] (or under [Sum] reduction) this always returns
+    [Evaluated] with the full cost.  With [cutoff] it returns [Pruned] as
+    soon as [eq + k·perf > cutoff] is provable, guaranteeing the full
+    total would also exceed [cutoff] — bit-for-bit the same comparison the
+    caller would make. *)
+
+val eval_full : t -> Program.t -> cost
+(** [eval] with no cutoff, unwrapped. *)
 
 val evaluations : t -> int
-(** Number of [eval] calls so far (test-case dispatch counting). *)
+(** Number of [eval] calls so far (including cache hits). *)
+
+val tests_executed : t -> int
+(** Test-case program runs so far (what pruning and caching save). *)
+
+val pruned_evals : t -> int
+(** Evaluations aborted early by a cutoff. *)
+
+val cache_hits : t -> int
+(** Evaluations answered from the cost cache without running anything. *)
 
 val correct : cost -> bool
 (** [eq = 0.] *)

@@ -5,6 +5,7 @@ type config = {
   padding : int;
   restarts : int;
   trace_points : int;
+  prune : bool;
 }
 
 let default_config =
@@ -15,6 +16,7 @@ let default_config =
     padding = 4;
     restarts = 1;
     trace_points = 60;
+    prune = true;
   }
 
 type trace_entry = {
@@ -37,6 +39,9 @@ type result = {
   proposals_made : int;
   accepted : int;
   evaluations : int;
+  tests_executed : int;
+  pruned_evals : int;
+  cache_hits : int;
   moves : move_stats;
 }
 
@@ -91,11 +96,21 @@ let moves_json (moves : move_stats) =
              ] ))
        kind_names)
 
+(* Counter values at the start of a [run_from], so events report rates and
+   totals for this run even when a context is reused. *)
+type anchors = {
+  t0 : int64;  (** {!Obs.Clock.now_ns} reading *)
+  evals0 : int;
+  tests0 : int;
+  pruned0 : int;
+  hits0 : int;
+}
+
 (* Shared by the log-spaced "checkpoint" and the fixed-cadence "progress"
-   events; [t0]/[evals0] anchor rates to the start of this [run_from]. *)
-let emit_point obs name ~chain ~iter ~t0 ~evals0 ctx state ~current_total =
-  let elapsed = Obs.Clock.elapsed_s ~since:t0 in
-  let evals = Cost.evaluations ctx - evals0 in
+   events. *)
+let emit_point obs name ~chain ~iter ~anchors ctx state ~current_total =
+  let elapsed = Obs.Clock.elapsed_s ~since:anchors.t0 in
+  let evals = Cost.evaluations ctx - anchors.evals0 in
   Obs.Sink.emit obs name
     [
       ("chain", Obs.Json.Int chain);
@@ -105,16 +120,19 @@ let emit_point obs name ~chain ~iter ~t0 ~evals0 ctx state ~current_total =
       ("proposals_made", Obs.Json.Int state.proposals_made);
       ("accepted", Obs.Json.Int state.accepted);
       ("evaluations", Obs.Json.Int evals);
+      ("tests_executed", Obs.Json.Int (Cost.tests_executed ctx - anchors.tests0));
+      ("pruned_evals", Obs.Json.Int (Cost.pruned_evals ctx - anchors.pruned0));
+      ("cache_hits", Obs.Json.Int (Cost.cache_hits ctx - anchors.hits0));
       ("elapsed_s", Obs.Json.Float elapsed);
       ( "evals_per_s",
         Obs.Json.Float
           (if elapsed > 0. then float_of_int evals /. elapsed else 0.) );
     ]
 
-let run_chain ~obs ~progress_every ~chain ~t0 ~evals0 ctx pools config init g
+let run_chain ~obs ~progress_every ~chain ~anchors ctx pools config init g
     state =
   let cur = Program.with_padding config.padding (Program.instrs init) in
-  let cur_cost = ref (Cost.eval ctx cur) in
+  let cur_cost = ref (Cost.eval_full ctx cur) in
   let note_candidate cost =
     if Cost.correct cost then begin
       let better =
@@ -142,16 +160,30 @@ let run_chain ~obs ~progress_every ~chain ~t0 ~evals0 ctx pools config init g
      | Some (kind, undo) ->
        state.moves.proposed.(kind_index kind) <-
          state.moves.proposed.(kind_index kind) + 1;
-       let proposal_cost = Cost.eval ctx cur in
-       let delta = proposal_cost.Cost.total -. !cur_cost.Cost.total in
-       if Strategy.accept config.strategy g ~iter ~delta then begin
-         state.accepted <- state.accepted + 1;
-         state.moves.accepted_by_kind.(kind_index kind) <-
-           state.moves.accepted_by_kind.(kind_index kind) + 1;
-         cur_cost := proposal_cost;
-         note_candidate proposal_cost
-       end
-       else Transform.undo cur undo);
+       (* Draw the acceptance randomness before evaluating: a proposal is
+          accepted iff its total stays within [limit], so any evaluation
+          provably exceeding [limit] can abort early — the prune decision
+          and the accept decision are the same float comparison, which is
+          what makes pruned and unpruned runs bit-identical. *)
+       let limit =
+         match Strategy.accept_bound config.strategy g ~iter with
+         | None -> Float.infinity
+         | Some b -> !cur_cost.Cost.total +. b
+       in
+       let verdict =
+         Cost.eval ?cutoff:(if config.prune then Some limit else None) ctx cur
+       in
+       (match verdict with
+        | Cost.Pruned _ -> Transform.undo cur undo
+        | Cost.Evaluated proposal_cost ->
+          if proposal_cost.Cost.total <= limit then begin
+            state.accepted <- state.accepted + 1;
+            state.moves.accepted_by_kind.(kind_index kind) <-
+              state.moves.accepted_by_kind.(kind_index kind) + 1;
+            cur_cost := proposal_cost;
+            note_candidate proposal_cost
+          end
+          else Transform.undo cur undo));
     (match !marks with
      | m :: rest when iter >= m ->
        state.trace_rev <-
@@ -163,23 +195,30 @@ let run_chain ~obs ~progress_every ~chain ~t0 ~evals0 ctx pools config init g
          :: state.trace_rev;
        marks := rest;
        if observing then
-         emit_point obs "checkpoint" ~chain ~iter ~t0 ~evals0 ctx state
+         emit_point obs "checkpoint" ~chain ~iter ~anchors ctx state
            ~current_total:!cur_cost.Cost.total
      | _ -> ());
     (match progress_every with
      | Some n when observing && n > 0 && iter mod n = 0 ->
-       emit_point obs "progress" ~chain ~iter ~t0 ~evals0 ctx state
+       emit_point obs "progress" ~chain ~iter ~anchors ctx state
          ~current_total:!cur_cost.Cost.total
      | _ -> ())
   done
 
 let run_from ?(obs = Obs.Sink.null) ?progress_every ctx config init =
-  let t0 = Obs.Clock.now_ns () in
-  let evals0 = Cost.evaluations ctx in
+  let anchors =
+    {
+      t0 = Obs.Clock.now_ns ();
+      evals0 = Cost.evaluations ctx;
+      tests0 = Cost.tests_executed ctx;
+      pruned0 = Cost.pruned_evals ctx;
+      hits0 = Cost.cache_hits ctx;
+    }
+  in
   let spec = Cost.spec ctx in
   let pools = Pools.make ~target:spec.Sandbox.Spec.program ~spec in
   let g = Rng.Xoshiro256.create config.seed in
-  let init_cost = Cost.eval ctx init in
+  let init_cost = Cost.eval_full ctx init in
   let state =
     {
       best_correct = None;
@@ -207,7 +246,7 @@ let run_from ?(obs = Obs.Sink.null) ?progress_every ctx config init =
   for chain = 1 to Stdlib.max 1 config.restarts do
     if observing then
       Obs.Sink.emit obs "chain_start" [ ("chain", Obs.Json.Int chain) ];
-    run_chain ~obs ~progress_every ~chain ~t0 ~evals0 ctx pools config init
+    run_chain ~obs ~progress_every ~chain ~anchors ctx pools config init
       (Rng.Xoshiro256.split g) state
   done;
   let live_out = Sandbox.Spec.live_out_set spec in
@@ -220,7 +259,7 @@ let run_from ?(obs = Obs.Sink.null) ?progress_every ctx config init =
     match best_correct with
     | None -> (None, None)
     | Some p ->
-      let c = Cost.eval ctx p in
+      let c = Cost.eval_full ctx p in
       if Cost.correct c then (Some p, Some c)
       else (state.best_correct, state.best_correct_cost)
   in
@@ -234,12 +273,15 @@ let run_from ?(obs = Obs.Sink.null) ?progress_every ctx config init =
       proposals_made = state.proposals_made;
       accepted = state.accepted;
       evaluations = Cost.evaluations ctx;
+      tests_executed = Cost.tests_executed ctx;
+      pruned_evals = Cost.pruned_evals ctx;
+      cache_hits = Cost.cache_hits ctx;
       moves = state.moves;
     }
   in
   if observing then begin
-    let elapsed = Obs.Clock.elapsed_s ~since:t0 in
-    let evals = result.evaluations - evals0 in
+    let elapsed = Obs.Clock.elapsed_s ~since:anchors.t0 in
+    let evals = result.evaluations - anchors.evals0 in
     Obs.Sink.emit obs "search_end"
       [
         ("best_correct", Obs.Json.Bool (Option.is_some result.best_correct));
@@ -260,6 +302,9 @@ let run_from ?(obs = Obs.Sink.null) ?progress_every ctx config init =
              else float_of_int result.accepted /. float_of_int result.proposals_made)
         );
         ("evaluations", Obs.Json.Int evals);
+        ("tests_executed", Obs.Json.Int (result.tests_executed - anchors.tests0));
+        ("pruned_evals", Obs.Json.Int (result.pruned_evals - anchors.pruned0));
+        ("cache_hits", Obs.Json.Int (result.cache_hits - anchors.hits0));
         ("elapsed_s", Obs.Json.Float elapsed);
         ( "evals_per_s",
           Obs.Json.Float

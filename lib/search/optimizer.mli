@@ -20,10 +20,16 @@ type config = {
   padding : int;  (** extra [Unused] slots appended to the initial rewrite *)
   restarts : int;  (** independent chains run sequentially; best kept *)
   trace_points : int;  (** number of log-spaced trace checkpoints *)
+  prune : bool;
+      (** pass the acceptance bound to {!Cost.eval} as a cutoff so doomed
+          evaluations abort early (STOKE '13's early-termination trick).
+          Never changes the result — the winning rewrite is bit-identical
+          with pruning on or off — only how many test cases run. *)
 }
 
 val default_config : config
-(** 200k proposals, MCMC with β = 1, seed 1, padding 4, 1 restart. *)
+(** 200k proposals, MCMC with β = 1, seed 1, padding 4, 1 restart,
+    pruning on. *)
 
 type trace_entry = {
   iter : int;
@@ -48,6 +54,10 @@ type result = {
   proposals_made : int;
   accepted : int;
   evaluations : int;
+  tests_executed : int;
+      (** test-case program runs charged to the cost context *)
+  pruned_evals : int;  (** evaluations aborted early by the cutoff *)
+  cache_hits : int;  (** evaluations answered from the cost cache *)
   moves : move_stats;
 }
 

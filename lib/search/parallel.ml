@@ -28,7 +28,7 @@ let run ?domains ?obs ?progress_every ~spec ~params ~tests ~config () =
     Fun.protect
       ~finally:(fun () -> Obs.Sink.close sink)
       (fun () ->
-        let ctx = Cost.create spec params tests in
+        let ctx = Cost.create ~use_cache:config.Optimizer.prune spec params tests in
         let cfg =
           { config with
             Optimizer.seed = Int64.add config.Optimizer.seed (Int64.of_int i) }
@@ -64,6 +64,9 @@ let run ?domains ?obs ?progress_every ~spec ~params ~tests ~config () =
         Optimizer.proposals_made = sum (fun r -> r.Optimizer.proposals_made);
         accepted = sum (fun r -> r.Optimizer.accepted);
         evaluations = sum (fun r -> r.Optimizer.evaluations);
+        tests_executed = sum (fun r -> r.Optimizer.tests_executed);
+        pruned_evals = sum (fun r -> r.Optimizer.pruned_evals);
+        cache_hits = sum (fun r -> r.Optimizer.cache_hits);
         moves
       }
   end

@@ -21,6 +21,18 @@ let accept t g ~iter ~delta =
       Rng.Dist.float g 1.0 < Float.exp (-.delta /. temp)
     end
 
+let accept_bound t g ~iter =
+  match t with
+  | Random_walk -> None
+  | Hill -> Some 0.
+  | Mcmc { beta } ->
+    let u = Rng.Dist.float g 1.0 in
+    if u <= 0. then None else Some (-.Float.log u /. beta)
+  | Anneal { t0; cooling } ->
+    let u = Rng.Dist.float g 1.0 in
+    let temp = Float.max 1e-9 (t0 *. Float.pow cooling (float_of_int iter)) in
+    if u <= 0. then None else Some (-.Float.log u *. temp)
+
 let default_anneal = Anneal { t0 = 1e12; cooling = 0.99997 }
 
 let to_string = function

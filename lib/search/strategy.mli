@@ -18,6 +18,16 @@ val accept : t -> Rng.Xoshiro256.t -> iter:int -> delta:float -> bool
 (** Should a proposal changing the cost by [delta] be accepted at iteration
     [iter]? *)
 
+val accept_bound : t -> Rng.Xoshiro256.t -> iter:int -> float option
+(** Draw the acceptance randomness {e before} cost evaluation and return
+    the largest cost increase still accepted at this iteration: the
+    proposal is accepted iff [delta <= bound] ([None] means accept
+    everything; no randomness is consumed for [Hill] / [Random_walk]).
+    For MCMC the bound is [−ln u/β] — the inversion of Eq. 4 — so the
+    caller can turn it into an evaluation cutoff [c(R) + bound] and abort
+    doomed evaluations early without changing the RNG stream between
+    pruned and unpruned runs. *)
+
 val default_anneal : t
 (** t0 = 1e12, cooling tuned to decay over ~1e6 iterations. *)
 

@@ -30,6 +30,46 @@ let slot_count t = Array.length t.slots
 
 let copy t = { slots = Array.copy t.slots }
 
+(* 64-bit FNV-1a over a canonical encoding of the slots.  Quality only
+   affects the cost-cache hit rate — lookups verify with [equal] — but the
+   encoding is injective per slot up to int64 mixing, so collisions are
+   ~2^-64 per pair. *)
+let hash t =
+  let h = ref 0xcbf29ce484222325L in
+  let mix x =
+    h := Int64.mul (Int64.logxor !h x) 0x100000001b3L
+  in
+  let mix_int i = mix (Int64.of_int i) in
+  Array.iter
+    (fun slot ->
+      match slot with
+      | Unused -> mix_int 0
+      | Active i ->
+        mix_int (1 + Hashtbl.hash i.Instr.op);
+        Array.iter
+          (fun o ->
+            match o with
+            | Operand.Gp r -> mix_int (2 + Reg.gp_index r)
+            | Operand.Xmm r -> mix_int (32 + Reg.xmm_index r)
+            | Operand.Imm v ->
+              mix_int 64;
+              mix v
+            | Operand.Mem m ->
+              mix_int 65;
+              mix_int
+                (match m.Operand.base with
+                 | None -> 0
+                 | Some r -> 1 + Reg.gp_index r);
+              (match m.Operand.index with
+               | None -> mix_int 0
+               | Some (r, s) ->
+                 mix_int (1 + Reg.gp_index r);
+                 mix_int s);
+              mix_int m.Operand.disp)
+          i.Instr.operands)
+    t.slots;
+  !h
+
 let equal a b =
   Array.length a.slots = Array.length b.slots
   && (let ok = ref true in

@@ -30,6 +30,10 @@ val copy : t -> t
 
 val equal : t -> t -> bool
 
+val hash : t -> int64
+(** 64-bit structural hash (FNV-1a over the slot array, [Unused] slots
+    included).  [equal a b] implies [hash a = hash b]. *)
+
 val to_string : t -> string
 (** One instruction per line; unused slots omitted. *)
 

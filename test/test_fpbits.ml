@@ -108,6 +108,27 @@ let ulp_tests =
         Alcotest.(check bool)
           "single < half" true
           (Ulp.compare Ulp.eta_single Ulp.eta_half < 0));
+    (* of_float switches representation at 2^63 (where Int64.of_float
+       would overflow) and saturates at 2^64; exercise both seams. *)
+    Alcotest.test_case "of_float at 2^63" `Quick (fun () ->
+        Alcotest.(check int64) "2^63" Int64.min_int (Ulp.of_float 0x1p63));
+    Alcotest.test_case "of_float just below 2^63" `Quick (fun () ->
+        Alcotest.(check int64)
+          "largest double < 2^63" 0x7FFF_FFFF_FFFF_FC00L
+          (Ulp.of_float 0x1.fffffffffffffp62));
+    Alcotest.test_case "of_float of largest double below 2^64" `Quick (fun () ->
+        (* 2^64 − 2^11, which lands at unsigned 0xFFFF_FFFF_FFFF_F800 *)
+        Alcotest.(check int64)
+          "2^64 - 2^11" (-2048L)
+          (Ulp.of_float 0x1.fffffffffffffp63));
+    Alcotest.test_case "to_float inverts the high range" `Quick (fun () ->
+        Alcotest.(check (float 0.))
+          "roundtrip" 0x1.fffffffffffffp63
+          (Ulp.to_float (-2048L));
+        Alcotest.(check (float 0.)) "2^63" 0x1p63 (Ulp.to_float Int64.min_int));
+    Alcotest.test_case "of_float saturates at 2^64" `Quick (fun () ->
+        Alcotest.(check int64) "2^64" Ulp.max_value (Ulp.of_float 0x1p64);
+        Alcotest.(check int64) "above" Ulp.max_value (Ulp.of_float 0x1.8p64));
   ]
 
 let fp32_tests =
@@ -177,6 +198,50 @@ let prop_f32_add_matches_double_rounding =
       Float.equal (Fp32.add a b) (Fp32.round (a +. b))
       || Float.is_nan (Fp32.add a b))
 
+(* Arbitrary unsigned counts, biased toward the 2^63/2^64 seams where
+   of_float's two branches and the saturation point meet. *)
+let ulp_near_boundary =
+  QCheck.map
+    (fun (k, small) ->
+      match k mod 4 with
+      | 0 -> small (* anywhere *)
+      | 1 -> Int64.add Int64.max_int small (* around 2^63 *)
+      | 2 -> Int64.sub (-1L) (Int64.logand small 0xFFFFL) (* near 2^64 *)
+      | _ -> Int64.logand small 0xFFFFL (* near 0 *))
+    (QCheck.pair QCheck.int QCheck.int64)
+
+let prop_ulp_of_to_float_roundtrip =
+  QCheck.Test.make ~name:"of_float . to_float fixes representable counts"
+    ~count:1000 ulp_near_boundary (fun u ->
+      (* to_float rounds for u > 2^53, so the roundtrip fixes the rounded
+         value rather than u itself *)
+      let f = Ulp.to_float u in
+      Float.equal (Ulp.to_float (Ulp.of_float f)) f)
+
+let prop_ulp_of_float_monotone =
+  QCheck.Test.make ~name:"of_float is monotone across the 2^63 seam"
+    ~count:1000
+    (QCheck.pair (QCheck.float_range 0. 0x1.2p64) (QCheck.float_range 0. 0x1.2p64))
+    (fun (a, b) ->
+      let a, b = if a <= b then (a, b) else (b, a) in
+      Ulp.compare (Ulp.of_float a) (Ulp.of_float b) <= 0)
+
+let prop_add_sat_saturates =
+  QCheck.Test.make ~name:"add_sat saturates instead of wrapping" ~count:1000
+    (QCheck.pair ulp_near_boundary ulp_near_boundary)
+    (fun (a, b) ->
+      let s = Ulp.add_sat a b in
+      (* never below either operand (unsigned): wrapping would violate this *)
+      Ulp.compare s (Ulp.max a b) >= 0
+      && Int64.equal (Ulp.add_sat Ulp.max_value a) Ulp.max_value)
+
+let prop_add_sat_monotone =
+  QCheck.Test.make ~name:"add_sat is monotone in each argument" ~count:1000
+    (QCheck.triple ulp_near_boundary ulp_near_boundary ulp_near_boundary)
+    (fun (a, b, c) ->
+      let lo, hi = if Ulp.compare b c <= 0 then (b, c) else (c, b) in
+      Ulp.compare (Ulp.add_sat a lo) (Ulp.add_sat a hi) <= 0)
+
 let props =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -185,6 +250,10 @@ let props =
       prop_ulp_triangle;
       prop_succ_increases;
       prop_f32_add_matches_double_rounding;
+      prop_ulp_of_to_float_roundtrip;
+      prop_ulp_of_float_monotone;
+      prop_add_sat_saturates;
+      prop_add_sat_monotone;
     ]
 
 let () =

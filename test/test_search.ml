@@ -137,12 +137,12 @@ let cost_tests =
   [
     Alcotest.test_case "target has zero eq cost" `Quick (fun () ->
         let ctx = mk_ctx exp_spec in
-        let c = Search.Cost.eval ctx exp_spec.Sandbox.Spec.program in
+        let c = Search.Cost.eval_full ctx exp_spec.Sandbox.Spec.program in
         Alcotest.(check (float 0.)) "eq" 0. c.Search.Cost.eq;
         Alcotest.(check bool) "correct" true (Search.Cost.correct c));
     Alcotest.test_case "perf term is the latency" `Quick (fun () ->
         let ctx = mk_ctx exp_spec in
-        let c = Search.Cost.eval ctx exp_spec.Sandbox.Spec.program in
+        let c = Search.Cost.eval_full ctx exp_spec.Sandbox.Spec.program in
         Alcotest.(check (float 0.))
           "perf"
           (float_of_int (Latency.of_program exp_spec.Sandbox.Spec.program))
@@ -150,12 +150,12 @@ let cost_tests =
     Alcotest.test_case "wrong program has positive eq cost" `Quick (fun () ->
         let ctx = mk_ctx exp_spec in
         let wrong = Parser.parse_program_exn "addsd xmm0, xmm0" in
-        let c = Search.Cost.eval ctx wrong in
+        let c = Search.Cost.eval_full ctx wrong in
         Alcotest.(check bool) "eq > 0" true (c.Search.Cost.eq > 0.));
     Alcotest.test_case "signalling program is heavily penalized" `Quick (fun () ->
         let ctx = mk_ctx exp_spec in
         let bad = Parser.parse_program_exn "movsd (rax), xmm0" in
-        let c = Search.Cost.eval ctx bad in
+        let c = Search.Cost.eval_full ctx bad in
         Alcotest.(check int) "all tests signal" 16 c.Search.Cost.signals;
         Alcotest.(check bool) "huge" true (c.Search.Cost.eq >= 1e18));
     Alcotest.test_case "eta forgives small errors" `Quick (fun () ->
@@ -165,16 +165,16 @@ let cost_tests =
         let instrs = Program.instrs exp_spec.Sandbox.Spec.program in
         let truncated = List.filteri (fun i _ -> i < 15 || i >= 19) instrs in
         let p = Program.of_instrs truncated in
-        let strict = Search.Cost.eval (mk_ctx ~eta:0L exp_spec) p in
+        let strict = Search.Cost.eval_full (mk_ctx ~eta:0L exp_spec) p in
         let loose =
-          Search.Cost.eval (mk_ctx ~eta:(Ulp.of_float 1e15) exp_spec) p
+          Search.Cost.eval_full (mk_ctx ~eta:(Ulp.of_float 1e15) exp_spec) p
         in
         Alcotest.(check bool) "strict rejects" true (strict.Search.Cost.eq > 0.);
         Alcotest.(check (float 0.)) "loose accepts" 0. loose.Search.Cost.eq);
     Alcotest.test_case "max reduction bounds the cost" `Quick (fun () ->
         let ctx = mk_ctx ~eta:0L exp_spec in
         let empty = Program.of_instrs [] in
-        let c = Search.Cost.eval ctx empty in
+        let c = Search.Cost.eval_full ctx empty in
         (* even for a wildly wrong program, max-reduction keeps eq finite *)
         Alcotest.(check bool) "finite" true (Float.is_finite c.Search.Cost.eq));
     Alcotest.test_case "sum reduction exceeds max reduction" `Quick (fun () ->
@@ -187,15 +187,90 @@ let cost_tests =
             tests
         in
         let wrong = Parser.parse_program_exn "mulsd xmm0, xmm0" in
-        let cm = Search.Cost.eval ctx_max wrong in
-        let cs = Search.Cost.eval ctx_sum wrong in
+        let cm = Search.Cost.eval_full ctx_max wrong in
+        let cs = Search.Cost.eval_full ctx_sum wrong in
         Alcotest.(check bool) "sum >= max" true (cs.Search.Cost.eq >= cm.Search.Cost.eq));
     Alcotest.test_case "evaluations are counted" `Quick (fun () ->
         let ctx = mk_ctx exp_spec in
         let n0 = Search.Cost.evaluations ctx in
-        ignore (Search.Cost.eval ctx exp_spec.Sandbox.Spec.program);
-        ignore (Search.Cost.eval ctx exp_spec.Sandbox.Spec.program);
+        ignore (Search.Cost.eval_full ctx exp_spec.Sandbox.Spec.program);
+        ignore (Search.Cost.eval_full ctx exp_spec.Sandbox.Spec.program);
         Alcotest.(check int) "two more" (n0 + 2) (Search.Cost.evaluations ctx));
+    Alcotest.test_case "rel metric: exact zero output is zero error" `Quick
+      (fun () ->
+        (* Regression: the target always outputs 0.0, so the relative error
+           of an exact rewrite used to be (0−0)/0 = NaN, mapped to +∞ —
+           the target itself scored as maximally wrong. *)
+        let target = Parser.parse_program_exn "xorpd xmm0, xmm0" in
+        let spec =
+          Sandbox.Spec.make ~name:"zero" ~program:target
+            ~float_inputs:
+              [ Sandbox.Spec.Fin_xmm_f64 (Reg.Xmm0, { Sandbox.Spec.lo = -2.; hi = 2. }) ]
+            ~outputs:[ Sandbox.Spec.Out_xmm_f64 Reg.Xmm0 ]
+            ()
+        in
+        let params =
+          { (Search.Cost.default_params ~eta:0L) with
+            Search.Cost.metric = Search.Cost.Rel_metric }
+        in
+        let ctx =
+          Search.Cost.create spec params (Stoke.make_tests ~n:8 ~seed:77L spec)
+        in
+        let c = Search.Cost.eval_full ctx target in
+        Alcotest.(check (float 0.)) "eq" 0. c.Search.Cost.eq;
+        Alcotest.(check bool) "correct" true (Search.Cost.correct c);
+        (* ...while a genuinely wrong output against a zero expectation is
+           still penalized (via the ULP fallback, not divide-by-zero). *)
+        let wrong =
+          Parser.parse_program_exn
+            "movabs $0x3ff0000000000000, rax\nmovq rax, xmm0"
+        in
+        let cw = Search.Cost.eval_full ctx wrong in
+        Alcotest.(check bool) "wrong penalized" true (cw.Search.Cost.eq > 0.));
+    Alcotest.test_case "faulting target: matching faults cost nothing" `Quick
+      (fun () ->
+        (* Regression: a target that signals on some test used to make
+           Cost.create raise, leaving the recorded fault behaviour dead.
+           rax is 0 on every testcase and the sandbox maps memory well
+           above address 0, so this load faults deterministically. *)
+        let target = Parser.parse_program_exn "movsd (rax), xmm0" in
+        let spec =
+          Sandbox.Spec.make ~name:"faulty" ~program:target
+            ~float_inputs:
+              [ Sandbox.Spec.Fin_xmm_f64 (Reg.Xmm0, { Sandbox.Spec.lo = -2.; hi = 2. }) ]
+            ~outputs:[ Sandbox.Spec.Out_xmm_f64 Reg.Xmm0 ]
+            ()
+        in
+        let params = Search.Cost.default_params ~eta:0L in
+        let ctx =
+          Search.Cost.create spec params (Stoke.make_tests ~n:8 ~seed:78L spec)
+        in
+        (* a rewrite that faults exactly where the target faults matches it *)
+        let c = Search.Cost.eval_full ctx target in
+        Alcotest.(check (float 0.)) "eq" 0. c.Search.Cost.eq;
+        Alcotest.(check int) "all tests signal" 8 c.Search.Cost.signals;
+        Alcotest.(check bool) "correct" true (Search.Cost.correct c);
+        (* ...and one that runs to completion there diverges and pays ws *)
+        let finishes = Parser.parse_program_exn "addsd xmm0, xmm0" in
+        let cf = Search.Cost.eval_full ctx finishes in
+        Alcotest.(check bool)
+          "divergent completion pays ws" true
+          (cf.Search.Cost.eq >= params.Search.Cost.ws));
+    Alcotest.test_case "cost cache hit skips the sandbox" `Quick (fun () ->
+        let ctx = mk_ctx exp_spec in
+        let p = exp_spec.Sandbox.Spec.program in
+        let c1 = Search.Cost.eval_full ctx p in
+        let tests1 = Search.Cost.tests_executed ctx in
+        let hits1 = Search.Cost.cache_hits ctx in
+        let c2 = Search.Cost.eval_full ctx p in
+        Alcotest.(check int) "one hit" (hits1 + 1) (Search.Cost.cache_hits ctx);
+        Alcotest.(check int)
+          "no new test runs" tests1
+          (Search.Cost.tests_executed ctx);
+        Alcotest.(check int64)
+          "identical total"
+          (Int64.bits_of_float c1.Search.Cost.total)
+          (Int64.bits_of_float c2.Search.Cost.total));
   ]
 
 let strategy_tests =
@@ -227,6 +302,35 @@ let strategy_tests =
         let accepted = ref 0 in
         for _ = 1 to n do
           if Search.Strategy.accept s g ~iter:1 ~delta:1.0 then incr accepted
+        done;
+        let rate = float_of_int !accepted /. float_of_int n in
+        Alcotest.(check bool)
+          (Printf.sprintf "rate %.3f near e^-1" rate)
+          true
+          (Float.abs (rate -. Float.exp (-1.)) < 0.02));
+    Alcotest.test_case "accept_bound: hill bounds at zero, random at infinity"
+      `Quick (fun () ->
+        let g = Rng.Xoshiro256.create 12L in
+        (match Search.Strategy.accept_bound Search.Strategy.Hill g ~iter:1 with
+         | Some b -> Alcotest.(check (float 0.)) "hill bound" 0. b
+         | None -> Alcotest.fail "hill must produce a bound");
+        (match
+           Search.Strategy.accept_bound Search.Strategy.Random_walk g ~iter:1
+         with
+         | None -> ()
+         | Some _ -> Alcotest.fail "random walk accepts everything"));
+    Alcotest.test_case "accept_bound reproduces the mcmc acceptance rate"
+      `Quick (fun () ->
+        (* accepting iff delta <= bound must give the same e^{-β·delta}
+           statistics as the lazy accept path *)
+        let g = Rng.Xoshiro256.create 13L in
+        let s = Search.Strategy.Mcmc { beta = 1.0 } in
+        let n = 50_000 in
+        let accepted = ref 0 in
+        for _ = 1 to n do
+          match Search.Strategy.accept_bound s g ~iter:1 with
+          | None -> incr accepted
+          | Some b -> if 1.0 <= b then incr accepted
         done;
         let rate = float_of_int !accepted /. float_of_int n in
         Alcotest.(check bool)
@@ -302,11 +406,64 @@ let optimizer_tests =
         | None -> Alcotest.fail "no correct rewrite"
         | Some p ->
           let ctx2 = Search.Cost.create spec (Search.Cost.default_params ~eta:0L) tests in
-          let c = Search.Cost.eval ctx2 p in
+          let c = Search.Cost.eval_full ctx2 p in
           Alcotest.(check bool) "correct" true (Search.Cost.correct c);
           Alcotest.(check bool)
             "no slower than target" true
             (Latency.of_program p <= Latency.of_program spec.Sandbox.Spec.program));
+    Alcotest.test_case "pruning does not change the winner" `Quick (fun () ->
+        (* The tentpole invariant: for a fixed seed the search returns a
+           bit-identical winning rewrite with pruning on or off, while
+           executing strictly fewer test cases. *)
+        let spec = Kernels.Aek_kernels.add_spec in
+        let run prune =
+          let ctx =
+            Search.Cost.create ~use_cache:prune spec
+              (Search.Cost.default_params ~eta:0L)
+              (Stoke.make_tests ~n:8 ~seed:41L spec)
+          in
+          let config =
+            { Search.Optimizer.default_config with
+              Search.Optimizer.proposals = 20_000;
+              prune }
+          in
+          Search.Optimizer.run ctx config
+        in
+        let pruned = run true and full = run false in
+        Alcotest.(check bool)
+          "same best_correct" true
+          (match
+             pruned.Search.Optimizer.best_correct,
+             full.Search.Optimizer.best_correct
+           with
+           | None, None -> true
+           | Some p, Some q -> Program.equal p q
+           | _ -> false);
+        Alcotest.(check bool)
+          "same best_overall" true
+          (Program.equal pruned.Search.Optimizer.best_overall
+             full.Search.Optimizer.best_overall);
+        Alcotest.(check int64)
+          "bit-identical best total"
+          (Int64.bits_of_float
+             full.Search.Optimizer.best_overall_cost.Search.Cost.total)
+          (Int64.bits_of_float
+             pruned.Search.Optimizer.best_overall_cost.Search.Cost.total);
+        Alcotest.(check int)
+          "same accept trajectory" full.Search.Optimizer.accepted
+          pruned.Search.Optimizer.accepted;
+        Alcotest.(check bool)
+          (Printf.sprintf "fewer test runs (%d < %d)"
+             pruned.Search.Optimizer.tests_executed
+             full.Search.Optimizer.tests_executed)
+          true
+          (pruned.Search.Optimizer.tests_executed
+          < full.Search.Optimizer.tests_executed);
+        Alcotest.(check bool)
+          "pruning actually fired" true
+          (pruned.Search.Optimizer.pruned_evals > 0);
+        Alcotest.(check int)
+          "no pruning when disabled" 0 full.Search.Optimizer.pruned_evals);
     Alcotest.test_case "same seed gives the same result" `Quick (fun () ->
         let spec = Kernels.Aek_kernels.add_spec in
         let run () =
@@ -342,8 +499,8 @@ let perf_model_tests =
             tests
         in
         let p = exp_spec.Sandbox.Spec.program in
-        let cs = Search.Cost.eval ctx_sum p in
-        let cc = Search.Cost.eval ctx_cp p in
+        let cs = Search.Cost.eval_full ctx_sum p in
+        let cc = Search.Cost.eval_full ctx_cp p in
         Alcotest.(check bool) "cp <= sum" true (cc.Search.Cost.perf <= cs.Search.Cost.perf);
         Alcotest.(check bool) "cp positive" true (cc.Search.Cost.perf > 0.));
     Alcotest.test_case "synthesis mode finds a tiny kernel from nothing" `Slow
@@ -388,7 +545,7 @@ let parallel_tests =
           let ctx = Search.Cost.create spec params tests in
           Alcotest.(check bool)
             "correct" true
-            (Search.Cost.correct (Search.Cost.eval ctx p)));
+            (Search.Cost.correct (Search.Cost.eval_full ctx p)));
     Alcotest.test_case "parallel is at least as good as one chain" `Slow (fun () ->
         let spec = Kernels.Aek_kernels.scale_spec in
         let tests = Stoke.make_tests ~n:8 ~seed:34L spec in
@@ -515,7 +672,45 @@ let prop_dce_preserves_outputs =
           (fun x y -> Int64.equal (Sandbox.Spec.value_ulp x y) 0L)
           a b)
 
-let props = [ QCheck_alcotest.to_alcotest prop_dce_preserves_outputs ]
+(* Cutoff soundness: for any program and any cutoff, [eval ?cutoff] returns
+   [Pruned] exactly when the full total exceeds the cutoff, and an
+   [Evaluated] verdict carries the bit-identical full cost.  This is the
+   property that makes pruned and unpruned searches interchangeable. *)
+let prop_cutoff_equivalence =
+  let spec = Kernels.Aek_kernels.add_spec in
+  let pools = Search.Pools.make ~target:spec.Sandbox.Spec.program ~spec in
+  let tests = Stoke.make_tests ~n:8 ~seed:42L spec in
+  let params = Search.Cost.default_params ~eta:0L in
+  (* caches off so both contexts actually evaluate; adaptive reordering in
+     [ctx_cut] must not change any verdict *)
+  let ctx_full = Search.Cost.create ~use_cache:false spec params tests in
+  let ctx_cut = Search.Cost.create ~use_cache:false spec params tests in
+  QCheck.Test.make ~name:"cutoff prunes exactly the would-be rejections"
+    ~count:300 QCheck.int64 (fun seed ->
+      let g = Rng.Xoshiro256.create seed in
+      let n = 1 + Rng.Dist.int g 6 in
+      let p =
+        Program.of_instrs
+          (List.init n (fun _ -> Search.Pools.random_instr g pools))
+      in
+      let full = Search.Cost.eval_full ctx_full p in
+      let m = 0.25 +. (1.75 *. Rng.Dist.float g 1.0) in
+      let cutoff = full.Search.Cost.total *. m in
+      match Search.Cost.eval ~cutoff ctx_cut p with
+      | Search.Cost.Evaluated c ->
+        Int64.equal
+          (Int64.bits_of_float c.Search.Cost.total)
+          (Int64.bits_of_float full.Search.Cost.total)
+        && full.Search.Cost.total <= cutoff
+      | Search.Cost.Pruned pr ->
+        full.Search.Cost.total > cutoff
+        && pr.Search.Cost.tests_run >= 1
+        && pr.Search.Cost.tests_run <= Array.length tests
+        && pr.Search.Cost.eq_partial <= full.Search.Cost.eq)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_dce_preserves_outputs; prop_cutoff_equivalence ]
 
 let () =
   Alcotest.run "search"
