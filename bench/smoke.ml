@@ -1,8 +1,9 @@
-(* Pruning smoke check: run the same fixed-seed search with early
-   termination on and off, assert the winners are bit-identical, and
-   report how many test-case executions the cutoff + cache saved.  Small
-   enough to ride along in `dune runtest` as an end-to-end guard on the
-   search loop's equivalence invariant. *)
+(* Equivalence smoke check: run the same fixed-seed search under every
+   engine × pruning combination, assert the winners are bit-identical,
+   and report how many test-case executions the cutoff + cache saved.
+   Small enough to ride along in `dune runtest` as an end-to-end guard on
+   both equivalence invariants — pruned vs. full, and compiled vs.
+   interpreted. *)
 
 let kernels =
   [
@@ -13,46 +14,60 @@ let kernels =
 let run_one name (spec : Sandbox.Spec.t) =
   let tests = Stoke.make_tests ~n:16 ~seed:7L spec in
   let params = Search.Cost.default_params ~eta:0L in
-  let search prune =
-    let ctx = Search.Cost.create ~use_cache:prune spec params tests in
+  let search engine prune =
+    let ctx =
+      Search.Cost.create ~use_cache:prune ~engine spec params tests
+    in
     let config =
       { (Util.search_config ~proposals:3_000 ()) with
-        Search.Optimizer.prune }
+        Search.Optimizer.prune;
+        engine }
     in
     Search.Optimizer.run ~obs:(Util.obs ()) ctx config
   in
-  let pruned = search true in
-  let full = search false in
-  let same =
-    Program.equal pruned.Search.Optimizer.best_overall
+  let full = search Sandbox.Exec.Interp false in
+  let agrees (r : Search.Optimizer.result) =
+    Program.equal r.Search.Optimizer.best_overall
       full.Search.Optimizer.best_overall
     && Int64.equal
          (Int64.bits_of_float
-            pruned.Search.Optimizer.best_overall_cost.Search.Cost.total)
+            r.Search.Optimizer.best_overall_cost.Search.Cost.total)
          (Int64.bits_of_float
             full.Search.Optimizer.best_overall_cost.Search.Cost.total)
+    && r.Search.Optimizer.accepted = full.Search.Optimizer.accepted
     && (match
-          pruned.Search.Optimizer.best_correct,
-          full.Search.Optimizer.best_correct
+          r.Search.Optimizer.best_correct, full.Search.Optimizer.best_correct
         with
         | None, None -> true
         | Some p, Some q -> Program.equal p q
         | _ -> false)
   in
-  if not same then begin
-    Printf.eprintf "smoke: %s: pruned and full searches disagree!\n" name;
-    exit 1
-  end;
+  let pruned = search Sandbox.Exec.Compiled true in
+  List.iter
+    (fun (label, r) ->
+      if not (agrees r) then begin
+        Printf.eprintf "smoke: %s: %s search disagrees with interp/full!\n"
+          name label;
+        exit 1
+      end)
+    [
+      ("interp+prune", search Sandbox.Exec.Interp true);
+      ("compiled", search Sandbox.Exec.Compiled false);
+      ("compiled+prune", pruned);
+    ];
   let tp = pruned.Search.Optimizer.tests_executed in
   let tf = full.Search.Optimizer.tests_executed in
   let saved = 100. *. (1. -. (float_of_int tp /. float_of_int tf)) in
   Printf.printf
-    "%-8s identical winners; tests executed %8d -> %8d  (%.1f%% saved, %d \
-     pruned, %d cache hits)\n"
+    "%-8s identical winners (2 engines x prune on/off); tests executed %8d \
+     -> %8d  (%.1f%% saved, %d pruned, %d cache hits, %d compiles)\n"
     name tf tp saved
     pruned.Search.Optimizer.pruned_evals
     pruned.Search.Optimizer.cache_hits
+    pruned.Search.Optimizer.compile_count
 
 let run () =
-  Util.heading "pruning smoke check (bit-identical winners, fewer test runs)";
+  Util.heading
+    "equivalence smoke check (bit-identical winners across engines and \
+     pruning)";
   List.iter (fun (name, spec) -> run_one name spec) kernels

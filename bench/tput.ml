@@ -19,6 +19,18 @@ let dispatch_test =
          Sandbox.Testcase.apply tc machine;
          ignore (Sandbox.Exec.run machine spec.Sandbox.Spec.program)))
 
+let compiled_dispatch_test =
+  let spec = Kernels.S3d.exp_spec in
+  let machine = Sandbox.Machine.create ~mem_size:spec.Sandbox.Spec.mem_size () in
+  let pristine = Sandbox.Machine.copy machine in
+  let tc = Sandbox.Spec.testcase_of_floats spec [| -1.25 |] in
+  let cp = Sandbox.Compiled.compile machine spec.Sandbox.Spec.program in
+  Test.make ~name:"exp kernel dispatch (compiled)"
+    (Staged.stage (fun () ->
+         Sandbox.Machine.restore_from ~src:pristine ~dst:machine;
+         Sandbox.Testcase.apply tc machine;
+         ignore (Sandbox.Compiled.exec cp)))
+
 let dot_dispatch_test =
   let spec = Kernels.Aek_kernels.dot_spec in
   let runner = Apps.Kernel_runner.create () in
@@ -52,9 +64,70 @@ let encode_test =
   Test.make ~name:"encode exp kernel to bytes"
     (Staged.stage (fun () -> ignore (Encoder.encode_program p)))
 
+(* Head-to-head instrs/sec of the two engines on the same restore +
+   apply + run loop the cost function drives — the number the compiled
+   engine exists to raise.  Written to the tput telemetry stream so CI
+   can track the speedup. *)
+let run_engine_tput () =
+  Util.subheading "execution engines: instrs/sec on the exp kernel";
+  let spec = Kernels.S3d.exp_spec in
+  let tc = Sandbox.Spec.testcase_of_floats spec [| -1.25 |] in
+  let measure engine =
+    let machine =
+      Sandbox.Machine.create ~mem_size:spec.Sandbox.Spec.mem_size ()
+    in
+    let pristine = Sandbox.Machine.copy machine in
+    let run =
+      match engine with
+      | Sandbox.Exec.Interp ->
+        fun () -> Sandbox.Exec.run machine spec.Sandbox.Spec.program
+      | Sandbox.Exec.Compiled ->
+        let cp = Sandbox.Compiled.compile machine spec.Sandbox.Spec.program in
+        fun () -> Sandbox.Compiled.exec cp
+    in
+    let once () =
+      Sandbox.Machine.restore_from ~src:pristine ~dst:machine;
+      Sandbox.Testcase.apply tc machine;
+      run ()
+    in
+    for _ = 1 to 2_000 do
+      ignore (once ())
+    done;
+    let iters = Util.scaled 300_000 in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      ignore (once ())
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    let r = once () in
+    let instrs = float_of_int iters *. float_of_int r.Sandbox.Exec.executed in
+    (instrs /. dt, float_of_int iters /. dt)
+  in
+  let report engine (ips, rps) =
+    Printf.printf "%-36s %14.0f %14.0f\n"
+      (Sandbox.Exec.engine_to_string engine ^ " instrs/s | runs/s")
+      ips rps;
+    Obs.Sink.emit (Util.obs ()) "engine_tput"
+      [
+        ("engine", Obs.Json.String (Sandbox.Exec.engine_to_string engine));
+        ("kernel", Obs.Json.String "exp");
+        ("instrs_per_sec", Obs.Json.Float ips);
+        ("runs_per_sec", Obs.Json.Float rps);
+      ]
+  in
+  let interp = measure Sandbox.Exec.Interp in
+  let compiled = measure Sandbox.Exec.Compiled in
+  report Sandbox.Exec.Interp interp;
+  report Sandbox.Exec.Compiled compiled;
+  let speedup = fst compiled /. fst interp in
+  Printf.printf "%-36s %14.2fx\n" "compiled/interp speedup" speedup;
+  Obs.Sink.emit (Util.obs ()) "engine_speedup"
+    [ ("kernel", Obs.Json.String "exp"); ("speedup", Obs.Json.Float speedup) ]
+
 let run_bechamel () =
   let tests =
-    [ dispatch_test; dot_dispatch_test; proposal_test; ulp_test; encode_test ]
+    [ dispatch_test; compiled_dispatch_test; dot_dispatch_test; proposal_test;
+      ulp_test; encode_test ]
   in
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
@@ -112,4 +185,5 @@ let run_geweke_trace () =
 let run () =
   Util.heading "Throughput microbenchmarks (bechamel) and Geweke trace";
   run_bechamel ();
+  run_engine_tput ();
   run_geweke_trace ()

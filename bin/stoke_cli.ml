@@ -34,6 +34,22 @@ let seed_arg =
   let doc = "Random seed." in
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let engine_arg =
+  let engines =
+    [ ("interp", Sandbox.Exec.Interp); ("compiled", Sandbox.Exec.Compiled) ]
+  in
+  let doc =
+    "Execution engine: $(b,compiled) (default) translates each proposal once \
+     into specialized closures and replays them per test case; $(b,interp) \
+     steps the reference interpreter on every run.  Results are \
+     bit-identical for a fixed seed; interp exists as the oracle and for \
+     debugging."
+  in
+  Arg.(
+    value
+    & opt (enum engines) Sandbox.Exec.Compiled
+    & info [ "engine" ] ~docv:"ENGINE" ~doc)
+
 let rewrite_file_arg =
   let doc = "Assembly file holding a rewrite (defaults to the target)." in
   Arg.(value & opt (some file) None & info [ "rewrite" ] ~docv:"FILE" ~doc)
@@ -150,7 +166,7 @@ let show_cmd =
 (* ----- optimize ----- *)
 
 let optimize_cmd =
-  let run name eta proposals seed domains no_prune out trace_out metrics
+  let run name eta proposals seed domains no_prune engine out trace_out metrics
       progress =
     match find_kernel name with
     | Error e -> exit_err e
@@ -161,6 +177,7 @@ let optimize_cmd =
           Search.Optimizer.proposals;
           seed = Int64.of_int seed;
           prune = not no_prune;
+          engine;
         }
       in
       if metrics then Sandbox.Exec.Counters.enable ();
@@ -204,6 +221,12 @@ let optimize_cmd =
               Obs.Json.Int result.Search.Optimizer.tests_executed );
             ("pruned_evals", Obs.Json.Int result.Search.Optimizer.pruned_evals);
             ("cache_hits", Obs.Json.Int result.Search.Optimizer.cache_hits);
+            ( "engine",
+              Obs.Json.String (Sandbox.Exec.engine_to_string engine) );
+            ( "compile_count",
+              Obs.Json.Int result.Search.Optimizer.compile_count );
+            ( "compiled_runs",
+              Obs.Json.Int result.Search.Optimizer.compiled_runs );
             ("elapsed_s", Obs.Json.Float (Obs.Clock.elapsed_s ~since:t0));
             ("moves", Search.Optimizer.moves_json result.Search.Optimizer.moves);
             ("sandbox", sandbox_counters_json ());
@@ -252,12 +275,13 @@ let optimize_cmd =
     (Cmd.info "optimize" ~doc:"Search for a faster η-correct rewrite")
     Term.(
       const run $ kernel_arg $ eta_arg $ proposals_arg $ seed_arg $ domains_arg
-      $ no_prune_arg $ out_arg $ trace_out_arg $ metrics_arg $ progress_arg)
+      $ no_prune_arg $ engine_arg $ out_arg $ trace_out_arg $ metrics_arg
+      $ progress_arg)
 
 (* ----- refine ----- *)
 
 let refine_cmd =
-  let run name eta proposals seed trace_out progress =
+  let run name eta proposals seed engine trace_out progress =
     match find_kernel name with
     | Error e -> exit_err e
     | Ok spec ->
@@ -266,6 +290,7 @@ let refine_cmd =
           Search.Optimizer.default_config with
           Search.Optimizer.proposals;
           seed = Int64.of_int seed;
+          engine;
         }
       in
       let sink = make_sink ~trace_out ~progress in
@@ -299,7 +324,7 @@ let refine_cmd =
          "Counterexample-refined optimization: search, validate, feed failures \
           back into the test set, repeat")
     Term.(
-      const run $ kernel_arg $ eta_arg $ proposals_arg $ seed_arg
+      const run $ kernel_arg $ eta_arg $ proposals_arg $ seed_arg $ engine_arg
       $ trace_out_arg $ progress_arg)
 
 (* ----- validate ----- *)
@@ -395,7 +420,7 @@ let verify_cmd =
 (* ----- sweep ----- *)
 
 let sweep_cmd =
-  let run name proposals seed validate_results trace_out progress =
+  let run name proposals seed validate_results engine trace_out progress =
     match find_kernel name with
     | Error e -> exit_err e
     | Ok spec ->
@@ -404,6 +429,7 @@ let sweep_cmd =
           Search.Optimizer.default_config with
           Search.Optimizer.proposals;
           seed = Int64.of_int seed;
+          engine;
         }
       in
       let sink = make_sink ~trace_out ~progress in
@@ -433,7 +459,7 @@ let sweep_cmd =
     (Cmd.info "sweep" ~doc:"Precision sweep over the η grid (Figure 4/5)")
     Term.(
       const run $ kernel_arg $ proposals_arg $ seed_arg $ validate_flag
-      $ trace_out_arg $ progress_arg)
+      $ engine_arg $ trace_out_arg $ progress_arg)
 
 (* ----- encode ----- *)
 

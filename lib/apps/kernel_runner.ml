@@ -1,5 +1,10 @@
 type t = {
   m : Sandbox.Machine.t;
+  engine : Sandbox.Exec.engine;
+  mutable compiled : (Program.t * Sandbox.Compiled.t) list;
+      (** per-runner translation cache, keyed by physical identity: the
+          applications call a handful of fixed kernel programs millions
+          of times, so each compiles once on first use *)
   mutable cycles : int;
   mutable calls : int;
 }
@@ -7,9 +12,14 @@ type t = {
 let v1_addr = Kernels.Aek_kernels.v1_addr
 let v2_addr = Kernels.Aek_kernels.v2_addr
 
-let create () =
+(* An application swaps between at most a few kernels per runner; bound
+   the cache anyway so a caller generating programs on the fly degrades
+   to compile-per-call rather than leaking. *)
+let max_cached = 16
+
+let create ?(engine = Sandbox.Exec.Compiled) () =
   let m = Sandbox.Machine.create ~mem_size:4096 () in
-  { m; cycles = 0; calls = 0 }
+  { m; engine; compiled = []; cycles = 0; calls = 0 }
 
 let cycles t = t.cycles
 let calls t = t.calls
@@ -43,8 +53,21 @@ let reset t =
   Sandbox.Memory.set_bytes m.Sandbox.Machine.mem v1_addr (String.make 16 '\000');
   Sandbox.Memory.set_bytes m.Sandbox.Machine.mem v2_addr (String.make 16 '\000')
 
+let compiled_for t program =
+  match List.assq_opt program t.compiled with
+  | Some cp -> cp
+  | None ->
+    let cp = Sandbox.Compiled.compile t.m program in
+    if List.length t.compiled >= max_cached then t.compiled <- [];
+    t.compiled <- (program, cp) :: t.compiled;
+    cp
+
 let run t program =
-  let r = Sandbox.Exec.run t.m program in
+  let r =
+    match t.engine with
+    | Sandbox.Exec.Interp -> Sandbox.Exec.run t.m program
+    | Sandbox.Exec.Compiled -> Sandbox.Compiled.exec (compiled_for t program)
+  in
   t.cycles <- t.cycles + r.Sandbox.Exec.cycles;
   t.calls <- t.calls + 1;
   match r.Sandbox.Exec.outcome with

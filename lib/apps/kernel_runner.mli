@@ -11,7 +11,16 @@
 
 type t
 
-val create : unit -> t
+val create : ?engine:Sandbox.Exec.engine -> unit -> t
+(** [engine] (default [Compiled]) selects the executor.  Under the
+    compiled engine each distinct program (by physical identity) is
+    translated once per runner and replayed on later calls.
+
+    Caveat: the cache key is physical, so mutating a program in place
+    after running it (as the search's transforms do) and running it again
+    through the {e same} runner would replay the stale translation —
+    applications call fixed kernel programs, which is the supported
+    pattern. *)
 
 val cycles : t -> int
 (** Total kernel cycles executed so far (static latency model). *)

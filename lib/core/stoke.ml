@@ -21,8 +21,8 @@ let optimize ?config ?tests ?obs ?progress_every ~eta spec =
   in
   let params = Search.Cost.default_params ~eta in
   let ctx =
-    Search.Cost.create ~use_cache:config.Search.Optimizer.prune spec params
-      tests
+    Search.Cost.create ~use_cache:config.Search.Optimizer.prune
+      ~engine:config.Search.Optimizer.engine spec params tests
   in
   Search.Optimizer.run ?obs ?progress_every ctx config
 
@@ -68,7 +68,8 @@ let optimize_refined ?config ?validation ?(max_rounds = 4) ?(tests = 32)
         ];
     let params = Search.Cost.default_params ~eta in
     let ctx =
-      Search.Cost.create ~use_cache:config.Search.Optimizer.prune spec params
+      Search.Cost.create ~use_cache:config.Search.Optimizer.prune
+        ~engine:config.Search.Optimizer.engine spec params
         (Array.of_list !test_list)
     in
     let result =

@@ -1,0 +1,32 @@
+(** Compile-once execution engine.
+
+    {!compile} translates a program into an array of closures specialized
+    against one machine: operands resolved to register-file indices,
+    immediates pre-extended, effective-address code picked per addressing
+    mode, [Unused] slots elided, latencies prefix-summed.  {!exec} then
+    replays the closures — the per-proposal translation cost is paid once
+    and amortized over every test case the search evaluates it on.
+
+    Guarantee: for any program and any starting machine state, {!exec}
+    leaves the machine in exactly the state {!Exec.run} would (registers,
+    memory, flags), and returns the same outcome, fault, cycle count and
+    executed count — bit-identical, so fixed-seed searches produce the
+    same winner under either engine.  Opcodes without a specialized
+    translation are executed through {!Semantics.step} itself.
+
+    A compiled program is bound to the machine it was compiled against;
+    running it mutates that machine only.  Reset state between runs with
+    {!Machine.restore_from}. *)
+
+type t
+
+val compile : Machine.t -> Program.t -> t
+(** Translate [p]'s active slots into closures over [m].  O(program
+    length); performs all operand matching so {!exec} does none. *)
+
+val length : t -> int
+(** Number of active (compiled) instructions. *)
+
+val exec : t -> Exec.result
+(** Run the compiled trace on its machine, stopping at the first fault.
+    Feeds {!Exec.Counters} when enabled, like {!Exec.run}. *)

@@ -2,6 +2,19 @@ type outcome =
   | Finished
   | Faulted of Semantics.fault
 
+type engine =
+  | Interp
+  | Compiled
+
+let engine_to_string = function
+  | Interp -> "interp"
+  | Compiled -> "compiled"
+
+let engine_of_string = function
+  | "interp" -> Some Interp
+  | "compiled" -> Some Compiled
+  | _ -> None
+
 type result = {
   outcome : outcome;
   cycles : int;
@@ -71,8 +84,8 @@ let run (m : Machine.t) (p : Program.t) =
       ~faulted:(match outcome with Finished -> false | Faulted _ -> true);
   { outcome; cycles = !cycles; executed = !executed }
 
-let run_testcase ?mem_size p tc =
-  let m = Machine.create ?mem_size () in
+let run_testcase ~mem_size p tc =
+  let m = Machine.create ~mem_size () in
   Testcase.apply tc m;
   let r = run m p in
   (m, r)

@@ -5,6 +5,19 @@ type outcome =
   | Finished
   | Faulted of Semantics.fault
 
+(** Which execution engine evaluates proposals.  [Interp] steps
+    {!Semantics.step} over the program on every run — the reference.
+    [Compiled] translates the program once into specialized closures
+    ({!Compiled.compile}) and replays them per test case.  The two are
+    bit-identical; [Compiled] is the default everywhere, [Interp] the
+    oracle it is differentially tested against. *)
+type engine =
+  | Interp
+  | Compiled
+
+val engine_to_string : engine -> string
+val engine_of_string : string -> engine option
+
 type result = {
   outcome : outcome;
   cycles : int;  (** sum of per-instruction latencies actually executed *)
@@ -31,6 +44,10 @@ module Counters : sig
   val is_enabled : unit -> bool
   val reset : unit -> unit
   val snapshot : unit -> snapshot
+
+  val record : run_cycles:int -> run_instrs:int -> faulted:bool -> unit
+  (** Add one run's totals.  {!run} calls this itself; it is exposed so
+      {!Compiled.exec} feeds the same counters. *)
 end
 
 val run : Machine.t -> Program.t -> result
@@ -38,8 +55,10 @@ val run : Machine.t -> Program.t -> result
     first fault. *)
 
 val run_testcase :
-  ?mem_size:int -> Program.t -> Testcase.t -> Machine.t * result
-(** Fresh machine, install the test case, run.  Convenient, but allocates;
+  mem_size:int -> Program.t -> Testcase.t -> Machine.t * result
+(** Fresh machine, install the test case, run.  [mem_size] is mandatory —
+    pass the spec's arena size ({!Spec.t.mem_size}) so ad-hoc runs see the
+    same address-space bounds as the search.  Convenient, but allocates;
     hot loops should reuse machines via {!run} and
     {!Machine.restore_from}. *)
 

@@ -44,7 +44,7 @@ let restore_from ~src ~dst =
   dst.flags.sf <- src.flags.sf;
   dst.flags.o_f <- src.flags.o_f;
   dst.flags.pf <- src.flags.pf;
-  Memory.blit_from ~src:src.mem ~dst:dst.mem
+  Memory.restore_from ~src:src.mem ~dst:dst.mem
 
 let get_gp t r = t.gp.(Reg.gp_index r)
 let set_gp t r v = t.gp.(Reg.gp_index r) <- v

@@ -24,7 +24,11 @@ val create : ?mem_size:int -> unit -> t
 
 val copy : t -> t
 val restore_from : src:t -> dst:t -> unit
-(** Overwrite [dst]'s state with [src]'s without allocating. *)
+(** Overwrite [dst]'s state with [src]'s without allocating.  Registers
+    and flags are copied outright (48 words); memory goes through
+    {!Memory.restore_from}, so repeatedly restoring the same pristine
+    [src] into a scratch [dst] costs only the bytes the intervening runs
+    wrote. *)
 
 val get_gp : t -> Reg.gp -> int64
 val set_gp : t -> Reg.gp -> int64 -> unit

@@ -10,6 +10,11 @@ let fault_to_string = function
   | Sigfpe s -> "SIGFPE: " ^ s
   | Sigill s -> "SIGILL: " ^ s
 
+let equal_fault a b =
+  match a, b with
+  | Segv x, Segv y | Sigfpe x, Sigfpe y | Sigill x, Sigill y -> String.equal x y
+  | (Segv _ | Sigfpe _ | Sigill _), _ -> false
+
 let eff_addr (m : Machine.t) (mem : Operand.mem) =
   let base =
     match mem.Operand.base with

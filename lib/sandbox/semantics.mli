@@ -4,7 +4,13 @@
     place.  IEEE-754 behaviour comes from the host's double arithmetic;
     single-precision operations round results back to binary32 (exact for
     the arithmetic ops in our subset).  All memory accesses are checked by
-    {!Memory}. *)
+    {!Memory}.
+
+    The value-level helpers below (flag computation, SSE min/max,
+    rounding, float→int conversion, 128-bit lane plumbing) are exported so
+    {!Compiled} specializes instructions over {e exactly} the same
+    arithmetic — the two engines stay bit-identical by sharing code, not
+    by re-deriving it. *)
 
 type fault =
   | Segv of string  (** out-of-bounds or misaligned access *)
@@ -15,5 +21,43 @@ val step : Machine.t -> Instr.t -> (unit, fault) result
 
 val fault_to_string : fault -> string
 
+val equal_fault : fault -> fault -> bool
+
 val eff_addr : Machine.t -> Operand.mem -> int64
 (** Effective address of a memory operand. *)
+
+(** {2 Shared arithmetic helpers} *)
+
+val width_bytes : Reg.w -> int
+
+val signed : Reg.w -> int64 -> int64
+(** Sign-extended view for signed computation. *)
+
+val trunc : Reg.w -> int64 -> int64
+
+val set_logic_flags : Machine.t -> Reg.w -> int64 -> unit
+val set_add_flags : Machine.t -> Reg.w -> int64 -> int64 -> int64 -> unit
+val set_sub_flags : Machine.t -> Reg.w -> int64 -> int64 -> int64 -> unit
+val set_fp_compare_flags : Machine.t -> float -> float -> unit
+val cond_holds : Machine.t -> Opcode.cond -> bool
+
+val sse_min_f64 : dst_old:float -> src:float -> float
+val sse_max_f64 : dst_old:float -> src:float -> float
+
+val rint_even : float -> float
+(** Round to nearest, ties to even (the default MXCSR mode). *)
+
+val f2i64 : float -> int64
+(** Float → int64 with the x86 "integer indefinite" result on overflow or
+    NaN. *)
+
+val f2i32 : float -> int64
+
+val dword_of : float -> int64
+(** binary32 bits of a float, zero-extended to a dword. *)
+
+val lanes4 : int64 * int64 -> int64 array
+val join4 : int64 array -> int64 * int64
+
+val map_lanes4_f32 : (float -> float -> float) -> int64 * int64 -> int64 * int64 -> int64 * int64
+val map_lanes2_f64 : (float -> float -> float) -> int64 * int64 -> int64 * int64 -> int64 * int64

@@ -48,6 +48,7 @@ type t = {
           move-to-front so that the test which most recently triggered a
           cutoff abort runs first.  Per-context, so parallel search domains
           stay independent. *)
+  engine : Sandbox.Exec.engine;
   machine : Sandbox.Machine.t;  (** scratch machine, reused per run *)
   pristine : Sandbox.Machine.t;
   cache : (int64 * Program.t * cost) option array;
@@ -57,24 +58,47 @@ type t = {
   mutable tests_executed : int;
   mutable pruned_evals : int;
   mutable cache_hits : int;
+  mutable compile_count : int;
+  mutable compiled_runs : int;
 }
 
 let spec t = t.spec
 let params t = t.params
 let tests t = t.tests
+let engine t = t.engine
 let evaluations t = t.evaluations
 let tests_executed t = t.tests_executed
 let pruned_evals t = t.pruned_evals
 let cache_hits t = t.cache_hits
+let compile_count t = t.compile_count
+let compiled_runs t = t.compiled_runs
 
 let run_on t program tc =
   Sandbox.Machine.restore_from ~src:t.pristine ~dst:t.machine;
   Sandbox.Testcase.apply tc t.machine;
   Sandbox.Exec.run t.machine program
 
+(* Translate the proposal once for the whole test loop.  Under [Interp]
+   the "compiled form" is just a thunk over the reference interpreter. *)
+let prepare t program : unit -> Sandbox.Exec.result =
+  match t.engine with
+  | Sandbox.Exec.Interp -> fun () -> Sandbox.Exec.run t.machine program
+  | Sandbox.Exec.Compiled ->
+    let cp = Sandbox.Compiled.compile t.machine program in
+    t.compile_count <- t.compile_count + 1;
+    fun () ->
+      t.compiled_runs <- t.compiled_runs + 1;
+      Sandbox.Compiled.exec cp
+
+let run_prepared t run tc =
+  Sandbox.Machine.restore_from ~src:t.pristine ~dst:t.machine;
+  Sandbox.Testcase.apply tc t.machine;
+  run ()
+
 let cache_size = 512
 
-let create ?(use_cache = true) spec params tests =
+let create ?(use_cache = true) ?(engine = Sandbox.Exec.Compiled) spec params
+    tests =
   let machine = Sandbox.Machine.create ~mem_size:spec.Sandbox.Spec.mem_size () in
   let pristine = Sandbox.Machine.copy machine in
   let t =
@@ -85,6 +109,7 @@ let create ?(use_cache = true) spec params tests =
       expected = [||];
       target_signalled = [||];
       order = Array.init (Array.length tests) Fun.id;
+      engine;
       machine;
       pristine;
       cache = (if use_cache then Array.make cache_size None else [||]);
@@ -92,6 +117,8 @@ let create ?(use_cache = true) spec params tests =
       tests_executed = 0;
       pruned_evals = 0;
       cache_hits = 0;
+      compile_count = 0;
+      compiled_runs = 0;
     }
   in
   let target_signalled = Array.make (Array.length tests) false in
@@ -118,36 +145,41 @@ let location_error params expected actual =
     let d = Sandbox.Spec.value_ulp expected actual in
     Ulp.to_float (Ulp.sub_clamp d params.eta)
   | Abs_metric ->
+    (* Scale into roughly ULP-comparable magnitude so η stays usable:
+       1 ULP near 1.0 is ~2e-16 in binary64 (scale 2^52) but ~1.2e-7 in
+       binary32 (scale 2^23). *)
+    let abs_err scale a b =
+      let d = Float.abs (a -. b) in
+      let d = if Float.is_nan d then Float.infinity else d in
+      Float.max 0. ((d *. scale) -. Ulp.to_float params.eta)
+    in
     (match expected, actual with
-     | Sandbox.Spec.Vf64 a, Sandbox.Spec.Vf64 b
-     | Sandbox.Spec.Vf32 a, Sandbox.Spec.Vf32 b ->
-       let d = Float.abs (a -. b) in
-       let d = if Float.is_nan d then Float.infinity else d in
-       (* Scale into roughly ULP-comparable magnitude so η stays usable:
-          1 ULP near 1.0 is ~2e-16, so multiply by 2^52. *)
-       Float.max 0. ((d *. 0x1p52) -. Ulp.to_float params.eta)
+     | Sandbox.Spec.Vf64 a, Sandbox.Spec.Vf64 b -> abs_err 0x1p52 a b
+     | Sandbox.Spec.Vf32 a, Sandbox.Spec.Vf32 b -> abs_err 0x1p23 a b
      | Sandbox.Spec.Vi64 _, _ | _, Sandbox.Spec.Vi64 _ -> ulp_fallback ()
      | (Sandbox.Spec.Vf64 _ | Sandbox.Spec.Vf32 _), _ ->
        invalid_arg "Cost: mismatched value types")
   | Rel_metric ->
+    (* 1 ULP of relative error is ~2^-52 in binary64, ~2^-23 in binary32. *)
+    let rel_err scale a b =
+      if Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b) then
+        (* Exact match (any bit pattern, including NaN) is zero error —
+           in particular when a = b = 0., where (a−b)/a is NaN and the
+           old code mapped an exactly-correct value to +∞. *)
+        0.
+      else if a = 0. then
+        (* Zero denominator: relative error is undefined, so score the
+           mismatch by ULP distance instead of +∞ (this also makes
+           -0. vs 0. free, as it should be). *)
+        ulp_fallback ()
+      else
+        let d = Float.abs ((a -. b) /. a) in
+        let d = if Float.is_nan d then Float.infinity else d in
+        Float.max 0. ((d *. scale) -. Ulp.to_float params.eta)
+    in
     (match expected, actual with
-     | Sandbox.Spec.Vf64 a, Sandbox.Spec.Vf64 b
-     | Sandbox.Spec.Vf32 a, Sandbox.Spec.Vf32 b ->
-       if Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b) then
-         (* Exact match (any bit pattern, including NaN) is zero error —
-            in particular when a = b = 0., where (a−b)/a is NaN and the
-            old code mapped an exactly-correct value to +∞. *)
-         0.
-       else if a = 0. then
-         (* Zero denominator: relative error is undefined, so score the
-            mismatch by ULP distance instead of +∞ (this also makes
-            -0. vs 0. free, as it should be). *)
-         ulp_fallback ()
-       else
-         let d = Float.abs ((a -. b) /. a) in
-         let d = if Float.is_nan d then Float.infinity else d in
-         (* 1 ULP of relative error is ~2^-52. *)
-         Float.max 0. ((d *. 0x1p52) -. Ulp.to_float params.eta)
+     | Sandbox.Spec.Vf64 a, Sandbox.Spec.Vf64 b -> rel_err 0x1p52 a b
+     | Sandbox.Spec.Vf32 a, Sandbox.Spec.Vf32 b -> rel_err 0x1p23 a b
      | Sandbox.Spec.Vi64 _, _ | _, Sandbox.Spec.Vi64 _ -> ulp_fallback ()
      | (Sandbox.Spec.Vf64 _ | Sandbox.Spec.Vf32 _), _ ->
        invalid_arg "Cost: mismatched value types")
@@ -220,11 +252,12 @@ let eval ?cutoff t program =
       | Sum -> eq := !eq +. v
     in
     let n = Array.length t.tests in
+    let run = prepare t program in
     let pruned_at =
       try
         for pos = 0 to n - 1 do
           let ti = t.order.(pos) in
-          let r = run_on t program t.tests.(ti) in
+          let r = run_prepared t run t.tests.(ti) in
           t.tests_executed <- t.tests_executed + 1;
           (match r.Sandbox.Exec.outcome with
            | Sandbox.Exec.Faulted _ ->

@@ -70,17 +70,23 @@ type t
 
 val create :
   ?use_cache:bool ->
+  ?engine:Sandbox.Exec.engine ->
   Sandbox.Spec.t ->
   params ->
   Sandbox.Testcase.t array ->
   t
 (** Runs the target on every test case to record its outputs (or its fault
     behaviour — a faulting target is recorded, not rejected).
-    [use_cache] (default [true]) enables the proposal cost cache. *)
+    [use_cache] (default [true]) enables the proposal cost cache.
+    [engine] (default [Compiled]) selects how proposals execute: the
+    compiled engine translates each proposal once ({!Sandbox.Compiled})
+    and replays it per test case; the interpreter steps it afresh every
+    run.  Both produce bit-identical costs. *)
 
 val spec : t -> Sandbox.Spec.t
 val params : t -> params
 val tests : t -> Sandbox.Testcase.t array
+val engine : t -> Sandbox.Exec.engine
 
 type cost = {
   eq : float;  (** 0 when the rewrite is η-correct on every test *)
@@ -122,6 +128,13 @@ val pruned_evals : t -> int
 
 val cache_hits : t -> int
 (** Evaluations answered from the cost cache without running anything. *)
+
+val compile_count : t -> int
+(** Proposals translated by the compiled engine (once per evaluated
+    proposal; cache hits and the interpreter engine compile nothing). *)
+
+val compiled_runs : t -> int
+(** Test-case runs executed through the compiled engine. *)
 
 val correct : cost -> bool
 (** [eq = 0.] *)

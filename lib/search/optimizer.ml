@@ -6,6 +6,7 @@ type config = {
   restarts : int;
   trace_points : int;
   prune : bool;
+  engine : Sandbox.Exec.engine;
 }
 
 let default_config =
@@ -17,6 +18,7 @@ let default_config =
     restarts = 1;
     trace_points = 60;
     prune = true;
+    engine = Sandbox.Exec.Compiled;
   }
 
 type trace_entry = {
@@ -42,6 +44,8 @@ type result = {
   tests_executed : int;
   pruned_evals : int;
   cache_hits : int;
+  compile_count : int;
+  compiled_runs : int;
   moves : move_stats;
 }
 
@@ -104,6 +108,8 @@ type anchors = {
   tests0 : int;
   pruned0 : int;
   hits0 : int;
+  compiles0 : int;
+  cruns0 : int;
 }
 
 (* Shared by the log-spaced "checkpoint" and the fixed-cadence "progress"
@@ -123,6 +129,8 @@ let emit_point obs name ~chain ~iter ~anchors ctx state ~current_total =
       ("tests_executed", Obs.Json.Int (Cost.tests_executed ctx - anchors.tests0));
       ("pruned_evals", Obs.Json.Int (Cost.pruned_evals ctx - anchors.pruned0));
       ("cache_hits", Obs.Json.Int (Cost.cache_hits ctx - anchors.hits0));
+      ("compile_count", Obs.Json.Int (Cost.compile_count ctx - anchors.compiles0));
+      ("compiled_runs", Obs.Json.Int (Cost.compiled_runs ctx - anchors.cruns0));
       ("elapsed_s", Obs.Json.Float elapsed);
       ( "evals_per_s",
         Obs.Json.Float
@@ -213,6 +221,8 @@ let run_from ?(obs = Obs.Sink.null) ?progress_every ctx config init =
       tests0 = Cost.tests_executed ctx;
       pruned0 = Cost.pruned_evals ctx;
       hits0 = Cost.cache_hits ctx;
+      compiles0 = Cost.compile_count ctx;
+      cruns0 = Cost.compiled_runs ctx;
     }
   in
   let spec = Cost.spec ctx in
@@ -241,6 +251,7 @@ let run_from ?(obs = Obs.Sink.null) ?progress_every ctx config init =
         ("padding", Obs.Json.Int config.padding);
         ("restarts", Obs.Json.Int config.restarts);
         ("trace_points", Obs.Json.Int config.trace_points);
+        ("engine", Obs.Json.String (Sandbox.Exec.engine_to_string (Cost.engine ctx)));
         ("init_total", Obs.Json.Float init_cost.Cost.total);
       ];
   for chain = 1 to Stdlib.max 1 config.restarts do
@@ -276,6 +287,8 @@ let run_from ?(obs = Obs.Sink.null) ?progress_every ctx config init =
       tests_executed = Cost.tests_executed ctx;
       pruned_evals = Cost.pruned_evals ctx;
       cache_hits = Cost.cache_hits ctx;
+      compile_count = Cost.compile_count ctx;
+      compiled_runs = Cost.compiled_runs ctx;
       moves = state.moves;
     }
   in
@@ -305,6 +318,8 @@ let run_from ?(obs = Obs.Sink.null) ?progress_every ctx config init =
         ("tests_executed", Obs.Json.Int (result.tests_executed - anchors.tests0));
         ("pruned_evals", Obs.Json.Int (result.pruned_evals - anchors.pruned0));
         ("cache_hits", Obs.Json.Int (result.cache_hits - anchors.hits0));
+        ("compile_count", Obs.Json.Int (result.compile_count - anchors.compiles0));
+        ("compiled_runs", Obs.Json.Int (result.compiled_runs - anchors.cruns0));
         ("elapsed_s", Obs.Json.Float elapsed);
         ( "evals_per_s",
           Obs.Json.Float

@@ -25,11 +25,18 @@ type config = {
           evaluations abort early (STOKE '13's early-termination trick).
           Never changes the result — the winning rewrite is bit-identical
           with pruning on or off — only how many test cases run. *)
+  engine : Sandbox.Exec.engine;
+      (** which execution engine evaluates proposals.  The search itself
+          runs whatever context it is given; this field is how callers
+          that build the context from a config ({!Stoke}, {!Parallel})
+          select the engine.  Like [prune], it never changes the result —
+          both engines are bit-identical — only how fast proposals
+          evaluate. *)
 }
 
 val default_config : config
 (** 200k proposals, MCMC with β = 1, seed 1, padding 4, 1 restart,
-    pruning on. *)
+    pruning on, compiled engine. *)
 
 type trace_entry = {
   iter : int;
@@ -58,6 +65,10 @@ type result = {
       (** test-case program runs charged to the cost context *)
   pruned_evals : int;  (** evaluations aborted early by the cutoff *)
   cache_hits : int;  (** evaluations answered from the cost cache *)
+  compile_count : int;
+      (** proposals translated by the compiled engine (0 under [Interp]) *)
+  compiled_runs : int;
+      (** test-case runs executed through the compiled engine *)
   moves : move_stats;
 }
 

@@ -28,7 +28,10 @@ let run ?domains ?obs ?progress_every ~spec ~params ~tests ~config () =
     Fun.protect
       ~finally:(fun () -> Obs.Sink.close sink)
       (fun () ->
-        let ctx = Cost.create ~use_cache:config.Optimizer.prune spec params tests in
+        let ctx =
+          Cost.create ~use_cache:config.Optimizer.prune
+            ~engine:config.Optimizer.engine spec params tests
+        in
         let cfg =
           { config with
             Optimizer.seed = Int64.add config.Optimizer.seed (Int64.of_int i) }
@@ -67,6 +70,8 @@ let run ?domains ?obs ?progress_every ~spec ~params ~tests ~config () =
         tests_executed = sum (fun r -> r.Optimizer.tests_executed);
         pruned_evals = sum (fun r -> r.Optimizer.pruned_evals);
         cache_hits = sum (fun r -> r.Optimizer.cache_hits);
+        compile_count = sum (fun r -> r.Optimizer.compile_count);
+        compiled_runs = sum (fun r -> r.Optimizer.compiled_runs);
         moves
       }
   end

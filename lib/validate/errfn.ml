@@ -3,34 +3,52 @@ type t = {
   rewrite : Program.t;
   machine : Sandbox.Machine.t;
   pristine : Sandbox.Machine.t;
+  run_target : unit -> Sandbox.Exec.result;
+  run_rewrite : unit -> Sandbox.Exec.result;
 }
 
 let top_eta = 0x1p64
 
-let create spec ~rewrite =
+let create ?(engine = Sandbox.Exec.Compiled) spec ~rewrite =
   let machine = Sandbox.Machine.create ~mem_size:spec.Sandbox.Spec.mem_size () in
   let pristine = Sandbox.Machine.copy machine in
-  { spec; rewrite; machine; pristine }
+  (* Validation evaluates the same two programs millions of times, so
+     under the compiled engine both are translated exactly once, here. *)
+  let runner program =
+    match engine with
+    | Sandbox.Exec.Interp -> fun () -> Sandbox.Exec.run machine program
+    | Sandbox.Exec.Compiled ->
+      let cp = Sandbox.Compiled.compile machine program in
+      fun () -> Sandbox.Compiled.exec cp
+  in
+  {
+    spec;
+    rewrite;
+    machine;
+    pristine;
+    run_target = runner spec.Sandbox.Spec.program;
+    run_rewrite = runner rewrite;
+  }
 
 let spec t = t.spec
 
-let run_and_read t program tc =
+let run_and_read t run tc =
   Sandbox.Machine.restore_from ~src:t.pristine ~dst:t.machine;
   Sandbox.Testcase.apply tc t.machine;
-  let r = Sandbox.Exec.run t.machine program in
+  let r = run () in
   match r.Sandbox.Exec.outcome with
   | Sandbox.Exec.Finished -> Some (Sandbox.Spec.read_outputs t.spec t.machine)
   | Sandbox.Exec.Faulted _ -> None
 
 let eval_ulp t xs =
   let tc = Sandbox.Spec.testcase_of_floats t.spec xs in
-  match run_and_read t t.spec.Sandbox.Spec.program tc with
+  match run_and_read t t.run_target tc with
   | None ->
     (* The spec's input ranges must keep the target from faulting; if it
        does anyway, charge it as divergent. *)
     Ulp.max_value
   | Some expected ->
-    (match run_and_read t t.rewrite tc with
+    (match run_and_read t t.run_rewrite tc with
      | None -> Ulp.max_value
      | Some actual ->
        let total = ref Ulp.zero in
@@ -42,10 +60,10 @@ let eval_ulp t xs =
 
 let eval t xs =
   let tc = Sandbox.Spec.testcase_of_floats t.spec xs in
-  match run_and_read t t.spec.Sandbox.Spec.program tc with
+  match run_and_read t t.run_target tc with
   | None -> top_eta
   | Some expected ->
-    (match run_and_read t t.rewrite tc with
+    (match run_and_read t t.run_rewrite tc with
      | None -> top_eta
      | Some actual ->
        let total = ref Ulp.zero in

@@ -4,7 +4,11 @@
 
 type t
 
-val create : Sandbox.Spec.t -> rewrite:Program.t -> t
+val create :
+  ?engine:Sandbox.Exec.engine -> Sandbox.Spec.t -> rewrite:Program.t -> t
+(** [engine] (default [Compiled]) selects the executor.  Under the
+    compiled engine the target and the rewrite are each translated once
+    here and replayed per evaluation. *)
 
 val eval : t -> float array -> float
 (** [eval e xs] evaluates the error on the test case assembled from the

@@ -158,7 +158,7 @@ let prop_horner =
              ~via:Reg.Rax coeffs)
       in
       let tc = Sandbox.Testcase.of_f64 [ (Reg.Xmm0, x) ] in
-      let m, r = Sandbox.Exec.run_testcase p tc in
+      let m, r = Sandbox.Exec.run_testcase ~mem_size:4096 p tc in
       match r.Sandbox.Exec.outcome with
       | Sandbox.Exec.Faulted _ -> false
       | Sandbox.Exec.Finished ->

@@ -546,7 +546,7 @@ let exec_tests =
   [
     Alcotest.test_case "cycles accumulate" `Quick (fun () ->
         let p = Parser.parse_program_exn "addsd xmm1, xmm0\nmulsd xmm1, xmm0" in
-        let _, r = Sandbox.Exec.run_testcase p Sandbox.Testcase.empty in
+        let _, r = Sandbox.Exec.run_testcase ~mem_size:4096 p Sandbox.Testcase.empty in
         Alcotest.(check int) "cycles" (Latency.of_program p) r.Sandbox.Exec.cycles;
         Alcotest.(check int) "executed" 2 r.Sandbox.Exec.executed);
     Alcotest.test_case "fault stops execution" `Quick (fun () ->
@@ -555,7 +555,7 @@ let exec_tests =
             "movsd xmm0, (rdi)\naddsd xmm1, xmm0"
         in
         let tc = Sandbox.Testcase.with_gp Reg.Rdi 0x1L Sandbox.Testcase.empty in
-        let _, r = Sandbox.Exec.run_testcase p tc in
+        let _, r = Sandbox.Exec.run_testcase ~mem_size:4096 p tc in
         Alcotest.(check bool) "signalled" true (Sandbox.Exec.outcome_is_signal r.Sandbox.Exec.outcome);
         Alcotest.(check int) "stopped at first" 1 r.Sandbox.Exec.executed);
     Alcotest.test_case "unused slots are skipped" `Quick (fun () ->
@@ -563,7 +563,7 @@ let exec_tests =
         let tc =
           Sandbox.Spec.random_testcase (Rng.Xoshiro256.create 1L) Kernels.Aek_kernels.add_spec
         in
-        let _, r = Sandbox.Exec.run_testcase p tc in
+        let _, r = Sandbox.Exec.run_testcase ~mem_size:4096 p tc in
         Alcotest.(check int) "executed" 3 r.Sandbox.Exec.executed);
   ]
 
@@ -787,6 +787,201 @@ let coverage_tests =
           Opcode.all);
   ]
 
+(* ----- write-log restore: O(writes) undo must equal a full copy ----- *)
+
+let restore_tests =
+  [
+    Alcotest.test_case "restore_from undoes writes via the dirty range" `Quick
+      (fun () ->
+        let src = Sandbox.Memory.create 256 in
+        Sandbox.Memory.set_bytes src base
+          (String.init 64 (fun i -> Char.chr ((i * 37 + 11) land 0xff)));
+        let dst = Sandbox.Memory.create 256 in
+        Sandbox.Memory.blit_from ~src ~dst;
+        Alcotest.(check bool) "clean after blit" true (Sandbox.Memory.is_clean dst);
+        Sandbox.Memory.write_exn dst (Int64.add base 8L) 8 0xdead_beef_0123_4567L;
+        Sandbox.Memory.write_exn dst (Int64.add base 200L) 4 0x55L;
+        Alcotest.(check bool) "dirty after writes" false
+          (Sandbox.Memory.is_clean dst);
+        Sandbox.Memory.restore_from ~src ~dst;
+        Alcotest.(check bool) "equal after restore" true
+          (Sandbox.Memory.equal src dst);
+        Alcotest.(check bool) "clean after restore" true
+          (Sandbox.Memory.is_clean dst));
+    Alcotest.test_case "restore_from stays exact if the source mutates" `Quick
+      (fun () ->
+        let src = Sandbox.Memory.create 128 in
+        let dst = Sandbox.Memory.create 128 in
+        Sandbox.Memory.blit_from ~src ~dst;
+        Sandbox.Memory.write_exn dst base 8 1L;
+        (* a write to the pristine source must never leave dst stale *)
+        Sandbox.Memory.write_exn src (Int64.add base 64L) 8 0x42L;
+        Sandbox.Memory.restore_from ~src ~dst;
+        Alcotest.(check bool) "equal after restore" true
+          (Sandbox.Memory.equal src dst));
+    Alcotest.test_case "restore_from from an unrelated source falls back"
+      `Quick (fun () ->
+        let a = Sandbox.Memory.create 128 in
+        Sandbox.Memory.set_bytes a base "pristine-a";
+        let b = Sandbox.Memory.create 128 in
+        Sandbox.Memory.set_bytes b base "differing-b";
+        (* dst never blitted from a: no shadow identity, must full-copy *)
+        Sandbox.Memory.restore_from ~src:a ~dst:b;
+        Alcotest.(check bool) "equal after restore" true
+          (Sandbox.Memory.equal a b));
+  ]
+
+(* ----- compiled engine: differential equivalence vs the interpreter ----- *)
+
+let outcome_equal (a : Sandbox.Exec.outcome) (b : Sandbox.Exec.outcome) =
+  match (a, b) with
+  | Sandbox.Exec.Finished, Sandbox.Exec.Finished -> true
+  | Sandbox.Exec.Faulted f, Sandbox.Exec.Faulted g ->
+    Sandbox.Semantics.equal_fault f g
+  | _ -> false
+
+let machine_equal (a : Sandbox.Machine.t) (b : Sandbox.Machine.t) =
+  a.Sandbox.Machine.gp = b.Sandbox.Machine.gp
+  && a.Sandbox.Machine.xmm = b.Sandbox.Machine.xmm
+  && a.Sandbox.Machine.flags = b.Sandbox.Machine.flags
+  && Sandbox.Memory.equal a.Sandbox.Machine.mem b.Sandbox.Machine.mem
+
+(* Run [p] on two identically-prepared machines, one per engine; return a
+   description of the first disagreement, or [None] if bit-identical. *)
+let diff_mismatch ?(mem_size = 4096) ~setup p =
+  let mi = Sandbox.Machine.create ~mem_size () in
+  setup mi;
+  let ri = Sandbox.Exec.run mi p in
+  let mc = Sandbox.Machine.create ~mem_size () in
+  setup mc;
+  let rc = Sandbox.Compiled.exec (Sandbox.Compiled.compile mc p) in
+  if not (outcome_equal ri.Sandbox.Exec.outcome rc.Sandbox.Exec.outcome) then
+    Some
+      (Printf.sprintf "outcome: interp %s vs compiled %s"
+         (Sandbox.Exec.outcome_to_string ri.Sandbox.Exec.outcome)
+         (Sandbox.Exec.outcome_to_string rc.Sandbox.Exec.outcome))
+  else if ri.Sandbox.Exec.executed <> rc.Sandbox.Exec.executed then
+    Some
+      (Printf.sprintf "executed: interp %d vs compiled %d"
+         ri.Sandbox.Exec.executed rc.Sandbox.Exec.executed)
+  else if ri.Sandbox.Exec.cycles <> rc.Sandbox.Exec.cycles then
+    Some
+      (Printf.sprintf "cycles: interp %d vs compiled %d" ri.Sandbox.Exec.cycles
+         rc.Sandbox.Exec.cycles)
+  else if mi.Sandbox.Machine.gp <> mc.Sandbox.Machine.gp then
+    Some "gp registers differ"
+  else if mi.Sandbox.Machine.xmm <> mc.Sandbox.Machine.xmm then
+    Some "xmm registers differ"
+  else if mi.Sandbox.Machine.flags <> mc.Sandbox.Machine.flags then
+    Some "flags differ"
+  else if not (Sandbox.Memory.equal mi.Sandbox.Machine.mem mc.Sandbox.Machine.mem)
+  then Some "memory differs"
+  else None
+
+let compiled_tests =
+  [
+    Alcotest.test_case "compiled matches interpreter on every opcode shape"
+      `Quick (fun () ->
+        let operand_of_kind (k : Shape.kind) =
+          match k with
+          | Shape.K_gp _ -> Operand.Gp Reg.Rcx
+          | Shape.K_xmm -> Operand.Xmm Reg.Xmm1
+          | Shape.K_imm8 -> Operand.Imm 3L
+          | Shape.K_imm32 -> Operand.Imm 1000L
+          | Shape.K_imm64 -> Operand.Imm 0x3ff0_0000_0000_0000L
+          | Shape.K_mem _ ->
+            Operand.Mem { Operand.base = Some Reg.Rdi; index = None; disp = 16 }
+        in
+        (* the three fault regimes a memory operand can hit: fine,
+           misaligned (for the aligned 128-bit moves), far out of bounds *)
+        let scenarios =
+          [ ("in-arena", base);
+            ("misaligned", Int64.add base 4L);
+            ("out-of-bounds", 0x10L) ]
+        in
+        let setup rdi m =
+          Sandbox.Machine.set_gp m Reg.Rdi rdi;
+          Sandbox.Machine.set_gp m Reg.Rcx 0x1234_5678_9abc_def0L;
+          Sandbox.Machine.set_xmm m Reg.Xmm0
+            (Int64.bits_of_float 3.25, 0x7ff8_0000_0000_0001L);
+          Sandbox.Machine.set_xmm m Reg.Xmm1
+            (Int64.bits_of_float 1.5, Int64.bits_of_float (-0.75));
+          Sandbox.Memory.set_bytes m.Sandbox.Machine.mem base
+            (String.init 64 (fun j -> Char.chr ((j * 37 + 11) land 0xff)))
+        in
+        List.iter
+          (fun op ->
+            List.iter
+              (fun shape ->
+                let i =
+                  Instr.make_unchecked op (Array.map operand_of_kind shape)
+                in
+                if Instr.is_well_formed i then
+                  let p = Program.of_instrs [ i ] in
+                  List.iter
+                    (fun (label, rdi) ->
+                      match diff_mismatch ~setup:(setup rdi) p with
+                      | None -> ()
+                      | Some msg ->
+                        Alcotest.failf "%s (%s): %s" (Instr.to_string i) label
+                          msg)
+                    scenarios)
+              (Shape.shapes op))
+          Opcode.all);
+    Alcotest.test_case "compiled restore_from replay stays pristine" `Quick
+      (fun () ->
+        let spec = Kernels.Aek_kernels.add_spec in
+        let m =
+          Sandbox.Machine.create ~mem_size:spec.Sandbox.Spec.mem_size ()
+        in
+        let pristine = Sandbox.Machine.copy m in
+        let cp = Sandbox.Compiled.compile m spec.Sandbox.Spec.program in
+        let g = Rng.Xoshiro256.create 11L in
+        for _ = 1 to 20 do
+          Sandbox.Machine.restore_from ~src:pristine ~dst:m;
+          Sandbox.Testcase.apply (Sandbox.Spec.random_testcase g spec) m;
+          ignore (Sandbox.Compiled.exec cp)
+        done;
+        Sandbox.Machine.restore_from ~src:pristine ~dst:m;
+        Alcotest.(check bool) "machine back to pristine" true
+          (machine_equal pristine m));
+  ]
+
+(* Random pool-drawn programs (the search's actual proposal distribution)
+   on random test cases: the two engines must agree on outcome, fault kind
+   and position, cycles, and the entire final machine state. *)
+let prop_compiled_matches_interp =
+  let specs =
+    [| Kernels.Aek_kernels.add_spec; Kernels.S3d.exp_spec |]
+  in
+  let pools =
+    Array.map
+      (fun (spec : Sandbox.Spec.t) ->
+        Search.Pools.make ~target:spec.Sandbox.Spec.program ~spec)
+      specs
+  in
+  QCheck.Test.make ~name:"compiled engine is bit-identical to the interpreter"
+    ~count:300
+    QCheck.(pair (int_bound 1_000_000) (int_range 1 12))
+    (fun (seed, len) ->
+      let which = seed land 1 in
+      let spec = specs.(which) in
+      let g = Rng.Xoshiro256.create (Int64.of_int ((seed * 2) + 1)) in
+      let instrs =
+        List.init len (fun _ -> Search.Pools.random_instr g pools.(which))
+      in
+      let p = Program.of_instrs instrs in
+      let tc = Sandbox.Spec.random_testcase g spec in
+      let setup m = Sandbox.Testcase.apply tc m in
+      match diff_mismatch ~mem_size:spec.Sandbox.Spec.mem_size ~setup p with
+      | None -> true
+      | Some msg ->
+        QCheck.Test.fail_reportf "engines disagree: %s\nprogram:\n%s" msg
+          (Program.to_string p))
+
+let compiled_props =
+  List.map QCheck_alcotest.to_alcotest [ prop_compiled_matches_interp ]
+
 let () =
   Alcotest.run "sandbox"
     [
@@ -800,5 +995,8 @@ let () =
       ("exec", exec_tests);
       ("spec", spec_tests);
       ("coverage", coverage_tests);
+      ("restore", restore_tests);
+      ("compiled", compiled_tests);
+      ("compiled-properties", compiled_props);
       ("properties", props);
     ]

@@ -464,6 +464,64 @@ let optimizer_tests =
           (pruned.Search.Optimizer.pruned_evals > 0);
         Alcotest.(check int)
           "no pruning when disabled" 0 full.Search.Optimizer.pruned_evals);
+    Alcotest.test_case "engine does not change the winner" `Quick (fun () ->
+        (* The compiled engine's invariant: for a fixed seed the search
+           returns a bit-identical winner under either executor, with
+           pruning on or off — four runs, one answer. *)
+        let spec = Kernels.Aek_kernels.add_spec in
+        let run engine prune =
+          let ctx =
+            Search.Cost.create ~use_cache:prune ~engine spec
+              (Search.Cost.default_params ~eta:0L)
+              (Stoke.make_tests ~n:8 ~seed:41L spec)
+          in
+          let config =
+            { Search.Optimizer.default_config with
+              Search.Optimizer.proposals = 10_000;
+              prune;
+              engine }
+          in
+          Search.Optimizer.run ctx config
+        in
+        let reference = run Sandbox.Exec.Interp false in
+        List.iter
+          (fun (label, (r : Search.Optimizer.result)) ->
+            Alcotest.(check bool)
+              (label ^ ": same best_correct")
+              true
+              (match
+                 r.Search.Optimizer.best_correct,
+                 reference.Search.Optimizer.best_correct
+               with
+               | None, None -> true
+               | Some p, Some q -> Program.equal p q
+               | _ -> false);
+            Alcotest.(check bool)
+              (label ^ ": same best_overall")
+              true
+              (Program.equal r.Search.Optimizer.best_overall
+                 reference.Search.Optimizer.best_overall);
+            Alcotest.(check int64)
+              (label ^ ": bit-identical best total")
+              (Int64.bits_of_float
+                 reference.Search.Optimizer.best_overall_cost.Search.Cost.total)
+              (Int64.bits_of_float
+                 r.Search.Optimizer.best_overall_cost.Search.Cost.total);
+            Alcotest.(check int)
+              (label ^ ": same accept trajectory")
+              reference.Search.Optimizer.accepted r.Search.Optimizer.accepted)
+          [ ("compiled", run Sandbox.Exec.Compiled false);
+            ("compiled+prune", run Sandbox.Exec.Compiled true);
+            ("interp+prune", run Sandbox.Exec.Interp true) ];
+        let compiled = run Sandbox.Exec.Compiled false in
+        Alcotest.(check bool)
+          "compiled engine actually compiled" true
+          (compiled.Search.Optimizer.compile_count > 0
+          && compiled.Search.Optimizer.compiled_runs
+             >= compiled.Search.Optimizer.compile_count);
+        Alcotest.(check int)
+          "interp engine never compiles" 0
+          reference.Search.Optimizer.compile_count);
     Alcotest.test_case "same seed gives the same result" `Quick (fun () ->
         let spec = Kernels.Aek_kernels.add_spec in
         let run () =
