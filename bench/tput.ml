@@ -124,6 +124,47 @@ let run_engine_tput () =
   Obs.Sink.emit (Util.obs ()) "engine_speedup"
     [ ("kernel", Obs.Json.String "exp"); ("speedup", Obs.Json.Float speedup) ]
 
+(* Per-proposal cost of the static undef-read screen, measured over the
+   same propose/undo stream the optimizer sees, plus the fraction of
+   proposals it rejects — the two numbers that justify (or indict) having
+   it on by default. *)
+let run_screen_tput () =
+  Util.subheading "static screen: checks/sec over the proposal stream";
+  let spec = Kernels.S3d.exp_spec in
+  let pools = Search.Pools.make ~target:spec.Sandbox.Spec.program ~spec in
+  let env = Analysis.Screen.env_of_spec spec in
+  let g = Rng.Xoshiro256.create 21L in
+  let p = Program.with_padding 4 (Program.instrs spec.Sandbox.Spec.program) in
+  let step () =
+    match Search.Transform.propose g pools p with
+    | None -> false
+    | Some (_, u) ->
+      let rejected = Analysis.Screen.has_undef_read env p in
+      Search.Transform.undo p u;
+      rejected
+  in
+  for _ = 1 to 2_000 do
+    ignore (step ())
+  done;
+  let iters = Util.scaled 300_000 in
+  let rejects = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    if step () then incr rejects
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  let checks_per_sec = float_of_int iters /. dt in
+  let reject_frac = float_of_int !rejects /. float_of_int iters in
+  Printf.printf "%-36s %14.0f %14.3f\n"
+    "screen checks/s | reject fraction" checks_per_sec reject_frac;
+  Obs.Sink.emit (Util.obs ()) "static_screen"
+    [
+      ("kernel", Obs.Json.String "exp");
+      ("checks_per_sec", Obs.Json.Float checks_per_sec);
+      ("reject_fraction", Obs.Json.Float reject_frac);
+      ("proposals", Obs.Json.Int iters);
+    ]
+
 let run_bechamel () =
   let tests =
     [ dispatch_test; compiled_dispatch_test; dot_dispatch_test; proposal_test;
@@ -186,4 +227,5 @@ let run () =
   Util.heading "Throughput microbenchmarks (bechamel) and Geweke trace";
   run_bechamel ();
   run_engine_tput ();
+  run_screen_tput ();
   run_geweke_trace ()

@@ -166,8 +166,8 @@ let show_cmd =
 (* ----- optimize ----- *)
 
 let optimize_cmd =
-  let run name eta proposals seed domains no_prune engine out trace_out metrics
-      progress =
+  let run name eta proposals seed domains no_prune no_static_screen engine out
+      trace_out metrics progress =
     match find_kernel name with
     | Error e -> exit_err e
     | Ok spec ->
@@ -177,6 +177,7 @@ let optimize_cmd =
           Search.Optimizer.proposals;
           seed = Int64.of_int seed;
           prune = not no_prune;
+          static_screen = not no_static_screen;
           engine;
         }
       in
@@ -227,6 +228,8 @@ let optimize_cmd =
               Obs.Json.Int result.Search.Optimizer.compile_count );
             ( "compiled_runs",
               Obs.Json.Int result.Search.Optimizer.compiled_runs );
+            ( "static_rejects",
+              Obs.Json.Int result.Search.Optimizer.static_rejects );
             ("elapsed_s", Obs.Json.Float (Obs.Clock.elapsed_s ~since:t0));
             ("moves", Search.Optimizer.moves_json result.Search.Optimizer.moves);
             ("sandbox", sandbox_counters_json ());
@@ -271,12 +274,25 @@ let optimize_cmd =
              the tests_executed counter with --metrics) and to rule pruning \
              out when debugging.")
   in
+  let no_static_screen_arg =
+    Arg.(
+      value & flag
+      & info [ "no-static-screen" ]
+          ~doc:
+            "Disable the static undef-read screen: evaluate every proposal \
+             on test cases even when dataflow analysis proves it reads a \
+             location nothing defined.  Screened and unscreened searches \
+             follow different random streams (the screen skips the \
+             acceptance draw for rejected proposals), so fixed-seed winners \
+             differ; both still find η-correct rewrites.  Compare the \
+             static_rejects counter with --metrics.")
+  in
   Cmd.v
     (Cmd.info "optimize" ~doc:"Search for a faster η-correct rewrite")
     Term.(
       const run $ kernel_arg $ eta_arg $ proposals_arg $ seed_arg $ domains_arg
-      $ no_prune_arg $ engine_arg $ out_arg $ trace_out_arg $ metrics_arg
-      $ progress_arg)
+      $ no_prune_arg $ no_static_screen_arg $ engine_arg $ out_arg
+      $ trace_out_arg $ metrics_arg $ progress_arg)
 
 (* ----- refine ----- *)
 
@@ -544,6 +560,44 @@ let raytrace_cmd =
     (Cmd.info "raytrace" ~doc:"Render the aek scene through chosen kernels")
     Term.(const run $ out_arg $ w_arg $ h_arg $ s_arg $ variant_arg $ seed_arg)
 
+(* ----- lint ----- *)
+
+let lint_cmd =
+  let run name asm_file =
+    match find_kernel name with
+    | Error e -> exit_err e
+    | Ok spec ->
+      let program, what =
+        match asm_file with
+        | None -> (spec.Sandbox.Spec.program, name)
+        | Some path -> (read_program path, path)
+      in
+      let diags = Analysis.Dataflow.lint_program spec program in
+      (match diags with
+       | [] -> Printf.printf "%s: clean (%d slots)\n" what (Program.length program)
+       | _ ->
+         Printf.printf "%s: %d finding(s)\n" what (List.length diags);
+         List.iter
+           (fun d -> print_endline ("  " ^ Analysis.Dataflow.diag_to_string program d))
+           diags;
+         exit 1)
+  in
+  let asm_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "asm" ] ~docv:"FILE"
+          ~doc:
+            "Lint this assembly file against KERNEL's live-ins and \
+             live-outs instead of the kernel's own target program.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Static diagnostics over a kernel or an assembly file: undef \
+          reads, dead slots, dead writes, self-moves (exit 1 on findings)")
+    Term.(const run $ kernel_arg $ asm_arg)
+
 (* ----- diffusion ----- *)
 
 let diffusion_cmd =
@@ -577,7 +631,7 @@ let main =
     [
       list_cmd; show_cmd; optimize_cmd; refine_cmd; validate_cmd; verify_cmd;
       sweep_cmd;
-      encode_cmd; disasm_cmd; raytrace_cmd; diffusion_cmd;
+      encode_cmd; disasm_cmd; lint_cmd; raytrace_cmd; diffusion_cmd;
     ]
 
 let () = exit (Cmd.eval main)

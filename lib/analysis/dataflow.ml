@@ -1,0 +1,131 @@
+(* Forward defined-locations analysis — the dual of Liveness.live_before.
+   The lattice is the powerset of Liveness.loc ordered by inclusion; the
+   transfer function of an active slot is [defined' = defined ∪ defs i]
+   (defs over-approximate writes, so a location is in the set only if some
+   earlier instruction or the kernel environment put a value there).
+   Straight-line programs need a single forward pass. *)
+
+type finding =
+  | Undef_read of Liveness.loc list
+      (* strict_uses locations neither environment-defined nor written by
+         any earlier slot *)
+  | Dead_slot (* no def reaches a later use or the live-out set *)
+  | Dead_write of Liveness.loc list
+      (* the slot survives (its flags def is consumed) but this register
+         write can never reach a use or the live-out set *)
+  | Self_move (* a mov idiom whose execution cannot change the machine *)
+
+type diag = {
+  slot : int;
+  finding : finding;
+}
+
+let defined_before p ~defined_in =
+  let slots = p.Program.slots in
+  let n = Array.length slots in
+  let result = Array.make n defined_in in
+  let defined = ref defined_in in
+  for idx = 0 to n - 1 do
+    result.(idx) <- !defined;
+    match slots.(idx) with
+    | Program.Unused -> ()
+    | Program.Active i -> defined := Liveness.Locset.union !defined (Liveness.defs i)
+  done;
+  result
+
+let undef_reads p ~defined_in =
+  let before = defined_before p ~defined_in in
+  let out = ref [] in
+  Array.iteri
+    (fun idx slot ->
+      match slot with
+      | Program.Unused -> ()
+      | Program.Active i ->
+        let missing = Liveness.Locset.diff (Liveness.strict_uses i) before.(idx) in
+        if not (Liveness.Locset.is_empty missing) then
+          out := (idx, Liveness.Locset.elements missing) :: !out)
+    p.Program.slots;
+  List.rev !out
+
+(* A mov that provably rewrites its destination with its own value.  Width
+   matters: [movq %rax, %rax] is a no-op but [movl %eax, %eax] zeroes the
+   upper half; all the 128-bit copies and the low-lane merges are no-ops on
+   themselves, while e.g. movlhps duplicates the low quad into the high. *)
+let is_self_move (i : Instr.t) =
+  match i.op, i.operands with
+  | Opcode.Mov Reg.Q, [| Operand.Gp s; Operand.Gp d |] -> Reg.equal_gp s d
+  | (Opcode.Movaps | Opcode.Movups | Opcode.Movss | Opcode.Movsd),
+    [| Operand.Xmm s; Operand.Xmm d |] ->
+    Reg.equal_xmm s d
+  | _ -> false
+
+let diagnostics p ~defined_in ~live_out =
+  let slots = p.Program.slots in
+  let n = Array.length slots in
+  let dead = Liveness.dead_slots p ~live_out in
+  let live_before = Liveness.live_before p ~live_out in
+  let after idx = if idx = n - 1 then live_out else live_before.(idx + 1) in
+  let undef = undef_reads p ~defined_in in
+  let out = ref [] in
+  for idx = n - 1 downto 0 do
+    match slots.(idx) with
+    | Program.Unused -> ()
+    | Program.Active i ->
+      (* Partial dead write: the slot is kept (some def is consumed — in
+         practice the flags), yet its register def reaches nothing.  The
+         def set holds at most one non-flag location, so this pinpoints
+         sub-used-as-cmp style waste.  Lflags and Lmem are excluded:
+         unconsumed flag defs are ubiquitous and stores are never dead at
+         our blob granularity. *)
+      if (not dead.(idx)) && not (Liveness.is_store i) then begin
+        let wasted =
+          Liveness.Locset.diff (Liveness.defs i) (after idx)
+          |> Liveness.Locset.remove Liveness.Lflags
+          |> Liveness.Locset.remove Liveness.Lmem
+        in
+        if not (Liveness.Locset.is_empty wasted) then
+          out :=
+            { slot = idx; finding = Dead_write (Liveness.Locset.elements wasted) }
+            :: !out
+      end;
+      if is_self_move i then out := { slot = idx; finding = Self_move } :: !out;
+      if dead.(idx) then out := { slot = idx; finding = Dead_slot } :: !out
+  done;
+  let undef_diags =
+    List.map (fun (slot, locs) -> { slot; finding = Undef_read locs }) undef
+  in
+  List.sort
+    (fun a b -> compare (a.slot, a.finding) (b.slot, b.finding))
+    (undef_diags @ !out)
+
+let lint_spec (spec : Sandbox.Spec.t) =
+  let defined_in =
+    Liveness.Locset.add (Liveness.Lgp Reg.Rsp) (Sandbox.Spec.live_in_set spec)
+  in
+  diagnostics spec.Sandbox.Spec.program ~defined_in
+    ~live_out:(Sandbox.Spec.live_out_set spec)
+
+let lint_program (spec : Sandbox.Spec.t) p =
+  let defined_in =
+    Liveness.Locset.add (Liveness.Lgp Reg.Rsp) (Sandbox.Spec.live_in_set spec)
+  in
+  diagnostics p ~defined_in ~live_out:(Sandbox.Spec.live_out_set spec)
+
+let locs_to_string locs =
+  String.concat ", " (List.map Liveness.loc_to_string locs)
+
+let finding_to_string = function
+  | Undef_read locs -> Printf.sprintf "reads undefined location(s): %s" (locs_to_string locs)
+  | Dead_slot -> "dead: no def reaches a later use or the live-out set"
+  | Dead_write locs ->
+    Printf.sprintf "dead write: %s never reaches a use or the live-out set"
+      (locs_to_string locs)
+  | Self_move -> "self-move: cannot change the machine state"
+
+let diag_to_string p d =
+  let instr =
+    match p.Program.slots.(d.slot) with
+    | Program.Active i -> Instr.to_string i
+    | Program.Unused -> "<unused>"
+  in
+  Printf.sprintf "slot %d: %-30s %s" d.slot instr (finding_to_string d.finding)

@@ -1,0 +1,55 @@
+(** Forward defined-locations dataflow and per-slot lint diagnostics.
+
+    The dual of [Liveness.live_before]: a forward pass over the powerset-of-
+    locations lattice computing, before each slot, the set of locations the
+    kernel environment or an earlier slot has written.  On top of it sit the
+    lint findings the [stoke_cli lint] subcommand and the search's static
+    screen report: undef reads, dead slots, dead register writes, and
+    self-moves. *)
+
+type finding =
+  | Undef_read of Liveness.loc list
+      (** [strict_uses] locations neither environment-defined nor written
+          by any earlier slot *)
+  | Dead_slot  (** no def reaches a later use or the live-out set *)
+  | Dead_write of Liveness.loc list
+      (** the slot survives (its flags def is consumed) but this register
+          write can never reach a use or the live-out set *)
+  | Self_move  (** a mov idiom whose execution cannot change the machine *)
+
+type diag = {
+  slot : int;
+  finding : finding;
+}
+
+val defined_before : Program.t -> defined_in:Liveness.Locset.t -> Liveness.Locset.t array
+(** One entry per slot: the locations defined immediately before it runs.
+    [defined_in] seeds the analysis (kernel live-ins plus environment). *)
+
+val undef_reads :
+  Program.t -> defined_in:Liveness.Locset.t -> (int * Liveness.loc list) list
+(** Slots whose [Liveness.strict_uses] include a location not defined
+    before them, with the offending locations; ascending slot order. *)
+
+val diagnostics :
+  Program.t ->
+  defined_in:Liveness.Locset.t ->
+  live_out:Liveness.Locset.t ->
+  diag list
+(** All findings, sorted by slot. *)
+
+val lint_spec : Sandbox.Spec.t -> diag list
+(** {!diagnostics} over the spec's own program, seeded with the spec's
+    inputs ([Sandbox.Spec.live_in_set]) plus the environment-defined
+    [rsp]. *)
+
+val lint_program : Sandbox.Spec.t -> Program.t -> diag list
+(** Same seeding, but over an arbitrary program (e.g. a parsed [--asm]
+    file) judged against the spec's live-ins and live-outs. *)
+
+val is_self_move : Instr.t -> bool
+
+val finding_to_string : finding -> string
+
+val diag_to_string : Program.t -> diag -> string
+(** ["slot N: <instr>  <finding>"] — the lint CLI's output line. *)

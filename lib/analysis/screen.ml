@@ -1,0 +1,40 @@
+(* The proposal-rate undef-read filter.  Same analysis as
+   Dataflow.undef_reads, but the location powerset is packed into one OCaml
+   int (34 bits: 16 GPs, 16 XMMs, flags, mem) so the per-proposal cost is a
+   handful of or/and-not word ops per slot — cheap enough to run on every
+   proposal before any test case executes. *)
+
+type env = int
+
+let bit_of_loc = function
+  | Liveness.Lgp r -> 1 lsl Reg.gp_index r
+  | Liveness.Lxmm r -> 1 lsl (16 + Reg.xmm_index r)
+  | Liveness.Lflags -> 1 lsl 32
+  | Liveness.Lmem -> 1 lsl 33
+
+let mask_of_locset s =
+  Liveness.Locset.fold (fun l acc -> acc lor bit_of_loc l) s 0
+
+let env_of_locset = mask_of_locset
+
+let env_of_spec (spec : Sandbox.Spec.t) =
+  (* The machine defines rsp before the first instruction runs. *)
+  mask_of_locset (Sandbox.Spec.live_in_set spec)
+  lor bit_of_loc (Liveness.Lgp Reg.Rsp)
+
+let has_undef_read env p =
+  let slots = p.Program.slots in
+  let n = Array.length slots in
+  let defined = ref env in
+  let rec go idx =
+    idx < n
+    && (match slots.(idx) with
+        | Program.Unused -> go (idx + 1)
+        | Program.Active i ->
+          mask_of_locset (Liveness.strict_uses i) land lnot !defined <> 0
+          || begin
+            defined := !defined lor mask_of_locset (Liveness.defs i);
+            go (idx + 1)
+          end)
+  in
+  go 0

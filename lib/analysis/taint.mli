@@ -1,0 +1,18 @@
+(** Dynamic undef-read oracle backing the screen's soundness test.
+
+    Steps every active slot on a live machine (continuing past faults, but
+    withholding a faulted slot's defs), recording each read of a location
+    that neither [env] nor a successfully-executed earlier slot defined.
+    The events are a superset of [Dataflow.undef_reads]; restricted to
+    events with [after_fault = false] they match it exactly — both facts
+    are property-tested in [test/test_analysis.ml]. *)
+
+type event = {
+  slot : int;
+  locs : Liveness.loc list;
+  after_fault : bool;  (** a preceding slot had already faulted *)
+}
+
+val undef_reads :
+  Sandbox.Machine.t -> Program.t -> env:Liveness.Locset.t -> event list
+(** Mutates the machine (it really executes the program). *)

@@ -112,6 +112,23 @@ let live_out_set t =
       | Out_gp r -> Liveness.Locset.add (Liveness.Lgp r) acc)
     Liveness.Locset.empty t.outputs
 
+let live_in_set t =
+  let acc =
+    List.fold_left
+      (fun acc i ->
+        match i with
+        | Fin_xmm_f64 (r, _) | Fin_xmm_f32 (r, _) | Fin_xmm_f32_hi (r, _) ->
+          Liveness.Locset.add (Liveness.Lxmm r) acc
+        | Fin_mem_f32 _ | Fin_mem_f64 _ -> Liveness.Locset.add Liveness.Lmem acc)
+      Liveness.Locset.empty t.float_inputs
+  in
+  List.fold_left
+    (fun acc i ->
+      match i with
+      | Fix_gp (r, _) -> Liveness.Locset.add (Liveness.Lgp r) acc
+      | Fix_mem _ -> Liveness.Locset.add Liveness.Lmem acc)
+    acc t.fixed_inputs
+
 type value =
   | Vf64 of float
   | Vf32 of float

@@ -68,6 +68,12 @@ val random_testcase : Rng.Xoshiro256.t -> t -> Testcase.t
 
 val live_out_set : t -> Liveness.Locset.t
 
+val live_in_set : t -> Liveness.Locset.t
+(** Locations the kernel's inputs define before the first instruction runs:
+    the float-input registers, the fixed GP inputs, and [Lmem] if any input
+    lives in memory.  (The environment additionally defines [rsp] — see
+    [Analysis.Screen.env_of_spec].) *)
+
 (** A live-out value read from a machine after execution. *)
 type value =
   | Vf64 of float

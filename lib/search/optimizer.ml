@@ -7,6 +7,7 @@ type config = {
   trace_points : int;
   prune : bool;
   engine : Sandbox.Exec.engine;
+  static_screen : bool;
 }
 
 let default_config =
@@ -19,6 +20,7 @@ let default_config =
     trace_points = 60;
     prune = true;
     engine = Sandbox.Exec.Compiled;
+    static_screen = true;
   }
 
 type trace_entry = {
@@ -46,6 +48,7 @@ type result = {
   cache_hits : int;
   compile_count : int;
   compiled_runs : int;
+  static_rejects : int;
   moves : move_stats;
 }
 
@@ -79,6 +82,7 @@ type chain_state = {
   mutable best_overall_cost : Cost.cost;
   mutable accepted : int;
   mutable proposals_made : int;
+  mutable static_rejects : int;
   mutable trace_rev : trace_entry list;
   moves : move_stats;
 }
@@ -131,14 +135,15 @@ let emit_point obs name ~chain ~iter ~anchors ctx state ~current_total =
       ("cache_hits", Obs.Json.Int (Cost.cache_hits ctx - anchors.hits0));
       ("compile_count", Obs.Json.Int (Cost.compile_count ctx - anchors.compiles0));
       ("compiled_runs", Obs.Json.Int (Cost.compiled_runs ctx - anchors.cruns0));
+      ("static_rejects", Obs.Json.Int state.static_rejects);
       ("elapsed_s", Obs.Json.Float elapsed);
       ( "evals_per_s",
         Obs.Json.Float
           (if elapsed > 0. then float_of_int evals /. elapsed else 0.) );
     ]
 
-let run_chain ~obs ~progress_every ~chain ~anchors ctx pools config init g
-    state =
+let run_chain ~obs ~progress_every ~chain ~anchors ~screen_env ctx pools config
+    init g state =
   let cur = Program.with_padding config.padding (Program.instrs init) in
   let cur_cost = ref (Cost.eval_full ctx cur) in
   let note_candidate cost =
@@ -168,6 +173,19 @@ let run_chain ~obs ~progress_every ~chain ~anchors ctx pools config init g
      | Some (kind, undo) ->
        state.moves.proposed.(kind_index kind) <-
          state.moves.proposed.(kind_index kind) + 1;
+       if
+         config.static_screen
+         && Analysis.Screen.has_undef_read screen_env cur
+       then begin
+         (* The proposal reads a location nothing defined: reject before
+            any test case runs.  The acceptance-bound RNG draw is skipped,
+            so screened and unscreened searches follow different random
+            streams — but each is still bit-identical across engine and
+            prune settings. *)
+         state.static_rejects <- state.static_rejects + 1;
+         Transform.undo cur undo
+       end
+       else begin
        (* Draw the acceptance randomness before evaluating: a proposal is
           accepted iff its total stays within [limit], so any evaluation
           provably exceeding [limit] can abort early — the prune decision
@@ -191,7 +209,8 @@ let run_chain ~obs ~progress_every ~chain ~anchors ctx pools config init g
             cur_cost := proposal_cost;
             note_candidate proposal_cost
           end
-          else Transform.undo cur undo));
+          else Transform.undo cur undo)
+       end);
     (match !marks with
      | m :: rest when iter >= m ->
        state.trace_rev <-
@@ -237,6 +256,7 @@ let run_from ?(obs = Obs.Sink.null) ?progress_every ctx config init =
       best_overall_cost = init_cost;
       accepted = 0;
       proposals_made = 0;
+      static_rejects = 0;
       trace_rev = [];
       moves = { proposed = Array.make 4 0; accepted_by_kind = Array.make 4 0 };
     }
@@ -252,13 +272,15 @@ let run_from ?(obs = Obs.Sink.null) ?progress_every ctx config init =
         ("restarts", Obs.Json.Int config.restarts);
         ("trace_points", Obs.Json.Int config.trace_points);
         ("engine", Obs.Json.String (Sandbox.Exec.engine_to_string (Cost.engine ctx)));
+        ("static_screen", Obs.Json.Bool config.static_screen);
         ("init_total", Obs.Json.Float init_cost.Cost.total);
       ];
+  let screen_env = Analysis.Screen.env_of_spec spec in
   for chain = 1 to Stdlib.max 1 config.restarts do
     if observing then
       Obs.Sink.emit obs "chain_start" [ ("chain", Obs.Json.Int chain) ];
-    run_chain ~obs ~progress_every ~chain ~anchors ctx pools config init
-      (Rng.Xoshiro256.split g) state
+    run_chain ~obs ~progress_every ~chain ~anchors ~screen_env ctx pools config
+      init (Rng.Xoshiro256.split g) state
   done;
   let live_out = Sandbox.Spec.live_out_set spec in
   let best_correct =
@@ -289,6 +311,7 @@ let run_from ?(obs = Obs.Sink.null) ?progress_every ctx config init =
       cache_hits = Cost.cache_hits ctx;
       compile_count = Cost.compile_count ctx;
       compiled_runs = Cost.compiled_runs ctx;
+      static_rejects = state.static_rejects;
       moves = state.moves;
     }
   in
@@ -320,6 +343,7 @@ let run_from ?(obs = Obs.Sink.null) ?progress_every ctx config init =
         ("cache_hits", Obs.Json.Int (result.cache_hits - anchors.hits0));
         ("compile_count", Obs.Json.Int (result.compile_count - anchors.compiles0));
         ("compiled_runs", Obs.Json.Int (result.compiled_runs - anchors.cruns0));
+        ("static_rejects", Obs.Json.Int result.static_rejects);
         ("elapsed_s", Obs.Json.Float elapsed);
         ( "evals_per_s",
           Obs.Json.Float

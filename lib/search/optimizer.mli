@@ -32,11 +32,19 @@ type config = {
           select the engine.  Like [prune], it never changes the result —
           both engines are bit-identical — only how fast proposals
           evaluate. *)
+  static_screen : bool;
+      (** reject proposals that read a location neither the kernel's
+          inputs nor an earlier slot defined ([Analysis.Screen]) before
+          any test case runs.  Unlike [prune]/[engine] this skips the
+          acceptance-bound RNG draw for rejected proposals, so a screened
+          search follows a different random stream than an unscreened one
+          — each is still deterministic per seed and bit-identical across
+          engine and prune settings. *)
 }
 
 val default_config : config
 (** 200k proposals, MCMC with β = 1, seed 1, padding 4, 1 restart,
-    pruning on, compiled engine. *)
+    pruning on, compiled engine, static screen on. *)
 
 type trace_entry = {
   iter : int;
@@ -69,6 +77,9 @@ type result = {
       (** proposals translated by the compiled engine (0 under [Interp]) *)
   compiled_runs : int;
       (** test-case runs executed through the compiled engine *)
+  static_rejects : int;
+      (** proposals rejected by the static undef-read screen, before any
+          cost evaluation *)
   moves : move_stats;
 }
 

@@ -72,6 +72,7 @@ let run ?domains ?obs ?progress_every ~spec ~params ~tests ~config () =
         cache_hits = sum (fun r -> r.Optimizer.cache_hits);
         compile_count = sum (fun r -> r.Optimizer.compile_count);
         compiled_runs = sum (fun r -> r.Optimizer.compiled_runs);
+        static_rejects = sum (fun r -> r.Optimizer.static_rejects);
         moves
       }
   end

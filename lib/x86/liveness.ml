@@ -107,7 +107,7 @@ let defs (i : Instr.t) =
   in
   if defines_flags i.op then Locset.add Lflags base else base
 
-let uses (i : Instr.t) =
+let uses_via ~dst_read (i : Instr.t) =
   let n = Array.length i.operands in
   let srcs =
     Array.to_list i.operands
@@ -118,10 +118,13 @@ let uses (i : Instr.t) =
            if is_dst then
              match o with
              | Operand.Mem m ->
-               (* A store uses its address registers regardless. *)
-               Locset.union acc (mem_addr_uses m)
+               (* A store uses its address registers regardless, and a
+                  read-modify-write memory destination (add into memory)
+                  reads the memory blob itself. *)
+               let acc = Locset.union acc (mem_addr_uses m) in
+               if dst_read then Locset.add Lmem acc else acc
              | Operand.Gp _ | Operand.Xmm _ ->
-               if dst_is_source i then Locset.union acc (operand_read_uses o)
+               if dst_read then Locset.union acc (operand_read_uses o)
                else acc
              | Operand.Imm _ -> acc
            else
@@ -134,7 +137,44 @@ let uses (i : Instr.t) =
   in
   if uses_flags i.op then Locset.add Lflags srcs else srcs
 
-let kills (i : Instr.t) = Locset.remove Lmem (defs i)
+let uses (i : Instr.t) = uses_via ~dst_read:(dst_is_source i) i
+
+(* Destination reads whose old value is only re-emitted into the bits the
+   instruction does not compute: setcc keeps the upper 56 bits, the scalar
+   SSE merge forms keep the upper lanes, movlhps/movhlps keep the untouched
+   half.  The destination's value never feeds the computed bits, unlike
+   read-modify-write ALU ops or the scalar FP ops whose dst is an operand. *)
+let merge_only_dst (i : Instr.t) =
+  match i.op with
+  | Setcc _ -> true
+  | Movss | Movsd -> dst_is_source i (* the reg-to-reg merge forms *)
+  | Sqrtss | Sqrtsd | Cvtss2sd | Cvtsd2ss | Cvtsi2sd _ | Cvtsi2ss _
+  | Roundsd | Roundss | Movlhps | Movhlps ->
+    true
+  | _ -> false
+
+let strict_uses (i : Instr.t) =
+  uses_via ~dst_read:(dst_is_source i && not (merge_only_dst i)) i
+
+(* Does [i] rewrite all five flags?  [defines_flags] is the may-def
+   over-approximation; two families write fewer: inc/dec preserve CF, and a
+   shift whose masked count (count land 63 at width Q, land 31 at L) is zero
+   leaves every flag untouched. *)
+let kills_flags (i : Instr.t) =
+  defines_flags i.op
+  && (match i.op with
+      | Inc _ | Dec _ -> false
+      | Shl w | Shr w | Sar w ->
+        (match if Array.length i.operands > 0 then Some i.operands.(0) else None with
+         | Some (Operand.Imm c) ->
+           let mask = match w with Reg.Q -> 63L | Reg.L -> 31L in
+           not (Int64.equal (Int64.logand c mask) 0L)
+         | Some _ | None -> false)
+      | _ -> true)
+
+let kills (i : Instr.t) =
+  let k = Locset.remove Lmem (defs i) in
+  if kills_flags i then k else Locset.remove Lflags k
 
 let live_before p ~live_out =
   let slots = p.Program.slots in

@@ -16,11 +16,26 @@ module Locset : Set.S with type elt = loc
 val defs : Instr.t -> Locset.t
 val uses : Instr.t -> Locset.t
 
+val merge_only_dst : Instr.t -> bool
+(** The destination read is pure bit-preservation: the old value is copied
+    into the lanes the instruction does not compute (setcc's upper 56 bits,
+    the scalar SSE merge forms' upper lanes, movlhps/movhlps' untouched
+    half) and never feeds the computed result. *)
+
+val strict_uses : Instr.t -> Locset.t
+(** {!uses} minus {!merge_only_dst} destination reads — the locations whose
+    incoming {e value} can reach the bits the instruction computes.  The
+    static undef-read screen keys on these so a fresh-register merge write
+    (e.g. [cvtsi2sd] into a never-written xmm) is not flagged. *)
+
 val kills : Instr.t -> Locset.t
-(** Subset of {!defs} that fully overwrites the location ([Lmem] is never
-    killed; partially-merging SSE writes still kill at register
-    granularity because we only compare the bits the kernel declares
-    live-out). *)
+(** Subset of {!defs} that fully overwrites the location, validated by the
+    taint-differential oracle ([Analysis.Oracle]).  [Lmem] is never killed;
+    partially-merging SSE register writes still kill at register
+    granularity only when the untouched lanes come from the {e use} of the
+    same register (the backward transfer function re-adds them); [Lflags]
+    is not killed by inc/dec (CF survives) or by a shift whose masked
+    count is zero (all flags survive). *)
 
 val live_before : Program.t -> live_out:Locset.t -> Locset.t array
 (** [live_before p ~live_out] has one entry per {e slot}: the locations live
@@ -28,6 +43,9 @@ val live_before : Program.t -> live_out:Locset.t -> Locset.t array
 
 val live_in : Program.t -> live_out:Locset.t -> Locset.t
 (** Locations the program reads before writing. *)
+
+val is_store : Instr.t -> bool
+(** The destination operand is memory. *)
 
 val dead_slots : Program.t -> live_out:Locset.t -> bool array
 (** Slots whose instruction defines only dead locations (and is not a
