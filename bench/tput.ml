@@ -165,6 +165,93 @@ let run_screen_tput () =
       ("proposals", Obs.Json.Int iters);
     ]
 
+(* The two numbers that justify the orchestrator's control plane: the
+   amortized poll must be free (same proposals/s with the scoreboard
+   attached, bit-identical winner), and cooperative early-stop must
+   actually return wall-clock when a policy fires.  Both go into the tput
+   telemetry stream so CI can watch for control-plane creep. *)
+let run_orchestrator_tput () =
+  Util.subheading "orchestrator control plane: poll overhead & early-stop";
+  let spec = Kernels.Aek_kernels.add_spec in
+  let tests = Stoke.make_tests ~n:8 ~seed:51L spec in
+  let params = Search.Cost.default_params ~eta:0L in
+  let proposals = Util.scaled 60_000 in
+  let base =
+    { Search.Optimizer.default_config with Search.Optimizer.proposals }
+  in
+  (* 1. poll overhead: the same single chain with and without the control
+     plane (a Cost_below policy that can never fire, since totals are
+     non-negative).  The winner must be bit-identical — the poll never
+     touches an RNG — so any proposals/s gap is pure control-plane cost. *)
+  let timed config =
+    let ctx = Search.Cost.create spec params tests in
+    let t0 = Unix.gettimeofday () in
+    let r = Search.Optimizer.run ctx config in
+    (r, float_of_int r.Search.Optimizer.proposals_made
+        /. (Unix.gettimeofday () -. t0))
+  in
+  let plain, plain_pps = timed base in
+  let policed, policed_pps =
+    timed
+      { base with Search.Optimizer.stop_when = Search.Control.Cost_below (-1.) }
+  in
+  if
+    not
+      (Program.equal plain.Search.Optimizer.best_overall
+         policed.Search.Optimizer.best_overall)
+  then failwith "orchestrator tput: control plane changed the winner";
+  let overhead = 1. -. (policed_pps /. plain_pps) in
+  Printf.printf "%-36s %14.0f %14.0f\n" "proposals/s: bare | polled" plain_pps
+    policed_pps;
+  Printf.printf "%-36s %13.1f%%\n" "poll overhead" (100. *. overhead);
+  Obs.Sink.emit (Util.obs ()) "orchestrator"
+    [
+      ("probe", Obs.Json.String "poll_overhead");
+      ("kernel", Obs.Json.String "add");
+      ("proposals", Obs.Json.Int proposals);
+      ("bare_proposals_per_sec", Obs.Json.Float plain_pps);
+      ("polled_proposals_per_sec", Obs.Json.Float policed_pps);
+      ("overhead_frac", Obs.Json.Float overhead);
+    ];
+  (* 2. early-stop saving: four chains hunting an easy win (huge eta) under
+     First_correct vs. running the budget out. *)
+  let domains = 4 in
+  let loose = Search.Cost.default_params ~eta:(Ulp.of_float 1e6) in
+  let timed_parallel config =
+    let t0 = Unix.gettimeofday () in
+    let r =
+      Search.Parallel.run ~domains ~spec ~params:loose ~tests ~config ()
+    in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let exhaust, exhaust_s = timed_parallel base in
+  let stopped, stopped_s =
+    timed_parallel
+      { base with Search.Optimizer.stop_when = Search.Control.First_correct }
+  in
+  Printf.printf "%-36s %13.3fs %13.3fs\n" "4 chains: exhaust | first-correct"
+    exhaust_s stopped_s;
+  Printf.printf "%-36s %14d %14d\n" "proposals made"
+    exhaust.Search.Optimizer.proposals_made
+    stopped.Search.Optimizer.proposals_made;
+  Obs.Sink.emit (Util.obs ()) "orchestrator"
+    [
+      ("probe", Obs.Json.String "early_stop");
+      ("kernel", Obs.Json.String "add");
+      ("domains", Obs.Json.Int domains);
+      ("budget_per_chain", Obs.Json.Int proposals);
+      ("exhaust_s", Obs.Json.Float exhaust_s);
+      ("first_correct_s", Obs.Json.Float stopped_s);
+      ( "stop_reason",
+        Obs.Json.String
+          (Search.Control.stop_reason_to_string
+             stopped.Search.Optimizer.stop_reason) );
+      ( "proposals_saved",
+        Obs.Json.Int
+          (exhaust.Search.Optimizer.proposals_made
+          - stopped.Search.Optimizer.proposals_made) );
+    ]
+
 let run_bechamel () =
   let tests =
     [ dispatch_test; compiled_dispatch_test; dot_dispatch_test; proposal_test;
@@ -228,4 +315,5 @@ let run () =
   run_bechamel ();
   run_engine_tput ();
   run_screen_tput ();
+  run_orchestrator_tput ();
   run_geweke_trace ()

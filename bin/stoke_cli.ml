@@ -167,10 +167,38 @@ let show_cmd =
 
 let optimize_cmd =
   let run name eta proposals seed domains no_prune no_static_screen engine out
-      trace_out metrics progress =
+      trace_out metrics progress deadline stop_when checkpoint checkpoint_every
+      resume =
     match find_kernel name with
     | Error e -> exit_err e
     | Ok spec ->
+      let stop_when =
+        match Search.Control.stop_policy_of_string stop_when with
+        | Some p -> p
+        | None ->
+          exit_err
+            (Printf.sprintf
+               "--stop-when: unknown policy %S (try exhaust, first-correct, \
+                or cost-below:<float>)"
+               stop_when)
+      in
+      let snapshot =
+        Option.map
+          (fun path ->
+            match Search.Snapshot.read ~path with
+            | Ok s -> s
+            | Error e -> exit_err (Printf.sprintf "--resume: %s" e))
+          resume
+      in
+      (* --resume restores the snapshot's domain count unless --domains
+         explicitly overrides it (which the fingerprint check will then
+         reject loudly — the chain layout is part of the trajectory). *)
+      let domains =
+        match domains, snapshot with
+        | Some d, _ -> d
+        | None, Some s -> s.Search.Snapshot.domains
+        | None, None -> 1
+      in
       let config =
         {
           Search.Optimizer.default_config with
@@ -179,12 +207,17 @@ let optimize_cmd =
           prune = not no_prune;
           static_screen = not no_static_screen;
           engine;
+          stop_when;
+          deadline_s = deadline;
         }
       in
       if metrics then Sandbox.Exec.Counters.enable ();
       let t0 = Obs.Clock.now_ns () in
+      let orchestrated =
+        domains > 1 || Option.is_some checkpoint || Option.is_some snapshot
+      in
       let result =
-        if domains <= 1 then begin
+        if not orchestrated then begin
           let sink = make_sink ~trace_out ~progress in
           Fun.protect
             ~finally:(fun () -> Obs.Sink.close sink)
@@ -204,9 +237,19 @@ let optimize_cmd =
                    trace_out)
               ~progress
           in
-          Search.Parallel.run ~domains ~obs ?progress_every:progress ~spec
-            ~params:(Search.Cost.default_params ~eta:(Ulp.of_float eta))
-            ~tests ~config ()
+          let orch_obs = make_sink ~trace_out ~progress in
+          Fun.protect
+            ~finally:(fun () -> Obs.Sink.close orch_obs)
+            (fun () ->
+              try
+                Search.Parallel.run ~domains ~obs ~orch_obs
+                  ?progress_every:progress
+                  ?checkpoint:
+                    (Option.map (fun p -> (p, checkpoint_every)) checkpoint)
+                  ?resume:snapshot ~spec
+                  ~params:(Search.Cost.default_params ~eta:(Ulp.of_float eta))
+                  ~tests ~config ()
+              with Invalid_argument msg -> exit_err msg)
         end
       in
       if metrics then
@@ -215,6 +258,12 @@ let optimize_cmd =
             ("command", Obs.Json.String "optimize");
             ("kernel", Obs.Json.String name);
             ("domains", Obs.Json.Int (Stdlib.max 1 domains));
+            ( "stop_reason",
+              Obs.Json.String
+                (Search.Control.stop_reason_to_string
+                   result.Search.Optimizer.stop_reason) );
+            ( "failed_chains",
+              Obs.Json.Int result.Search.Optimizer.failed_chains );
             ("proposals_made", Obs.Json.Int result.Search.Optimizer.proposals_made);
             ("accepted", Obs.Json.Int result.Search.Optimizer.accepted);
             ("evaluations", Obs.Json.Int result.Search.Optimizer.evaluations);
@@ -258,9 +307,57 @@ let optimize_cmd =
   in
   let domains_arg =
     Arg.(
-      value & opt int 1
+      value & opt (some int) None
       & info [ "domains" ] ~docv:"N"
-          ~doc:"Run N independent parallel search chains (OCaml domains).")
+          ~doc:
+            "Run N independent parallel search chains (OCaml domains).  \
+             Defaults to 1, or to the snapshot's domain count with \
+             $(b,--resume).")
+  in
+  let deadline_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECS"
+          ~doc:
+            "Wall-clock budget for the whole search.  Chains notice the \
+             deadline at their next control poll and exit with their \
+             partial-but-valid best; combine with --checkpoint to resume \
+             later.")
+  in
+  let stop_when_arg =
+    Arg.(
+      value & opt string "exhaust"
+      & info [ "stop-when" ] ~docv:"POLICY"
+          ~doc:
+            "Cooperative early-stop policy: $(b,exhaust) (run the full \
+             budget), $(b,first-correct) (stop all chains once any chain \
+             finds an η-correct rewrite faster than the target), or \
+             $(b,cost-below:C) (stop once any chain's best total cost \
+             drops below C).")
+  in
+  let checkpoint_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Write a resumable search snapshot to $(docv) (atomically) \
+             every --checkpoint-every seconds and when the run ends.")
+  in
+  let checkpoint_every_arg =
+    Arg.(
+      value & opt float 60.
+      & info [ "checkpoint-every" ] ~docv:"SECS"
+          ~doc:"Snapshot cadence for --checkpoint (default 60).")
+  in
+  let resume_arg =
+    Arg.(
+      value & opt (some file) None
+      & info [ "resume" ] ~docv:"FILE"
+          ~doc:
+            "Continue a previous run from a --checkpoint snapshot.  The \
+             kernel, seed, proposal budget, and search options must match \
+             the original run (checked by fingerprint); stopping options \
+             (--deadline, --stop-when, checkpoint cadence) may change.")
   in
   let no_prune_arg =
     Arg.(
@@ -292,7 +389,8 @@ let optimize_cmd =
     Term.(
       const run $ kernel_arg $ eta_arg $ proposals_arg $ seed_arg $ domains_arg
       $ no_prune_arg $ no_static_screen_arg $ engine_arg $ out_arg
-      $ trace_out_arg $ metrics_arg $ progress_arg)
+      $ trace_out_arg $ metrics_arg $ progress_arg $ deadline_arg
+      $ stop_when_arg $ checkpoint_arg $ checkpoint_every_arg $ resume_arg)
 
 (* ----- refine ----- *)
 
@@ -346,7 +444,7 @@ let refine_cmd =
 (* ----- validate ----- *)
 
 let validate_cmd =
-  let run name eta rewrite_file proposals chains trace_out progress =
+  let run name eta rewrite_file proposals min_samples chains trace_out progress =
     match find_kernel name with
     | Error e -> exit_err e
     | Ok spec ->
@@ -362,6 +460,7 @@ let validate_cmd =
           {
             Validate.Driver.default_config with
             Validate.Driver.max_proposals = proposals;
+            min_samples;
           }
         in
         let v =
@@ -407,12 +506,21 @@ let validate_cmd =
             "Run N independent validation chains and judge mixing with the \
              Gelman-Rubin R-hat instead of the single-chain Geweke test.")
   in
+  let min_samples_arg =
+    Arg.(
+      value & opt int Validate.Driver.default_config.Validate.Driver.min_samples
+      & info [ "min-samples" ] ~docv:"N"
+          ~doc:
+            "Minimum number of error samples before any mixing check (Geweke) \
+             may run; a budget that ends below the floor reports mixed=false \
+             rather than judging an undersized chain.  Single-chain mode only.")
+  in
   Cmd.v
     (Cmd.info "validate"
        ~doc:"MCMC-validate a rewrite's maximum ULP error against the target")
     Term.(
       const run $ kernel_arg $ eta_arg $ rewrite_file_arg $ proposals_arg
-      $ chains_arg $ trace_out_arg $ progress_arg)
+      $ min_samples_arg $ chains_arg $ trace_out_arg $ progress_arg)
 
 (* ----- verify ----- *)
 

@@ -26,6 +26,22 @@ let optimize ?config ?tests ?obs ?progress_every ~eta spec =
   in
   Search.Optimizer.run ?obs ?progress_every ctx config
 
+let optimize_parallel ?config ?tests ?domains ?obs ?orch_obs ?progress_every
+    ?checkpoint ?resume ~eta spec =
+  let config =
+    match config with
+    | Some c -> c
+    | None -> Search.Optimizer.default_config
+  in
+  let tests =
+    match tests with
+    | Some t -> t
+    | None -> make_tests ~seed:(Int64.add config.Search.Optimizer.seed 100L) spec
+  in
+  let params = Search.Cost.default_params ~eta in
+  Search.Parallel.run ?domains ?obs ?orch_obs ?progress_every ?checkpoint
+    ?resume ~spec ~params ~tests ~config ()
+
 let validate ?config ?obs ~eta spec rewrite =
   let errfn = Validate.Errfn.create spec ~rewrite in
   Validate.Driver.run ?obs ?config ~eta errfn

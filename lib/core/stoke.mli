@@ -24,6 +24,26 @@ val optimize :
     the test cases.  [obs] and [progress_every] are forwarded to
     {!Search.Optimizer.run}; telemetry never changes the result. *)
 
+val optimize_parallel :
+  ?config:Search.Optimizer.config ->
+  ?tests:Sandbox.Testcase.t array ->
+  ?domains:int ->
+  ?obs:(chain:int -> Obs.Sink.t) ->
+  ?orch_obs:Obs.Sink.t ->
+  ?progress_every:int ->
+  ?checkpoint:string * float ->
+  ?resume:Search.Snapshot.t ->
+  eta:Ulp.t ->
+  Sandbox.Spec.t ->
+  Search.Optimizer.result
+(** {!optimize} through the {!Search.Parallel} orchestrator: independent
+    chains on OCaml domains with the shared control plane (early-stop via
+    [config.stop_when], deadlines via [config.deadline_s], crash
+    isolation, and checkpoint/resume — see {!Search.Parallel.run} for the
+    semantics of [checkpoint] and [resume]).  Tests and params are built
+    exactly as {!optimize} builds them, so a snapshot taken here resumes
+    here. *)
+
 val validate :
   ?config:Validate.Driver.config ->
   ?obs:Obs.Sink.t ->

@@ -29,4 +29,13 @@ let next t =
 
 let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
 
+let state t = [| t.s0; t.s1; t.s2; t.s3 |]
+
+let of_state s =
+  if Array.length s <> 4 then
+    invalid_arg "Xoshiro256.of_state: need exactly 4 state words";
+  if Array.for_all (Int64.equal 0L) s then
+    invalid_arg "Xoshiro256.of_state: the all-zero state is not reachable";
+  { s0 = s.(0); s1 = s.(1); s2 = s.(2); s3 = s.(3) }
+
 let split t = create (next t)

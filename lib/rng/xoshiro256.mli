@@ -17,3 +17,12 @@ val split : t -> t
 (** A fresh generator seeded from the next output of the argument, so that
     parallel chains derived from one seed remain independent and
     reproducible. *)
+
+val state : t -> int64 array
+(** The four state words, for checkpointing a generator mid-stream.  The
+    returned array is fresh; mutating it does not affect [t]. *)
+
+val of_state : int64 array -> t
+(** Rebuild a generator from {!state}'s four words, continuing the exact
+    output stream from the capture point.  Raises [Invalid_argument] on a
+    wrong-length or all-zero state (xoshiro's one forbidden point). *)

@@ -8,6 +8,8 @@ type config = {
   prune : bool;
   engine : Sandbox.Exec.engine;
   static_screen : bool;
+  stop_when : Control.stop_policy;
+  deadline_s : float option;
 }
 
 let default_config =
@@ -21,6 +23,8 @@ let default_config =
     prune = true;
     engine = Sandbox.Exec.Compiled;
     static_screen = true;
+    stop_when = Control.Exhaust;
+    deadline_s = None;
   }
 
 type trace_entry = {
@@ -50,7 +54,14 @@ type result = {
   compiled_runs : int;
   static_rejects : int;
   moves : move_stats;
+  stop_reason : Control.stop_reason;
+  failed_chains : int;
 }
+
+(* Raised at a poll point when the control plane requests a stop; caught in
+   [run_from], which returns the partial-but-valid state accumulated so
+   far. *)
+exception Stop_now
 
 let kind_index = function
   | Transform.Opcode_move -> 0
@@ -104,8 +115,8 @@ let moves_json (moves : move_stats) =
              ] ))
        kind_names)
 
-(* Counter values at the start of a [run_from], so events report rates and
-   totals for this run even when a context is reused. *)
+(* Counter values at the start of a [run_from], so events and the returned
+   result report totals for this run even when a context is reused. *)
 type anchors = {
   t0 : int64;  (** {!Obs.Clock.now_ns} reading *)
   evals0 : int;
@@ -142,11 +153,19 @@ let emit_point obs name ~chain ~iter ~anchors ctx state ~current_total =
           (if elapsed > 0. then float_of_int evals /. elapsed else 0.) );
     ]
 
-let run_chain ~obs ~progress_every ~chain ~anchors ~screen_env ctx pools config
-    init g state =
-  let cur = Program.with_padding config.padding (Program.instrs init) in
+let run_chain ~obs ~progress_every ~control ~chain_id ~master_rng ~restart
+    ~anchors ~screen_env ctx pools config init g ?start state =
+  (* On resume [start] carries the exact (padded) slot array from the
+     snapshot — re-padding would change slot indices and break the RNG
+     replay, so only fresh restarts pad. *)
+  let cur, start_iter =
+    match start with
+    | Some (p, it) -> (p, it)
+    | None -> (Program.with_padding config.padding (Program.instrs init), 0)
+  in
   let cur_cost = ref (Cost.eval_full ctx cur) in
-  let note_candidate cost =
+  let note_candidate ~notify cost =
+    let improved = ref false in
     if Cost.correct cost then begin
       let better =
         match state.best_correct_cost with
@@ -155,18 +174,59 @@ let run_chain ~obs ~progress_every ~chain ~anchors ~screen_env ctx pools config
       in
       if better then begin
         state.best_correct <- Some (Program.copy cur);
-        state.best_correct_cost <- Some cost
+        state.best_correct_cost <- Some cost;
+        improved := true
       end
     end;
     if cost.Cost.total < state.best_overall_cost.Cost.total then begin
       state.best_overall <- Program.copy cur;
-      state.best_overall_cost <- cost
-    end
+      state.best_overall_cost <- cost;
+      improved := true
+    end;
+    if notify && !improved then
+      Option.iter
+        (fun c ->
+          Control.note_best c ~correct:(Cost.correct cost)
+            ~total:cost.Cost.total)
+        control
   in
-  note_candidate !cur_cost;
+  (* The starting program never notifies the control plane: in optimization
+     mode the start IS the target, so [First_correct] would otherwise fire
+     before a single proposal.  The policy reads "first correct
+     improvement". *)
+  if start = None then note_candidate ~notify:false !cur_cost;
+  let publish_pub c ~iter ~completed =
+    Control.publish c
+      {
+        Control.chain = chain_id;
+        seed = config.seed;
+        restart;
+        iter;
+        completed;
+        rng = Rng.Xoshiro256.state g;
+        master_rng;
+        cur = Program.copy cur;
+        best_correct = Option.map Program.copy state.best_correct;
+        best_overall = Program.copy state.best_overall;
+        proposals_made = state.proposals_made;
+        accepted = state.accepted;
+        static_rejects = state.static_rejects;
+        moves_proposed = Array.copy state.moves.proposed;
+        moves_accepted = Array.copy state.moves.accepted_by_kind;
+        trace_rev =
+          List.map
+            (fun e -> (e.iter, e.best_total, e.current_total))
+            state.trace_rev;
+      }
+  in
   let observing = Obs.Sink.enabled obs in
-  let marks = ref (checkpoints config.proposals config.trace_points) in
-  for iter = 1 to config.proposals do
+  let marks =
+    ref
+      (List.filter
+         (fun m -> m > start_iter)
+         (checkpoints config.proposals config.trace_points))
+  in
+  for iter = start_iter + 1 to config.proposals do
     state.proposals_made <- state.proposals_made + 1;
     (match Transform.propose g pools cur with
      | None -> ()
@@ -207,7 +267,7 @@ let run_chain ~obs ~progress_every ~chain ~anchors ~screen_env ctx pools config
             state.moves.accepted_by_kind.(kind_index kind) <-
               state.moves.accepted_by_kind.(kind_index kind) + 1;
             cur_cost := proposal_cost;
-            note_candidate proposal_cost
+            note_candidate ~notify:true proposal_cost
           end
           else Transform.undo cur undo)
        end);
@@ -222,17 +282,42 @@ let run_chain ~obs ~progress_every ~chain ~anchors ~screen_env ctx pools config
          :: state.trace_rev;
        marks := rest;
        if observing then
-         emit_point obs "checkpoint" ~chain ~iter ~anchors ctx state
+         emit_point obs "checkpoint" ~chain:restart ~iter ~anchors ctx state
            ~current_total:!cur_cost.Cost.total
      | _ -> ());
     (match progress_every with
      | Some n when observing && n > 0 && iter mod n = 0 ->
-       emit_point obs "progress" ~chain ~iter ~anchors ctx state
+       emit_point obs "progress" ~chain:restart ~iter ~anchors ctx state
          ~current_total:!cur_cost.Cost.total
-     | _ -> ())
+     | _ -> ());
+    (* Control poll, amortized to one [land] + branch per proposal.  It
+       reads no RNG, so attaching a control plane whose policy never fires
+       leaves the search bit-identical. *)
+    if iter land (Control.poll_interval - 1) = 0 then begin
+      match control with
+      | None -> ()
+      | Some c ->
+        publish_pub c ~iter ~completed:false;
+        if Control.should_stop c then begin
+          if observing then
+            Obs.Sink.emit obs "early_stop"
+              [
+                ("chain", Obs.Json.Int chain_id);
+                ("restart", Obs.Json.Int restart);
+                ("iter", Obs.Json.Int iter);
+                ( "reason",
+                  Obs.Json.String
+                    (match Control.stop_reason c with
+                     | Some r -> Control.stop_reason_to_string r
+                     | None -> "unknown") );
+              ];
+          raise Stop_now
+        end
+    end
   done
 
-let run_from ?(obs = Obs.Sink.null) ?progress_every ctx config init =
+let run_from ?(obs = Obs.Sink.null) ?progress_every ?control ?(chain_id = 0)
+    ?resume ctx config init =
   let anchors =
     {
       t0 = Obs.Clock.now_ns ();
@@ -244,22 +329,66 @@ let run_from ?(obs = Obs.Sink.null) ?progress_every ctx config init =
       cruns0 = Cost.compiled_runs ctx;
     }
   in
+  let control =
+    match control with
+    | Some _ as c -> c
+    | None ->
+      if config.stop_when <> Control.Exhaust || config.deadline_s <> None then
+        Some
+          (Control.create ?deadline_s:config.deadline_s
+             ~stop_when:config.stop_when ~chains:(chain_id + 1) ())
+      else None
+  in
   let spec = Cost.spec ctx in
   let pools = Pools.make ~target:spec.Sandbox.Spec.program ~spec in
-  let g = Rng.Xoshiro256.create config.seed in
+  let g =
+    match resume with
+    | Some (r : Control.chain_pub) -> Rng.Xoshiro256.of_state r.master_rng
+    | None -> Rng.Xoshiro256.create config.seed
+  in
   let init_cost = Cost.eval_full ctx init in
   let state =
-    {
-      best_correct = None;
-      best_correct_cost = None;
-      best_overall = Program.copy init;
-      best_overall_cost = init_cost;
-      accepted = 0;
-      proposals_made = 0;
-      static_rejects = 0;
-      trace_rev = [];
-      moves = { proposed = Array.make 4 0; accepted_by_kind = Array.make 4 0 };
-    }
+    match resume with
+    | None ->
+      {
+        best_correct = None;
+        best_correct_cost = None;
+        best_overall = Program.copy init;
+        best_overall_cost = init_cost;
+        accepted = 0;
+        proposals_made = 0;
+        static_rejects = 0;
+        trace_rev = [];
+        moves =
+          { proposed = Array.make 4 0; accepted_by_kind = Array.make 4 0 };
+      }
+    | Some r ->
+      (* Costs are recomputed rather than serialized: evaluation is
+         deterministic, so the recomputed cost is bit-identical to the one
+         observed before the snapshot (and the snapshot stays honest even
+         if its writer lied). *)
+      let best_correct = Option.map Program.copy r.best_correct in
+      let best_correct_cost = Option.map (Cost.eval_full ctx) best_correct in
+      let best_overall = Program.copy r.best_overall in
+      {
+        best_correct;
+        best_correct_cost;
+        best_overall;
+        best_overall_cost = Cost.eval_full ctx best_overall;
+        accepted = r.accepted;
+        proposals_made = r.proposals_made;
+        static_rejects = r.static_rejects;
+        trace_rev =
+          List.map
+            (fun (iter, best_total, current_total) ->
+              { iter; best_total; current_total })
+            r.trace_rev;
+        moves =
+          {
+            proposed = Array.copy r.moves_proposed;
+            accepted_by_kind = Array.copy r.moves_accepted;
+          };
+      }
   in
   let observing = Obs.Sink.enabled obs in
   if observing then
@@ -273,15 +402,71 @@ let run_from ?(obs = Obs.Sink.null) ?progress_every ctx config init =
         ("trace_points", Obs.Json.Int config.trace_points);
         ("engine", Obs.Json.String (Sandbox.Exec.engine_to_string (Cost.engine ctx)));
         ("static_screen", Obs.Json.Bool config.static_screen);
+        ("stop_when", Obs.Json.String (Control.stop_policy_to_string config.stop_when));
+        ( "deadline_s",
+          match config.deadline_s with
+          | None -> Obs.Json.Null
+          | Some d -> Obs.Json.Float d );
+        ("resumed", Obs.Json.Bool (Option.is_some resume));
         ("init_total", Obs.Json.Float init_cost.Cost.total);
       ];
   let screen_env = Analysis.Screen.env_of_spec spec in
-  for chain = 1 to Stdlib.max 1 config.restarts do
-    if observing then
-      Obs.Sink.emit obs "chain_start" [ ("chain", Obs.Json.Int chain) ];
-    run_chain ~obs ~progress_every ~chain ~anchors ~screen_env ctx pools config
-      init (Rng.Xoshiro256.split g) state
-  done;
+  let restarts = Stdlib.max 1 config.restarts in
+  let start_restart =
+    match resume with
+    | Some (r : Control.chain_pub) when not r.completed -> r.restart
+    | Some _ -> restarts + 1
+    | None -> 1
+  in
+  let stopped = ref None in
+  (try
+     for restart = start_restart to restarts do
+       if observing then
+         Obs.Sink.emit obs "chain_start" [ ("chain", Obs.Json.Int restart) ];
+       let g_restart, start =
+         match resume with
+         | Some (r : Control.chain_pub) when restart = r.restart ->
+           (* The master already paid the split for this restart before the
+              snapshot; [r.rng] continues that stream mid-flight. *)
+           (Rng.Xoshiro256.of_state r.rng, Some (Program.copy r.cur, r.iter))
+         | _ -> (Rng.Xoshiro256.split g, None)
+       in
+       run_chain ~obs ~progress_every ~control ~chain_id
+         ~master_rng:(Rng.Xoshiro256.state g) ~restart ~anchors ~screen_env
+         ctx pools config init g_restart ?start state
+     done;
+     (* Budget exhausted: publish a terminal record so a checkpoint written
+        after this point marks the chain as not-resumable. *)
+     Option.iter
+       (fun c ->
+         let gs = Rng.Xoshiro256.state g in
+         Control.publish c
+           {
+             Control.chain = chain_id;
+             seed = config.seed;
+             restart = restarts;
+             iter = config.proposals;
+             completed = true;
+             rng = gs;
+             master_rng = gs;
+             cur = Program.copy state.best_overall;
+             best_correct = Option.map Program.copy state.best_correct;
+             best_overall = Program.copy state.best_overall;
+             proposals_made = state.proposals_made;
+             accepted = state.accepted;
+             static_rejects = state.static_rejects;
+             moves_proposed = Array.copy state.moves.proposed;
+             moves_accepted = Array.copy state.moves.accepted_by_kind;
+             trace_rev =
+               List.map
+                 (fun e -> (e.iter, e.best_total, e.current_total))
+                 state.trace_rev;
+           })
+       control
+   with Stop_now ->
+     stopped :=
+       Option.bind control Control.stop_reason);
+  let stop_reason = Option.value !stopped ~default:Control.Exhausted in
   let live_out = Sandbox.Spec.live_out_set spec in
   let best_correct =
     Option.map (fun p -> Liveness.dce p ~live_out) state.best_correct
@@ -305,19 +490,22 @@ let run_from ?(obs = Obs.Sink.null) ?progress_every ctx config init =
       trace = List.rev state.trace_rev;
       proposals_made = state.proposals_made;
       accepted = state.accepted;
-      evaluations = Cost.evaluations ctx;
-      tests_executed = Cost.tests_executed ctx;
-      pruned_evals = Cost.pruned_evals ctx;
-      cache_hits = Cost.cache_hits ctx;
-      compile_count = Cost.compile_count ctx;
-      compiled_runs = Cost.compiled_runs ctx;
+      (* Counters are anchored: they count THIS run's work, matching the
+         telemetry, even when the cost context is reused across runs. *)
+      evaluations = Cost.evaluations ctx - anchors.evals0;
+      tests_executed = Cost.tests_executed ctx - anchors.tests0;
+      pruned_evals = Cost.pruned_evals ctx - anchors.pruned0;
+      cache_hits = Cost.cache_hits ctx - anchors.hits0;
+      compile_count = Cost.compile_count ctx - anchors.compiles0;
+      compiled_runs = Cost.compiled_runs ctx - anchors.cruns0;
       static_rejects = state.static_rejects;
       moves = state.moves;
+      stop_reason;
+      failed_chains = 0;
     }
   in
   if observing then begin
     let elapsed = Obs.Clock.elapsed_s ~since:anchors.t0 in
-    let evals = result.evaluations - anchors.evals0 in
     Obs.Sink.emit obs "search_end"
       [
         ("best_correct", Obs.Json.Bool (Option.is_some result.best_correct));
@@ -337,24 +525,29 @@ let run_from ?(obs = Obs.Sink.null) ?progress_every ctx config init =
             (if result.proposals_made = 0 then 0.
              else float_of_int result.accepted /. float_of_int result.proposals_made)
         );
-        ("evaluations", Obs.Json.Int evals);
-        ("tests_executed", Obs.Json.Int (result.tests_executed - anchors.tests0));
-        ("pruned_evals", Obs.Json.Int (result.pruned_evals - anchors.pruned0));
-        ("cache_hits", Obs.Json.Int (result.cache_hits - anchors.hits0));
-        ("compile_count", Obs.Json.Int (result.compile_count - anchors.compiles0));
-        ("compiled_runs", Obs.Json.Int (result.compiled_runs - anchors.cruns0));
+        ("evaluations", Obs.Json.Int result.evaluations);
+        ("tests_executed", Obs.Json.Int result.tests_executed);
+        ("pruned_evals", Obs.Json.Int result.pruned_evals);
+        ("cache_hits", Obs.Json.Int result.cache_hits);
+        ("compile_count", Obs.Json.Int result.compile_count);
+        ("compiled_runs", Obs.Json.Int result.compiled_runs);
         ("static_rejects", Obs.Json.Int result.static_rejects);
+        ( "stop_reason",
+          Obs.Json.String (Control.stop_reason_to_string result.stop_reason) );
         ("elapsed_s", Obs.Json.Float elapsed);
         ( "evals_per_s",
           Obs.Json.Float
-            (if elapsed > 0. then float_of_int evals /. elapsed else 0.) );
+            (if elapsed > 0. then
+               float_of_int result.evaluations /. elapsed
+             else 0.) );
         ("moves", moves_json result.moves);
       ]
   end;
   result
 
-let run ?obs ?progress_every ctx config =
-  run_from ?obs ?progress_every ctx config (Cost.spec ctx).Sandbox.Spec.program
+let run ?obs ?progress_every ?control ?chain_id ?resume ctx config =
+  run_from ?obs ?progress_every ?control ?chain_id ?resume ctx config
+    (Cost.spec ctx).Sandbox.Spec.program
 
 let synthesize ?obs ?progress_every ctx config ~slots =
   if slots <= 0 then invalid_arg "Optimizer.synthesize: need positive slots";

@@ -40,11 +40,21 @@ type config = {
           search follows a different random stream than an unscreened one
           — each is still deterministic per seed and bit-identical across
           engine and prune settings. *)
+  stop_when : Control.stop_policy;
+      (** cooperative early-stop policy, polled off the hot path every
+          {!Control.poll_interval} proposals.  [Exhaust] (the default)
+          never stops early and allocates no control plane at all. *)
+  deadline_s : float option;
+      (** wall-clock budget for the whole run (all restarts), measured
+          from the moment the control plane is created.  The deadline
+          interrupts at the next poll point, so the effective resolution
+          is one poll interval's worth of proposals. *)
 }
 
 val default_config : config
 (** 200k proposals, MCMC with β = 1, seed 1, padding 4, 1 restart,
-    pruning on, compiled engine, static screen on. *)
+    pruning on, compiled engine, static screen on, exhaust (no early
+    stop), no deadline. *)
 
 type trace_entry = {
   iter : int;
@@ -81,7 +91,19 @@ type result = {
       (** proposals rejected by the static undef-read screen, before any
           cost evaluation *)
   moves : move_stats;
+  stop_reason : Control.stop_reason;
+      (** why the run ended: [Exhausted] for a full-budget run, otherwise
+          the reason the control plane requested the stop.  A stopped run
+          still returns every field above, valid for the work done. *)
+  failed_chains : int;
+      (** always 0 here; {!Parallel.run} fills it with the number of
+          domains whose chain crashed *)
 }
+
+(** The counter fields ([evaluations] … [compiled_runs]) are {e anchored}:
+    they count this run's work only, matching the [search_end] telemetry,
+    even when the same {!Cost.t} context (and its monotonically growing
+    counters) is reused across several runs. *)
 
 val kind_index : Transform.kind -> int
 (** Index into {!move_stats} arrays. *)
@@ -91,15 +113,36 @@ val moves_json : move_stats -> Obs.Json.t
     events, for callers assembling their own metrics dumps. *)
 
 val run :
-  ?obs:Obs.Sink.t -> ?progress_every:int -> Cost.t -> config -> result
+  ?obs:Obs.Sink.t ->
+  ?progress_every:int ->
+  ?control:Control.t ->
+  ?chain_id:int ->
+  ?resume:Control.chain_pub ->
+  Cost.t ->
+  config ->
+  result
 (** Starts each chain from the target (STOKE's optimization mode).
     [obs] receives the telemetry stream; [progress_every:n] additionally
     emits a [progress] event every [n] proposals (for live monitoring at
-    a fixed cadence, on top of the log-spaced [checkpoint]s). *)
+    a fixed cadence, on top of the log-spaced [checkpoint]s).
+
+    [control] shares a {!Control.t} across several concurrent runs (the
+    {!Parallel} orchestrator); when absent, one is created internally iff
+    [config.stop_when] or [config.deadline_s] asks for it — an [Exhaust] /
+    no-deadline run has no control plane and behaves exactly as before.
+    [chain_id] is this run's slot in the shared control plane (default 0).
+    [resume] continues a previous run from a {!Control.chain_pub}
+    publication (normally out of a {!Snapshot}): the interrupted restart
+    picks up mid-stream from its captured RNG state, later restarts split
+    from the captured master, so resuming an [Exhaust] run reproduces the
+    uninterrupted winner bit-identically. *)
 
 val run_from :
   ?obs:Obs.Sink.t ->
   ?progress_every:int ->
+  ?control:Control.t ->
+  ?chain_id:int ->
+  ?resume:Control.chain_pub ->
   Cost.t ->
   config ->
   Program.t ->

@@ -1,16 +1,27 @@
-(** Parallel search: independent MCMC chains on OCaml 5 domains, mirroring
-    the paper's 16 search threads (§6).
+(** Parallel search orchestrator: independent MCMC chains on OCaml 5
+    domains, mirroring the paper's 16 search threads (§6), plus the
+    control plane that makes long runs operable — cooperative early-stop,
+    wall-clock deadlines, chain-crash isolation, and checkpoint/resume.
 
-    Chains share nothing — each domain builds its own cost context,
-    machines, and (when [obs] is given) its own event sink — so the
-    result is deterministic for a given seed: chain [i] runs with seed
-    [seed + i] and the best η-correct rewrite across chains wins (ties
-    by lower latency, then lower chain index). *)
+    Chains share {e almost} nothing — each domain builds its own cost
+    context, machines, and (when [obs] is given) its own event sink — so
+    the result is deterministic for a given seed: chain [i] runs with seed
+    [seed + i] and the best η-correct rewrite across chains wins (ties by
+    lower latency, then lower chain index).  The one shared structure is a
+    {!Control.t} of atomics (scoreboard, stop flag, publication slots),
+    which no chain reads on its hot path: polls are amortized to every
+    {!Control.poll_interval} proposals and never touch an RNG, so under
+    the default [Exhaust] policy the winner is bit-identical to a run
+    without the control plane. *)
 
 val run :
   ?domains:int ->
   ?obs:(chain:int -> Obs.Sink.t) ->
+  ?orch_obs:Obs.Sink.t ->
   ?progress_every:int ->
+  ?checkpoint:string * float ->
+  ?resume:Snapshot.t ->
+  ?on_chain_start:(int -> unit) ->
   spec:Sandbox.Spec.t ->
   params:Cost.params ->
   tests:Sandbox.Testcase.t array ->
@@ -20,11 +31,40 @@ val run :
 (** [domains] defaults to [Domain.recommended_domain_count ()], capped
     at 8.  The returned trace is the winning chain's trace;
     [evaluations], [proposals_made], [accepted], and the per-kind
-    [moves] arrays are summed across chains (into fresh arrays, leaving
-    each chain's own counters untouched).
+    [moves] arrays are summed across {e surviving} chains (into fresh
+    arrays, leaving each chain's own counters untouched);
+    [failed_chains] counts the rest, and [stop_reason] says why the run
+    ended.
+
+    {b Stop policies and deadlines} come from [config.stop_when] /
+    [config.deadline_s] and are shared by all chains: the first chain to
+    satisfy the policy (or observe the deadline) flips the shared stop
+    flag, every chain exits at its next poll with its partial-but-valid
+    state, and the merge proceeds as usual.
+
+    {b Fault isolation}: an exception escaping one chain (including the
+    [on_chain_start] hook) is caught inside its domain, recorded as a
+    [chain_crash] event on that chain's sink (and on [orch_obs] after the
+    join), counted in [failed_chains] — and the survivors' merged result
+    is still returned.  Only if {e every} chain crashes does [run] raise
+    ([Failure], carrying the first chain's error).
+
+    {b Checkpointing}: [checkpoint:(path, every_s)] makes the
+    orchestrator write a {!Snapshot} to [path] (atomically) every
+    [every_s] seconds while chains run, and once more after the join
+    (so the final image reflects early-stop, deadline, or crash state).
+    [resume:snapshot] starts every chain from its publication in a prior
+    snapshot; the snapshot's config fingerprint must match this run's or
+    [run] raises [Invalid_argument] immediately.  Resuming an [Exhaust]
+    run reproduces the uninterrupted run's winner bit-identically.
 
     [obs] is a factory, not a sink: it is called once {e inside} each
     domain ([~chain] ranging over [0..domains-1]) so every chain owns a
-    private sink — e.g. one JSONL file per chain — and no event
-    delivery crosses domains.  Each chain's sink is closed when that
-    chain finishes.  [progress_every] is forwarded to every chain. *)
+    private sink — e.g. one JSONL file per chain — and no event delivery
+    crosses domains.  Each chain's sink is closed when that chain
+    finishes.  [orch_obs] is the {e orchestrator's} sink, used only from
+    the spawning domain ([resume], [snapshot_write], post-join
+    [chain_crash] events).  [progress_every] is forwarded to every chain.
+
+    [on_chain_start] runs inside each domain before its optimizer starts
+    — a test hook for fault injection; treat it as part of the chain. *)

@@ -1,0 +1,57 @@
+(** Checkpoint/resume serialization for orchestrated searches.
+
+    A snapshot is the JSON image of the control plane's latest per-chain
+    publications ({!Control.chain_pub}) plus a {b config fingerprint} — an
+    MD5 digest over everything that determines the search trajectory (spec,
+    cost params, search config, test cases, domain count).  {!Parallel.run}
+    refuses to resume from a snapshot whose fingerprint does not match the
+    run it would continue, because a chain's RNG replay is only meaningful
+    against the exact same search problem.
+
+    Deliberately {e outside} the fingerprint: [stop_when], [deadline_s],
+    and the checkpoint cadence — stopping policy does not alter any chain's
+    trajectory, and changing it on resume (e.g. dropping the deadline that
+    interrupted the original run) is the point of resuming.  Also outside:
+    [prune], [engine], and [trace_points], which are result-transparent by
+    construction.
+
+    Programs are serialized slot-exactly (one JSON entry per slot, [null]
+    for [Unused]) via the assembly printer and parser, and RNG states and
+    seeds as decimal-string int64s — JSON numbers only carry 63-bit OCaml
+    ints.  Costs are not serialized at all; the resuming run re-evaluates,
+    which is bit-identical because evaluation is deterministic. *)
+
+type t = {
+  version : int;
+  fingerprint : string;
+  domains : int;
+  stop_reason : string option;
+      (** {!Control.stop_reason_to_string} of the reason the writing run
+          stopped, if it had stopped when the snapshot was written *)
+  elapsed_s : float;  (** wall-clock seconds the writing run had spent *)
+  chains : Control.chain_pub option array;
+      (** indexed by chain slot; [None] for a chain that never published *)
+}
+
+val current_version : int
+
+val fingerprint :
+  spec:Sandbox.Spec.t ->
+  params:Cost.params ->
+  config:Optimizer.config ->
+  tests:Sandbox.Testcase.t array ->
+  domains:int ->
+  string
+(** Hex MD5 over a canonical rendering of every trajectory-determining
+    input.  Floats render with [%h] and int64s in full, so two configs
+    fingerprint equal iff they search identically. *)
+
+val to_json : t -> Obs.Json.t
+val of_json : Obs.Json.t -> (t, string) result
+
+val write : path:string -> t -> unit
+(** Atomic: writes [path ^ ".tmp"] then renames over [path], so a crash
+    mid-write never leaves a torn snapshot behind. *)
+
+val read : path:string -> (t, string) result
+(** I/O and parse errors both land in [Error]. *)

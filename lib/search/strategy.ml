@@ -41,6 +41,12 @@ let to_string = function
   | Anneal _ -> "anneal"
   | Random_walk -> "rand"
 
+let fingerprint = function
+  | Mcmc { beta } -> Printf.sprintf "mcmc:beta=%h" beta
+  | Hill -> "hill"
+  | Anneal { t0; cooling } -> Printf.sprintf "anneal:t0=%h:cooling=%h" t0 cooling
+  | Random_walk -> "rand"
+
 let of_string = function
   | "mcmc" -> Some (Mcmc { beta = 1.0 })
   | "hill" -> Some Hill

@@ -34,3 +34,8 @@ val default_anneal : t
 val to_string : t -> string
 val of_string : string -> t option
 (** Recognizes ["mcmc"], ["hill"], ["anneal"], ["rand"]. *)
+
+val fingerprint : t -> string
+(** Like {!to_string} but including the numeric parameters (hex-exact),
+    so two strategies fingerprint equal iff they accept identically —
+    what {!Snapshot} config fingerprints need. *)

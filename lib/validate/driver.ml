@@ -88,11 +88,25 @@ let run_internal ~rule ?(obs = Obs.Sink.null) ?(config = default_config) ~eta
   let spec = Errfn.spec errfn in
   let proposal = Proposal.create ~sigma:config.sigma spec in
   let cur = ref (Proposal.initial g proposal) in
-  let cur_err = ref (Errfn.eval errfn !cur) in
-  let max_err = ref (Errfn.eval_ulp errfn !cur) in
+  let cur_err0, max_err0 = Errfn.eval_both errfn !cur in
+  let cur_err = ref cur_err0 in
+  let max_err = ref max_err0 in
   let max_err_input = ref (Array.copy !cur) in
-  let samples = ref [] in
+  (* The sample history backing the Geweke checks: a flat growable array,
+     so each check reads a prefix view in O(n) instead of rebuilding the
+     whole chain from a reversed list (O(n²) over the run). *)
+  let samples = ref (Array.make 1024 0.) in
   let n_samples = ref 0 in
+  let push_sample x =
+    if !n_samples = Array.length !samples then begin
+      let bigger = Array.make (2 * Array.length !samples) 0. in
+      Array.blit !samples 0 bigger 0 !n_samples;
+      samples := bigger
+    end;
+    !samples.(!n_samples) <- x;
+    incr n_samples
+  in
+  let sample_chain () = Array.sub !samples 0 !n_samples in
   let mixed = ref false in
   let last_z = ref Float.infinity in
   let iterations = ref 0 in
@@ -106,7 +120,9 @@ let run_internal ~rule ?(obs = Obs.Sink.null) ?(config = default_config) ~eta
          | A_random -> Proposal.initial g proposal
          | A_mcmc | A_hill | A_anneal -> Proposal.step g proposal !cur
        in
-       let err = Errfn.eval errfn candidate in
+       (* One pair of executions serves both the accept rule (float error)
+          and max tracking (exact ULP count). *)
+       let err, exact = Errfn.eval_both errfn candidate in
        let accept =
          match rule with
          | A_random -> true
@@ -127,7 +143,6 @@ let run_internal ~rule ?(obs = Obs.Sink.null) ?(config = default_config) ~eta
          cur := candidate;
          cur_err := err
        end;
-       let exact = Errfn.eval_ulp errfn candidate in
        if Ulp.compare exact !max_err > 0 then begin
          max_err := exact;
          max_err_input := Array.copy candidate;
@@ -142,8 +157,7 @@ let run_internal ~rule ?(obs = Obs.Sink.null) ?(config = default_config) ~eta
                       (Array.map (fun x -> Obs.Json.Float x) candidate)) );
              ]
        end;
-       samples := !cur_err :: !samples;
-       incr n_samples;
+       push_sample !cur_err;
        (match !marks with
         | m :: rest when iter >= m ->
           trace := { iter; best_err = Ulp.to_float !max_err } :: !trace;
@@ -161,7 +175,7 @@ let run_internal ~rule ?(obs = Obs.Sink.null) ?(config = default_config) ~eta
          !n_samples >= config.min_samples
          && iter mod config.check_every = 0
        then begin
-         let chain = Array.of_list (List.rev !samples) in
+         let chain = sample_chain () in
          let v = Stats.Geweke.z_statistic chain in
          last_z := v.Stats.Geweke.z;
          let converged =
@@ -183,9 +197,14 @@ let run_internal ~rule ?(obs = Obs.Sink.null) ?(config = default_config) ~eta
      done
    with Exit -> ());
   (* Final mixing check for runs whose budget ended before the periodic
-     schedule fired. *)
-  if (not !mixed) && !n_samples >= 100 then begin
-    let chain = Array.of_list (List.rev !samples) in
+     schedule fired.  Gated on the configured [min_samples] (not a
+     hardcoded count): a run whose budget never reached the sample floor
+     must not claim convergence from an undersized chain.  The extra
+     [>= 20] floor covers configs with a tiny [min_samples] —
+     [Geweke.z_statistic] needs at least 20 points. *)
+  if (not !mixed) && !n_samples >= config.min_samples && !n_samples >= 20
+  then begin
+    let chain = sample_chain () in
     let v = Stats.Geweke.z_statistic chain in
     last_z := v.Stats.Geweke.z;
     let converged = Stats.Geweke.converged ~threshold:config.z_threshold v in

@@ -40,35 +40,38 @@ let run_and_read t run tc =
   | Sandbox.Exec.Finished -> Some (Sandbox.Spec.read_outputs t.spec t.machine)
   | Sandbox.Exec.Faulted _ -> None
 
-let eval_ulp t xs =
+(* One target run + one rewrite run; [None] is divergent signal
+   behaviour.  Every public evaluator is a view of this, so a combined
+   query costs exactly one pair of executions. *)
+let total_ulp t xs =
   let tc = Sandbox.Spec.testcase_of_floats t.spec xs in
   match run_and_read t t.run_target tc with
   | None ->
     (* The spec's input ranges must keep the target from faulting; if it
        does anyway, charge it as divergent. *)
-    Ulp.max_value
+    None
   | Some expected ->
     (match run_and_read t t.run_rewrite tc with
-     | None -> Ulp.max_value
+     | None -> None
      | Some actual ->
        let total = ref Ulp.zero in
        Array.iteri
          (fun i e ->
            total := Ulp.add_sat !total (Sandbox.Spec.value_ulp e actual.(i)))
          expected;
-       !total)
+       Some !total)
+
+let eval_ulp t xs =
+  match total_ulp t xs with
+  | None -> Ulp.max_value
+  | Some u -> u
 
 let eval t xs =
-  let tc = Sandbox.Spec.testcase_of_floats t.spec xs in
-  match run_and_read t t.run_target tc with
+  match total_ulp t xs with
   | None -> top_eta
-  | Some expected ->
-    (match run_and_read t t.run_rewrite tc with
-     | None -> top_eta
-     | Some actual ->
-       let total = ref Ulp.zero in
-       Array.iteri
-         (fun i e ->
-           total := Ulp.add_sat !total (Sandbox.Spec.value_ulp e actual.(i)))
-         expected;
-       Ulp.to_float !total)
+  | Some u -> Ulp.to_float u
+
+let eval_both t xs =
+  match total_ulp t xs with
+  | None -> (top_eta, Ulp.max_value)
+  | Some u -> (Ulp.to_float u, u)

@@ -19,6 +19,12 @@ val eval_ulp : t -> float array -> Ulp.t
 (** Same, as an exact unsigned ULP count ({!Ulp.max_value} for divergent
     signal behaviour). *)
 
+val eval_both : t -> float array -> float * Ulp.t
+(** [(eval e xs, eval_ulp e xs)] from a {e single} pair of executions —
+    what {!Driver} wants, since it needs the float error for the accept
+    rule and the exact count for max tracking on every input.  Calling
+    [eval] and [eval_ulp] separately runs each program twice. *)
+
 val top_eta : float
 (** The >η sentinel: 2^64, strictly above every representable ULP count. *)
 

@@ -38,13 +38,17 @@ let run_chain ~obs ~chain ~config ~seed errfn =
   let spec = Errfn.spec errfn in
   let proposal = Proposal.create ~sigma:config.sigma spec in
   let cur = ref (Proposal.initial g proposal) in
-  let cur_err = ref (Errfn.eval errfn !cur) in
-  let best = ref (Errfn.eval_ulp errfn !cur) in
+  let cur_err0, best0 = Errfn.eval_both errfn !cur in
+  let cur_err = ref cur_err0 in
+  let best = ref best0 in
   let best_input = ref (Array.copy !cur) in
   let series = Array.make config.proposals_per_chain 0. in
   for i = 0 to config.proposals_per_chain - 1 do
     let cand = Proposal.step g proposal !cur in
-    let err = Errfn.eval errfn cand in
+    (* one pair of executions per candidate: float error for the accept
+       rule, exact count for max tracking (neither touches [g], so the
+       combined query leaves the random stream unchanged) *)
+    let err, exact = Errfn.eval_both errfn cand in
     if
       err >= !cur_err
       || Rng.Dist.float g 1.0 < (err +. 1.) /. (!cur_err +. 1.)
@@ -52,7 +56,6 @@ let run_chain ~obs ~chain ~config ~seed errfn =
       cur := cand;
       cur_err := err
     end;
-    let exact = Errfn.eval_ulp errfn cand in
     if Ulp.compare exact !best > 0 then begin
       best := exact;
       best_input := Array.copy cand

@@ -665,6 +665,311 @@ let parallel_tests =
           <= r.Search.Optimizer.proposals_made));
   ]
 
+(* ---- the parallel-search control plane: early-stop, deadlines, crash
+   isolation, checkpoint/resume ---- *)
+
+let reason =
+  Alcotest.testable
+    (fun ppf r ->
+      Format.pp_print_string ppf (Search.Control.stop_reason_to_string r))
+    (fun a b -> a = b)
+
+let check_same_program msg a b =
+  Alcotest.(check bool) msg true (Program.equal a b)
+
+let orchestrator_tests =
+  [
+    Alcotest.test_case "idle control plane leaves the winner bit-identical"
+      `Quick (fun () ->
+        let spec = Kernels.Aek_kernels.add_spec in
+        let tests = Stoke.make_tests ~n:8 ~seed:36L spec in
+        let params = Search.Cost.default_params ~eta:0L in
+        let config =
+          { Search.Optimizer.default_config with Search.Optimizer.proposals = 6_000 }
+        in
+        let plain =
+          Search.Optimizer.run (Search.Cost.create spec params tests) config
+        in
+        (* totals are never negative, so this policy can never fire — but
+           it forces the control plane (scoreboard, polls, publications)
+           onto the run *)
+        let policed =
+          Search.Optimizer.run
+            (Search.Cost.create spec params tests)
+            { config with
+              Search.Optimizer.stop_when = Search.Control.Cost_below (-1.) }
+        in
+        check_same_program "same best_overall"
+          plain.Search.Optimizer.best_overall
+          policed.Search.Optimizer.best_overall;
+        Alcotest.(check int) "same accepted" plain.Search.Optimizer.accepted
+          policed.Search.Optimizer.accepted;
+        Alcotest.(check int) "same proposals"
+          plain.Search.Optimizer.proposals_made
+          policed.Search.Optimizer.proposals_made;
+        Alcotest.check reason "ran to exhaustion" Search.Control.Exhausted
+          policed.Search.Optimizer.stop_reason);
+    Alcotest.test_case "deadline interrupts with a valid partial result"
+      `Quick (fun () ->
+        let spec = Kernels.Aek_kernels.add_spec in
+        let tests = Stoke.make_tests ~n:8 ~seed:36L spec in
+        let params = Search.Cost.default_params ~eta:0L in
+        let config =
+          { Search.Optimizer.default_config with
+            Search.Optimizer.proposals = 50_000_000;
+            deadline_s = Some 0.1;
+          }
+        in
+        let ctx = Search.Cost.create spec params tests in
+        let r = Search.Optimizer.run ctx config in
+        Alcotest.check reason "deadline" Search.Control.Deadline_hit
+          r.Search.Optimizer.stop_reason;
+        Alcotest.(check bool) "made progress" true
+          (r.Search.Optimizer.proposals_made > 0);
+        Alcotest.(check bool) "stopped early" true
+          (r.Search.Optimizer.proposals_made < 50_000_000);
+        (* the partial result is still a valid evaluation *)
+        Alcotest.(check bool) "best_overall cost is finite" true
+          (Float.is_finite
+             r.Search.Optimizer.best_overall_cost.Search.Cost.total));
+    Alcotest.test_case "first-correct stops every chain early" `Slow (fun () ->
+        let spec = Kernels.Aek_kernels.add_spec in
+        let tests = Stoke.make_tests ~n:8 ~seed:37L spec in
+        let params = Search.Cost.default_params ~eta:(Ulp.of_float 1e6) in
+        let proposals = 200_000 and domains = 3 in
+        let config =
+          { Search.Optimizer.default_config with
+            Search.Optimizer.proposals;
+            stop_when = Search.Control.First_correct;
+          }
+        in
+        let r = Search.Parallel.run ~domains ~spec ~params ~tests ~config () in
+        Alcotest.check reason "policy fired" Search.Control.Policy_satisfied
+          r.Search.Optimizer.stop_reason;
+        Alcotest.(check bool) "found a correct improvement" true
+          (Option.is_some r.Search.Optimizer.best_correct);
+        Alcotest.(check bool) "saved most of the budget" true
+          (r.Search.Optimizer.proposals_made < domains * proposals));
+    Alcotest.test_case "a crashing chain is isolated, survivors win" `Quick
+      (fun () ->
+        let spec = Kernels.Aek_kernels.add_spec in
+        let tests = Stoke.make_tests ~n:8 ~seed:38L spec in
+        let params = Search.Cost.default_params ~eta:0L in
+        let proposals = 4_000 and domains = 3 in
+        let config =
+          { Search.Optimizer.default_config with Search.Optimizer.proposals }
+        in
+        let sinks = Array.init domains (fun _ -> Obs.Sink.memory ()) in
+        let r =
+          Search.Parallel.run ~domains
+            ~obs:(fun ~chain -> sinks.(chain))
+            ~on_chain_start:(fun i -> if i = 1 then failwith "injected crash")
+            ~spec ~params ~tests ~config ()
+        in
+        Alcotest.(check int) "one failed chain" 1
+          r.Search.Optimizer.failed_chains;
+        Alcotest.(check int) "survivors ran their full budget"
+          (2 * proposals) r.Search.Optimizer.proposals_made;
+        Alcotest.(check bool) "survivors still found a rewrite" true
+          (Option.is_some r.Search.Optimizer.best_correct);
+        let crash_events =
+          List.filter
+            (fun (e : Obs.Sink.event) -> e.Obs.Sink.name = "chain_crash")
+            (Obs.Sink.drain sinks.(1))
+        in
+        Alcotest.(check int) "chain 1 logged its crash" 1
+          (List.length crash_events));
+    Alcotest.test_case "all chains crashing raises" `Quick (fun () ->
+        let spec = Kernels.Aek_kernels.add_spec in
+        let tests = Stoke.make_tests ~n:4 ~seed:39L spec in
+        let params = Search.Cost.default_params ~eta:0L in
+        let config =
+          { Search.Optimizer.default_config with Search.Optimizer.proposals = 100 }
+        in
+        Alcotest.(check bool) "raises Failure" true
+          (try
+             ignore
+               (Search.Parallel.run ~domains:2
+                  ~on_chain_start:(fun _ -> failwith "boom")
+                  ~spec ~params ~tests ~config ());
+             false
+           with Failure _ -> true));
+    Alcotest.test_case "snapshot round-trips and rejects a changed config"
+      `Quick (fun () ->
+        let spec = Kernels.Aek_kernels.add_spec in
+        let tests = Stoke.make_tests ~n:8 ~seed:40L spec in
+        let params = Search.Cost.default_params ~eta:0L in
+        let config =
+          { Search.Optimizer.default_config with Search.Optimizer.proposals = 2_000 }
+        in
+        let path = Filename.temp_file "stoke_snap" ".json" in
+        Fun.protect
+          ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+          (fun () ->
+            let _ =
+              Search.Parallel.run ~domains:2 ~checkpoint:(path, 3600.) ~spec
+                ~params ~tests ~config ()
+            in
+            (* the post-join snapshot marks both chains complete *)
+            let s =
+              match Search.Snapshot.read ~path with
+              | Ok s -> s
+              | Error e -> Alcotest.fail ("snapshot read: " ^ e)
+            in
+            Alcotest.(check int) "domains" 2 s.Search.Snapshot.domains;
+            Alcotest.(check string) "fingerprint matches a recomputation"
+              (Search.Snapshot.fingerprint ~spec ~params ~config ~tests
+                 ~domains:2)
+              s.Search.Snapshot.fingerprint;
+            Array.iter
+              (fun pub ->
+                match pub with
+                | None -> Alcotest.fail "chain never published"
+                | Some (p : Search.Control.chain_pub) ->
+                  Alcotest.(check bool) "completed" true p.Search.Control.completed)
+              s.Search.Snapshot.chains;
+            (* JSON round-trip: parse(print(s)) reproduces every program
+               slot-exactly *)
+            (match Search.Snapshot.of_json (Search.Snapshot.to_json s) with
+             | Error e -> Alcotest.fail ("round-trip: " ^ e)
+             | Ok s' ->
+               Alcotest.(check string) "fingerprint survives"
+                 s.Search.Snapshot.fingerprint s'.Search.Snapshot.fingerprint;
+               Array.iteri
+                 (fun i pub ->
+                   match pub, s'.Search.Snapshot.chains.(i) with
+                   | Some (a : Search.Control.chain_pub),
+                     Some (b : Search.Control.chain_pub) ->
+                     check_same_program "cur survives" a.Search.Control.cur
+                       b.Search.Control.cur;
+                     check_same_program "best_overall survives"
+                       a.Search.Control.best_overall
+                       b.Search.Control.best_overall;
+                     Alcotest.(check (array int64)) "rng survives"
+                       a.Search.Control.rng b.Search.Control.rng
+                   | _ -> Alcotest.fail "chain lost in round-trip")
+                 s.Search.Snapshot.chains);
+            (* resuming under a different seed must be rejected loudly *)
+            Alcotest.(check bool) "changed config rejected" true
+              (try
+                 ignore
+                   (Search.Parallel.run ~domains:2 ~resume:s ~spec ~params
+                      ~tests
+                      ~config:{ config with Search.Optimizer.seed = 99L }
+                      ());
+                 false
+               with Invalid_argument _ -> true)));
+    Alcotest.test_case "fingerprint is sensitive to trajectory inputs" `Quick
+      (fun () ->
+        let spec = Kernels.Aek_kernels.add_spec in
+        let tests = Stoke.make_tests ~n:4 ~seed:41L spec in
+        let params = Search.Cost.default_params ~eta:0L in
+        let config = Search.Optimizer.default_config in
+        let fp c p t d =
+          Search.Snapshot.fingerprint ~spec ~params:p ~config:c ~tests:t
+            ~domains:d
+        in
+        let base = fp config params tests 2 in
+        Alcotest.(check string) "deterministic" base (fp config params tests 2);
+        Alcotest.(check bool) "seed matters" true
+          (base <> fp { config with Search.Optimizer.seed = 2L } params tests 2);
+        Alcotest.(check bool) "eta matters" true
+          (base <> fp config (Search.Cost.default_params ~eta:1L) tests 2);
+        Alcotest.(check bool) "tests matter" true
+          (base <> fp config params (Stoke.make_tests ~n:4 ~seed:42L spec) 2);
+        Alcotest.(check bool) "domains matter" true
+          (base <> fp config params tests 3);
+        (* stopping policy is deliberately outside the fingerprint: it is
+           legitimate to change on resume *)
+        Alcotest.(check string) "deadline does not matter" base
+          (fp { config with Search.Optimizer.deadline_s = Some 1. } params
+             tests 2);
+        Alcotest.(check string) "stop_when does not matter" base
+          (fp
+             { config with
+               Search.Optimizer.stop_when = Search.Control.First_correct }
+             params tests 2));
+    Alcotest.test_case "resume reproduces the uninterrupted winner" `Slow
+      (fun () ->
+        let spec = Kernels.Aek_kernels.add_spec in
+        let tests = Stoke.make_tests ~n:8 ~seed:43L spec in
+        let params = Search.Cost.default_params ~eta:0L in
+        let proposals = 100_000 and domains = 2 in
+        let config =
+          { Search.Optimizer.default_config with Search.Optimizer.proposals }
+        in
+        let full =
+          Search.Parallel.run ~domains ~spec ~params ~tests ~config ()
+        in
+        let path = Filename.temp_file "stoke_resume" ".json" in
+        Fun.protect
+          ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+          (fun () ->
+            let interrupted =
+              Search.Parallel.run ~domains ~checkpoint:(path, 3600.) ~spec
+                ~params ~tests
+                ~config:
+                  { config with Search.Optimizer.deadline_s = Some 0.1 }
+                ()
+            in
+            Alcotest.check reason "was interrupted"
+              Search.Control.Deadline_hit
+              interrupted.Search.Optimizer.stop_reason;
+            let s =
+              match Search.Snapshot.read ~path with
+              | Ok s -> s
+              | Error e -> Alcotest.fail ("snapshot read: " ^ e)
+            in
+            (* resume WITHOUT the deadline: the fingerprint ignores
+               stopping policy, so this continues the same trajectory to
+               exhaustion *)
+            let resumed =
+              Search.Parallel.run ~domains ~resume:s ~spec ~params ~tests
+                ~config ()
+            in
+            Alcotest.check reason "resumed run exhausts"
+              Search.Control.Exhausted resumed.Search.Optimizer.stop_reason;
+            Alcotest.(check int) "full combined budget"
+              (domains * proposals) resumed.Search.Optimizer.proposals_made;
+            check_same_program "same best_overall"
+              full.Search.Optimizer.best_overall
+              resumed.Search.Optimizer.best_overall;
+            Alcotest.(check int64) "same best_overall total (bitwise)"
+              (Int64.bits_of_float
+                 full.Search.Optimizer.best_overall_cost.Search.Cost.total)
+              (Int64.bits_of_float
+                 resumed.Search.Optimizer.best_overall_cost.Search.Cost.total);
+            (match
+               full.Search.Optimizer.best_correct,
+               resumed.Search.Optimizer.best_correct
+             with
+             | Some a, Some b -> check_same_program "same best_correct" a b
+             | None, None -> ()
+             | _ -> Alcotest.fail "best_correct presence differs")));
+    Alcotest.test_case "result counters are anchored per run" `Quick (fun () ->
+        let spec = Kernels.Aek_kernels.add_spec in
+        let tests = Stoke.make_tests ~n:8 ~seed:44L spec in
+        let params = Search.Cost.default_params ~eta:0L in
+        let config =
+          { Search.Optimizer.default_config with Search.Optimizer.proposals = 2_000 }
+        in
+        let ctx = Search.Cost.create spec params tests in
+        let r1 = Search.Optimizer.run ctx config in
+        let r2 = Search.Optimizer.run ctx config in
+        (* reusing the context must not leak run 1's counters into run 2's
+           result: each result counts its own work, and together they
+           account for the context's raw totals *)
+        Alcotest.(check bool) "second run did work" true
+          (r2.Search.Optimizer.evaluations > 0);
+        Alcotest.(check int) "evaluations partition the context total"
+          (Search.Cost.evaluations ctx)
+          (r1.Search.Optimizer.evaluations + r2.Search.Optimizer.evaluations);
+        Alcotest.(check int) "tests_executed partition the context total"
+          (Search.Cost.tests_executed ctx)
+          (r1.Search.Optimizer.tests_executed
+          + r2.Search.Optimizer.tests_executed));
+  ]
+
 let telemetry_tests =
   [
     Alcotest.test_case "move statistics add up" `Quick (fun () ->
@@ -780,6 +1085,7 @@ let () =
       ("optimizer", optimizer_tests);
       ("perf-model-synthesis", perf_model_tests);
       ("parallel", parallel_tests);
+      ("orchestrator", orchestrator_tests);
       ("telemetry", telemetry_tests);
       ("properties", props);
     ]

@@ -41,6 +41,18 @@ let errfn_tests =
         Alcotest.(check (float 1.))
           "consistent" (Ulp.to_float u)
           (Validate.Errfn.eval e [| -2. |]));
+    Alcotest.test_case "eval_both agrees with the separate evaluators" `Quick
+      (fun () ->
+        let check_input e xs =
+          let f, u = Validate.Errfn.eval_both e xs in
+          Alcotest.(check (float 0.)) "float half" (Validate.Errfn.eval e xs) f;
+          Alcotest.(check int64) "ulp half" (Validate.Errfn.eval_ulp e xs) u
+        in
+        let e = Validate.Errfn.create exp_spec ~rewrite:truncated_exp in
+        List.iter (fun x -> check_input e [| x |]) [ -3.; -1.7; -0.3; 0. ];
+        (* divergent rewrites hit both sentinels at once *)
+        let bad = Parser.parse_program_exn "movsd (rax), xmm0" in
+        check_input (Validate.Errfn.create exp_spec ~rewrite:bad) [| -1. |]);
   ]
 
 let proposal_tests =
@@ -164,6 +176,47 @@ let driver_tests =
         Alcotest.(check int64) "same max" v1.Validate.Driver.max_err v2.Validate.Driver.max_err);
   ]
 
+(* ---- regression pins for the driver bug sweep ---- *)
+
+let regression_tests =
+  [
+    Alcotest.test_case "budget below min_samples never claims mixing" `Quick
+      (fun () ->
+        (* regression: the final mixing check used to gate on a hardcoded
+           [>= 100] samples rather than [config.min_samples], so a run
+           whose budget ended under the configured floor could still claim
+           convergence from an undersized chain *)
+        let e = Validate.Errfn.create exp_spec ~rewrite:truncated_exp in
+        let starved =
+          { quick_config with Validate.Driver.max_proposals = 500 }
+        in
+        let v = Validate.Driver.run ~config:starved ~eta:0L e in
+        Alcotest.(check int) "ran its full budget" 500
+          v.Validate.Driver.iterations;
+        Alcotest.(check bool) "not mixed" false v.Validate.Driver.mixed;
+        Alcotest.(check bool) "not validated" false
+          v.Validate.Driver.validated);
+    Alcotest.test_case "driver executes each input exactly once" `Quick
+      (fun () ->
+        (* regression: the driver used to query the float error and the
+           exact ULP count separately, running every input through both
+           programs twice.  Pin the execution count: 2 programs (target +
+           rewrite) x (1 initial point + max_proposals candidates). *)
+        let e = Validate.Errfn.create exp_spec ~rewrite:truncated_exp in
+        let iters = 200 in
+        let config =
+          { quick_config with Validate.Driver.max_proposals = iters }
+        in
+        Sandbox.Exec.Counters.enable ();
+        Fun.protect ~finally:Sandbox.Exec.Counters.disable (fun () ->
+            Sandbox.Exec.Counters.reset ();
+            let _ = Validate.Driver.run ~config ~eta:0L e in
+            let c = Sandbox.Exec.Counters.snapshot () in
+            Alcotest.(check int) "one pair of runs per input"
+              (2 * (iters + 1))
+              c.Sandbox.Exec.Counters.runs));
+  ]
+
 let multi_chain_tests =
   [
     Alcotest.test_case "identical rewrite validates across chains" `Quick (fun () ->
@@ -219,5 +272,6 @@ let () =
       ("errfn", errfn_tests);
       ("proposal", proposal_tests);
       ("driver", driver_tests);
+      ("regressions", regression_tests);
       ("multi-chain", multi_chain_tests);
     ]
