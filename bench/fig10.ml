@@ -169,7 +169,89 @@ let run_validation () =
         runs)
     kernels
 
+(* Acceptance check for the frontier mode: one warm `Stoke.frontier` run
+   on the S3D exp kernel must emit the full speedup-vs-η curve with
+   per-point validated error while spending ≤ 50% of the cold per-point
+   sweep's summed proposal budget, and no warm point may be dominated by
+   the cold run's (latency, validated error) pair at the same η. *)
+let run_frontier_acceptance () =
+  Util.subheading
+    "frontier acceptance: warm vs cold full-curve run on the exp kernel";
+  let spec = Kernels.S3d.exp_spec in
+  let etas =
+    [ 0L; Ulp.of_float 1e2; Ulp.of_float 1e4; Ulp.of_float 1e6;
+      Ulp.of_float 1e8; Ulp.of_float 1e10; Ulp.of_float 1e12;
+      Ulp.of_float 1e14 ]
+  in
+  let seed = 105L in
+  let config = Util.search_config ~proposals:20_000 ~seed () in
+  let validation = Util.validate_config () in
+  let obs = Util.obs () in
+  let run_mode warm =
+    Stoke.frontier ~config ~validation ~etas ~tests:16 ~warm ~obs ~seed spec
+  in
+  let cold = run_mode false in
+  let warm = run_mode true in
+  let print_curve label (r : Search.Frontier.result) =
+    Printf.printf "\n%s curve (%d proposals):\n" label
+      r.Search.Frontier.total_proposals;
+    Printf.printf "  %-10s %6s %8s %8s %14s %10s %4s\n" "eta" "LOC" "cycles"
+      "speedup" "validated-err" "proposals" "dem";
+    List.iter
+      (fun (p : Search.Frontier.point) ->
+        Printf.printf "  %-10s %6d %8d %8.2f %14s %10d %4d\n"
+          (Ulp.to_string p.Search.Frontier.eta)
+          p.Search.Frontier.loc p.Search.Frontier.latency
+          p.Search.Frontier.speedup
+          (match p.Search.Frontier.validated_err with
+           | None -> "-"
+           | Some e -> Ulp.to_string e)
+          p.Search.Frontier.proposals_used p.Search.Frontier.demotions)
+      r.Search.Frontier.points
+  in
+  print_curve "cold (one sweep per eta)" cold;
+  print_curve "warm (single frontier walk)" warm;
+  (* quality: at each η, the cold point must not strictly dominate the
+     warm one on (latency, validated error bound) *)
+  let dominated =
+    List.fold_left
+      (fun acc (w : Search.Frontier.point) ->
+        match
+          List.find_opt
+            (fun (c : Search.Frontier.point) ->
+              Int64.equal c.Search.Frontier.eta w.Search.Frontier.eta)
+            cold.Search.Frontier.points
+        with
+        | Some c when Search.Frontier.dominates c w -> acc + 1
+        | _ -> acc)
+      0 warm.Search.Frontier.points
+  in
+  let frac =
+    float_of_int warm.Search.Frontier.total_proposals
+    /. float_of_int (max 1 cold.Search.Frontier.total_proposals)
+  in
+  let pass = frac <= 0.5 && dominated = 0 in
+  Printf.printf
+    "\nwarm run: %d of %d cold proposals (%.1f%%), %d demotions, %d \
+     counterexamples, %d points dominated by cold -> %s (target: <=50%%, 0 \
+     dominated)\n"
+    warm.Search.Frontier.total_proposals cold.Search.Frontier.total_proposals
+    (100. *. frac) warm.Search.Frontier.demotions
+    warm.Search.Frontier.tests_added dominated
+    (if pass then "PASS" else "WARN");
+  Obs.Sink.emit obs "frontier_acceptance"
+    [
+      ("kernel", Obs.Json.String "s3d_exp");
+      ("etas", Obs.Json.Int (List.length etas));
+      ("cold_proposals", Obs.Json.Int cold.Search.Frontier.total_proposals);
+      ("warm_proposals", Obs.Json.Int warm.Search.Frontier.total_proposals);
+      ("budget_frac", Obs.Json.Float frac);
+      ("dominated_points", Obs.Json.Int dominated);
+      ("pass", Obs.Json.Bool pass);
+    ]
+
 let run () =
   Util.heading "Figure 10 — alternate search strategy comparison";
   run_optimization ();
-  run_validation ()
+  run_validation ();
+  run_frontier_acceptance ()

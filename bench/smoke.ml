@@ -66,8 +66,75 @@ let run_one name (spec : Sandbox.Spec.t) =
     pruned.Search.Optimizer.cache_hits
     pruned.Search.Optimizer.compile_count
 
+(* Frontier smoke: the cold frontier walk must reproduce the historical
+   per-point sweep bit-identically (the sweep is now a wrapper over it),
+   and a warm walk on the same grid must stay within the cold proposal
+   budget while keeping its Pareto set free of dominated points. *)
+let run_frontier () =
+  let spec = Kernels.Aek_kernels.add_spec in
+  let etas = [ 0L; Ulp.of_float 1e6; Ulp.of_float 1e12 ] in
+  let seed = 11L in
+  let config = Util.search_config ~proposals:3_000 ~seed () in
+  let tests = Stoke.make_tests ~n:16 ~seed spec in
+  let target = spec.Sandbox.Spec.program in
+  let target_latency = Latency.of_program target in
+  (* the pre-frontier sweep, inlined: one cold search per η, falling back
+     to the target when nothing η-correct and no slower appears *)
+  let legacy =
+    List.map
+      (fun eta ->
+        let params = Search.Cost.default_params ~eta in
+        let ctx =
+          Search.Cost.create ~use_cache:config.Search.Optimizer.prune
+            ~engine:config.Search.Optimizer.engine spec params tests
+        in
+        let r = Search.Optimizer.run ~obs:(Util.obs ()) ctx config in
+        match r.Search.Optimizer.best_correct with
+        | Some p when Latency.of_program p <= target_latency -> p
+        | _ -> target)
+      etas
+  in
+  let points = Stoke.precision_sweep ~config ~etas ~tests:16 ~seed spec in
+  List.iter2
+    (fun expected (p : Stoke.sweep_point) ->
+      if not (Program.equal expected p.Stoke.rewrite) then begin
+        Printf.eprintf
+          "smoke: cold frontier diverged from the legacy sweep at eta %s!\n"
+          (Ulp.to_string p.Stoke.eta);
+        exit 1
+      end)
+    legacy points;
+  let fr =
+    Stoke.frontier ~config ~validate_results:false ~etas ~tests:16 ~seed spec
+  in
+  if fr.Search.Frontier.total_proposals > fr.Search.Frontier.cold_budget then begin
+    Printf.eprintf "smoke: warm frontier exceeded the cold budget!\n";
+    exit 1
+  end;
+  let pareto = fr.Search.Frontier.pareto in
+  List.iter
+    (fun p ->
+      if
+        List.exists
+          (fun q -> p != q && Search.Frontier.dominates q p)
+          pareto
+      then begin
+        Printf.eprintf "smoke: frontier retained a dominated point!\n";
+        exit 1
+      end)
+    pareto;
+  Printf.printf
+    "frontier cold walk == legacy sweep (3 etas, bit-identical); warm walk \
+     spent %d of %d cold proposals (%.0f%%), pareto %d points, none dominated\n"
+    fr.Search.Frontier.total_proposals fr.Search.Frontier.cold_budget
+    (100.
+    *. float_of_int fr.Search.Frontier.total_proposals
+    /. float_of_int fr.Search.Frontier.cold_budget)
+    (List.length pareto)
+
 let run () =
   Util.heading
     "equivalence smoke check (bit-identical winners across engines and \
      pruning)";
-  List.iter (fun (name, spec) -> run_one name spec) kernels
+  List.iter (fun (name, spec) -> run_one name spec) kernels;
+  run_frontier ()

@@ -252,6 +252,55 @@ let run_orchestrator_tput () =
           - stopped.Search.Optimizer.proposals_made) );
     ]
 
+(* Warm-start saving: the frontier's whole pitch is that one warm walk
+   buys the same curve for a fraction of the cold per-point budget.
+   Measure both on a small grid and emit the ratio as a [frontier_saving]
+   event so CI can watch the saving (and the quality guard: no warm point
+   dominated by its cold counterpart). *)
+let run_frontier_tput () =
+  Util.subheading "frontier: warm vs cold proposal budget";
+  let spec = Kernels.Aek_kernels.add_spec in
+  let etas = [ 0L; Ulp.of_float 1e4; Ulp.of_float 1e8; Ulp.of_float 1e12 ] in
+  let seed = 31L in
+  let config = Util.search_config ~proposals:20_000 ~seed () in
+  let run_mode warm =
+    Stoke.frontier ~config ~validate_results:false ~etas ~tests:16 ~warm
+      ~obs:(Util.obs ()) ~seed spec
+  in
+  let cold = run_mode false in
+  let warm = run_mode true in
+  let dominated =
+    List.fold_left
+      (fun n (wp : Search.Frontier.point) ->
+        let cp =
+          List.find
+            (fun (c : Search.Frontier.point) ->
+              Ulp.compare c.Search.Frontier.eta wp.Search.Frontier.eta = 0)
+            cold.Search.Frontier.points
+        in
+        if cp.Search.Frontier.latency < wp.Search.Frontier.latency then n + 1
+        else n)
+      0 warm.Search.Frontier.points
+  in
+  let saving =
+    1.
+    -. float_of_int warm.Search.Frontier.total_proposals
+       /. float_of_int (max 1 cold.Search.Frontier.total_proposals)
+  in
+  Printf.printf "%-36s %14d %14d\n" "proposals: cold | warm"
+    cold.Search.Frontier.total_proposals warm.Search.Frontier.total_proposals;
+  Printf.printf "%-36s %13.1f%% %14d\n" "saving | warm points dominated"
+    (100. *. saving) dominated;
+  Obs.Sink.emit (Util.obs ()) "frontier_saving"
+    [
+      ("kernel", Obs.Json.String "add");
+      ("etas", Obs.Json.Int (List.length etas));
+      ("cold_proposals", Obs.Json.Int cold.Search.Frontier.total_proposals);
+      ("warm_proposals", Obs.Json.Int warm.Search.Frontier.total_proposals);
+      ("saving_frac", Obs.Json.Float saving);
+      ("dominated_points", Obs.Json.Int dominated);
+    ]
+
 let run_bechamel () =
   let tests =
     [ dispatch_test; compiled_dispatch_test; dot_dispatch_test; proposal_test;
@@ -316,4 +365,5 @@ let run () =
   run_engine_tput ();
   run_screen_tput ();
   run_orchestrator_tput ();
+  run_frontier_tput ();
   run_geweke_trace ()

@@ -1,7 +1,7 @@
 (* stoke — command-line driver for the STOKE-FP reproduction.
 
    Subcommands: list, show, optimize, refine, validate, verify, sweep,
-   encode, disasm, raytrace, diffusion. *)
+   frontier, encode, disasm, lint, raytrace, diffusion. *)
 
 open Cmdliner
 
@@ -585,6 +585,150 @@ let sweep_cmd =
       const run $ kernel_arg $ proposals_arg $ seed_arg $ validate_flag
       $ engine_arg $ trace_out_arg $ progress_arg)
 
+(* ----- frontier ----- *)
+
+let frontier_cmd =
+  let run name etas proposals seed cold warm_frac max_demotions sweep_back
+      no_validate checkpoint resume engine trace_out progress =
+    match find_kernel name with
+    | Error e -> exit_err e
+    | Ok spec ->
+      let etas =
+        match etas with
+        | None -> None
+        | Some s ->
+          let parse tok =
+            match float_of_string_opt (String.trim tok) with
+            | Some f when f >= 0. -> Ulp.of_float f
+            | _ -> exit_err (Printf.sprintf "--etas: bad value %S" tok)
+          in
+          Some (List.map parse (String.split_on_char ',' s))
+      in
+      let config =
+        {
+          Search.Optimizer.default_config with
+          Search.Optimizer.proposals;
+          seed = Int64.of_int seed;
+          engine;
+        }
+      in
+      let resume =
+        match resume with
+        | None -> None
+        | Some path -> (
+          match Search.Frontier.read_snapshot ~spec ~path with
+          | Ok s -> Some s
+          | Error e -> exit_err (Printf.sprintf "--resume: %s" e))
+      in
+      let sink = make_sink ~trace_out ~progress in
+      let r =
+        Fun.protect
+          ~finally:(fun () -> Obs.Sink.close sink)
+          (fun () ->
+            try
+              Stoke.frontier ~config ~validate_results:(not no_validate)
+                ?etas ~warm:(not cold) ~warm_frac ~max_demotions ~sweep_back
+                ~obs:sink ?checkpoint ?resume ~seed:(Int64.of_int seed) spec
+            with Invalid_argument e -> exit_err e)
+      in
+      Printf.printf "%-12s %6s %8s %8s %14s %5s %10s %s\n" "eta" "LOC"
+        "cycles" "speedup" "validated-err" "warm" "proposals" "demotions";
+      List.iter
+        (fun (p : Search.Frontier.point) ->
+          Printf.printf "%-12s %6d %8d %8.2f %14s %5s %10d %d\n"
+            (Ulp.to_string p.Search.Frontier.eta)
+            p.Search.Frontier.loc p.Search.Frontier.latency
+            p.Search.Frontier.speedup
+            (match p.Search.Frontier.validated_err with
+             | None -> "-"
+             | Some e -> Ulp.to_string e)
+            (if p.Search.Frontier.warm then "yes" else "no")
+            p.Search.Frontier.proposals_used p.Search.Frontier.demotions)
+        r.Search.Frontier.points;
+      Printf.printf "pareto frontier (%d of %d points):\n"
+        (List.length r.Search.Frontier.pareto)
+        (List.length r.Search.Frontier.points);
+      List.iter
+        (fun (p : Search.Frontier.point) ->
+          Printf.printf "  %8d cycles  err <= %s ULPs  (eta %s)\n"
+            p.Search.Frontier.latency
+            (Ulp.to_string (Search.Frontier.err_bound p))
+            (Ulp.to_string p.Search.Frontier.eta))
+        r.Search.Frontier.pareto;
+      Printf.printf
+        "search proposals: %d of %d cold budget (%.1f%%), %d demotions, %d \
+         counterexamples\n"
+        r.Search.Frontier.total_proposals r.Search.Frontier.cold_budget
+        (100.
+        *. float_of_int r.Search.Frontier.total_proposals
+        /. float_of_int (max 1 r.Search.Frontier.cold_budget))
+        r.Search.Frontier.demotions r.Search.Frontier.tests_added
+  in
+  let etas_arg =
+    let doc =
+      "Comma-separated η grid in ULPs (e.g. $(b,1,1e4,1e8)); defaults to \
+       the paper's grid 10^0..10^18."
+    in
+    Arg.(value & opt (some string) None & info [ "etas" ] ~docv:"LIST" ~doc)
+  in
+  let cold_flag =
+    Arg.(
+      value & flag
+      & info [ "cold" ]
+          ~doc:
+            "Disable warm-starting: every η runs cold with the full budget \
+             (bit-identical winners to $(b,stoke sweep)).")
+  in
+  let warm_frac_arg =
+    Arg.(
+      value & opt float 0.25
+      & info [ "warm-frac" ] ~docv:"F"
+          ~doc:"Fraction of --proposals granted to each warm-started point.")
+  in
+  let max_demotions_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "max-demotions" ] ~docv:"N"
+          ~doc:"Re-search rounds after a validation failure per point.")
+  in
+  let sweep_back_flag =
+    Arg.(
+      value & flag
+      & info [ "sweep-back" ]
+          ~doc:
+            "After the tight-to-loose walk, sweep back loose-to-tight, \
+             adopting a looser point's winner wherever it is faster and \
+             survives re-validation at the tighter η.")
+  in
+  let no_validate_flag =
+    Arg.(
+      value & flag
+      & info [ "no-validate" ]
+          ~doc:"Skip MCMC validation (curve reports search-only results).")
+  in
+  let checkpoint_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:"Write a frontier snapshot to $(docv) after every point.")
+  in
+  let resume_arg =
+    Arg.(
+      value & opt (some file) None
+      & info [ "resume" ] ~docv:"FILE"
+          ~doc:"Resume the walk from a frontier snapshot.")
+  in
+  Cmd.v
+    (Cmd.info "frontier"
+       ~doc:
+         "One-run speedup-vs-η Pareto frontier with warm-started chains \
+          (Figure 9/10; see docs/SWEEP.md)")
+    Term.(
+      const run $ kernel_arg $ etas_arg $ proposals_arg $ seed_arg
+      $ cold_flag $ warm_frac_arg $ max_demotions_arg $ sweep_back_flag
+      $ no_validate_flag $ checkpoint_arg $ resume_arg $ engine_arg
+      $ trace_out_arg $ progress_arg)
+
 (* ----- encode ----- *)
 
 let encode_cmd =
@@ -738,7 +882,7 @@ let main =
   Cmd.group info
     [
       list_cmd; show_cmd; optimize_cmd; refine_cmd; validate_cmd; verify_cmd;
-      sweep_cmd;
+      sweep_cmd; frontier_cmd;
       encode_cmd; disasm_cmd; lint_cmd; raytrace_cmd; diffusion_cmd;
     ]
 

@@ -1,14 +1,26 @@
 (* Precision sweep: regenerate a Figure-4-style LOC/speedup curve for one
    libimf kernel, writing a CSV that can be plotted directly.
 
-   Run with: dune exec examples/precision_sweep.exe -- [sin|cos|log|tan]
+   Run with: dune exec examples/precision_sweep.exe -- [sin|cos|log|tan] [--cold]
 
    This is the paper's "variable-precision libimf" story: from a single
    double-precision implementation, generate the whole family of
-   reduced-precision variants automatically. *)
+   reduced-precision variants automatically.  By default the curve comes
+   from ONE warm frontier walk ({!Stoke.frontier}): the η grid is visited
+   tight-to-loose, each point's search seeded from its neighbour's winner,
+   with incremental MCMC validation interleaved — a fraction of the cost
+   of sweeping every η from scratch.  Pass [--cold] for the classic
+   per-point sweep ({!Stoke.precision_sweep}); its winners are what the
+   warm walk is measured against. *)
 
 let () =
-  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "sin" in
+  let args = List.tl (Array.to_list Sys.argv) in
+  let cold = List.mem "--cold" args in
+  let name =
+    match List.filter (fun a -> a <> "--cold") args with
+    | n :: _ -> n
+    | [] -> "sin"
+  in
   let spec =
     match List.assoc_opt name Kernels.Libimf.all with
     | Some s -> s
@@ -19,26 +31,48 @@ let () =
   let config =
     { Search.Optimizer.default_config with Search.Optimizer.proposals = 50_000 }
   in
-  Printf.printf "sweeping %s over eta = 10^0 .. 10^18 (this takes a minute)\n%!"
-    name;
-  let points =
-    Stoke.precision_sweep ~config ~validate_results:true ~tests:24 ~seed:7L spec
-  in
   let csv = name ^ "_sweep.csv" in
   let oc = open_out csv in
   output_string oc "eta,loc,cycles,speedup,validated_err\n";
-  List.iter
-    (fun (p : Stoke.sweep_point) ->
-      Printf.fprintf oc "%s,%d,%d,%.3f,%s\n"
-        (Ulp.to_string p.Stoke.eta)
-        p.Stoke.loc p.Stoke.latency p.Stoke.speedup
-        (match p.Stoke.validated_err with
-         | Some e -> Ulp.to_string e
-         | None -> "");
-      Printf.printf "eta=%-22s LOC=%-3d speedup=%.2fx\n"
-        (Ulp.to_string p.Stoke.eta)
-        p.Stoke.loc p.Stoke.speedup)
-    points;
+  let emit_row ~eta ~loc ~latency ~speedup ~validated_err =
+    Printf.fprintf oc "%s,%d,%d,%.3f,%s\n" (Ulp.to_string eta) loc latency
+      speedup
+      (match validated_err with Some e -> Ulp.to_string e | None -> "");
+    Printf.printf "eta=%-22s LOC=%-3d speedup=%.2fx\n" (Ulp.to_string eta) loc
+      speedup
+  in
+  if cold then begin
+    Printf.printf
+      "cold-sweeping %s over eta = 10^0 .. 10^18 (one search per point)\n%!"
+      name;
+    let points =
+      Stoke.precision_sweep ~config ~validate_results:true ~tests:24 ~seed:7L
+        spec
+    in
+    List.iter
+      (fun (p : Stoke.sweep_point) ->
+        emit_row ~eta:p.Stoke.eta ~loc:p.Stoke.loc ~latency:p.Stoke.latency
+          ~speedup:p.Stoke.speedup ~validated_err:p.Stoke.validated_err)
+      points
+  end
+  else begin
+    Printf.printf
+      "frontier-sweeping %s over eta = 10^0 .. 10^18 (one warm walk)\n%!" name;
+    let r = Stoke.frontier ~config ~tests:24 ~seed:7L spec in
+    List.iter
+      (fun (p : Search.Frontier.point) ->
+        emit_row ~eta:p.Search.Frontier.eta ~loc:p.Search.Frontier.loc
+          ~latency:p.Search.Frontier.latency ~speedup:p.Search.Frontier.speedup
+          ~validated_err:p.Search.Frontier.validated_err)
+      r.Search.Frontier.points;
+    Printf.printf
+      "spent %d of %d cold-equivalent proposals (%.0f%%), %d demotions\n"
+      r.Search.Frontier.total_proposals r.Search.Frontier.cold_budget
+      (100.
+      *. float_of_int r.Search.Frontier.total_proposals
+      /. float_of_int (max 1 r.Search.Frontier.cold_budget))
+      r.Search.Frontier.demotions
+  end;
   close_out oc;
   Printf.printf "wrote %s\n" csv;
   (* highlight the single- and half-precision budgets of §6.1 *)

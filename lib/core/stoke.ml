@@ -153,6 +153,80 @@ let quick_validation_config =
     check_every = 20_000;
   }
 
+(* Both frontier validators reduce a Driver verdict to the injected-check
+   record the search-side driver understands (lib/search cannot call
+   lib/validate itself — dependencies point strictly downward). *)
+let check_of_verdict ~eta (v : Validate.Driver.verdict) =
+  let refuted = Ulp.compare v.Validate.Driver.max_err eta > 0 in
+  {
+    Search.Frontier.observed_err = v.Validate.Driver.max_err;
+    refuted;
+    mixed = v.Validate.Driver.mixed;
+    val_iterations = v.Validate.Driver.iterations;
+    counterexample =
+      (if refuted then Some v.Validate.Driver.max_err_input else None);
+  }
+
+(* The historical sweep's validator: one full MCMC hunt per candidate. *)
+let cold_validator ~obs ~validation spec ~eta rewrite =
+  let errfn = Validate.Errfn.create spec ~rewrite in
+  check_of_verdict ~eta (Validate.Driver.run ~obs ~config:validation ~eta errfn)
+
+(* The frontier's validator: the incremental session refutes a bad
+   candidate the moment its error clears η, so demoted candidates return
+   their budget to search instead of waiting for the chain to mix. *)
+let incremental_validator ~obs ~validation spec ~eta rewrite =
+  let errfn = Validate.Errfn.create spec ~rewrite in
+  let s =
+    Validate.Driver.Incremental.create ~obs ~config:validation ~eta errfn
+  in
+  let slice = Stdlib.max 1 validation.Validate.Driver.check_every in
+  let rec go () =
+    match Validate.Driver.Incremental.advance s ~proposals:slice with
+    | Validate.Driver.Incremental.Running -> go ()
+    | Validate.Driver.Incremental.Refuted | Validate.Driver.Incremental.Mixed
+    | Validate.Driver.Incremental.Exhausted ->
+      ()
+  in
+  go ();
+  check_of_verdict ~eta (Validate.Driver.Incremental.verdict s)
+
+let frontier ?config ?validation ?(validate_results = true) ?etas
+    ?(tests = 32) ?(warm = true) ?(warm_frac = 0.25) ?(max_demotions = 2)
+    ?(sweep_back = false) ?(obs = Obs.Sink.null) ?checkpoint ?resume ~seed
+    spec =
+  let etas =
+    match etas with
+    | Some e -> e
+    | None -> default_etas
+  in
+  let config =
+    match config with
+    | Some c -> c
+    | None -> Search.Optimizer.default_config
+  in
+  let validation =
+    match validation with
+    | Some v -> v
+    | None -> quick_validation_config
+  in
+  let test_array = make_tests ~n:tests ~seed spec in
+  let validator =
+    if validate_results then
+      Some
+        (if warm then fun ~eta rewrite ->
+           incremental_validator ~obs ~validation spec ~eta rewrite
+         else fun ~eta rewrite ->
+           cold_validator ~obs ~validation spec ~eta rewrite)
+    else None
+  in
+  let fcfg =
+    { Search.Frontier.search = config; warm; warm_frac; max_demotions;
+      sweep_back }
+  in
+  Search.Frontier.run ~obs ?validator ?checkpoint ?resume ~tests:test_array
+    ~etas fcfg spec
+
 let precision_sweep ?config ?(validate_results = false) ?etas ?(tests = 32)
     ?(obs = Obs.Sink.null) ~seed spec =
   let etas =
@@ -166,54 +240,52 @@ let precision_sweep ?config ?(validate_results = false) ?etas ?(tests = 32)
     | None -> Search.Optimizer.default_config
   in
   let test_array = make_tests ~n:tests ~seed spec in
-  let target = spec.Sandbox.Spec.program in
-  let target_latency = Latency.of_program target in
+  let validator =
+    if validate_results then
+      Some
+        (fun ~eta rewrite ->
+          cold_validator ~obs ~validation:quick_validation_config spec ~eta
+            rewrite)
+    else None
+  in
+  let fcfg =
+    {
+      Search.Frontier.search = config;
+      warm = false;
+      warm_frac = 0.25;
+      max_demotions = 0;
+      sweep_back = false;
+    }
+  in
+  let on_point (p : Search.Frontier.point) =
+    if Obs.Sink.enabled obs then
+      Obs.Sink.emit obs "sweep_point"
+        [
+          ("eta", Obs.Json.String (Ulp.to_string p.Search.Frontier.eta));
+          ("loc", Obs.Json.Int p.Search.Frontier.loc);
+          ("latency", Obs.Json.Int p.Search.Frontier.latency);
+          ("speedup", Obs.Json.Float p.Search.Frontier.speedup);
+          ( "validated_err_ulps",
+            match p.Search.Frontier.validated_err with
+            | None -> Obs.Json.Null
+            | Some e -> Obs.Json.Float (Ulp.to_float e) );
+        ]
+  in
+  let r =
+    Search.Frontier.run ~obs ?validator ~on_point ~tests:test_array ~etas
+      fcfg spec
+  in
   List.map
-    (fun eta ->
-      let result = optimize ~config ~tests:test_array ~obs ~eta spec in
-      let rewrite =
-        match result.Search.Optimizer.best_correct with
-        | Some p -> p
-        | None -> target
-      in
-      let latency = Latency.of_program rewrite in
-      let rewrite, latency =
-        if latency <= target_latency then (rewrite, latency)
-        else (target, target_latency)
-      in
-      let validated_err =
-        if validate_results then begin
-          let v =
-            validate ~config:quick_validation_config ~obs ~eta spec rewrite
-          in
-          Some v.Validate.Driver.max_err
-        end
-        else None
-      in
-      let point =
-        {
-          eta;
-          rewrite;
-          loc = Program.length rewrite;
-          latency;
-          speedup = float_of_int target_latency /. float_of_int (Stdlib.max 1 latency);
-          validated_err;
-        }
-      in
-      if Obs.Sink.enabled obs then
-        Obs.Sink.emit obs "sweep_point"
-          [
-            ("eta", Obs.Json.String (Ulp.to_string eta));
-            ("loc", Obs.Json.Int point.loc);
-            ("latency", Obs.Json.Int point.latency);
-            ("speedup", Obs.Json.Float point.speedup);
-            ( "validated_err_ulps",
-              match point.validated_err with
-              | None -> Obs.Json.Null
-              | Some e -> Obs.Json.Float (Ulp.to_float e) );
-          ];
-      point)
-    etas
+    (fun (p : Search.Frontier.point) ->
+      {
+        eta = p.Search.Frontier.eta;
+        rewrite = p.Search.Frontier.rewrite;
+        loc = p.Search.Frontier.loc;
+        latency = p.Search.Frontier.latency;
+        speedup = p.Search.Frontier.speedup;
+        validated_err = p.Search.Frontier.validated_err;
+      })
+    r.Search.Frontier.points
 
 let error_curve spec rewrite ~inputs =
   if Sandbox.Spec.arity spec <> 1 then

@@ -100,6 +100,38 @@ type sweep_point = {
 val default_etas : Ulp.t list
 (** The paper's grid: η = 10^0, 10^2, …, 10^18. *)
 
+val frontier :
+  ?config:Search.Optimizer.config ->
+  ?validation:Validate.Driver.config ->
+  ?validate_results:bool ->
+  ?etas:Ulp.t list ->
+  ?tests:int ->
+  ?warm:bool ->
+  ?warm_frac:float ->
+  ?max_demotions:int ->
+  ?sweep_back:bool ->
+  ?obs:Obs.Sink.t ->
+  ?checkpoint:string ->
+  ?resume:Search.Frontier.snapshot ->
+  seed:int64 ->
+  Sandbox.Spec.t ->
+  Search.Frontier.result
+(** The whole speedup-vs-η curve in one run ({!Search.Frontier.run} wired
+    to real validation).  With [warm] (default), the η grid is walked
+    tight-to-loose, each point's chain seeded from the neighbouring η's
+    winner ([warm_frac] of [config.proposals] per warm point; the first
+    point gets the full budget), and each candidate is checked by the
+    {e incremental} MCMC validator ({!Validate.Driver.Incremental}) —
+    a candidate whose error clears η is demoted on the spot, its
+    counterexample joins the test set, and search resumes from the
+    frontier (up to [max_demotions] rounds).  [validate_results] defaults
+    to [true] here (the curve's whole point is per-η validated error);
+    pass [false] for a search-only curve.  With [warm = false] every
+    point runs cold with the full budget and the one-shot validator —
+    winners bit-identical to {!precision_sweep}.  [checkpoint]/[resume]
+    persist the walk across interruptions (see
+    {!Search.Frontier.snapshot}). *)
+
 val precision_sweep :
   ?config:Search.Optimizer.config ->
   ?validate_results:bool ->
@@ -112,7 +144,12 @@ val precision_sweep :
 (** One search per η (Figures 4(a–c) and 5(a)).  When the search finds no
     η-correct rewrite better than the target, the point reports the target
     itself (speedup 1.0).  [obs] receives each search's stream followed
-    by a [sweep_point] summary event per η. *)
+    by a [sweep_point] summary event per η.
+
+    Since the frontier landed this is a thin wrapper over
+    {!Search.Frontier.run}'s cold mode: per-η winners are bit-identical
+    to the historical per-point implementation (same test set, same
+    per-point search, same fallback rule, same one-shot validation). *)
 
 val error_curve :
   Sandbox.Spec.t -> Program.t -> inputs:float array -> Ulp.t array

@@ -1,0 +1,622 @@
+type check = {
+  observed_err : Ulp.t;
+  refuted : bool;
+  mixed : bool;
+  val_iterations : int;
+  counterexample : float array option;
+}
+
+type validator = eta:Ulp.t -> Program.t -> check
+
+type point = {
+  eta : Ulp.t;
+  rewrite : Program.t;
+  loc : int;
+  latency : int;
+  speedup : float;
+  validated_err : Ulp.t option;
+  warm : bool;
+  proposals_used : int;
+  demotions : int;
+}
+
+type config = {
+  search : Optimizer.config;
+  warm : bool;
+  warm_frac : float;
+  max_demotions : int;
+  sweep_back : bool;
+}
+
+let default_config =
+  {
+    search = Optimizer.default_config;
+    warm = true;
+    warm_frac = 0.25;
+    max_demotions = 2;
+    sweep_back = false;
+  }
+
+type result = {
+  points : point list;
+  pareto : point list;
+  total_proposals : int;
+  cold_budget : int;
+  demotions : int;
+  tests_added : int;
+}
+
+(* ---------- Pareto set ---------- *)
+
+let err_bound p =
+  match p.validated_err with
+  | Some e -> e
+  | None -> p.eta
+
+let dominates a b =
+  let ec = Ulp.compare (err_bound a) (err_bound b) in
+  a.latency <= b.latency && ec <= 0 && (a.latency < b.latency || ec < 0)
+
+let pareto_insert set p =
+  let beaten q =
+    (* an exact (latency, err) tie also keeps the incumbent: inserting a
+       duplicate pair would let two copies "survive" each other *)
+    dominates q p || (q.latency = p.latency && Ulp.compare (err_bound q) (err_bound p) = 0)
+  in
+  if List.exists beaten set then (set, [ p ])
+  else begin
+    let kept, dropped = List.partition (fun q -> not (dominates p q)) set in
+    (p :: kept, dropped)
+  end
+
+let pareto_of points =
+  let set = List.fold_left (fun s p -> fst (pareto_insert s p)) [] points in
+  List.sort (fun a b -> compare a.latency b.latency) set
+
+(* ---------- snapshot ---------- *)
+
+type snapshot = {
+  version : int;
+  fingerprint : string;
+  next : int;
+  carry_rng : int64 array option;
+  snap_total_proposals : int;
+  snap_demotions : int;
+  snap_points : point list;
+  extra_tests : float array list;
+}
+
+let snapshot_version = 1
+
+let fingerprint cfg ~spec ~tests =
+  (* The base digest covers spec, search config, and the base test set;
+     params are pinned at η = 0 because each walk point rebuilds its own
+     params from its η — the grid itself stays outside the fingerprint so
+     a resumed run may extend it (completed points are prefix-checked
+     structurally instead). *)
+  let base =
+    Snapshot.fingerprint ~spec
+      ~params:(Cost.default_params ~eta:0L)
+      ~config:cfg.search ~tests ~domains:1
+  in
+  Digest.to_hex
+    (Digest.string
+       (Printf.sprintf "frontier|%s|warm:%b|frac:%h|demote:%d|back:%b" base
+          cfg.warm cfg.warm_frac cfg.max_demotions cfg.sweep_back))
+
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
+
+let json_of_eta (e : Ulp.t) = Obs.Json.String (Int64.to_string e)
+
+let eta_of_json = function
+  | Obs.Json.String s ->
+    (try Int64.of_string s with _ -> bad "bad eta %S" s)
+  | _ -> bad "expected an eta string"
+
+let json_of_point p =
+  Obs.Json.Obj
+    [
+      ("eta", json_of_eta p.eta);
+      ("rewrite", Snapshot.json_of_program p.rewrite);
+      ( "validated_err",
+        match p.validated_err with
+        | None -> Obs.Json.Null
+        | Some e -> json_of_eta e );
+      ("warm", Obs.Json.Bool p.warm);
+      ("proposals_used", Obs.Json.Int p.proposals_used);
+      ("demotions", Obs.Json.Int p.demotions);
+    ]
+
+let get obj key =
+  match Obs.Json.member key obj with
+  | Some v -> v
+  | None -> bad "missing field %S" key
+
+let to_int = function Obs.Json.Int i -> i | _ -> bad "expected an int"
+let to_bool = function Obs.Json.Bool b -> b | _ -> bad "expected a bool"
+
+let point_of_json ~target_latency j =
+  let f = get j in
+  let rewrite =
+    match Snapshot.parse_program (f "rewrite") with
+    | Ok p -> p
+    | Error e -> bad "%s" e
+  in
+  let latency = Latency.of_program rewrite in
+  {
+    eta = eta_of_json (f "eta");
+    rewrite;
+    loc = Program.length rewrite;
+    latency;
+    speedup = float_of_int target_latency /. float_of_int (Stdlib.max 1 latency);
+    validated_err =
+      (match f "validated_err" with
+       | Obs.Json.Null -> None
+       | e -> Some (eta_of_json e));
+    warm = to_bool (f "warm");
+    proposals_used = to_int (f "proposals_used");
+    demotions = to_int (f "demotions");
+  }
+
+let snapshot_to_json s =
+  Obs.Json.Obj
+    [
+      ("version", Obs.Json.Int s.version);
+      ("fingerprint", Obs.Json.String s.fingerprint);
+      ("next", Obs.Json.Int s.next);
+      ( "carry_rng",
+        match s.carry_rng with
+        | None -> Obs.Json.Null
+        | Some r -> Snapshot.json_of_rng r );
+      ("total_proposals", Obs.Json.Int s.snap_total_proposals);
+      ("demotions", Obs.Json.Int s.snap_demotions);
+      ("points", Obs.Json.List (List.map json_of_point s.snap_points));
+      ( "extra_tests",
+        Obs.Json.List
+          (List.map
+             (fun xs ->
+               Obs.Json.List
+                 (Array.to_list (Array.map (fun x -> Obs.Json.Float x) xs)))
+             s.extra_tests) );
+    ]
+
+let snapshot_of_json ~spec j =
+  try
+    let f = get j in
+    let version = to_int (f "version") in
+    if version <> snapshot_version then
+      bad "frontier snapshot version %d, this build reads %d" version
+        snapshot_version;
+    let fingerprint =
+      match f "fingerprint" with
+      | Obs.Json.String s -> s
+      | _ -> bad "expected a fingerprint string"
+    in
+    let target_latency =
+      Latency.of_program spec.Sandbox.Spec.program
+    in
+    Ok
+      {
+        version;
+        fingerprint;
+        next = to_int (f "next");
+        carry_rng =
+          (match f "carry_rng" with
+           | Obs.Json.Null -> None
+           | r -> (
+             match Snapshot.parse_rng r with
+             | Ok a -> Some a
+             | Error e -> bad "%s" e));
+        snap_total_proposals = to_int (f "total_proposals");
+        snap_demotions = to_int (f "demotions");
+        snap_points =
+          (match f "points" with
+           | Obs.Json.List l -> List.map (point_of_json ~target_latency) l
+           | _ -> bad "expected a points list");
+        extra_tests =
+          (match f "extra_tests" with
+           | Obs.Json.List l ->
+             List.map
+               (function
+                 | Obs.Json.List xs ->
+                   Array.of_list
+                     (List.map
+                        (fun x ->
+                          match Obs.Json.to_float_opt x with
+                          | Some v -> v
+                          | None -> bad "bad test input")
+                        xs)
+                 | _ -> bad "expected a test input list")
+               l
+           | _ -> bad "expected an extra_tests list");
+      }
+  with Bad msg -> Error msg
+
+let write_snapshot ~path s =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (Obs.Json.to_string (snapshot_to_json s));
+      output_char oc '\n');
+  Sys.rename tmp path
+
+let read_snapshot ~spec ~path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error e -> Error e
+  | exception End_of_file -> Error (path ^ ": truncated snapshot")
+  | contents -> (
+    match Obs.Json.of_string (String.trim contents) with
+    | Error e -> Error (path ^ ": " ^ e)
+    | Ok j -> snapshot_of_json ~spec j)
+
+(* ---------- the walk ---------- *)
+
+let run ?(obs = Obs.Sink.null) ?validator ?on_point ?checkpoint ?resume ~tests
+    ~etas cfg spec =
+  let observing = Obs.Sink.enabled obs in
+  let search = cfg.search in
+  let walk =
+    if cfg.warm then List.sort Ulp.compare etas else etas
+  in
+  let walk_arr = Array.of_list walk in
+  let n = Array.length walk_arr in
+  let target = spec.Sandbox.Spec.program in
+  let target_latency = Latency.of_program target in
+  let fp = fingerprint cfg ~spec ~tests in
+  (* walk state, possibly restored from a snapshot *)
+  let start_idx, carry, points_rev, total_proposals, demotions_total,
+      extra_tests =
+    match resume with
+    | None -> (0, ref None, ref [], ref 0, ref 0, ref [])
+    | Some s ->
+      if s.fingerprint <> fp then
+        invalid_arg "Frontier.run: snapshot fingerprint mismatch";
+      if s.next > n then
+        invalid_arg "Frontier.run: snapshot walked past this grid";
+      List.iteri
+        (fun i (p : point) ->
+          if i < s.next && Ulp.compare p.eta walk_arr.(i) <> 0 then
+            invalid_arg
+              "Frontier.run: snapshot points are not a prefix of this grid")
+        s.snap_points;
+      ( s.next,
+        ref s.carry_rng,
+        ref (List.rev s.snap_points),
+        ref s.snap_total_proposals,
+        ref s.snap_demotions,
+        ref (List.rev s.extra_tests) (* newest-first internally *) )
+  in
+  let tests_added = ref (List.length !extra_tests) in
+  let current_tests () =
+    Array.append tests
+      (Array.of_list
+         (List.rev_map (Sandbox.Spec.testcase_of_floats spec) !extra_tests))
+  in
+  let make_ctx ~eta =
+    Cost.create ~use_cache:search.Optimizer.prune
+      ~engine:search.Optimizer.engine spec
+      (Cost.default_params ~eta)
+      (current_tests ())
+  in
+  let warm_budget =
+    Stdlib.max 1
+      (int_of_float
+         (cfg.warm_frac *. float_of_int search.Optimizer.proposals))
+  in
+  let cold_budget = n * search.Optimizer.proposals in
+  if observing then
+    Obs.Sink.emit obs "frontier_start"
+      [
+        ("etas", Obs.Json.Int n);
+        ("warm", Obs.Json.Bool cfg.warm);
+        ("proposals_per_point", Obs.Json.Int search.Optimizer.proposals);
+        ("warm_budget", Obs.Json.Int warm_budget);
+        ("max_demotions", Obs.Json.Int cfg.max_demotions);
+        ("sweep_back", Obs.Json.Bool cfg.sweep_back);
+        ("validating", Obs.Json.Bool (Option.is_some validator));
+        ("resumed_points", Obs.Json.Int start_idx);
+      ];
+  let emit_point ~pass (p : point) =
+    if observing then
+      Obs.Sink.emit obs "frontier_point"
+        [
+          ("eta", Obs.Json.String (Ulp.to_string p.eta));
+          ("pass", Obs.Json.String pass);
+          ("warm", Obs.Json.Bool p.warm);
+          ("loc", Obs.Json.Int p.loc);
+          ("latency", Obs.Json.Int p.latency);
+          ("speedup", Obs.Json.Float p.speedup);
+          ( "validated_err_ulps",
+            match p.validated_err with
+            | None -> Obs.Json.Null
+            | Some e -> Obs.Json.Float (Ulp.to_float e) );
+          ("proposals_used", Obs.Json.Int p.proposals_used);
+          ("demotions", Obs.Json.Int p.demotions);
+        ]
+  in
+  let pareto = ref (pareto_of (List.rev !points_rev)) in
+  let promote (p : point) =
+    let set, dropped = pareto_insert !pareto p in
+    pareto := set;
+    if observing then
+      Obs.Sink.emit obs "frontier_promote"
+        [
+          ("eta", Obs.Json.String (Ulp.to_string p.eta));
+          ("latency", Obs.Json.Int p.latency);
+          ("err_bound_ulps", Obs.Json.Float (Ulp.to_float (err_bound p)));
+          ("pareto_size", Obs.Json.Int (List.length set));
+          ("dropped", Obs.Json.Int (List.length dropped));
+        ]
+  in
+  let mk_point ~eta ~warm ~proposals_used ~demotions ~validated_err rewrite =
+    let latency = Latency.of_program rewrite in
+    {
+      eta;
+      rewrite;
+      loc = Program.length rewrite;
+      latency;
+      speedup =
+        float_of_int target_latency /. float_of_int (Stdlib.max 1 latency);
+      validated_err;
+      warm;
+      proposals_used;
+      demotions;
+    }
+  in
+  let settle ~idx (p : point) =
+    points_rev := p :: !points_rev;
+    promote p;
+    emit_point ~pass:"forward" p;
+    (match on_point with Some f -> f p | None -> ());
+    match checkpoint with
+    | None -> ()
+    | Some path ->
+      write_snapshot ~path
+        {
+          version = snapshot_version;
+          fingerprint = fp;
+          next = idx + 1;
+          carry_rng = !carry;
+          snap_total_proposals = !total_proposals;
+          snap_demotions = !demotions_total;
+          snap_points = List.rev !points_rev;
+          extra_tests = List.rev !extra_tests;
+        }
+  in
+  (* pick mirrors the historical sweep's fallback: keep the best η-correct
+     rewrite only when it is no slower than the target *)
+  let pick (r : Optimizer.result) =
+    match r.Optimizer.best_correct with
+    | Some p when Latency.of_program p <= target_latency -> p
+    | _ -> target
+  in
+  let control_for c =
+    Control.create ?deadline_s:c.Optimizer.deadline_s
+      ~stop_when:c.Optimizer.stop_when ~chains:1 ()
+  in
+  let harvest control ~fallback =
+    carry :=
+      Some
+        (match (Control.published control).(0) with
+         | Some pub -> pub.Control.master_rng
+         | None -> fallback)
+  in
+  if cfg.warm then begin
+    (* tight-to-loose walk with warm-started chains *)
+    let seed_prog = ref target in
+    let seed_validated = ref (Some 0L) in
+    (match List.rev !points_rev with
+     | [] -> ()
+     | ps ->
+       let last = List.nth ps (List.length ps - 1) in
+       seed_prog := last.rewrite;
+       seed_validated := last.validated_err);
+    for idx = start_idx to n - 1 do
+      let eta = walk_arr.(idx) in
+      let used = ref 0 in
+      let point_demotions = ref 0 in
+      let search_once () =
+        let budget =
+          match !carry with
+          | None -> search.Optimizer.proposals
+          | Some _ -> warm_budget
+        in
+        let cfg' = { search with Optimizer.proposals = budget } in
+        let ctx = make_ctx ~eta in
+        let r =
+          match !carry with
+          | None ->
+            let control = control_for cfg' in
+            let r = Optimizer.run ~obs ~control ctx cfg' in
+            harvest control
+              ~fallback:
+                (Rng.Xoshiro256.state
+                   (Rng.Xoshiro256.create cfg'.Optimizer.seed));
+            r
+          | Some state ->
+            let gm = Rng.Xoshiro256.of_state state in
+            let gr = Rng.Xoshiro256.split gm in
+            let seed_cost = Cost.eval_full ctx !seed_prog in
+            let best_correct =
+              if Cost.correct seed_cost then Some !seed_prog else None
+            in
+            let pub =
+              Optimizer.warm_pub cfg' ~rng:(Rng.Xoshiro256.state gr)
+                ~master_rng:(Rng.Xoshiro256.state gm) ?best_correct
+                !seed_prog
+            in
+            let control = control_for cfg' in
+            let r =
+              Optimizer.run_from ~obs ~control ~resume:pub ctx cfg'
+                !seed_prog
+            in
+            harvest control ~fallback:(Rng.Xoshiro256.state gm);
+            r
+        in
+        used := !used + r.Optimizer.proposals_made;
+        total_proposals := !total_proposals + r.Optimizer.proposals_made;
+        pick r
+      in
+      let rec attempt k =
+        let rewrite = search_once () in
+        let finish ~validated_err rewrite =
+          mk_point ~eta ~warm:true ~proposals_used:!used
+            ~demotions:!point_demotions ~validated_err rewrite
+        in
+        if Program.equal rewrite target then
+          (* the target is its own rewrite: zero error by construction *)
+          finish ~validated_err:(Some 0L) rewrite
+        else begin
+          match validator with
+          | None -> finish ~validated_err:None rewrite
+          | Some v ->
+            let chk = v ~eta rewrite in
+            if not chk.refuted then
+              finish ~validated_err:(Some chk.observed_err) rewrite
+            else begin
+              incr point_demotions;
+              incr demotions_total;
+              if observing then
+                Obs.Sink.emit obs "frontier_demote"
+                  [
+                    ("eta", Obs.Json.String (Ulp.to_string eta));
+                    ( "err_ulps",
+                      Obs.Json.Float (Ulp.to_float chk.observed_err) );
+                    ("attempt", Obs.Json.Int k);
+                    ( "input",
+                      match chk.counterexample with
+                      | None -> Obs.Json.Null
+                      | Some xs ->
+                        Obs.Json.List
+                          (Array.to_list
+                             (Array.map
+                                (fun x -> Obs.Json.Float x)
+                                xs)) );
+                  ];
+              (match chk.counterexample with
+               | Some xs ->
+                 extra_tests := xs :: !extra_tests;
+                 incr tests_added
+               | None -> ());
+              if k >= cfg.max_demotions then begin
+                (* out of retries: fall back to the frontier incumbent
+                   (validated within a tighter η, hence within this one),
+                   or to the target when there is no such incumbent *)
+                let ok_seed =
+                  (not (Program.equal !seed_prog target))
+                  &&
+                  match !seed_validated with
+                  | Some e -> Ulp.compare e eta <= 0
+                  | None -> false
+                in
+                if ok_seed then
+                  finish ~validated_err:!seed_validated !seed_prog
+                else finish ~validated_err:(Some 0L) target
+              end
+              else attempt (k + 1)
+            end
+        end
+      in
+      let point = attempt 0 in
+      settle ~idx point;
+      seed_prog := point.rewrite;
+      seed_validated := point.validated_err
+    done
+  end
+  else begin
+    (* cold walk: the historical per-point sweep, bit-identical winners *)
+    for idx = start_idx to n - 1 do
+      let eta = walk_arr.(idx) in
+      let ctx = make_ctx ~eta in
+      let r = Optimizer.run ~obs ctx search in
+      total_proposals := !total_proposals + r.Optimizer.proposals_made;
+      let rewrite = pick r in
+      let validated_err =
+        match validator with
+        | None -> None
+        | Some v ->
+          let chk = v ~eta rewrite in
+          Some chk.observed_err
+      in
+      let point =
+        mk_point ~eta ~warm:false ~proposals_used:r.Optimizer.proposals_made
+          ~demotions:0 ~validated_err rewrite
+      in
+      settle ~idx point
+    done
+  end;
+  (* optional loose-to-tight return pass: offer each point its looser
+     neighbour's winner; adoption costs evaluations and (re)validation at
+     the tighter η, but no search proposals *)
+  let points =
+    let forward = List.rev !points_rev in
+    if not (cfg.sweep_back && cfg.warm) then forward
+    else begin
+      let arr = Array.of_list forward in
+      for i = Array.length arr - 2 downto 0 do
+        let donor = arr.(i + 1) in
+        let here = arr.(i) in
+        if donor.latency < here.latency then begin
+          let eta = here.eta in
+          let ctx = make_ctx ~eta in
+          let c = Cost.eval_full ctx donor.rewrite in
+          if Cost.correct c then begin
+            let adopt, verr =
+              match validator with
+              | None -> (true, None)
+              | Some v ->
+                let chk = v ~eta donor.rewrite in
+                if chk.refuted then (false, None)
+                else (true, Some chk.observed_err)
+            in
+            if adopt then begin
+              let p =
+                mk_point ~eta ~warm:true ~proposals_used:here.proposals_used
+                  ~demotions:here.demotions ~validated_err:verr
+                  (Program.copy donor.rewrite)
+              in
+              arr.(i) <- p;
+              emit_point ~pass:"back" p
+            end
+          end
+        end
+      done;
+      Array.to_list arr
+    end
+  in
+  let pareto = pareto_of points in
+  let result =
+    {
+      points;
+      pareto;
+      total_proposals = !total_proposals;
+      cold_budget;
+      demotions = !demotions_total;
+      tests_added = !tests_added;
+    }
+  in
+  if observing then
+    Obs.Sink.emit obs "frontier_end"
+      [
+        ("points", Obs.Json.Int (List.length points));
+        ("pareto_size", Obs.Json.Int (List.length pareto));
+        ("total_proposals", Obs.Json.Int result.total_proposals);
+        ("cold_budget", Obs.Json.Int result.cold_budget);
+        ( "saving_frac",
+          Obs.Json.Float
+            (if cold_budget > 0 then
+               1. -. (float_of_int result.total_proposals /. float_of_int cold_budget)
+             else 0.) );
+        ("demotions", Obs.Json.Int result.demotions);
+        ("tests_added", Obs.Json.Int result.tests_added);
+      ];
+  result

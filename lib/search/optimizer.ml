@@ -545,6 +545,26 @@ let run_from ?(obs = Obs.Sink.null) ?progress_every ?control ?(chain_id = 0)
   end;
   result
 
+let warm_pub config ~rng ~master_rng ?best_correct init =
+  {
+    Control.chain = 0;
+    seed = config.seed;
+    restart = 1;
+    iter = 0;
+    completed = false;
+    rng;
+    master_rng;
+    cur = Program.with_padding config.padding (Program.instrs init);
+    best_correct = Option.map Program.copy best_correct;
+    best_overall = Program.copy init;
+    proposals_made = 0;
+    accepted = 0;
+    static_rejects = 0;
+    moves_proposed = Array.make 4 0;
+    moves_accepted = Array.make 4 0;
+    trace_rev = [];
+  }
+
 let run ?obs ?progress_every ?control ?chain_id ?resume ctx config =
   run_from ?obs ?progress_every ?control ?chain_id ?resume ctx config
     (Cost.spec ctx).Sandbox.Spec.program

@@ -149,6 +149,23 @@ val run_from :
   result
 (** Starts from a given rewrite instead. *)
 
+val warm_pub :
+  config ->
+  rng:int64 array ->
+  master_rng:int64 array ->
+  ?best_correct:Program.t ->
+  Program.t ->
+  Control.chain_pub
+(** A synthetic {!Control.chain_pub} that warm-starts {!run_from} from
+    [init] with explicit RNG state: restart 1, iteration 0, zeroed
+    counters, and [init] padded to [config.padding] as the current
+    program (the resume path deliberately never re-pads).  [rng] seeds
+    the chain itself and [master_rng] the restart master — thread a
+    generator's {!Rng.Xoshiro256.state} through consecutive runs to keep
+    warm-started chains on one reproducible stream.  Pass [best_correct]
+    only when [init] is known η-correct under the target context, so the
+    search's incumbent matches what the cost function would say. *)
+
 val synthesize :
   ?obs:Obs.Sink.t -> ?progress_every:int -> Cost.t -> config -> slots:int ->
   result

@@ -280,6 +280,9 @@ let of_json j =
     Ok { version; fingerprint; domains; stop_reason; elapsed_s; chains }
   with Bad msg -> Error msg
 
+let parse_program j = try Ok (program_of_json j) with Bad m -> Error m
+let parse_rng j = try Ok (rng_of_json j) with Bad m -> Error m
+
 (* ---------- I/O ---------- *)
 
 let write ~path t =

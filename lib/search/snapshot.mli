@@ -49,6 +49,14 @@ val fingerprint :
 val to_json : t -> Obs.Json.t
 val of_json : Obs.Json.t -> (t, string) result
 
+val json_of_program : Program.t -> Obs.Json.t
+(** The slot-exact program encoding used inside snapshots, exposed for
+    other checkpoint formats (e.g. {!Frontier.snapshot_to_json}). *)
+
+val parse_program : Obs.Json.t -> (Program.t, string) result
+val json_of_rng : int64 array -> Obs.Json.t
+val parse_rng : Obs.Json.t -> (int64 array, string) result
+
 val write : path:string -> t -> unit
 (** Atomic: writes [path ^ ".tmp"] then renames over [path], so a crash
     mid-write never leaves a torn snapshot behind. *)

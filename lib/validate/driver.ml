@@ -249,6 +249,218 @@ let run_internal ~rule ?(obs = Obs.Sink.null) ?(config = default_config) ~eta
 
 let run ?obs ?config ~eta errfn = run_internal ~rule:A_mcmc ?obs ?config ~eta errfn
 
+module Incremental = struct
+  type status =
+    | Running
+    | Refuted
+    | Mixed
+    | Exhausted
+
+  type t = {
+    config : config;
+    eta : Ulp.t;
+    errfn : Errfn.t;
+    obs : Obs.Sink.t;
+    observing : bool;
+    g : Rng.Xoshiro256.t;
+    proposal : Proposal.t;
+    t0 : int64;
+    mutable cur : float array;
+    mutable cur_err : float;
+    mutable max_err : Ulp.t;
+    mutable max_err_input : float array;
+    mutable samples : float array;
+    mutable n_samples : int;
+    mutable mixed : bool;
+    mutable last_z : float;
+    mutable iterations : int;
+    mutable trace : trace_entry list;
+    mutable marks : int list;
+    mutable status : status;
+    mutable ended : bool;  (** validate_end emitted *)
+  }
+
+  let create ?(obs = Obs.Sink.null) ?(config = default_config) ~eta errfn =
+    let observing = Obs.Sink.enabled obs in
+    let t0 = Obs.Clock.now_ns () in
+    if observing then
+      Obs.Sink.emit obs "validate_start"
+        [
+          ("rule", Obs.Json.String "mcmc-incremental");
+          ("max_proposals", Obs.Json.Int config.max_proposals);
+          ("min_samples", Obs.Json.Int config.min_samples);
+          ("check_every", Obs.Json.Int config.check_every);
+          ("z_threshold", Obs.Json.Float config.z_threshold);
+          ("sigma", Obs.Json.Float config.sigma);
+          ("seed", Obs.Json.String (Int64.to_string config.seed));
+          ("eta", Obs.Json.Float (Ulp.to_float eta));
+        ];
+    let g = Rng.Xoshiro256.create config.seed in
+    let spec = Errfn.spec errfn in
+    let proposal = Proposal.create ~sigma:config.sigma spec in
+    let cur = Proposal.initial g proposal in
+    let cur_err, max_err = Errfn.eval_both errfn cur in
+    {
+      config;
+      eta;
+      errfn;
+      obs;
+      observing;
+      g;
+      proposal;
+      t0;
+      cur;
+      cur_err;
+      max_err;
+      max_err_input = Array.copy cur;
+      samples = Array.make 1024 0.;
+      n_samples = 0;
+      mixed = false;
+      last_z = Float.infinity;
+      iterations = 0;
+      trace = [];
+      marks = checkpoints config.max_proposals config.trace_points;
+      status = (if Ulp.compare max_err eta > 0 then Refuted else Running);
+      ended = false;
+    }
+
+  let status s = s.status
+
+  let push_sample s x =
+    if s.n_samples = Array.length s.samples then begin
+      let bigger = Array.make (2 * Array.length s.samples) 0. in
+      Array.blit s.samples 0 bigger 0 s.n_samples;
+      s.samples <- bigger
+    end;
+    s.samples.(s.n_samples) <- x;
+    s.n_samples <- s.n_samples + 1
+
+  let geweke_check s ~iter =
+    let chain = Array.sub s.samples 0 s.n_samples in
+    let v = Stats.Geweke.z_statistic chain in
+    s.last_z <- v.Stats.Geweke.z;
+    let converged = Stats.Geweke.converged ~threshold:s.config.z_threshold v in
+    if s.observing then
+      Obs.Sink.emit s.obs "geweke"
+        [
+          ("iter", Obs.Json.Int iter);
+          ("z", Obs.Json.Float v.Stats.Geweke.z);
+          ("n_samples", Obs.Json.Int s.n_samples);
+          ("converged", Obs.Json.Bool converged);
+        ];
+    converged
+
+  let advance s ~proposals =
+    (match s.status with
+     | Running ->
+       let budget =
+         Stdlib.min proposals (s.config.max_proposals - s.iterations)
+       in
+       (try
+          for _ = 1 to budget do
+            let iter = s.iterations + 1 in
+            s.iterations <- iter;
+            let candidate = Proposal.step s.g s.proposal s.cur in
+            let err, exact = Errfn.eval_both s.errfn candidate in
+            let accept =
+              err >= s.cur_err
+              || Rng.Dist.float s.g 1.0 < density err /. density s.cur_err
+            in
+            if accept then begin
+              s.cur <- candidate;
+              s.cur_err <- err
+            end;
+            if Ulp.compare exact s.max_err > 0 then begin
+              s.max_err <- exact;
+              s.max_err_input <- Array.copy candidate;
+              if s.observing then
+                Obs.Sink.emit s.obs "val_new_max"
+                  [
+                    ("iter", Obs.Json.Int iter);
+                    ("err_ulps", Obs.Json.Float (Ulp.to_float exact));
+                    ( "input",
+                      Obs.Json.List
+                        (Array.to_list
+                           (Array.map
+                              (fun x -> Obs.Json.Float x)
+                              candidate)) );
+                  ];
+              (* Early refutation: the bound cannot shrink, so once it
+                 clears η the candidate is dead — stop sampling. *)
+              if Ulp.compare exact s.eta > 0 then begin
+                s.status <- Refuted;
+                raise Exit
+              end
+            end;
+            push_sample s s.cur_err;
+            (match s.marks with
+             | m :: rest when iter >= m ->
+               s.trace <-
+                 { iter; best_err = Ulp.to_float s.max_err } :: s.trace;
+               s.marks <- rest;
+               if s.observing then
+                 Obs.Sink.emit s.obs "val_checkpoint"
+                   [
+                     ("iter", Obs.Json.Int iter);
+                     ("best_err", Obs.Json.Float (Ulp.to_float s.max_err));
+                     ( "elapsed_s",
+                       Obs.Json.Float (Obs.Clock.elapsed_s ~since:s.t0) );
+                   ]
+             | _ -> ());
+            if
+              s.n_samples >= s.config.min_samples
+              && iter mod s.config.check_every = 0
+            then
+              if geweke_check s ~iter then begin
+                s.mixed <- true;
+                s.status <- Mixed;
+                raise Exit
+              end
+          done
+        with Exit -> ());
+       if s.status = Running && s.iterations >= s.config.max_proposals
+       then begin
+         (* Same final-check gating as the one-shot driver. *)
+         if s.n_samples >= s.config.min_samples && s.n_samples >= 20 then
+           if geweke_check s ~iter:s.iterations then s.mixed <- true;
+         s.status <- (if s.mixed then Mixed else Exhausted)
+       end
+     | Refuted | Mixed | Exhausted -> ());
+    s.status
+
+  let verdict s =
+    let v =
+      {
+        max_err = s.max_err;
+        max_err_input = s.max_err_input;
+        validated = s.mixed && Ulp.compare s.max_err s.eta <= 0;
+        mixed = s.mixed;
+        geweke_z = s.last_z;
+        iterations = s.iterations;
+        trace = List.rev s.trace;
+      }
+    in
+    if s.observing && s.status <> Running && not s.ended then begin
+      s.ended <- true;
+      let elapsed = Obs.Clock.elapsed_s ~since:s.t0 in
+      Obs.Sink.emit s.obs "validate_end"
+        [
+          ("max_err_ulps", Obs.Json.Float (Ulp.to_float v.max_err));
+          ("validated", Obs.Json.Bool v.validated);
+          ("mixed", Obs.Json.Bool v.mixed);
+          ("refuted", Obs.Json.Bool (s.status = Refuted));
+          ("geweke_z", Obs.Json.Float v.geweke_z);
+          ("iterations", Obs.Json.Int v.iterations);
+          ("elapsed_s", Obs.Json.Float elapsed);
+          ( "samples_per_s",
+            Obs.Json.Float
+              (if elapsed > 0. then float_of_int v.iterations /. elapsed
+               else 0.) );
+        ]
+    end;
+    v
+end
+
 let run_strategy ?obs ?config ~strategy ~eta errfn =
   let rule =
     match strategy with

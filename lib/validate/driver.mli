@@ -41,6 +41,46 @@ type verdict = {
 
 val run : ?obs:Obs.Sink.t -> ?config:config -> eta:Ulp.t -> Errfn.t -> verdict
 
+(** Incremental validation: the same MCMC max-error hunt as {!run}, but
+    resumable in slices so a driver can interleave it with search.  Two
+    behavioural differences from {!run}, both in the caller's favour:
+
+    - {b early refutation} — the session stops the moment the observed
+      error exceeds η, without waiting for the chain to mix.  A frontier
+      driver demoting a candidate needs only the counterexample, not a
+      tight bound, so the remaining budget goes back to search.
+    - {b sliced budget} — {!advance} runs at most [proposals] more
+      iterations and returns the session status, so callers decide how
+      much validation to buy between search bursts.
+
+    A session driven to [Mixed]/[Exhausted] in one [advance] call visits
+    exactly the samples {!run} would visit (same RNG stream, same accept
+    rule); only the stopping rule differs. *)
+module Incremental : sig
+  type t
+
+  type status =
+    | Running  (** budget slice spent; call {!advance} again *)
+    | Refuted  (** observed error exceeded η — demote the candidate *)
+    | Mixed  (** Geweke says the chain mixed; the bound is trustworthy *)
+    | Exhausted  (** [max_proposals] spent without mixing *)
+
+  val create : ?obs:Obs.Sink.t -> ?config:config -> eta:Ulp.t -> Errfn.t -> t
+  (** Draws the chain's initial input and evaluates it; a session can be
+      [Refuted] before the first {!advance}. *)
+
+  val status : t -> status
+
+  val advance : t -> proposals:int -> status
+  (** Run up to [proposals] more iterations.  Terminal statuses are
+      sticky: advancing a finished session is a no-op. *)
+
+  val verdict : t -> verdict
+  (** The verdict so far (callable in any status).  [validated] is only
+      meaningful once the session is terminal; on [Refuted] the verdict
+      carries the counterexample in [max_err_input]. *)
+end
+
 val run_strategy :
   ?obs:Obs.Sink.t ->
   ?config:config -> strategy:[ `Mcmc | `Hill | `Anneal | `Random ] ->

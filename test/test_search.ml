@@ -1003,6 +1003,237 @@ let telemetry_tests =
           r.Search.Optimizer.moves.Search.Optimizer.proposed);
   ]
 
+(* Frontier driver: cold-mode bit-identity with the historical per-point
+   sweep, demotion on validation failure, and checkpoint/resume. *)
+let frontier_cfg ?(warm = true) ?(max_demotions = 2) ~proposals ~seed () =
+  {
+    Search.Frontier.default_config with
+    Search.Frontier.search =
+      { Search.Optimizer.default_config with
+        Search.Optimizer.proposals; seed };
+    warm;
+    max_demotions;
+  }
+
+let frontier_tests =
+  let spec = add_spec in
+  let target = spec.Sandbox.Spec.program in
+  let target_latency = Latency.of_program target in
+  let etas = [ 0L; Ulp.of_float 1e6 ] in
+  [
+    Alcotest.test_case "cold walk reproduces the per-point sweep" `Quick
+      (fun () ->
+        let proposals = 3_000 and seed = 11L in
+        let tests = Stoke.make_tests ~n:16 ~seed spec in
+        let cfg = frontier_cfg ~warm:false ~proposals ~seed () in
+        (* the pre-frontier sweep, inlined: one cold search per η with the
+           target fallback *)
+        let legacy =
+          List.map
+            (fun eta ->
+              let ctx =
+                Search.Cost.create spec
+                  (Search.Cost.default_params ~eta)
+                  tests
+              in
+              let r = Search.Optimizer.run ctx cfg.Search.Frontier.search in
+              match r.Search.Optimizer.best_correct with
+              | Some p when Latency.of_program p <= target_latency -> p
+              | _ -> target)
+            etas
+        in
+        let fr = Search.Frontier.run ~tests ~etas cfg spec in
+        List.iter2
+          (fun expected (p : Search.Frontier.point) ->
+            Alcotest.(check bool)
+              "bit-identical winner" true
+              (Program.equal expected p.Search.Frontier.rewrite);
+            Alcotest.(check bool) "marked cold" false p.Search.Frontier.warm)
+          legacy fr.Search.Frontier.points);
+    Alcotest.test_case "refuting validator demotes and falls back" `Quick
+      (fun () ->
+        let proposals = 4_000 and seed = 5L in
+        let tests = Stoke.make_tests ~n:16 ~seed spec in
+        let cfg = frontier_cfg ~max_demotions:1 ~proposals ~seed () in
+        let refute_all ~eta:_ _rewrite =
+          {
+            Search.Frontier.observed_err = Int64.max_int;
+            refuted = true;
+            mixed = false;
+            val_iterations = 1;
+            counterexample = Some (Array.make (Sandbox.Spec.arity spec) 1.5);
+          }
+        in
+        let sink = Obs.Sink.memory () in
+        let fr =
+          Search.Frontier.run ~obs:sink ~validator:refute_all ~tests ~etas
+            cfg spec
+        in
+        (* the searches do find non-target rewrites, so the validator must
+           have been consulted and must have demoted them *)
+        Alcotest.(check bool) "demotions happened" true
+          (fr.Search.Frontier.demotions >= 1);
+        Alcotest.(check bool) "counterexamples fed back" true
+          (fr.Search.Frontier.tests_added >= 1);
+        List.iter
+          (fun (p : Search.Frontier.point) ->
+            Alcotest.(check bool)
+              "fell back to the target" true
+              (Program.equal p.Search.Frontier.rewrite target);
+            Alcotest.(check (option int64))
+              "target is exact" (Some 0L) p.Search.Frontier.validated_err)
+          fr.Search.Frontier.points;
+        let demote_events =
+          List.length
+            (List.filter
+               (fun (e : Obs.Sink.event) -> e.Obs.Sink.name = "frontier_demote")
+               (Obs.Sink.drain sink))
+        in
+        Alcotest.(check int)
+          "one frontier_demote event per demotion"
+          fr.Search.Frontier.demotions demote_events);
+    Alcotest.test_case "snapshot round-trips through JSON" `Quick (fun () ->
+        let proposals = 3_000 and seed = 11L in
+        let tests = Stoke.make_tests ~n:16 ~seed spec in
+        let cfg = frontier_cfg ~proposals ~seed () in
+        let path = Filename.temp_file "frontier" ".json" in
+        Fun.protect
+          ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+          (fun () ->
+            ignore (Search.Frontier.run ~checkpoint:path ~tests ~etas cfg spec);
+            match Search.Frontier.read_snapshot ~spec ~path with
+            | Error e -> Alcotest.failf "read_snapshot: %s" e
+            | Ok s ->
+              Alcotest.(check int)
+                "walked the whole grid" (List.length etas)
+                s.Search.Frontier.next;
+              Alcotest.(check string)
+                "fingerprint" (Search.Frontier.fingerprint cfg ~spec ~tests)
+                s.Search.Frontier.fingerprint;
+              (* to_json ∘ of_json is the identity on the serialized form *)
+              (match
+                 Search.Frontier.snapshot_of_json ~spec
+                   (Search.Frontier.snapshot_to_json s)
+               with
+               | Error e -> Alcotest.failf "round-trip: %s" e
+               | Ok s' ->
+                 Alcotest.(check bool)
+                   "round-trip identical" true
+                   (Obs.Json.equal
+                      (Search.Frontier.snapshot_to_json s)
+                      (Search.Frontier.snapshot_to_json s')))));
+    Alcotest.test_case "resume reproduces the uninterrupted walk" `Quick
+      (fun () ->
+        let proposals = 3_000 and seed = 11L in
+        let tests = Stoke.make_tests ~n:16 ~seed spec in
+        let cfg = frontier_cfg ~proposals ~seed () in
+        let grid = [ 0L; Ulp.of_float 1e4; Ulp.of_float 1e10 ] in
+        let full = Search.Frontier.run ~tests ~etas:grid cfg spec in
+        (* interrupt after the first η, then resume into the full grid:
+           the fingerprint skips the grid, so extending it is legal *)
+        let path = Filename.temp_file "frontier" ".json" in
+        Fun.protect
+          ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+          (fun () ->
+            ignore
+              (Search.Frontier.run ~checkpoint:path ~tests
+                 ~etas:[ List.hd grid ] cfg spec);
+            let snap =
+              match Search.Frontier.read_snapshot ~spec ~path with
+              | Ok s -> s
+              | Error e -> Alcotest.failf "read_snapshot: %s" e
+            in
+            let resumed =
+              Search.Frontier.run ~resume:snap ~tests ~etas:grid cfg spec
+            in
+            Alcotest.(check int)
+              "same total proposals" full.Search.Frontier.total_proposals
+              resumed.Search.Frontier.total_proposals;
+            List.iter2
+              (fun (a : Search.Frontier.point) (b : Search.Frontier.point) ->
+                Alcotest.(check bool)
+                  "bit-identical point" true
+                  (Program.equal a.Search.Frontier.rewrite
+                     b.Search.Frontier.rewrite);
+                Alcotest.(check int)
+                  "same proposals_used" a.Search.Frontier.proposals_used
+                  b.Search.Frontier.proposals_used)
+              full.Search.Frontier.points resumed.Search.Frontier.points);
+        (* a different search config must be rejected *)
+        let other = frontier_cfg ~proposals:(proposals + 1) ~seed () in
+        let fp = Search.Frontier.fingerprint cfg ~spec ~tests in
+        let stale =
+          {
+            Search.Frontier.version = Search.Frontier.snapshot_version;
+            fingerprint = fp;
+            next = 0;
+            carry_rng = None;
+            snap_total_proposals = 0;
+            snap_demotions = 0;
+            snap_points = [];
+            extra_tests = [];
+          }
+        in
+        Alcotest.check_raises "fingerprint mismatch"
+          (Invalid_argument "Frontier.run: snapshot fingerprint mismatch")
+          (fun () ->
+            ignore
+              (Search.Frontier.run ~resume:stale ~tests ~etas:grid other spec)));
+  ]
+
+(* Pareto-set invariants, driven by random (latency, error) clouds: the
+   retained set never holds a dominated (or duplicate) pair, and every
+   inserted point is either retained or covered by a retained member. *)
+let prop_pareto_invariants =
+  let spec = add_spec in
+  let target = spec.Sandbox.Spec.program in
+  let mk_pt latency err =
+    {
+      Search.Frontier.eta = err;
+      rewrite = target;
+      loc = 1;
+      latency;
+      speedup = 1.0;
+      validated_err = Some err;
+      warm = false;
+      proposals_used = 0;
+      demotions = 0;
+    }
+  in
+  QCheck.Test.make ~name:"pareto_insert invariants" ~count:500 QCheck.int64
+    (fun seed ->
+      let g = Rng.Xoshiro256.create seed in
+      let n = 1 + Rng.Dist.int g 20 in
+      let pts =
+        List.init n (fun _ ->
+            mk_pt (Rng.Dist.int g 8) (Int64.of_int (Rng.Dist.int g 8)))
+      in
+      let set =
+        List.fold_left
+          (fun s p -> fst (Search.Frontier.pareto_insert s p))
+          [] pts
+      in
+      let no_dominated =
+        List.for_all
+          (fun p ->
+            not
+              (List.exists
+                 (fun q -> p != q && Search.Frontier.dominates q p)
+                 set))
+          set
+      in
+      let covered p =
+        List.exists
+          (fun q ->
+            q.Search.Frontier.latency <= p.Search.Frontier.latency
+            && Ulp.compare
+                 (Search.Frontier.err_bound q)
+                 (Search.Frontier.err_bound p)
+               <= 0)
+          set
+      in
+      no_dominated && List.for_all covered pts)
+
 (* Liveness/DCE soundness against the interpreter: a random well-formed
    program and its DCE'd version must produce identical live-out values on
    any test case where both run to completion. *)
@@ -1073,7 +1304,8 @@ let prop_cutoff_equivalence =
 
 let props =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_dce_preserves_outputs; prop_cutoff_equivalence ]
+    [ prop_dce_preserves_outputs; prop_cutoff_equivalence;
+      prop_pareto_invariants ]
 
 let () =
   Alcotest.run "search"
@@ -1086,6 +1318,7 @@ let () =
       ("perf-model-synthesis", perf_model_tests);
       ("parallel", parallel_tests);
       ("orchestrator", orchestrator_tests);
+      ("frontier", frontier_tests);
       ("telemetry", telemetry_tests);
       ("properties", props);
     ]
