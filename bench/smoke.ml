@@ -54,12 +54,14 @@ let run_one name (spec : Sandbox.Spec.t) =
       ("interp+prune", search Sandbox.Exec.Interp true);
       ("compiled", search Sandbox.Exec.Compiled false);
       ("compiled+prune", pruned);
+      ("batched", search Sandbox.Exec.Batched false);
+      ("batched+prune", search Sandbox.Exec.Batched true);
     ];
   let tp = pruned.Search.Optimizer.tests_executed in
   let tf = full.Search.Optimizer.tests_executed in
   let saved = 100. *. (1. -. (float_of_int tp /. float_of_int tf)) in
   Printf.printf
-    "%-8s identical winners (2 engines x prune on/off); tests executed %8d \
+    "%-8s identical winners (3 engines x prune on/off); tests executed %8d \
      -> %8d  (%.1f%% saved, %d pruned, %d cache hits, %d compiles)\n"
     name tf tp saved
     pruned.Search.Optimizer.pruned_evals

@@ -64,14 +64,47 @@ let encode_test =
   Test.make ~name:"encode exp kernel to bytes"
     (Staged.stage (fun () -> ignore (Encoder.encode_program p)))
 
-(* Head-to-head instrs/sec of the two engines on the same restore +
-   apply + run loop the cost function drives — the number the compiled
-   engine exists to raise.  Written to the tput telemetry stream so CI
-   can track the speedup. *)
+(* Head-to-head instrs/sec of the three engines on the loop the cost
+   function drives — per-test restore + apply + run for the scalar
+   engines, one amortized reset + lane-wise sweep for the batched one.
+   Written to the tput telemetry stream so CI can track the speedups. *)
 let run_engine_tput () =
   Util.subheading "execution engines: instrs/sec on the exp kernel";
   let spec = Kernels.S3d.exp_spec in
   let tc = Sandbox.Spec.testcase_of_floats spec [| -1.25 |] in
+  (* The batched engine is measured at the batch width the optimizer
+     actually uses it at: every lane is a test case, one reset + exec
+     sweeps them all. *)
+  let lanes = 32 in
+  let measure_batched () =
+    let machine =
+      Sandbox.Machine.create ~mem_size:spec.Sandbox.Spec.mem_size ()
+    in
+    let tcs =
+      Array.init lanes (fun i ->
+          let x = -3.0 +. (3.0 *. float_of_int i /. float_of_int lanes) in
+          Sandbox.Spec.testcase_of_floats spec [| x |])
+    in
+    let b = Sandbox.Batched.create_batch machine tcs in
+    let bp = Sandbox.Batched.compile b spec.Sandbox.Spec.program in
+    let once () =
+      Sandbox.Batched.reset b;
+      ignore (Sandbox.Batched.exec bp : bool)
+    in
+    for _ = 1 to 2_000 / lanes do
+      once ()
+    done;
+    let iters = Util.scaled 300_000 / lanes in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      once ()
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    once ();
+    let executed = (Sandbox.Batched.result b ~lane:0).Sandbox.Exec.executed in
+    let runs = float_of_int iters *. float_of_int lanes in
+    (runs *. float_of_int executed /. dt, runs /. dt)
+  in
   let measure engine =
     let machine =
       Sandbox.Machine.create ~mem_size:spec.Sandbox.Spec.mem_size ()
@@ -84,6 +117,7 @@ let run_engine_tput () =
       | Sandbox.Exec.Compiled ->
         let cp = Sandbox.Compiled.compile machine spec.Sandbox.Spec.program in
         fun () -> Sandbox.Compiled.exec cp
+      | Sandbox.Exec.Batched -> assert false (* measured by measure_batched *)
     in
     let once () =
       Sandbox.Machine.restore_from ~src:pristine ~dst:machine;
@@ -117,12 +151,22 @@ let run_engine_tput () =
   in
   let interp = measure Sandbox.Exec.Interp in
   let compiled = measure Sandbox.Exec.Compiled in
+  let batched = measure_batched () in
   report Sandbox.Exec.Interp interp;
   report Sandbox.Exec.Compiled compiled;
-  let speedup = fst compiled /. fst interp in
-  Printf.printf "%-36s %14.2fx\n" "compiled/interp speedup" speedup;
-  Obs.Sink.emit (Util.obs ()) "engine_speedup"
-    [ ("kernel", Obs.Json.String "exp"); ("speedup", Obs.Json.Float speedup) ]
+  report Sandbox.Exec.Batched batched;
+  let speedup pair num den =
+    let s = fst num /. fst den in
+    Printf.printf "%-36s %14.2fx\n" (pair ^ " speedup") s;
+    Obs.Sink.emit (Util.obs ()) "engine_speedup"
+      [
+        ("kernel", Obs.Json.String "exp");
+        ("pair", Obs.Json.String pair);
+        ("speedup", Obs.Json.Float s);
+      ]
+  in
+  speedup "compiled/interp" compiled interp;
+  speedup "batched/compiled" batched compiled
 
 (* Per-proposal cost of the static undef-read screen, measured over the
    same propose/undo stream the optimizer sees, plus the fraction of

@@ -36,14 +36,20 @@ let seed_arg =
 
 let engine_arg =
   let engines =
-    [ ("interp", Sandbox.Exec.Interp); ("compiled", Sandbox.Exec.Compiled) ]
+    [
+      ("interp", Sandbox.Exec.Interp);
+      ("compiled", Sandbox.Exec.Compiled);
+      ("batched", Sandbox.Exec.Batched);
+    ]
   in
   let doc =
     "Execution engine: $(b,compiled) (default) translates each proposal once \
-     into specialized closures and replays them per test case; $(b,interp) \
-     steps the reference interpreter on every run.  Results are \
-     bit-identical for a fixed seed; interp exists as the oracle and for \
-     debugging."
+     into specialized closures and replays them per test case; \
+     $(b,batched) translates once and steps every test case lane-wise \
+     through each instruction (struct-of-arrays register files, one reset \
+     per proposal, whole-proposal cutoff aborts); $(b,interp) steps the \
+     reference interpreter on every run.  Results are bit-identical for a \
+     fixed seed; interp exists as the oracle and for debugging."
   in
   Arg.(
     value
@@ -277,6 +283,10 @@ let optimize_cmd =
               Obs.Json.Int result.Search.Optimizer.compile_count );
             ( "compiled_runs",
               Obs.Json.Int result.Search.Optimizer.compiled_runs );
+            ( "batched_runs",
+              Obs.Json.Int result.Search.Optimizer.batched_runs );
+            ( "batch_prunes",
+              Obs.Json.Int result.Search.Optimizer.batch_prunes );
             ( "static_rejects",
               Obs.Json.Int result.Search.Optimizer.static_rejects );
             ("elapsed_s", Obs.Json.Float (Obs.Clock.elapsed_s ~since:t0));
@@ -444,7 +454,8 @@ let refine_cmd =
 (* ----- validate ----- *)
 
 let validate_cmd =
-  let run name eta rewrite_file proposals min_samples chains trace_out progress =
+  let run name eta rewrite_file proposals min_samples chains engine trace_out
+      progress =
     match find_kernel name with
     | Error e -> exit_err e
     | Ok spec ->
@@ -464,7 +475,8 @@ let validate_cmd =
           }
         in
         let v =
-          Stoke.validate ~config ~obs:sink ~eta:(Ulp.of_float eta) spec rewrite
+          Stoke.validate ~config ~obs:sink ~engine ~eta:(Ulp.of_float eta)
+            spec rewrite
         in
         Printf.printf
           "max observed error: %s ULPs (at input %s)\nmixed: %b (Geweke Z = %.3f after %d iterations)\nvalidated within η: %b\n"
@@ -483,7 +495,7 @@ let validate_cmd =
             proposals_per_chain = proposals / chains;
           }
         in
-        let errfn = Validate.Errfn.create spec ~rewrite in
+        let errfn = Validate.Errfn.create ~engine spec ~rewrite in
         let v =
           Validate.Multi_chain.run ~obs:sink ~config ~eta:(Ulp.of_float eta)
             errfn
@@ -520,7 +532,8 @@ let validate_cmd =
        ~doc:"MCMC-validate a rewrite's maximum ULP error against the target")
     Term.(
       const run $ kernel_arg $ eta_arg $ rewrite_file_arg $ proposals_arg
-      $ min_samples_arg $ chains_arg $ trace_out_arg $ progress_arg)
+      $ min_samples_arg $ chains_arg $ engine_arg $ trace_out_arg
+      $ progress_arg)
 
 (* ----- verify ----- *)
 

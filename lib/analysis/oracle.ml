@@ -229,8 +229,8 @@ let diff_components (a : Sandbox.Machine.t) (b : Sandbox.Machine.t) =
     (fun (n, va) (_, vb) ->
       if va <> vb then out := (Liveness.Lflags, n) :: !out)
     (flag_list a) (flag_list b);
-  let ma = Sandbox.Memory.to_bytes a.Sandbox.Machine.mem in
-  let mb = Sandbox.Memory.to_bytes b.Sandbox.Machine.mem in
+  let ma = Sandbox.Memory.unsafe_bytes a.Sandbox.Machine.mem in
+  let mb = Sandbox.Memory.unsafe_bytes b.Sandbox.Machine.mem in
   if not (Bytes.equal ma mb) then
     for i = Bytes.length ma - 1 downto 0 do
       if Bytes.get ma i <> Bytes.get mb i then
@@ -244,6 +244,28 @@ let run_engine engine m p =
   match engine with
   | Sandbox.Exec.Interp -> Sandbox.Exec.run m p
   | Sandbox.Exec.Compiled -> Sandbox.Compiled.exec (Sandbox.Compiled.compile m p)
+  | Sandbox.Exec.Batched ->
+    (* One-lane batch seeded from [m]'s state; the lane's final state is
+       copied back so the oracle's machine comparisons see it. *)
+    let b = Sandbox.Batched.create_batch m [| Sandbox.Testcase.empty |] in
+    let bp = Sandbox.Batched.compile b p in
+    let (_aborted : bool) = Sandbox.Batched.exec bp in
+    let lm = Sandbox.Batched.lane_machine b ~lane:0 in
+    Array.blit lm.Sandbox.Machine.gp 0 m.Sandbox.Machine.gp 0 16;
+    Array.blit lm.Sandbox.Machine.xmm 0 m.Sandbox.Machine.xmm 0 32;
+    m.Sandbox.Machine.flags.Sandbox.Machine.cf <-
+      lm.Sandbox.Machine.flags.Sandbox.Machine.cf;
+    m.Sandbox.Machine.flags.Sandbox.Machine.zf <-
+      lm.Sandbox.Machine.flags.Sandbox.Machine.zf;
+    m.Sandbox.Machine.flags.Sandbox.Machine.sf <-
+      lm.Sandbox.Machine.flags.Sandbox.Machine.sf;
+    m.Sandbox.Machine.flags.Sandbox.Machine.o_f <-
+      lm.Sandbox.Machine.flags.Sandbox.Machine.o_f;
+    m.Sandbox.Machine.flags.Sandbox.Machine.pf <-
+      lm.Sandbox.Machine.flags.Sandbox.Machine.pf;
+    Sandbox.Memory.blit_from ~src:lm.Sandbox.Machine.mem
+      ~dst:m.Sandbox.Machine.mem;
+    Sandbox.Batched.result b ~lane:0
 
 let outcome_eq (a : Sandbox.Exec.result) (b : Sandbox.Exec.result) =
   a.Sandbox.Exec.outcome = b.Sandbox.Exec.outcome
@@ -332,7 +354,7 @@ let run ?(states = 2) ?(seed = default_seed) () =
         (fun m ->
           List.iter
             (fun engine -> check_instance ~violations instr m engine)
-            [ Sandbox.Exec.Interp; Sandbox.Exec.Compiled ])
+            [ Sandbox.Exec.Interp; Sandbox.Exec.Compiled; Sandbox.Exec.Batched ])
         machines)
     all;
   List.rev !violations

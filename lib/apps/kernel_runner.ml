@@ -67,6 +67,31 @@ let run t program =
     match t.engine with
     | Sandbox.Exec.Interp -> Sandbox.Exec.run t.m program
     | Sandbox.Exec.Compiled -> Sandbox.Compiled.exec (compiled_for t program)
+    | Sandbox.Exec.Batched ->
+      (* The applications thread values through [t.m] between calls, so
+         a batched run seeds a one-lane batch from it and copies the
+         lane's final state back.  Correct but uncached — the batched
+         engine's amortization targets the search loop, not this
+         call-at-a-time harness; prefer [Compiled] here. *)
+      let b = Sandbox.Batched.create_batch t.m [| Sandbox.Testcase.empty |] in
+      let bp = Sandbox.Batched.compile b program in
+      let (_aborted : bool) = Sandbox.Batched.exec bp in
+      let lm = Sandbox.Batched.lane_machine b ~lane:0 in
+      Array.blit lm.Sandbox.Machine.gp 0 t.m.Sandbox.Machine.gp 0 16;
+      Array.blit lm.Sandbox.Machine.xmm 0 t.m.Sandbox.Machine.xmm 0 32;
+      t.m.Sandbox.Machine.flags.Sandbox.Machine.cf <-
+        lm.Sandbox.Machine.flags.Sandbox.Machine.cf;
+      t.m.Sandbox.Machine.flags.Sandbox.Machine.zf <-
+        lm.Sandbox.Machine.flags.Sandbox.Machine.zf;
+      t.m.Sandbox.Machine.flags.Sandbox.Machine.sf <-
+        lm.Sandbox.Machine.flags.Sandbox.Machine.sf;
+      t.m.Sandbox.Machine.flags.Sandbox.Machine.o_f <-
+        lm.Sandbox.Machine.flags.Sandbox.Machine.o_f;
+      t.m.Sandbox.Machine.flags.Sandbox.Machine.pf <-
+        lm.Sandbox.Machine.flags.Sandbox.Machine.pf;
+      Sandbox.Memory.blit_from ~src:lm.Sandbox.Machine.mem
+        ~dst:t.m.Sandbox.Machine.mem;
+      Sandbox.Batched.result b ~lane:0
   in
   t.cycles <- t.cycles + r.Sandbox.Exec.cycles;
   t.calls <- t.calls + 1;

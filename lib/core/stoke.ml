@@ -42,8 +42,8 @@ let optimize_parallel ?config ?tests ?domains ?obs ?orch_obs ?progress_every
   Search.Parallel.run ?domains ?obs ?orch_obs ?progress_every ?checkpoint
     ?resume ~spec ~params ~tests ~config ()
 
-let validate ?config ?obs ~eta spec rewrite =
-  let errfn = Validate.Errfn.create spec ~rewrite in
+let validate ?config ?obs ?engine ~eta spec rewrite =
+  let errfn = Validate.Errfn.create ?engine spec ~rewrite in
   Validate.Driver.run ?obs ?config ~eta errfn
 
 let verify ~eta spec rewrite = Verify.Verifier.check spec ~rewrite ~eta
@@ -100,7 +100,11 @@ let optimize_refined ?config ?validation ?(max_rounds = 4) ?(tests = 32)
         { rewrite = Some rewrite; verdict = None; rounds = round;
           counterexamples = !counterexamples }
       else begin
-        let errfn = Validate.Errfn.create spec ~rewrite in
+        (* validate on the same engine the search ran on *)
+        let errfn =
+          Validate.Errfn.create ~engine:config.Search.Optimizer.engine spec
+            ~rewrite
+        in
         let v = Validate.Driver.run ~obs ~config:validation ~eta errfn in
         if Ulp.compare v.Validate.Driver.max_err eta <= 0 then
           { rewrite = Some rewrite; verdict = Some v; rounds = round;
@@ -168,15 +172,15 @@ let check_of_verdict ~eta (v : Validate.Driver.verdict) =
   }
 
 (* The historical sweep's validator: one full MCMC hunt per candidate. *)
-let cold_validator ~obs ~validation spec ~eta rewrite =
-  let errfn = Validate.Errfn.create spec ~rewrite in
+let cold_validator ?engine ~obs ~validation spec ~eta rewrite =
+  let errfn = Validate.Errfn.create ?engine spec ~rewrite in
   check_of_verdict ~eta (Validate.Driver.run ~obs ~config:validation ~eta errfn)
 
 (* The frontier's validator: the incremental session refutes a bad
    candidate the moment its error clears η, so demoted candidates return
    their budget to search instead of waiting for the chain to mix. *)
-let incremental_validator ~obs ~validation spec ~eta rewrite =
-  let errfn = Validate.Errfn.create spec ~rewrite in
+let incremental_validator ?engine ~obs ~validation spec ~eta rewrite =
+  let errfn = Validate.Errfn.create ?engine spec ~rewrite in
   let s =
     Validate.Driver.Incremental.create ~obs ~config:validation ~eta errfn
   in
@@ -211,13 +215,14 @@ let frontier ?config ?validation ?(validate_results = true) ?etas
     | None -> quick_validation_config
   in
   let test_array = make_tests ~n:tests ~seed spec in
+  let engine = config.Search.Optimizer.engine in
   let validator =
     if validate_results then
       Some
         (if warm then fun ~eta rewrite ->
-           incremental_validator ~obs ~validation spec ~eta rewrite
+           incremental_validator ~engine ~obs ~validation spec ~eta rewrite
          else fun ~eta rewrite ->
-           cold_validator ~obs ~validation spec ~eta rewrite)
+           cold_validator ~engine ~obs ~validation spec ~eta rewrite)
     else None
   in
   let fcfg =
@@ -244,8 +249,8 @@ let precision_sweep ?config ?(validate_results = false) ?etas ?(tests = 32)
     if validate_results then
       Some
         (fun ~eta rewrite ->
-          cold_validator ~obs ~validation:quick_validation_config spec ~eta
-            rewrite)
+          cold_validator ~engine:config.Search.Optimizer.engine ~obs
+            ~validation:quick_validation_config spec ~eta rewrite)
     else None
   in
   let fcfg =

@@ -47,11 +47,14 @@ val optimize_parallel :
 val validate :
   ?config:Validate.Driver.config ->
   ?obs:Obs.Sink.t ->
+  ?engine:Sandbox.Exec.engine ->
   eta:Ulp.t ->
   Sandbox.Spec.t ->
   Program.t ->
   Validate.Driver.verdict
-(** MCMC validation of a rewrite against the spec's target (Eq. 15). *)
+(** MCMC validation of a rewrite against the spec's target (Eq. 15).
+    [engine] (default [Compiled]) selects the executor — all engines
+    produce bit-identical verdicts ({!Validate.Errfn.create}). *)
 
 val verify :
   eta:Ulp.t -> Sandbox.Spec.t -> Program.t -> Verify.Verifier.outcome

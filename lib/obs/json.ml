@@ -41,22 +41,38 @@ let add_escaped buf s =
       | c -> Buffer.add_char buf c)
     s
 
-let float_repr f =
-  if Float.is_nan f then "NaN"
-  else if f = Float.infinity then "Infinity"
-  else if f = Float.neg_infinity then "-Infinity"
-  else begin
-    let s = Printf.sprintf "%.12g" f in
-    let s = if float_of_string s = f then s else Printf.sprintf "%.17g" f in
-    if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s
-    else s ^ ".0"
-  end
+type float_encoding =
+  [ `Sentinels  (** ["NaN"] / ["Infinity"] / ["-Infinity"] JSON strings *)
+  | `Bare  (** bare [NaN] / [Infinity] / [-Infinity] tokens (non-standard) *)
+  ]
 
-let rec add_json buf = function
+(* Token for a non-finite float, or None for a finite one. *)
+let nonfinite_token f =
+  if Float.is_nan f then Some "NaN"
+  else if f = Float.infinity then Some "Infinity"
+  else if f = Float.neg_infinity then Some "-Infinity"
+  else None
+
+let finite_repr f =
+  let s = Printf.sprintf "%.12g" f in
+  let s = if float_of_string s = f then s else Printf.sprintf "%.17g" f in
+  if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s
+  else s ^ ".0"
+
+let rec add_json ~floats buf = function
   | Null -> Buffer.add_string buf "null"
   | Bool b -> Buffer.add_string buf (if b then "true" else "false")
   | Int i -> Buffer.add_string buf (string_of_int i)
-  | Float f -> Buffer.add_string buf (float_repr f)
+  | Float f ->
+    (match nonfinite_token f with
+     | None -> Buffer.add_string buf (finite_repr f)
+     | Some tok ->
+       (match floats with
+        | `Bare -> Buffer.add_string buf tok
+        | `Sentinels ->
+          Buffer.add_char buf '"';
+          Buffer.add_string buf tok;
+          Buffer.add_char buf '"'))
   | String s ->
     Buffer.add_char buf '"';
     add_escaped buf s;
@@ -66,7 +82,7 @@ let rec add_json buf = function
     List.iteri
       (fun i v ->
         if i > 0 then Buffer.add_char buf ',';
-        add_json buf v)
+        add_json ~floats buf v)
       items;
     Buffer.add_char buf ']'
   | Obj fields ->
@@ -77,13 +93,13 @@ let rec add_json buf = function
         Buffer.add_char buf '"';
         add_escaped buf k;
         Buffer.add_string buf "\":";
-        add_json buf v)
+        add_json ~floats buf v)
       fields;
     Buffer.add_char buf '}'
 
-let to_string v =
+let to_string ?(floats : float_encoding = `Sentinels) v =
   let buf = Buffer.create 256 in
-  add_json buf v;
+  add_json ~floats buf v;
   Buffer.contents buf
 
 (* ----- parsing ----- *)
@@ -93,6 +109,8 @@ exception Parse_error of string
 type state = {
   s : string;
   mutable pos : int;
+  sentinels : bool;
+      (* decode the strings "NaN"/"Infinity"/"-Infinity" as floats *)
 }
 
 let error st msg =
@@ -280,7 +298,15 @@ let rec parse_value st =
       in
       List (items [])
     end
-  | '"' -> String (parse_string st)
+  | '"' ->
+    let s = parse_string st in
+    if st.sentinels then
+      match s with
+      | "NaN" -> Float Float.nan
+      | "Infinity" -> Float Float.infinity
+      | "-Infinity" -> Float Float.neg_infinity
+      | _ -> String s
+    else String s
   | 't' -> literal st "true" (Bool true)
   | 'f' -> literal st "false" (Bool false)
   | 'n' -> literal st "null" Null
@@ -292,8 +318,8 @@ let rec parse_value st =
   | '-' | '0' .. '9' -> parse_number st
   | c -> error st (Printf.sprintf "unexpected character %C" c)
 
-let of_string s =
-  let st = { s; pos = 0 } in
+let of_string ?(float_sentinels = false) s =
+  let st = { s; pos = 0; sentinels = float_sentinels } in
   match
     let v = parse_value st in
     skip_ws st;
@@ -303,8 +329,8 @@ let of_string s =
   | v -> Ok v
   | exception Parse_error msg -> Error msg
 
-let of_string_exn s =
-  match of_string s with
+let of_string_exn ?float_sentinels s =
+  match of_string ?float_sentinels s with
   | Ok v -> v
   | Error msg -> invalid_arg ("Json.of_string_exn: " ^ msg)
 

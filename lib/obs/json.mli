@@ -2,10 +2,16 @@
     telemetry stream ({!Sink}) without an external dependency.
 
     The printer emits one-line, machine-readable JSON.  Non-finite floats
-    are written as the bare tokens [NaN], [Infinity], and [-Infinity]
-    (the same non-strict extension Yojson uses), and the parser accepts
-    them back, so every event round-trips even when a metric is infinite
-    (e.g. the Geweke Z before the first convergence check). *)
+    (e.g. the Geweke Z before the first convergence check) have no
+    standard JSON encoding; by default they are written as the string
+    sentinels ["NaN"], ["Infinity"], and ["-Infinity"], which every
+    standard JSON consumer can at least load.  The legacy bare tokens
+    [NaN] / [Infinity] / [-Infinity] (the non-strict extension Yojson
+    uses — invalid JSON to strict parsers) remain available via
+    [~floats:`Bare].  The parser always accepts the bare tokens, and
+    decodes the string sentinels back into floats when asked
+    ([~float_sentinels:true]), so every event round-trips under either
+    encoding. *)
 
 type t =
   | Null
@@ -20,16 +26,30 @@ val equal : t -> t -> bool
 (** Structural equality; two [NaN] floats compare equal so round-trip
     tests can compare parsed events. *)
 
-val to_string : t -> string
-(** One line, no trailing newline.  Floats print with the fewest digits
-    that round-trip back to the same double. *)
+type float_encoding =
+  [ `Sentinels
+    (** non-finite floats as the JSON strings ["NaN"], ["Infinity"],
+        ["-Infinity"] — standard-compliant output (default) *)
+  | `Bare
+    (** non-finite floats as bare [NaN] / [Infinity] / [-Infinity]
+        tokens — the legacy non-standard form *)
+  ]
 
-val of_string : string -> (t, string) result
+val to_string : ?floats:float_encoding -> t -> string
+(** One line, no trailing newline.  Finite floats print with the fewest
+    digits that round-trip back to the same double; non-finite floats
+    print per [floats] (default [`Sentinels]). *)
+
+val of_string : ?float_sentinels:bool -> string -> (t, string) result
 (** Parses a complete JSON value (rejecting trailing garbage).  Accepts
-    the [NaN]/[Infinity] extension and [\uXXXX] escapes (surrogate pairs
-    are combined and encoded as UTF-8). *)
+    the bare [NaN]/[Infinity] extension and [\uXXXX] escapes (surrogate
+    pairs are combined and encoded as UTF-8).  With
+    [~float_sentinels:true] (default [false]), string {e values} equal to
+    ["NaN"], ["Infinity"], or ["-Infinity"] additionally decode as the
+    corresponding float, inverting [to_string ~floats:`Sentinels]
+    (object keys are never touched). *)
 
-val of_string_exn : string -> t
+val of_string_exn : ?float_sentinels:bool -> string -> t
 (** @raise Invalid_argument on parse errors. *)
 
 (** {2 Accessors} — convenience for tests and consumers. *)

@@ -59,10 +59,12 @@ let event_of_json json =
      | _ -> Error "missing \"event\" or \"t_ms\" field")
   | _ -> Error "event is not a JSON object"
 
-let event_to_string ev = Json.to_string (event_to_json ev)
+let event_to_string ?floats ev = Json.to_string ?floats (event_to_json ev)
 
+(* Sentinel decoding on so events written with the default encoding
+   round-trip; bare legacy tokens are always accepted by the parser. *)
 let event_of_string line =
-  match Json.of_string line with
+  match Json.of_string ~float_sentinels:true line with
   | Error _ as e -> e
   | Ok json -> event_of_json json
 

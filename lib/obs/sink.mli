@@ -61,8 +61,15 @@ val event_to_json : event -> Json.t
 (** [{"event": name, "t_ms": ..., field...}] — a flat object. *)
 
 val event_of_json : Json.t -> (event, string) result
-val event_to_string : event -> string
-(** One JSONL line, without the trailing newline. *)
 
+val event_to_string : ?floats:Json.float_encoding -> event -> string
+(** One JSONL line, without the trailing newline.  Non-finite float
+    fields are encoded per [floats] (default [`Sentinels], i.e.
+    standard-compliant JSON; pass [`Bare] for the legacy tokens). *)
+
+(** Inverts {!event_to_string} under either encoding: bare non-finite
+    tokens are accepted, and the string sentinels ["NaN"] /
+    ["Infinity"] / ["-Infinity"] in value position decode as floats. *)
 val event_of_string : string -> (event, string) result
+
 val event_equal : event -> event -> bool

@@ -5,14 +5,17 @@ type outcome =
 type engine =
   | Interp
   | Compiled
+  | Batched
 
 let engine_to_string = function
   | Interp -> "interp"
   | Compiled -> "compiled"
+  | Batched -> "batched"
 
 let engine_of_string = function
   | "interp" -> Some Interp
   | "compiled" -> Some Compiled
+  | "batched" -> Some Batched
   | _ -> None
 
 type result = {

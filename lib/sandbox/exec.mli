@@ -8,12 +8,16 @@ type outcome =
 (** Which execution engine evaluates proposals.  [Interp] steps
     {!Semantics.step} over the program on every run — the reference.
     [Compiled] translates the program once into specialized closures
-    ({!Compiled.compile}) and replays them per test case.  The two are
-    bit-identical; [Compiled] is the default everywhere, [Interp] the
-    oracle it is differentially tested against. *)
+    ({!Compiled.compile}) and replays them per test case.  [Batched]
+    ({!Batched}) also translates once, but runs {e all} test cases
+    through each instruction before advancing to the next, over
+    struct-of-arrays register planes.  All three are bit-identical;
+    [Compiled] is the default everywhere, [Interp] the oracle the other
+    two are differentially tested against. *)
 type engine =
   | Interp
   | Compiled
+  | Batched
 
 val engine_to_string : engine -> string
 val engine_of_string : string -> engine option

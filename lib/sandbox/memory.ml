@@ -48,6 +48,32 @@ let blit_from ~src ~dst =
   dst.dirty_hi <- 0;
   dst.shadow <- Some src.data
 
+let integrity_checks = ref false
+let set_integrity_checks b = integrity_checks := b
+
+(* Catch dirty-tracking bypasses: on the fast path every byte outside
+   [dst]'s dirty range is supposed to already equal [src]'s — a mismatch
+   means someone wrote through [unsafe_bytes] (or otherwise around
+   {!mark}), which the fast path would silently fail to restore. *)
+let check_shadow_integrity ~src ~dst =
+  let n = Bytes.length dst.data in
+  let lo = min dst.dirty_lo n and hi = max dst.dirty_hi 0 in
+  let check i =
+    if not (Char.equal (Bytes.get dst.data i) (Bytes.get src.data i)) then
+      failwith
+        (Printf.sprintf
+           "Memory.restore_from: byte at offset %d differs from the restore \
+            source outside the dirty range [%d,%d) — the arena was mutated \
+            without dirty tracking (direct unsafe_bytes write?)"
+           i lo hi)
+  in
+  for i = 0 to lo - 1 do
+    check i
+  done;
+  for i = hi to n - 1 do
+    check i
+  done
+
 let restore_from ~src ~dst =
   if Bytes.length src.data <> Bytes.length dst.data then
     invalid_arg "Memory.restore_from: size mismatch";
@@ -58,6 +84,7 @@ let restore_from ~src ~dst =
         | None -> false)
   in
   if fast then begin
+    if !integrity_checks then check_shadow_integrity ~src ~dst;
     if dst.dirty_lo < dst.dirty_hi then
       Bytes.blit src.data dst.dirty_lo dst.data dst.dirty_lo
         (dst.dirty_hi - dst.dirty_lo);
@@ -171,7 +198,7 @@ let set_bytes t addr s =
     Bytes.blit_string s 0 t.data off (String.length s);
     mark t off (String.length s)
 
-let to_bytes t = t.data
+let unsafe_bytes t = t.data
 
 let equal a b = Int64.equal a.base b.base && Bytes.equal a.data b.data
 

@@ -44,7 +44,8 @@ val restore_from : src:t -> dst:t -> unit
     the intervening runs wrote).  Any other pairing falls back to a full
     {!blit_from}.  Invariant: all writes to an arena go through {!write},
     {!write128}, their [_exn] variants, or {!set_bytes}; mutating
-    {!to_bytes} directly would silently break the fast path. *)
+    {!unsafe_bytes} directly would silently break the fast path — enable
+    {!set_integrity_checks} in tests to catch such bypasses. *)
 
 val is_clean : t -> bool
 (** No writes since creation / the last restore (dirty range empty). *)
@@ -75,9 +76,18 @@ val set_bytes : t -> int64 -> string -> unit
 (** Initialize arena contents at an absolute address (for test cases);
     raises [Invalid_argument] when out of range. *)
 
-val to_bytes : t -> Bytes.t
-(** The raw contents (not a copy — use {!copy} first if needed).  Treat as
-    read-only: direct mutation bypasses dirty tracking. *)
+val unsafe_bytes : t -> Bytes.t
+(** The raw contents (not a copy — use {!copy} first if needed).  Strictly
+    read-only: a direct mutation bypasses dirty tracking, so a later
+    {!restore_from} fast path would silently leave the stale byte in
+    place.  The name is the warning; {!set_integrity_checks} turns the
+    invariant into a runtime assertion. *)
+
+val set_integrity_checks : bool -> unit
+(** When enabled (default off — it is O(arena size) per restore), every
+    {!restore_from} fast path first verifies that all bytes outside the
+    destination's dirty range still equal the source's, failing with
+    [Failure] on a mismatch.  For debug builds and tests. *)
 
 val equal : t -> t -> bool
 (** Content equality (base and bytes; dirty bookkeeping is ignored). *)

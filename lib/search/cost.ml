@@ -51,6 +51,10 @@ type t = {
   engine : Sandbox.Exec.engine;
   machine : Sandbox.Machine.t;  (** scratch machine, reused per run *)
   pristine : Sandbox.Machine.t;
+  batch : Sandbox.Batched.batch option;
+      (** the SoA lane batch, built once per context under the batched
+          engine ([None] otherwise or when there are no tests); lane
+          [i] is test [i] *)
   cache : (int64 * Program.t * cost) option array;
       (** direct-mapped proposal cost cache keyed by {!Program.hash};
           [[||]] when disabled *)
@@ -60,6 +64,8 @@ type t = {
   mutable cache_hits : int;
   mutable compile_count : int;
   mutable compiled_runs : int;
+  mutable batched_runs : int;
+  mutable batch_prunes : int;
 }
 
 let spec t = t.spec
@@ -72,6 +78,8 @@ let pruned_evals t = t.pruned_evals
 let cache_hits t = t.cache_hits
 let compile_count t = t.compile_count
 let compiled_runs t = t.compiled_runs
+let batched_runs t = t.batched_runs
+let batch_prunes t = t.batch_prunes
 
 let run_on t program tc =
   Sandbox.Machine.restore_from ~src:t.pristine ~dst:t.machine;
@@ -89,6 +97,10 @@ let prepare t program : unit -> Sandbox.Exec.result =
     fun () ->
       t.compiled_runs <- t.compiled_runs + 1;
       Sandbox.Compiled.exec cp
+  | Sandbox.Exec.Batched ->
+    (* the batched engine runs all lanes at once; [eval] dispatches to
+       it before reaching the per-test loop *)
+    invalid_arg "Cost.prepare: the batched engine has no per-test runner"
 
 let run_prepared t run tc =
   Sandbox.Machine.restore_from ~src:t.pristine ~dst:t.machine;
@@ -112,6 +124,7 @@ let create ?(use_cache = true) ?(engine = Sandbox.Exec.Compiled) spec params
       engine;
       machine;
       pristine;
+      batch = None;
       cache = (if use_cache then Array.make cache_size None else [||]);
       evaluations = 0;
       tests_executed = 0;
@@ -119,6 +132,8 @@ let create ?(use_cache = true) ?(engine = Sandbox.Exec.Compiled) spec params
       cache_hits = 0;
       compile_count = 0;
       compiled_runs = 0;
+      batched_runs = 0;
+      batch_prunes = 0;
     }
   in
   let target_signalled = Array.make (Array.length tests) false in
@@ -133,7 +148,13 @@ let create ?(use_cache = true) ?(engine = Sandbox.Exec.Compiled) spec params
           [||])
       tests
   in
-  { t with expected; target_signalled }
+  let batch =
+    match engine with
+    | Sandbox.Exec.Batched when Array.length tests > 0 ->
+      Some (Sandbox.Batched.create_batch pristine tests)
+    | _ -> None
+  in
+  { t with expected; target_signalled; batch }
 
 (* Error between one pair of values, already thresholded by η, as a float. *)
 let location_error params expected actual =
@@ -233,16 +254,16 @@ let eval ?cutoff t program =
       | Critical_path -> float_of_int (Critical_path.of_program program)
     in
     let kperf = params.k *. perf in
-    (* Aborting early is sound only under Max reduction: the running max is
-       the exact eq over the tests run so far, so [eq +. kperf] is a lower
-       bound on the final total in the very same floating-point terms the
-       acceptance test compares against.  A permuted partial Sum is only a
-       lower bound up to rounding, so a cutoff is ignored there. *)
-    let limit =
-      match cutoff, params.reduction with
-      | Some c, Max -> c
-      | (Some _ | None), _ -> Float.infinity
-    in
+    (* Aborting early is sound under both reductions.  Under Max the
+       running value is the exact eq over the tests scored so far.
+       Under Sum every term is ≥ 0 and IEEE round-to-nearest addition is
+       monotone, so each partial sum is ≤ the final one computed in the
+       same order — and the evaluation order is pinned under Sum (no
+       move-to-front below), so "the same order" is exactly what a full
+       evaluation uses.  Either way [eq +. kperf > limit] on a prefix
+       proves the full total fails the very same floating-point
+       comparison the acceptance test makes, so pruned ⟺ rejected. *)
+    let limit = match cutoff with Some c -> c | None -> Float.infinity in
     let eq = ref 0. in
     let signals = ref 0 in
     let max_ulp = ref Ulp.zero in
@@ -251,51 +272,126 @@ let eval ?cutoff t program =
       | Max -> eq := Float.max !eq v
       | Sum -> eq := !eq +. v
     in
-    let n = Array.length t.tests in
-    let run = prepare t program in
-    let pruned_at =
-      try
-        for pos = 0 to n - 1 do
-          let ti = t.order.(pos) in
-          let r = run_prepared t run t.tests.(ti) in
-          t.tests_executed <- t.tests_executed + 1;
-          (match r.Sandbox.Exec.outcome with
-           | Sandbox.Exec.Faulted _ ->
-             incr signals;
-             (* a fault only diverges when the target ran to completion *)
-             if not t.target_signalled.(ti) then combine params.ws
-           | Sandbox.Exec.Finished ->
-             if t.target_signalled.(ti) then combine params.ws
-             else begin
-               let actual = Sandbox.Spec.read_outputs t.spec t.machine in
-               let expected = t.expected.(ti) in
-               let test_err = ref 0. in
-               Array.iteri
-                 (fun li e ->
-                   let a = actual.(li) in
-                   max_ulp := Ulp.max !max_ulp (Sandbox.Spec.value_ulp e a);
-                   test_err := !test_err +. location_error params e a)
-                 expected;
-               combine !test_err
-             end);
-          if !eq +. kperf > limit then raise (Prune pos)
-        done;
-        -1
-      with Prune pos -> pos
+    (* The adaptive test order is only sound where reordering cannot
+       change the accumulated value: Max is order-independent, a float
+       Sum is not. *)
+    let mtf_on_prune pos =
+      match params.reduction with
+      | Max -> move_to_front t pos
+      | Sum -> ()
     in
-    if pruned_at >= 0 then begin
-      t.pruned_evals <- t.pruned_evals + 1;
-      move_to_front t pruned_at;
-      Pruned { tests_run = pruned_at + 1; eq_partial = !eq }
-    end
-    else begin
-      let c =
-        { eq = !eq; perf; total = !eq +. kperf; signals = !signals;
-          max_ulp = !max_ulp }
+    let n = Array.length t.tests in
+    match t.engine, t.batch with
+    | Sandbox.Exec.Batched, Some b ->
+      (* Batched: run all lanes through the proposal first, aborting the
+         whole batch as soon as latched faults alone prove rejection —
+         a lane that faults where the target finished contributes ws to
+         eq under either reduction (all terms are ≥ 0), so
+         [ws +. kperf > limit] already implies the full total fails the
+         acceptance comparison.  Output errors are only provable after
+         the run, in the post-run readout below. *)
+      let bp = Sandbox.Batched.compile b program in
+      t.compile_count <- t.compile_count + 1;
+      Sandbox.Batched.reset b;
+      let aborted =
+        Sandbox.Batched.exec bp ~on_fault:(fun ~lane _f ->
+            (not t.target_signalled.(lane)) && params.ws +. kperf > limit)
       in
-      cache_store t program c;
-      Evaluated c
-    end
+      t.batched_runs <- t.batched_runs + n;
+      t.tests_executed <- t.tests_executed + n;
+      if aborted then begin
+        t.pruned_evals <- t.pruned_evals + 1;
+        t.batch_prunes <- t.batch_prunes + 1;
+        Pruned { tests_run = n; eq_partial = params.ws }
+      end
+      else begin
+        let pruned_at =
+          try
+            for pos = 0 to n - 1 do
+              let ti = t.order.(pos) in
+              (match Sandbox.Batched.fault b ~lane:ti with
+               | Some _ ->
+                 incr signals;
+                 (* a fault only diverges when the target ran to completion *)
+                 if not t.target_signalled.(ti) then combine params.ws
+               | None ->
+                 if t.target_signalled.(ti) then combine params.ws
+                 else begin
+                   let actual = Sandbox.Batched.read_outputs b ~lane:ti t.spec in
+                   let expected = t.expected.(ti) in
+                   let test_err = ref 0. in
+                   Array.iteri
+                     (fun li e ->
+                       let a = actual.(li) in
+                       max_ulp := Ulp.max !max_ulp (Sandbox.Spec.value_ulp e a);
+                       test_err := !test_err +. location_error params e a)
+                     expected;
+                   combine !test_err
+                 end);
+              if !eq +. kperf > limit then raise (Prune pos)
+            done;
+            -1
+          with Prune pos -> pos
+        in
+        if pruned_at >= 0 then begin
+          t.pruned_evals <- t.pruned_evals + 1;
+          mtf_on_prune pruned_at;
+          Pruned { tests_run = n; eq_partial = !eq }
+        end
+        else begin
+          let c =
+            { eq = !eq; perf; total = !eq +. kperf; signals = !signals;
+              max_ulp = !max_ulp }
+          in
+          cache_store t program c;
+          Evaluated c
+        end
+      end
+    | _ ->
+      let run = prepare t program in
+      let pruned_at =
+        try
+          for pos = 0 to n - 1 do
+            let ti = t.order.(pos) in
+            let r = run_prepared t run t.tests.(ti) in
+            t.tests_executed <- t.tests_executed + 1;
+            (match r.Sandbox.Exec.outcome with
+             | Sandbox.Exec.Faulted _ ->
+               incr signals;
+               (* a fault only diverges when the target ran to completion *)
+               if not t.target_signalled.(ti) then combine params.ws
+             | Sandbox.Exec.Finished ->
+               if t.target_signalled.(ti) then combine params.ws
+               else begin
+                 let actual = Sandbox.Spec.read_outputs t.spec t.machine in
+                 let expected = t.expected.(ti) in
+                 let test_err = ref 0. in
+                 Array.iteri
+                   (fun li e ->
+                     let a = actual.(li) in
+                     max_ulp := Ulp.max !max_ulp (Sandbox.Spec.value_ulp e a);
+                     test_err := !test_err +. location_error params e a)
+                   expected;
+                 combine !test_err
+               end);
+            if !eq +. kperf > limit then raise (Prune pos)
+          done;
+          -1
+        with Prune pos -> pos
+      in
+      if pruned_at >= 0 then begin
+        t.pruned_evals <- t.pruned_evals + 1;
+        mtf_on_prune pruned_at;
+        Pruned { tests_run = pruned_at + 1; eq_partial = !eq }
+      end
+      else begin
+        let c =
+          { eq = !eq; perf; total = !eq +. kperf; signals = !signals;
+            max_ulp = !max_ulp }
+        in
+        cache_store t program c;
+        Evaluated c
+      end
 
 let eval_full t program =
   match eval t program with

@@ -20,13 +20,20 @@
       exceeds [cutoff], returning {!Pruned}.  The caller derives the
       cutoff from the acceptance rule (the Metropolis bound
       [c(R) − ln u/β] with the uniform sample drawn up front), so a
-      pruned evaluation is exactly a rejected proposal.  Active only
-      under [Max] reduction, where the running value is an exact lower
-      bound.
+      pruned evaluation is exactly a rejected proposal.  Sound under
+      both reductions: the running [Max] is exact, and a running [Sum]
+      of non-negative terms is a monotone lower bound on the final sum
+      computed in the same (pinned, see below) order.  Under the
+      batched engine the cutoff also acts at batch granularity: a lane
+      fault that provably forces rejection aborts the whole proposal
+      mid-run.
     - {b Adaptive test order}: the test that triggered an abort moves to
       the front of a per-context permutation, so discriminating tests run
       first.  Order never changes results — the [Max] reduction is
       order-independent — and contexts share no state across domains.
+      Under [Sum] reduction the order stays pinned (reordering a float
+      sum could change it), which is also what makes the running-sum
+      cutoff a sound lower bound.
     - {b Cost cache}: a small direct-mapped cache keyed by
       {!Program.hash} (verified with [Program.equal], so hits are exact)
       short-circuits re-proposed rewrites without touching the sandbox.
@@ -80,8 +87,10 @@ val create :
     [use_cache] (default [true]) enables the proposal cost cache.
     [engine] (default [Compiled]) selects how proposals execute: the
     compiled engine translates each proposal once ({!Sandbox.Compiled})
-    and replays it per test case; the interpreter steps it afresh every
-    run.  Both produce bit-identical costs. *)
+    and replays it per test case; the batched engine translates once
+    and runs all test cases lane-wise through each instruction
+    ({!Sandbox.Batched}); the interpreter steps it afresh every run.
+    All three produce bit-identical costs. *)
 
 val spec : t -> Sandbox.Spec.t
 val params : t -> params
@@ -99,7 +108,9 @@ type cost = {
 (** How far a cutoff evaluation got before the partial cost provably
     exceeded the bound. *)
 type pruned = {
-  tests_run : int;  (** test cases executed before aborting (≥ 1) *)
+  tests_run : int;  (** test cases executed before aborting (≥ 1); the
+                        batched engine starts every lane, so this is
+                        always the full test count there *)
   eq_partial : float;  (** accumulated eq at the abort — a lower bound *)
 }
 
@@ -108,11 +119,13 @@ type verdict =
   | Pruned of pruned
 
 val eval : ?cutoff:float -> t -> Program.t -> verdict
-(** Without [cutoff] (or under [Sum] reduction) this always returns
-    [Evaluated] with the full cost.  With [cutoff] it returns [Pruned] as
-    soon as [eq + k·perf > cutoff] is provable, guaranteeing the full
-    total would also exceed [cutoff] — bit-for-bit the same comparison the
-    caller would make. *)
+(** Without [cutoff] this always returns [Evaluated] with the full cost.
+    With [cutoff] it returns [Pruned] as soon as [eq + k·perf > cutoff]
+    is provable — under [Max] because the running max is exact, under
+    [Sum] because a partial sum of non-negative terms accumulated in
+    the pinned evaluation order is a monotone lower bound — guaranteeing
+    the full total would also exceed [cutoff], bit-for-bit the same
+    comparison the caller would make. *)
 
 val eval_full : t -> Program.t -> cost
 (** [eval] with no cutoff, unwrapped. *)
@@ -135,6 +148,14 @@ val compile_count : t -> int
 
 val compiled_runs : t -> int
 (** Test-case runs executed through the compiled engine. *)
+
+val batched_runs : t -> int
+(** Lane-runs started through the batched engine (test cases × evaluated
+    proposals; a batch-aborted lane still counts — it ran). *)
+
+val batch_prunes : t -> int
+(** Proposals aborted mid-run at batch granularity (a lane fault alone
+    proved rejection).  A subset of {!pruned_evals}. *)
 
 val correct : cost -> bool
 (** [eq = 0.] *)

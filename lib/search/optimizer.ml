@@ -52,6 +52,8 @@ type result = {
   cache_hits : int;
   compile_count : int;
   compiled_runs : int;
+  batched_runs : int;
+  batch_prunes : int;
   static_rejects : int;
   moves : move_stats;
   stop_reason : Control.stop_reason;
@@ -125,6 +127,8 @@ type anchors = {
   hits0 : int;
   compiles0 : int;
   cruns0 : int;
+  bruns0 : int;
+  bprunes0 : int;
 }
 
 (* Shared by the log-spaced "checkpoint" and the fixed-cadence "progress"
@@ -146,6 +150,8 @@ let emit_point obs name ~chain ~iter ~anchors ctx state ~current_total =
       ("cache_hits", Obs.Json.Int (Cost.cache_hits ctx - anchors.hits0));
       ("compile_count", Obs.Json.Int (Cost.compile_count ctx - anchors.compiles0));
       ("compiled_runs", Obs.Json.Int (Cost.compiled_runs ctx - anchors.cruns0));
+      ("batched_runs", Obs.Json.Int (Cost.batched_runs ctx - anchors.bruns0));
+      ("batch_prunes", Obs.Json.Int (Cost.batch_prunes ctx - anchors.bprunes0));
       ("static_rejects", Obs.Json.Int state.static_rejects);
       ("elapsed_s", Obs.Json.Float elapsed);
       ( "evals_per_s",
@@ -327,6 +333,8 @@ let run_from ?(obs = Obs.Sink.null) ?progress_every ?control ?(chain_id = 0)
       hits0 = Cost.cache_hits ctx;
       compiles0 = Cost.compile_count ctx;
       cruns0 = Cost.compiled_runs ctx;
+      bruns0 = Cost.batched_runs ctx;
+      bprunes0 = Cost.batch_prunes ctx;
     }
   in
   let control =
@@ -498,6 +506,8 @@ let run_from ?(obs = Obs.Sink.null) ?progress_every ?control ?(chain_id = 0)
       cache_hits = Cost.cache_hits ctx - anchors.hits0;
       compile_count = Cost.compile_count ctx - anchors.compiles0;
       compiled_runs = Cost.compiled_runs ctx - anchors.cruns0;
+      batched_runs = Cost.batched_runs ctx - anchors.bruns0;
+      batch_prunes = Cost.batch_prunes ctx - anchors.bprunes0;
       static_rejects = state.static_rejects;
       moves = state.moves;
       stop_reason;
@@ -531,6 +541,8 @@ let run_from ?(obs = Obs.Sink.null) ?progress_every ?control ?(chain_id = 0)
         ("cache_hits", Obs.Json.Int result.cache_hits);
         ("compile_count", Obs.Json.Int result.compile_count);
         ("compiled_runs", Obs.Json.Int result.compiled_runs);
+        ("batched_runs", Obs.Json.Int result.batched_runs);
+        ("batch_prunes", Obs.Json.Int result.batch_prunes);
         ("static_rejects", Obs.Json.Int result.static_rejects);
         ( "stop_reason",
           Obs.Json.String (Control.stop_reason_to_string result.stop_reason) );

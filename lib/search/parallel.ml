@@ -212,6 +212,8 @@ let run ?domains ?obs ?(orch_obs = Obs.Sink.null) ?progress_every ?checkpoint
       cache_hits = sum (fun r -> r.Optimizer.cache_hits);
       compile_count = sum (fun r -> r.Optimizer.compile_count);
       compiled_runs = sum (fun r -> r.Optimizer.compiled_runs);
+      batched_runs = sum (fun r -> r.Optimizer.batched_runs);
+      batch_prunes = sum (fun r -> r.Optimizer.batch_prunes);
       static_rejects = sum (fun r -> r.Optimizer.static_rejects);
       moves;
       stop_reason =

@@ -109,6 +109,7 @@ let run_internal ~rule ?(obs = Obs.Sink.null) ?(config = default_config) ~eta
   let sample_chain () = Array.sub !samples 0 !n_samples in
   let mixed = ref false in
   let last_z = ref Float.infinity in
+  let last_check = ref 0 in
   let iterations = ref 0 in
   let trace = ref [] in
   let marks = ref (checkpoints config.max_proposals config.trace_points) in
@@ -178,6 +179,7 @@ let run_internal ~rule ?(obs = Obs.Sink.null) ?(config = default_config) ~eta
          let chain = sample_chain () in
          let v = Stats.Geweke.z_statistic chain in
          last_z := v.Stats.Geweke.z;
+         last_check := iter;
          let converged =
            Stats.Geweke.converged ~threshold:config.z_threshold v
          in
@@ -201,8 +203,14 @@ let run_internal ~rule ?(obs = Obs.Sink.null) ?(config = default_config) ~eta
      hardcoded count): a run whose budget never reached the sample floor
      must not claim convergence from an undersized chain.  The extra
      [>= 20] floor covers configs with a tiny [min_samples] —
-     [Geweke.z_statistic] needs at least 20 points. *)
-  if (not !mixed) && !n_samples >= config.min_samples && !n_samples >= 20
+     [Geweke.z_statistic] needs at least 20 points.  Skipped when the
+     periodic schedule already checked at the final iteration
+     ([max_proposals] a multiple of [check_every]) — the chain has not
+     grown since, so re-checking would only duplicate the "geweke"
+     event. *)
+  if
+    (not !mixed) && !n_samples >= config.min_samples && !n_samples >= 20
+    && !last_check <> !iterations
   then begin
     let chain = sample_chain () in
     let v = Stats.Geweke.z_statistic chain in
@@ -273,6 +281,12 @@ module Incremental = struct
     mutable n_samples : int;
     mutable mixed : bool;
     mutable last_z : float;
+    mutable last_check : int;
+        (** iteration of the most recent Geweke check, so the
+            end-of-budget fallback can tell whether the periodic schedule
+            already checked the final chain (a slice ending exactly on a
+            [check_every] boundary would otherwise double-check and
+            double-emit) *)
     mutable iterations : int;
     mutable trace : trace_entry list;
     mutable marks : int list;
@@ -317,6 +331,7 @@ module Incremental = struct
       n_samples = 0;
       mixed = false;
       last_z = Float.infinity;
+      last_check = 0;
       iterations = 0;
       trace = [];
       marks = checkpoints config.max_proposals config.trace_points;
@@ -339,6 +354,7 @@ module Incremental = struct
     let chain = Array.sub s.samples 0 s.n_samples in
     let v = Stats.Geweke.z_statistic chain in
     s.last_z <- v.Stats.Geweke.z;
+    s.last_check <- iter;
     let converged = Stats.Geweke.converged ~threshold:s.config.z_threshold v in
     if s.observing then
       Obs.Sink.emit s.obs "geweke"
@@ -420,8 +436,13 @@ module Incremental = struct
         with Exit -> ());
        if s.status = Running && s.iterations >= s.config.max_proposals
        then begin
-         (* Same final-check gating as the one-shot driver. *)
-         if s.n_samples >= s.config.min_samples && s.n_samples >= 20 then
+         (* Same final-check gating as the one-shot driver, including the
+            boundary rule: skip when the periodic schedule already
+            checked at the final iteration. *)
+         if
+           s.n_samples >= s.config.min_samples && s.n_samples >= 20
+           && s.last_check <> s.iterations
+         then
            if geweke_check s ~iter:s.iterations then s.mixed <- true;
          s.status <- (if s.mixed then Mixed else Exhausted)
        end

@@ -1,10 +1,8 @@
 type t = {
   spec : Sandbox.Spec.t;
   rewrite : Program.t;
-  machine : Sandbox.Machine.t;
-  pristine : Sandbox.Machine.t;
-  run_target : unit -> Sandbox.Exec.result;
-  run_rewrite : unit -> Sandbox.Exec.result;
+  exec_target : Sandbox.Testcase.t -> Sandbox.Spec.value array option;
+  exec_rewrite : Sandbox.Testcase.t -> Sandbox.Spec.value array option;
 }
 
 let top_eta = 0x1p64
@@ -13,45 +11,58 @@ let create ?(engine = Sandbox.Exec.Compiled) spec ~rewrite =
   let machine = Sandbox.Machine.create ~mem_size:spec.Sandbox.Spec.mem_size () in
   let pristine = Sandbox.Machine.copy machine in
   (* Validation evaluates the same two programs millions of times, so
-     under the compiled engine both are translated exactly once, here. *)
+     under the compiled and batched engines both are translated exactly
+     once, here.  A runner installs one test case, executes, and reads
+     the live outputs — [None] is a fault. *)
+  let shared_machine_runner run tc =
+    Sandbox.Machine.restore_from ~src:pristine ~dst:machine;
+    Sandbox.Testcase.apply tc machine;
+    let r : Sandbox.Exec.result = run () in
+    match r.Sandbox.Exec.outcome with
+    | Sandbox.Exec.Finished -> Some (Sandbox.Spec.read_outputs spec machine)
+    | Sandbox.Exec.Faulted _ -> None
+  in
   let runner program =
     match engine with
-    | Sandbox.Exec.Interp -> fun () -> Sandbox.Exec.run machine program
+    | Sandbox.Exec.Interp ->
+      shared_machine_runner (fun () -> Sandbox.Exec.run machine program)
     | Sandbox.Exec.Compiled ->
       let cp = Sandbox.Compiled.compile machine program in
-      fun () -> Sandbox.Compiled.exec cp
+      shared_machine_runner (fun () -> Sandbox.Compiled.exec cp)
+    | Sandbox.Exec.Batched ->
+      (* One lane, inputs overlaid per call — the validator samples a
+         fresh random input every evaluation, so nothing is baked. *)
+      let b = Sandbox.Batched.create_batch pristine [| Sandbox.Testcase.empty |] in
+      let bp = Sandbox.Batched.compile b program in
+      fun tc ->
+        Sandbox.Batched.reset b;
+        Sandbox.Batched.apply_testcase b ~lane:0 tc;
+        let (_aborted : bool) = Sandbox.Batched.exec bp in
+        (match Sandbox.Batched.fault b ~lane:0 with
+         | None -> Some (Sandbox.Batched.read_outputs b ~lane:0 spec)
+         | Some _ -> None)
   in
   {
     spec;
     rewrite;
-    machine;
-    pristine;
-    run_target = runner spec.Sandbox.Spec.program;
-    run_rewrite = runner rewrite;
+    exec_target = runner spec.Sandbox.Spec.program;
+    exec_rewrite = runner rewrite;
   }
 
 let spec t = t.spec
-
-let run_and_read t run tc =
-  Sandbox.Machine.restore_from ~src:t.pristine ~dst:t.machine;
-  Sandbox.Testcase.apply tc t.machine;
-  let r = run () in
-  match r.Sandbox.Exec.outcome with
-  | Sandbox.Exec.Finished -> Some (Sandbox.Spec.read_outputs t.spec t.machine)
-  | Sandbox.Exec.Faulted _ -> None
 
 (* One target run + one rewrite run; [None] is divergent signal
    behaviour.  Every public evaluator is a view of this, so a combined
    query costs exactly one pair of executions. *)
 let total_ulp t xs =
   let tc = Sandbox.Spec.testcase_of_floats t.spec xs in
-  match run_and_read t t.run_target tc with
+  match t.exec_target tc with
   | None ->
     (* The spec's input ranges must keep the target from faulting; if it
        does anyway, charge it as divergent. *)
     None
   | Some expected ->
-    (match run_and_read t t.run_rewrite tc with
+    (match t.exec_rewrite tc with
      | None -> None
      | Some actual ->
        let total = ref Ulp.zero in

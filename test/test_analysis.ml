@@ -288,6 +288,28 @@ let dce_props =
     match engine with
     | Sandbox.Exec.Interp -> Sandbox.Exec.run m p
     | Sandbox.Exec.Compiled -> Sandbox.Compiled.exec (Sandbox.Compiled.compile m p)
+    | Sandbox.Exec.Batched ->
+      (* one-lane batch seeded from [m]; copy the lane's final state back
+         so the callers' machine comparisons see the batched results *)
+      let b = Sandbox.Batched.create_batch m [| Sandbox.Testcase.empty |] in
+      let bp = Sandbox.Batched.compile b p in
+      let (_aborted : bool) = Sandbox.Batched.exec bp in
+      let lm = Sandbox.Batched.lane_machine b ~lane:0 in
+      Array.blit lm.Sandbox.Machine.gp 0 m.Sandbox.Machine.gp 0 16;
+      Array.blit lm.Sandbox.Machine.xmm 0 m.Sandbox.Machine.xmm 0 32;
+      m.Sandbox.Machine.flags.Sandbox.Machine.cf <-
+        lm.Sandbox.Machine.flags.Sandbox.Machine.cf;
+      m.Sandbox.Machine.flags.Sandbox.Machine.zf <-
+        lm.Sandbox.Machine.flags.Sandbox.Machine.zf;
+      m.Sandbox.Machine.flags.Sandbox.Machine.sf <-
+        lm.Sandbox.Machine.flags.Sandbox.Machine.sf;
+      m.Sandbox.Machine.flags.Sandbox.Machine.o_f <-
+        lm.Sandbox.Machine.flags.Sandbox.Machine.o_f;
+      m.Sandbox.Machine.flags.Sandbox.Machine.pf <-
+        lm.Sandbox.Machine.flags.Sandbox.Machine.pf;
+      Sandbox.Memory.blit_from ~src:lm.Sandbox.Machine.mem
+        ~dst:m.Sandbox.Machine.mem;
+      Sandbox.Batched.result b ~lane:0
   in
   [
     QCheck.Test.make

@@ -29,18 +29,63 @@ let json_tests =
             Obs.Json.String "";
             Obs.Json.String "plain";
           ]);
-    Alcotest.test_case "non-finite floats round-trip" `Quick (fun () ->
+    Alcotest.test_case "non-finite floats round-trip (both encodings)" `Quick
+      (fun () ->
+        (* regression: the printer used to emit bare [NaN]/[Infinity]
+           tokens by default, which every standard-compliant JSON parser
+           rejects.  The default is now quoted string sentinels; the old
+           form survives behind [~floats:`Bare]. *)
+        let same x y =
+          Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+          || (Float.is_nan x && Float.is_nan y)
+        in
         List.iter
-          (fun x ->
-            match roundtrip (Obs.Json.Float x) with
+          (fun (x, sentinel) ->
+            (* default encoding: a quoted sentinel string — valid JSON *)
+            let s = Obs.Json.to_string (Obs.Json.Float x) in
+            Alcotest.(check string) "sentinel form" (Printf.sprintf "%S" sentinel) s;
+            (* a sentinel-blind reader sees a plain string, not a parse
+               error *)
+            Alcotest.check json "blind reader"
+              (Obs.Json.String sentinel) (Obs.Json.of_string_exn s);
+            (* a sentinel-aware reader recovers the float *)
+            (match Obs.Json.of_string_exn ~float_sentinels:true s with
+             | Obs.Json.Float y ->
+               Alcotest.(check bool) "sentinel decode" true (same x y)
+             | j -> Alcotest.failf "not a float: %s" (Obs.Json.to_string j));
+            (* legacy encoding: the bare token, accepted by the parser
+               with or without sentinel decoding *)
+            let bare = Obs.Json.to_string ~floats:`Bare (Obs.Json.Float x) in
+            Alcotest.(check string) "bare form" sentinel bare;
+            match Obs.Json.of_string_exn bare with
             | Obs.Json.Float y ->
-              Alcotest.(check bool)
-                (Printf.sprintf "%h preserved" x)
-                true
-                (Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
-                || (Float.is_nan x && Float.is_nan y))
+              Alcotest.(check bool) "bare decode" true (same x y)
             | j -> Alcotest.failf "not a float: %s" (Obs.Json.to_string j))
-          [ Float.infinity; Float.neg_infinity; Float.nan ]);
+          [
+            (Float.infinity, "Infinity");
+            (Float.neg_infinity, "-Infinity");
+            (Float.nan, "NaN");
+          ]);
+    Alcotest.test_case "sentinels decode only in value position" `Quick
+      (fun () ->
+        (* an object key spelled "NaN" must stay a key, and sentinel
+           decoding must not leak into finite floats or other strings *)
+        let j =
+          Obs.Json.of_string_exn ~float_sentinels:true
+            {|{"NaN":["Infinity","x",1.5]}|}
+        in
+        Alcotest.check json "key untouched, values decoded"
+          (Obs.Json.Obj
+             [
+               ( "NaN",
+                 Obs.Json.List
+                   [
+                     Obs.Json.Float Float.infinity;
+                     Obs.Json.String "x";
+                     Obs.Json.Float 1.5;
+                   ] );
+             ])
+          j);
     Alcotest.test_case "integral floats stay floats" `Quick (fun () ->
         (* 3.0 must print as "3.0", not "3", or it reparses as Int *)
         Alcotest.check json "3.0" (Obs.Json.Float 3.0)
@@ -280,6 +325,30 @@ let sink_tests =
         | Error e -> Alcotest.failf "round-trip failed: %s" e
         | Ok ev' ->
           Alcotest.(check bool) "equal" true (Obs.Sink.event_equal ev ev'));
+    Alcotest.test_case "event round-trips under both float encodings" `Quick
+      (fun () ->
+        let ev =
+          {
+            Obs.Sink.name = "sweep_point";
+            t_ms = 0.25;
+            fields =
+              [
+                ("err", Obs.Json.Float Float.nan);
+                ("hi", Obs.Json.Float Float.infinity);
+                ("lo", Obs.Json.Float Float.neg_infinity);
+                ("speedup", Obs.Json.Float 1.75);
+              ];
+          }
+        in
+        List.iter
+          (fun floats ->
+            match
+              Obs.Sink.event_of_string (Obs.Sink.event_to_string ~floats ev)
+            with
+            | Error e -> Alcotest.failf "round-trip failed: %s" e
+            | Ok ev' ->
+              Alcotest.(check bool) "equal" true (Obs.Sink.event_equal ev ev'))
+          [ `Sentinels; `Bare ]);
     Alcotest.test_case "envelope keys come first" `Quick (fun () ->
         let ev = { Obs.Sink.name = "e"; t_ms = 1.; fields = [ ("k", Obs.Json.Int 1) ] } in
         match Obs.Sink.event_to_json ev with

@@ -464,6 +464,63 @@ let optimizer_tests =
           (pruned.Search.Optimizer.pruned_evals > 0);
         Alcotest.(check int)
           "no pruning when disabled" 0 full.Search.Optimizer.pruned_evals);
+    Alcotest.test_case "sum-reduction pruning is active and sound" `Quick
+      (fun () ->
+        (* Regression: the cutoff used to run with pruning silently
+           disabled under [Sum] reduction.  The fix pins the evaluation
+           order under [Sum] (no move-to-front), which makes the running
+           sum of non-negative terms a monotone lower bound — so pruning
+           must now actually fire AND leave the winner bit-identical. *)
+        let spec = Kernels.Aek_kernels.add_spec in
+        let params =
+          { (Search.Cost.default_params ~eta:0L) with
+            Search.Cost.reduction = Search.Cost.Sum }
+        in
+        let run prune =
+          let ctx =
+            Search.Cost.create ~use_cache:prune spec params
+              (Stoke.make_tests ~n:8 ~seed:41L spec)
+          in
+          let config =
+            { Search.Optimizer.default_config with
+              Search.Optimizer.proposals = 10_000;
+              prune }
+          in
+          Search.Optimizer.run ctx config
+        in
+        let pruned = run true and full = run false in
+        Alcotest.(check bool)
+          "same best_correct" true
+          (match
+             pruned.Search.Optimizer.best_correct,
+             full.Search.Optimizer.best_correct
+           with
+           | None, None -> true
+           | Some p, Some q -> Program.equal p q
+           | _ -> false);
+        Alcotest.(check bool)
+          "same best_overall" true
+          (Program.equal pruned.Search.Optimizer.best_overall
+             full.Search.Optimizer.best_overall);
+        Alcotest.(check int64)
+          "bit-identical best total"
+          (Int64.bits_of_float
+             full.Search.Optimizer.best_overall_cost.Search.Cost.total)
+          (Int64.bits_of_float
+             pruned.Search.Optimizer.best_overall_cost.Search.Cost.total);
+        Alcotest.(check int)
+          "same accept trajectory" full.Search.Optimizer.accepted
+          pruned.Search.Optimizer.accepted;
+        Alcotest.(check bool)
+          "pruning actually fired under Sum" true
+          (pruned.Search.Optimizer.pruned_evals > 0);
+        Alcotest.(check bool)
+          (Printf.sprintf "fewer test runs (%d < %d)"
+             pruned.Search.Optimizer.tests_executed
+             full.Search.Optimizer.tests_executed)
+          true
+          (pruned.Search.Optimizer.tests_executed
+          < full.Search.Optimizer.tests_executed));
     Alcotest.test_case "engine does not change the winner" `Quick (fun () ->
         (* The compiled engine's invariant: for a fixed seed the search
            returns a bit-identical winner under either executor, with
@@ -512,7 +569,9 @@ let optimizer_tests =
               reference.Search.Optimizer.accepted r.Search.Optimizer.accepted)
           [ ("compiled", run Sandbox.Exec.Compiled false);
             ("compiled+prune", run Sandbox.Exec.Compiled true);
-            ("interp+prune", run Sandbox.Exec.Interp true) ];
+            ("interp+prune", run Sandbox.Exec.Interp true);
+            ("batched", run Sandbox.Exec.Batched false);
+            ("batched+prune", run Sandbox.Exec.Batched true) ];
         let compiled = run Sandbox.Exec.Compiled false in
         Alcotest.(check bool)
           "compiled engine actually compiled" true
@@ -521,7 +580,16 @@ let optimizer_tests =
              >= compiled.Search.Optimizer.compile_count);
         Alcotest.(check int)
           "interp engine never compiles" 0
-          reference.Search.Optimizer.compile_count);
+          reference.Search.Optimizer.compile_count;
+        let batched = run Sandbox.Exec.Batched true in
+        Alcotest.(check bool)
+          "batched engine counts lane runs" true
+          (batched.Search.Optimizer.batched_runs > 0
+          && batched.Search.Optimizer.compiled_runs = 0);
+        Alcotest.(check bool)
+          "batch prunes are a subset of pruned evals" true
+          (batched.Search.Optimizer.batch_prunes
+           <= batched.Search.Optimizer.pruned_evals));
     Alcotest.test_case "same seed gives the same result" `Quick (fun () ->
         let spec = Kernels.Aek_kernels.add_spec in
         let run () =

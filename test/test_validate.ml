@@ -196,6 +196,89 @@ let regression_tests =
         Alcotest.(check bool) "not mixed" false v.Validate.Driver.mixed;
         Alcotest.(check bool) "not validated" false
           v.Validate.Driver.validated);
+    Alcotest.test_case "no duplicate geweke check on a check_every boundary"
+      `Quick (fun () ->
+        (* regression: when [max_proposals] is an exact multiple of
+           [check_every], the periodic schedule checks at the final
+           iteration and the end-of-budget fallback used to check the
+           same (unchanged) chain again, emitting a duplicate "geweke"
+           event and recomputing the statistic for nothing *)
+        let e = Validate.Errfn.create exp_spec ~rewrite:truncated_exp in
+        let config =
+          { quick_config with Validate.Driver.max_proposals = 2_000;
+            min_samples = 100; check_every = 1_000;
+            (* |z| < 0 is unsatisfiable: never mixes, always runs the
+               full budget, so the boundary case is guaranteed *)
+            z_threshold = 0. }
+        in
+        let geweke_iters sink =
+          List.filter_map
+            (fun (ev : Obs.Sink.event) ->
+              if String.equal ev.Obs.Sink.name "geweke" then
+                List.assoc_opt "iter" ev.Obs.Sink.fields
+              else None)
+            (Obs.Sink.drain sink)
+        in
+        let sink = Obs.Sink.memory () in
+        let v = Validate.Driver.run ~obs:sink ~config ~eta:0L e in
+        Alcotest.(check int) "full budget" 2_000 v.Validate.Driver.iterations;
+        Alcotest.(check (list int)) "one check per schedule point"
+          [ 1_000; 2_000 ]
+          (List.map (function Obs.Json.Int i -> i | _ -> -1)
+             (geweke_iters sink));
+        (* the incremental driver has the same boundary, plus slice
+           bookkeeping: odd slices must neither skip nor repeat checks *)
+        let sink = Obs.Sink.memory () in
+        let s =
+          Validate.Driver.Incremental.create ~obs:sink ~config
+            ~eta:Ulp.max_value e
+        in
+        let rec drive () =
+          match Validate.Driver.Incremental.advance s ~proposals:7 with
+          | Validate.Driver.Incremental.Running -> drive ()
+          | _ -> ()
+        in
+        drive ();
+        Alcotest.(check (list int)) "incremental checks once per point"
+          [ 1_000; 2_000 ]
+          (List.map (function Obs.Json.Int i -> i | _ -> -1)
+             (geweke_iters sink)));
+    Alcotest.test_case "incremental odd slices match the one-shot verdict"
+      `Quick (fun () ->
+        (* regression: slice accounting in [Incremental.advance] must make
+           a session driven in many odd-sized slices visit exactly the
+           samples (and Geweke checks) the one-shot [run] visits — same
+           RNG stream, same schedule, bit-identical verdict *)
+        let config =
+          { quick_config with Validate.Driver.max_proposals = 5_000;
+            min_samples = 1_000; check_every = 1_000 }
+        in
+        (* η at the ceiling: early refutation can never fire, so the only
+           stopping rules left are the ones [run] shares *)
+        let eta = Ulp.max_value in
+        let e = Validate.Errfn.create exp_spec ~rewrite:truncated_exp in
+        let oneshot = Validate.Driver.run ~config ~eta e in
+        let e' = Validate.Errfn.create exp_spec ~rewrite:truncated_exp in
+        let s = Validate.Driver.Incremental.create ~config ~eta e' in
+        let rec drive () =
+          match Validate.Driver.Incremental.advance s ~proposals:7 with
+          | Validate.Driver.Incremental.Running -> drive ()
+          | _ -> ()
+        in
+        drive ();
+        let sliced = Validate.Driver.Incremental.verdict s in
+        Alcotest.(check int64) "same max_err" oneshot.Validate.Driver.max_err
+          sliced.Validate.Driver.max_err;
+        Alcotest.(check (array (float 0.))) "same max_err_input"
+          oneshot.Validate.Driver.max_err_input
+          sliced.Validate.Driver.max_err_input;
+        Alcotest.(check int) "same iterations"
+          oneshot.Validate.Driver.iterations sliced.Validate.Driver.iterations;
+        Alcotest.(check bool) "same mixed" oneshot.Validate.Driver.mixed
+          sliced.Validate.Driver.mixed;
+        Alcotest.(check int64) "same geweke_z (bits)"
+          (Int64.bits_of_float oneshot.Validate.Driver.geweke_z)
+          (Int64.bits_of_float sliced.Validate.Driver.geweke_z));
     Alcotest.test_case "driver executes each input exactly once" `Quick
       (fun () ->
         (* regression: the driver used to query the float error and the
