@@ -43,6 +43,12 @@ let run_one name (spec : Sandbox.Spec.t) =
         | _ -> false)
   in
   let pruned = search Sandbox.Exec.Compiled true in
+  let native = Sandbox.Native.available () in
+  if not native then
+    Printf.printf
+      "%-8s native engine unavailable here (mmap-exec denied); checking 3 \
+       engines\n"
+      name;
   List.iter
     (fun (label, r) ->
       if not (agrees r) then begin
@@ -50,20 +56,29 @@ let run_one name (spec : Sandbox.Spec.t) =
           name label;
         exit 1
       end)
-    [
-      ("interp+prune", search Sandbox.Exec.Interp true);
-      ("compiled", search Sandbox.Exec.Compiled false);
-      ("compiled+prune", pruned);
-      ("batched", search Sandbox.Exec.Batched false);
-      ("batched+prune", search Sandbox.Exec.Batched true);
-    ];
+    ([
+       ("interp+prune", search Sandbox.Exec.Interp true);
+       ("compiled", search Sandbox.Exec.Compiled false);
+       ("compiled+prune", pruned);
+       ("batched", search Sandbox.Exec.Batched false);
+       ("batched+prune", search Sandbox.Exec.Batched true);
+     ]
+    @
+    if native then
+      [
+        ("native", search Sandbox.Exec.Native false);
+        ("native+prune", search Sandbox.Exec.Native true);
+      ]
+    else []);
   let tp = pruned.Search.Optimizer.tests_executed in
   let tf = full.Search.Optimizer.tests_executed in
   let saved = 100. *. (1. -. (float_of_int tp /. float_of_int tf)) in
   Printf.printf
-    "%-8s identical winners (3 engines x prune on/off); tests executed %8d \
+    "%-8s identical winners (%d engines x prune on/off); tests executed %8d \
      -> %8d  (%.1f%% saved, %d pruned, %d cache hits, %d compiles)\n"
-    name tf tp saved
+    name
+    (if native then 4 else 3)
+    tf tp saved
     pruned.Search.Optimizer.pruned_evals
     pruned.Search.Optimizer.cache_hits
     pruned.Search.Optimizer.compile_count

@@ -105,6 +105,47 @@ let run_engine_tput () =
     let runs = float_of_int iters *. float_of_int lanes in
     (runs *. float_of_int executed /. dt, runs /. dt)
   in
+  (* The native engine at the same batch width: one encoded trampoline,
+     one worker request per sweep.  [Error reason] when this platform
+     can't run it — the caller reports the skip instead of failing. *)
+  let measure_native () =
+    if not (Sandbox.Native.available ()) then Error "mmap_exec_denied"
+    else begin
+      let machine =
+        Sandbox.Machine.create ~mem_size:spec.Sandbox.Spec.mem_size ()
+      in
+      let tcs =
+        Array.init lanes (fun i ->
+            let x = -3.0 +. (3.0 *. float_of_int i /. float_of_int lanes) in
+            Sandbox.Spec.testcase_of_floats spec [| x |])
+      in
+      match Sandbox.Native.create_batch machine tcs with
+      | None -> Error "worker_unavailable"
+      | Some b ->
+        (match Sandbox.Native.compile b spec.Sandbox.Spec.program with
+         | None -> Error "kernel_unencodable"
+         | Some np ->
+           let once () =
+             Sandbox.Native.reset b;
+             ignore (Sandbox.Native.exec np : bool)
+           in
+           for _ = 1 to 2_000 / lanes do
+             once ()
+           done;
+           let iters = Util.scaled 300_000 / lanes in
+           let t0 = Unix.gettimeofday () in
+           for _ = 1 to iters do
+             once ()
+           done;
+           let dt = Unix.gettimeofday () -. t0 in
+           once ();
+           let executed =
+             (Sandbox.Native.result b ~lane:0).Sandbox.Exec.executed
+           in
+           let runs = float_of_int iters *. float_of_int lanes in
+           Ok (runs *. float_of_int executed /. dt, runs /. dt))
+    end
+  in
   let measure engine =
     let machine =
       Sandbox.Machine.create ~mem_size:spec.Sandbox.Spec.mem_size ()
@@ -117,7 +158,8 @@ let run_engine_tput () =
       | Sandbox.Exec.Compiled ->
         let cp = Sandbox.Compiled.compile machine spec.Sandbox.Spec.program in
         fun () -> Sandbox.Compiled.exec cp
-      | Sandbox.Exec.Batched -> assert false (* measured by measure_batched *)
+      | Sandbox.Exec.Batched | Sandbox.Exec.Native ->
+        assert false (* measured by measure_batched / measure_native *)
     in
     let once () =
       Sandbox.Machine.restore_from ~src:pristine ~dst:machine;
@@ -166,7 +208,21 @@ let run_engine_tput () =
       ]
   in
   speedup "compiled/interp" compiled interp;
-  speedup "batched/compiled" batched compiled
+  speedup "batched/compiled" batched compiled;
+  match measure_native () with
+  | Ok native ->
+    report Sandbox.Exec.Native native;
+    speedup "native/batched" native batched;
+    speedup "native/interp" native interp
+  | Error reason ->
+    Printf.printf "%-36s %14s\n" "native instrs/s | runs/s"
+      ("(skipped: " ^ reason ^ ")");
+    Obs.Sink.emit (Util.obs ()) "engine_unavailable"
+      [
+        ("engine", Obs.Json.String "native");
+        ("kernel", Obs.Json.String "exp");
+        ("reason", Obs.Json.String reason);
+      ]
 
 (* Per-proposal cost of the static undef-read screen, measured over the
    same propose/undo stream the optimizer sees, plus the fraction of

@@ -35,21 +35,28 @@ let seed_arg =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
 
 let engine_arg =
+  (* derived from [Exec.engine_names] so the CLI can never drift from the
+     library's spellings *)
   let engines =
-    [
-      ("interp", Sandbox.Exec.Interp);
-      ("compiled", Sandbox.Exec.Compiled);
-      ("batched", Sandbox.Exec.Batched);
-    ]
+    List.map
+      (fun n ->
+        match Sandbox.Exec.engine_of_string n with
+        | Ok e -> (n, e)
+        | Error e -> failwith e)
+      Sandbox.Exec.engine_names
   in
   let doc =
     "Execution engine: $(b,compiled) (default) translates each proposal once \
      into specialized closures and replays them per test case; \
      $(b,batched) translates once and steps every test case lane-wise \
      through each instruction (struct-of-arrays register files, one reset \
-     per proposal, whole-proposal cutoff aborts); $(b,interp) steps the \
-     reference interpreter on every run.  Results are bit-identical for a \
-     fixed seed; interp exists as the oracle and for debugging."
+     per proposal, whole-proposal cutoff aborts); $(b,native) encodes each \
+     proposal to real machine code and runs all lanes inside a guarded \
+     worker process, falling back per-proposal to batched for instructions \
+     hardware does not execute bit-identically (and entirely where \
+     mmap-exec is denied); $(b,interp) steps the reference interpreter on \
+     every run.  Results are bit-identical for a fixed seed; interp exists \
+     as the oracle and for debugging."
   in
   Arg.(
     value
@@ -287,6 +294,14 @@ let optimize_cmd =
               Obs.Json.Int result.Search.Optimizer.batched_runs );
             ( "batch_prunes",
               Obs.Json.Int result.Search.Optimizer.batch_prunes );
+            ( "native_runs",
+              Obs.Json.Int result.Search.Optimizer.native_runs );
+            ( "encode_count",
+              Obs.Json.Int result.Search.Optimizer.encode_count );
+            ( "encoder_fallbacks",
+              Obs.Json.Int result.Search.Optimizer.encoder_fallbacks );
+            ( "worker_respawns",
+              Obs.Json.Int result.Search.Optimizer.worker_respawns );
             ( "static_rejects",
               Obs.Json.Int result.Search.Optimizer.static_rejects );
             ("elapsed_s", Obs.Json.Float (Obs.Clock.elapsed_s ~since:t0));
@@ -745,20 +760,63 @@ let frontier_cmd =
 (* ----- encode ----- *)
 
 let encode_cmd =
-  let run path =
-    let p = read_program path in
-    List.iter
-      (fun i ->
-        match Encoder.encode_instr i with
-        | Ok bytes ->
-          Printf.printf "%-40s %s\n" (Instr.to_string i) (Encoder.hex bytes)
-        | Error e -> Printf.printf "%-40s <unencodable: %s>\n" (Instr.to_string i) e)
-      (Program.instrs p)
+  let run name asm_file =
+    match find_kernel name with
+    | Error e -> exit_err e
+    | Ok spec ->
+      let program, what =
+        match asm_file with
+        | None -> (spec.Sandbox.Spec.program, name)
+        | Some path -> (read_program path, path)
+      in
+      List.iter
+        (fun i ->
+          match Encoder.encode_instr i with
+          | Ok bytes ->
+            Printf.printf "%-40s %s%s\n" (Instr.to_string i)
+              (Encoder.hex bytes)
+              (if Sandbox.Native.native_instr i then ""
+               else "   [batched fallback]")
+          | Error e ->
+            Printf.printf "%-40s <unencodable: %s>\n" (Instr.to_string i) e)
+        (Program.instrs program);
+      (* what the native engine would actually run: the whole guarded
+         trampoline, when this platform and program admit one *)
+      if Sandbox.Native.available () then begin
+        let m =
+          Sandbox.Machine.create ~mem_size:spec.Sandbox.Spec.mem_size ()
+        in
+        match Sandbox.Native.create_batch m [| Sandbox.Testcase.empty |] with
+        | None -> Printf.printf "\n%s: native worker unavailable\n" what
+        | Some b ->
+          (match Sandbox.Native.compile b program with
+           | None ->
+             Printf.printf
+               "\n%s: no native trampoline (some instruction falls back)\n"
+               what
+           | Some np ->
+             Printf.printf "\n%s: native trampoline, %d bytes:\n%s\n" what
+               (String.length (Sandbox.Native.code np))
+               (Encoder.hex (Sandbox.Native.code np)))
+      end
+      else Printf.printf "\n%s: native execution unavailable here\n" what
   in
-  let file_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let asm_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "asm" ] ~docv:"FILE"
+          ~doc:
+            "Encode this assembly file against KERNEL's machine instead of \
+             the kernel's own target program.")
+  in
   Cmd.v
-    (Cmd.info "encode" ~doc:"Assemble a program to machine-code bytes")
-    Term.(const run $ file_arg)
+    (Cmd.info "encode"
+       ~doc:
+         "Hex-dump a kernel's (or assembly file's) machine-code encoding, \
+          flagging instructions the native engine would not run, plus the \
+          full native trampoline when available")
+    Term.(const run $ kernel_arg $ asm_arg)
 
 (* ----- disasm ----- *)
 

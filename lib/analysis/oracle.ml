@@ -240,6 +240,25 @@ let diff_components (a : Sandbox.Machine.t) (b : Sandbox.Machine.t) =
 
 let loc_equal (a : Liveness.loc) b = a = b
 
+(* One native worker per arena size, forked lazily and reused for the
+   whole oracle run — [Native.run_one] reloads all of lane 0's state
+   (registers, flags, memory) from the caller's machine every call, so
+   the state baked at creation never matters. *)
+let native_batches : (int, Sandbox.Native.batch option) Hashtbl.t =
+  Hashtbl.create 4
+
+let native_batch_for (m : Sandbox.Machine.t) =
+  let sz = Sandbox.Memory.size m.Sandbox.Machine.mem in
+  match Hashtbl.find_opt native_batches sz with
+  | Some b -> b
+  | None ->
+    let b =
+      Sandbox.Native.create_batch ~want_mem:true m
+        [| Sandbox.Testcase.empty |]
+    in
+    Hashtbl.add native_batches sz b;
+    b
+
 let run_engine engine m p =
   match engine with
   | Sandbox.Exec.Interp -> Sandbox.Exec.run m p
@@ -266,6 +285,21 @@ let run_engine engine m p =
     Sandbox.Memory.blit_from ~src:lm.Sandbox.Machine.mem
       ~dst:m.Sandbox.Machine.mem;
     Sandbox.Batched.result b ~lane:0
+  | Sandbox.Exec.Native -> (
+    (* Real machine-code run threading [m] through lane 0.  Any gap —
+       worker unavailable, instruction unencodable or not bit-identical
+       in hardware, worker crash — runs the interpreter instead, which
+       keeps the liveness checks meaningful (the engines agree
+       bit-for-bit on the accepted subset by construction). *)
+    match native_batch_for m with
+    | None -> Sandbox.Exec.run m p
+    | Some nb ->
+      (match Sandbox.Native.compile nb p with
+       | None -> Sandbox.Exec.run m p
+       | Some np ->
+         (match Sandbox.Native.run_one nb np m with
+          | Some r -> r
+          | None -> Sandbox.Exec.run m p)))
 
 let outcome_eq (a : Sandbox.Exec.result) (b : Sandbox.Exec.result) =
   a.Sandbox.Exec.outcome = b.Sandbox.Exec.outcome
@@ -354,7 +388,10 @@ let run ?(states = 2) ?(seed = default_seed) () =
         (fun m ->
           List.iter
             (fun engine -> check_instance ~violations instr m engine)
-            [ Sandbox.Exec.Interp; Sandbox.Exec.Compiled; Sandbox.Exec.Batched ])
+            ([ Sandbox.Exec.Interp; Sandbox.Exec.Compiled;
+               Sandbox.Exec.Batched ]
+            @ (if Sandbox.Native.available () then [ Sandbox.Exec.Native ]
+               else [])))
         machines)
     all;
   List.rev !violations

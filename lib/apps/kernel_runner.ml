@@ -5,6 +5,12 @@ type t = {
       (** per-runner translation cache, keyed by physical identity: the
           applications call a handful of fixed kernel programs millions
           of times, so each compiles once on first use *)
+  mutable nbatch : Sandbox.Native.batch option option;
+      (** native worker, forked lazily on first native run ([Some None]
+          once probing found native execution unavailable) *)
+  mutable ncompiled : (Program.t * Sandbox.Native.t option) list;
+      (** native encodings, cached like [compiled] ([None] = program is
+          unencodable, remembered so it falls back without re-probing) *)
   mutable cycles : int;
   mutable calls : int;
 }
@@ -19,7 +25,8 @@ let max_cached = 16
 
 let create ?(engine = Sandbox.Exec.Compiled) () =
   let m = Sandbox.Machine.create ~mem_size:4096 () in
-  { m; engine; compiled = []; cycles = 0; calls = 0 }
+  { m; engine; compiled = []; nbatch = None; ncompiled = []; cycles = 0;
+    calls = 0 }
 
 let cycles t = t.cycles
 let calls t = t.calls
@@ -62,11 +69,49 @@ let compiled_for t program =
     t.compiled <- (program, cp) :: t.compiled;
     cp
 
+let native_batch_for t =
+  match t.nbatch with
+  | Some b -> b
+  | None ->
+    (* [run_one] reloads lane 0 — registers, flags and the whole memory
+       image — from [t.m] on every call, so the state baked here is
+       irrelevant; the batch only carries the worker process. *)
+    let b =
+      Sandbox.Native.create_batch ~want_mem:true t.m
+        [| Sandbox.Testcase.empty |]
+    in
+    t.nbatch <- Some b;
+    b
+
+let native_for t nb program =
+  match List.assq_opt program t.ncompiled with
+  | Some np -> np
+  | None ->
+    let np = Sandbox.Native.compile nb program in
+    if List.length t.ncompiled >= max_cached then t.ncompiled <- [];
+    t.ncompiled <- (program, np) :: t.ncompiled;
+    np
+
 let run t program =
   let r =
     match t.engine with
     | Sandbox.Exec.Interp -> Sandbox.Exec.run t.m program
     | Sandbox.Exec.Compiled -> Sandbox.Compiled.exec (compiled_for t program)
+    | Sandbox.Exec.Native -> (
+      (* Native run threading [t.m] through lane 0; any gap — worker
+         unavailable, program unencodable, worker crash, unpredicted
+         hardware fault — falls back to the compiled engine for this
+         call. *)
+      let fallback () = Sandbox.Compiled.exec (compiled_for t program) in
+      match native_batch_for t with
+      | None -> fallback ()
+      | Some nb ->
+        (match native_for t nb program with
+         | None -> fallback ()
+         | Some np ->
+           (match Sandbox.Native.run_one nb np t.m with
+            | Some r -> r
+            | None -> fallback ())))
     | Sandbox.Exec.Batched ->
       (* The applications thread values through [t.m] between calls, so
          a batched run seeds a one-lane batch from it and copies the

@@ -11,16 +11,25 @@ type outcome =
     ({!Compiled.compile}) and replays them per test case.  [Batched]
     ({!Batched}) also translates once, but runs {e all} test cases
     through each instruction before advancing to the next, over
-    struct-of-arrays register planes.  All three are bit-identical;
-    [Compiled] is the default everywhere, [Interp] the oracle the other
-    two are differentially tested against. *)
+    struct-of-arrays register planes.  [Native] ({!Native}) encodes the
+    program into real x86-64 machine code and runs it in a guarded
+    worker child process, falling back to [Batched] per proposal for
+    forms the encoder can't emit natively.  All four are bit-identical;
+    [Compiled] is the default everywhere, [Interp] the oracle the others
+    are differentially tested against. *)
 type engine =
   | Interp
   | Compiled
   | Batched
+  | Native
+
+val engine_names : string list
+(** Valid spellings for {!engine_of_string}, in declaration order. *)
 
 val engine_to_string : engine -> string
-val engine_of_string : string -> engine option
+
+val engine_of_string : string -> (engine, string) result
+(** [Error msg] names the rejected spelling and lists the valid ones. *)
 
 type result = {
   outcome : outcome;

@@ -93,22 +93,24 @@ let restore_from ~src ~dst =
   end
   else blit_from ~src ~dst
 
+(* One unsigned comparison covers both bounds: a negative [off] (address
+   below base, or so far above that the subtraction wrapped) is a huge
+   unsigned value, and comparing against [size - n] instead of adding [n]
+   to [off] cannot overflow. *)
 let offset t addr n =
   let off = Int64.sub addr t.base in
-  if
-    Int64.compare off 0L >= 0
-    && Int64.compare (Int64.add off (Int64.of_int n)) (Int64.of_int (size t)) <= 0
-  then Some (Int64.to_int off)
+  let lim = size t - n in
+  if lim >= 0 && Int64.unsigned_compare off (Int64.of_int lim) <= 0 then
+    Some (Int64.to_int off)
   else None
 
 (* Same bounds check, raising instead of boxing an option: the compiled
    engine's accesses go through here. *)
 let offset_exn t addr n =
   let off = Int64.sub addr t.base in
-  if
-    Int64.compare off 0L >= 0
-    && Int64.compare (Int64.add off (Int64.of_int n)) (Int64.of_int (size t)) <= 0
-  then Int64.to_int off
+  let lim = size t - n in
+  if lim >= 0 && Int64.unsigned_compare off (Int64.of_int lim) <= 0 then
+    Int64.to_int off
   else raise (Fault_exn (Out_of_bounds addr))
 
 (* Little-endian load/store at a validated offset.  The 4- and 8-byte

@@ -53,8 +53,12 @@ type t = {
   pristine : Sandbox.Machine.t;
   batch : Sandbox.Batched.batch option;
       (** the SoA lane batch, built once per context under the batched
-          engine ([None] otherwise or when there are no tests); lane
-          [i] is test [i] *)
+          and native engines ([None] otherwise or when there are no
+          tests); lane [i] is test [i].  Under the native engine this is
+          the per-proposal fallback for forms the encoder can't emit. *)
+  nbatch : Sandbox.Native.batch option;
+      (** the native worker batch, built once per context under the
+          native engine when the platform allows mmap-exec *)
   cache : (int64 * Program.t * cost) option array;
       (** direct-mapped proposal cost cache keyed by {!Program.hash};
           [[||]] when disabled *)
@@ -66,6 +70,9 @@ type t = {
   mutable compiled_runs : int;
   mutable batched_runs : int;
   mutable batch_prunes : int;
+  mutable native_runs : int;
+  mutable encode_count : int;
+  mutable encoder_fallbacks : int;
 }
 
 let spec t = t.spec
@@ -80,6 +87,14 @@ let compile_count t = t.compile_count
 let compiled_runs t = t.compiled_runs
 let batched_runs t = t.batched_runs
 let batch_prunes t = t.batch_prunes
+let native_runs t = t.native_runs
+let encode_count t = t.encode_count
+let encoder_fallbacks t = t.encoder_fallbacks
+
+let worker_respawns t =
+  match t.nbatch with
+  | Some nb -> Sandbox.Native.respawns nb
+  | None -> 0
 
 let run_on t program tc =
   Sandbox.Machine.restore_from ~src:t.pristine ~dst:t.machine;
@@ -97,10 +112,12 @@ let prepare t program : unit -> Sandbox.Exec.result =
     fun () ->
       t.compiled_runs <- t.compiled_runs + 1;
       Sandbox.Compiled.exec cp
-  | Sandbox.Exec.Batched ->
-    (* the batched engine runs all lanes at once; [eval] dispatches to
-       it before reaching the per-test loop *)
-    invalid_arg "Cost.prepare: the batched engine has no per-test runner"
+  | Sandbox.Exec.Batched | Sandbox.Exec.Native ->
+    (* these engines run all lanes at once; [eval] dispatches to them
+       before reaching the per-test loop (this thunk is only reachable
+       when there are zero tests, where the interpreter is as good as
+       anything) *)
+    fun () -> Sandbox.Exec.run t.machine program
 
 let run_prepared t run tc =
   Sandbox.Machine.restore_from ~src:t.pristine ~dst:t.machine;
@@ -125,6 +142,7 @@ let create ?(use_cache = true) ?(engine = Sandbox.Exec.Compiled) spec params
       machine;
       pristine;
       batch = None;
+      nbatch = None;
       cache = (if use_cache then Array.make cache_size None else [||]);
       evaluations = 0;
       tests_executed = 0;
@@ -134,6 +152,9 @@ let create ?(use_cache = true) ?(engine = Sandbox.Exec.Compiled) spec params
       compiled_runs = 0;
       batched_runs = 0;
       batch_prunes = 0;
+      native_runs = 0;
+      encode_count = 0;
+      encoder_fallbacks = 0;
     }
   in
   let target_signalled = Array.make (Array.length tests) false in
@@ -149,12 +170,22 @@ let create ?(use_cache = true) ?(engine = Sandbox.Exec.Compiled) spec params
       tests
   in
   let batch =
+    (* under Native the batched lanes are the per-proposal fallback for
+       programs the encoder can't emit (and the whole-search fallback
+       when native execution is unavailable) *)
     match engine with
-    | Sandbox.Exec.Batched when Array.length tests > 0 ->
+    | (Sandbox.Exec.Batched | Sandbox.Exec.Native)
+      when Array.length tests > 0 ->
       Some (Sandbox.Batched.create_batch pristine tests)
     | _ -> None
   in
-  { t with expected; target_signalled; batch }
+  let nbatch =
+    match engine with
+    | Sandbox.Exec.Native when Array.length tests > 0 ->
+      Sandbox.Native.create_batch pristine tests
+    | _ -> None
+  in
+  { t with expected; target_signalled; batch; nbatch }
 
 (* Error between one pair of values, already thresholded by η, as a float. *)
 let location_error params expected actual =
@@ -281,15 +312,65 @@ let eval ?cutoff t program =
       | Sum -> ()
     in
     let n = Array.length t.tests in
-    match t.engine, t.batch with
-    | Sandbox.Exec.Batched, Some b ->
-      (* Batched: run all lanes through the proposal first, aborting the
-         whole batch as soon as latched faults alone prove rejection —
-         a lane that faults where the target finished contributes ws to
-         eq under either reduction (all terms are ≥ 0), so
-         [ws +. kperf > limit] already implies the full total fails the
-         acceptance comparison.  Output errors are only provable after
-         the run, in the post-run readout below. *)
+    (* Whole-batch prune record: a lane that faults where the target
+       finished contributes ws to eq under either reduction (all terms
+       are ≥ 0), so [ws +. kperf > limit] already implies the full
+       total fails the acceptance comparison. *)
+    let batch_pruned () =
+      t.pruned_evals <- t.pruned_evals + 1;
+      t.batch_prunes <- t.batch_prunes + 1;
+      Pruned { tests_run = n; eq_partial = params.ws }
+    in
+    (* Shared per-lane readout for whole-batch engines: score every lane
+       in adaptive order from its latched fault / output registers. *)
+    let lanes_verdict ~fault ~read_outputs =
+      let pruned_at =
+        try
+          for pos = 0 to n - 1 do
+            let ti = t.order.(pos) in
+            (match fault ~lane:ti with
+             | Some _ ->
+               incr signals;
+               (* a fault only diverges when the target ran to completion *)
+               if not t.target_signalled.(ti) then combine params.ws
+             | None ->
+               if t.target_signalled.(ti) then combine params.ws
+               else begin
+                 let actual = read_outputs ~lane:ti t.spec in
+                 let expected = t.expected.(ti) in
+                 let test_err = ref 0. in
+                 Array.iteri
+                   (fun li e ->
+                     let a = actual.(li) in
+                     max_ulp := Ulp.max !max_ulp (Sandbox.Spec.value_ulp e a);
+                     test_err := !test_err +. location_error params e a)
+                   expected;
+                 combine !test_err
+               end);
+            if !eq +. kperf > limit then raise (Prune pos)
+          done;
+          -1
+        with Prune pos -> pos
+      in
+      if pruned_at >= 0 then begin
+        t.pruned_evals <- t.pruned_evals + 1;
+        mtf_on_prune pruned_at;
+        Pruned { tests_run = n; eq_partial = !eq }
+      end
+      else begin
+        let c =
+          { eq = !eq; perf; total = !eq +. kperf; signals = !signals;
+            max_ulp = !max_ulp }
+        in
+        cache_store t program c;
+        Evaluated c
+      end
+    in
+    (* Batched: run all lanes through the proposal first, aborting the
+       whole batch as soon as latched faults alone prove rejection.
+       Output errors are only provable after the run, in the post-run
+       readout. *)
+    let run_batched b =
       let bp = Sandbox.Batched.compile b program in
       t.compile_count <- t.compile_count + 1;
       Sandbox.Batched.reset b;
@@ -299,54 +380,53 @@ let eval ?cutoff t program =
       in
       t.batched_runs <- t.batched_runs + n;
       t.tests_executed <- t.tests_executed + n;
-      if aborted then begin
-        t.pruned_evals <- t.pruned_evals + 1;
-        t.batch_prunes <- t.batch_prunes + 1;
-        Pruned { tests_run = n; eq_partial = params.ws }
-      end
-      else begin
-        let pruned_at =
-          try
-            for pos = 0 to n - 1 do
-              let ti = t.order.(pos) in
-              (match Sandbox.Batched.fault b ~lane:ti with
-               | Some _ ->
-                 incr signals;
-                 (* a fault only diverges when the target ran to completion *)
-                 if not t.target_signalled.(ti) then combine params.ws
-               | None ->
-                 if t.target_signalled.(ti) then combine params.ws
-                 else begin
-                   let actual = Sandbox.Batched.read_outputs b ~lane:ti t.spec in
-                   let expected = t.expected.(ti) in
-                   let test_err = ref 0. in
-                   Array.iteri
-                     (fun li e ->
-                       let a = actual.(li) in
-                       max_ulp := Ulp.max !max_ulp (Sandbox.Spec.value_ulp e a);
-                       test_err := !test_err +. location_error params e a)
-                     expected;
-                   combine !test_err
-                 end);
-              if !eq +. kperf > limit then raise (Prune pos)
-            done;
-            -1
-          with Prune pos -> pos
-        in
-        if pruned_at >= 0 then begin
-          t.pruned_evals <- t.pruned_evals + 1;
-          mtf_on_prune pruned_at;
-          Pruned { tests_run = n; eq_partial = !eq }
-        end
-        else begin
-          let c =
-            { eq = !eq; perf; total = !eq +. kperf; signals = !signals;
-              max_ulp = !max_ulp }
-          in
-          cache_store t program c;
-          Evaluated c
-        end
-      end
+      if aborted then batch_pruned ()
+      else
+        lanes_verdict ~fault:(Sandbox.Batched.fault b)
+          ~read_outputs:(Sandbox.Batched.read_outputs b)
+    in
+    match t.engine, t.batch with
+    | Sandbox.Exec.Batched, Some b -> run_batched b
+    | Sandbox.Exec.Native, Some b -> begin
+      (* Native: ship the encoded proposal through the worker; fall back
+         per-proposal to the batched lanes when the encoder can't emit it
+         (and for the whole search when the worker couldn't start). *)
+      match t.nbatch with
+      | None -> run_batched b
+      | Some nb ->
+        (match Sandbox.Native.compile nb program with
+         | None ->
+           t.encoder_fallbacks <- t.encoder_fallbacks + 1;
+           run_batched b
+         | Some np ->
+           t.encode_count <- t.encode_count + 1;
+           Sandbox.Native.reset nb;
+           (* A crashed worker latches a fault on every lane, which the
+              readout scores like any other signal. *)
+           let (_crashed : bool) = Sandbox.Native.exec np in
+           t.native_runs <- t.native_runs + n;
+           t.tests_executed <- t.tests_executed + n;
+           (* Same abort rule as the batched on_fault callback, applied
+              after the run (the worker executes all lanes anyway): any
+              faulting lane where the target finished proves rejection
+              once ws alone exceeds the cutoff. *)
+           let aborted =
+             params.ws +. kperf > limit
+             && (let diverging = ref false in
+                 for lane = 0 to n - 1 do
+                   if
+                     (not !diverging)
+                     && (not t.target_signalled.(lane))
+                     && Sandbox.Native.fault nb ~lane <> None
+                   then diverging := true
+                 done;
+                 !diverging)
+           in
+           if aborted then batch_pruned ()
+           else
+             lanes_verdict ~fault:(Sandbox.Native.fault nb)
+               ~read_outputs:(Sandbox.Native.read_outputs nb))
+    end
     | _ ->
       let run = prepare t program in
       let pruned_at =

@@ -157,5 +157,19 @@ val batch_prunes : t -> int
 (** Proposals aborted mid-run at batch granularity (a lane fault alone
     proved rejection).  A subset of {!pruned_evals}. *)
 
+val native_runs : t -> int
+(** Lane-runs executed as machine code in the native worker. *)
+
+val encode_count : t -> int
+(** Proposals encoded and shipped to the native worker (once per
+    evaluated proposal that the encoder accepted). *)
+
+val encoder_fallbacks : t -> int
+(** Proposals the native engine handed to the batched fallback because
+    some instruction was unencodable or not bit-identical in hardware. *)
+
+val worker_respawns : t -> int
+(** Native worker processes respawned after a crash or timeout. *)
+
 val correct : cost -> bool
 (** [eq = 0.] *)

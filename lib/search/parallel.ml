@@ -214,6 +214,10 @@ let run ?domains ?obs ?(orch_obs = Obs.Sink.null) ?progress_every ?checkpoint
       compiled_runs = sum (fun r -> r.Optimizer.compiled_runs);
       batched_runs = sum (fun r -> r.Optimizer.batched_runs);
       batch_prunes = sum (fun r -> r.Optimizer.batch_prunes);
+      native_runs = sum (fun r -> r.Optimizer.native_runs);
+      encode_count = sum (fun r -> r.Optimizer.encode_count);
+      encoder_fallbacks = sum (fun r -> r.Optimizer.encoder_fallbacks);
+      worker_respawns = sum (fun r -> r.Optimizer.worker_respawns);
       static_rejects = sum (fun r -> r.Optimizer.static_rejects);
       moves;
       stop_reason =

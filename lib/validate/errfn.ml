@@ -22,6 +22,26 @@ let create ?(engine = Sandbox.Exec.Compiled) spec ~rewrite =
     | Sandbox.Exec.Finished -> Some (Sandbox.Spec.read_outputs spec machine)
     | Sandbox.Exec.Faulted _ -> None
   in
+  (* One native worker shared by the target and rewrite runners. *)
+  let nbatch =
+    match engine with
+    | Sandbox.Exec.Native ->
+      Sandbox.Native.create_batch pristine [| Sandbox.Testcase.empty |]
+    | _ -> None
+  in
+  (* One lane, inputs overlaid per call — the validator samples a fresh
+     random input every evaluation, so nothing is baked. *)
+  let batched_runner program =
+    let b = Sandbox.Batched.create_batch pristine [| Sandbox.Testcase.empty |] in
+    let bp = Sandbox.Batched.compile b program in
+    fun tc ->
+      Sandbox.Batched.reset b;
+      Sandbox.Batched.apply_testcase b ~lane:0 tc;
+      let (_aborted : bool) = Sandbox.Batched.exec bp in
+      (match Sandbox.Batched.fault b ~lane:0 with
+       | None -> Some (Sandbox.Batched.read_outputs b ~lane:0 spec)
+       | Some _ -> None)
+  in
   let runner program =
     match engine with
     | Sandbox.Exec.Interp ->
@@ -29,18 +49,23 @@ let create ?(engine = Sandbox.Exec.Compiled) spec ~rewrite =
     | Sandbox.Exec.Compiled ->
       let cp = Sandbox.Compiled.compile machine program in
       shared_machine_runner (fun () -> Sandbox.Compiled.exec cp)
-    | Sandbox.Exec.Batched ->
-      (* One lane, inputs overlaid per call — the validator samples a
-         fresh random input every evaluation, so nothing is baked. *)
-      let b = Sandbox.Batched.create_batch pristine [| Sandbox.Testcase.empty |] in
-      let bp = Sandbox.Batched.compile b program in
-      fun tc ->
-        Sandbox.Batched.reset b;
-        Sandbox.Batched.apply_testcase b ~lane:0 tc;
-        let (_aborted : bool) = Sandbox.Batched.exec bp in
-        (match Sandbox.Batched.fault b ~lane:0 with
-         | None -> Some (Sandbox.Batched.read_outputs b ~lane:0 spec)
-         | Some _ -> None)
+    | Sandbox.Exec.Batched -> batched_runner program
+    | Sandbox.Exec.Native -> (
+      (* Native worker where possible; batched lanes when the worker
+         couldn't start or the program is unencodable. *)
+      match nbatch with
+      | None -> batched_runner program
+      | Some nb ->
+        (match Sandbox.Native.compile nb program with
+         | None -> batched_runner program
+         | Some np ->
+           fun tc ->
+             Sandbox.Native.reset nb;
+             Sandbox.Native.apply_testcase nb ~lane:0 tc;
+             let (_crashed : bool) = Sandbox.Native.exec np in
+             (match Sandbox.Native.fault nb ~lane:0 with
+              | None -> Some (Sandbox.Native.read_outputs nb ~lane:0 spec)
+              | Some _ -> None)))
   in
   {
     spec;

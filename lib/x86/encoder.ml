@@ -28,6 +28,29 @@ let disp32 b (v : int) =
   byte b (v lsr 16);
   byte b (v lsr 24)
 
+exception Unencodable of string
+
+(* Sign-extended imm32 contexts (64-bit Mov/ALU/Test immediates): the
+   hardware sign-extends the stored 32 bits to 64, so an immediate outside
+   the signed 32-bit range cannot be represented — emitting its truncation
+   would silently change the value (movabs is the 64-bit escape hatch). *)
+let fits_imm32 v =
+  Int64.compare v (-0x8000_0000L) >= 0 && Int64.compare v 0x7fff_ffffL <= 0
+
+let check_imm32 ~w (v : int64) =
+  let ok =
+    if w then fits_imm32 v
+    else
+      (* 32-bit forms truncate to 32 bits in the semantics too, but reject
+         values that don't even fit in 32 bits un/signed — an assembler
+         would. *)
+      Int64.compare v (-0x8000_0000L) >= 0
+      && Int64.compare v 0xffff_ffffL <= 0
+  in
+  if not ok then
+    raise
+      (Unencodable (Printf.sprintf "immediate %Ld does not fit in imm32" v))
+
 (* The ModRM "reg or extension" field and the r/m target.  [reg] is a
    hardware register number (possibly an opcode extension digit); [rm] is
    either a register number or a memory operand. *)
@@ -46,6 +69,11 @@ let emit_modrm b ~reg rm =
   match rm with
   | Rm_reg r -> byte b (0xc0 lor (reg3 lsl 3) lor (r land 7))
   | Rm_mem m ->
+    if m.Operand.disp < -0x8000_0000 || m.Operand.disp > 0x7fff_ffff then
+      raise
+        (Unencodable
+           (Printf.sprintf "displacement %d does not fit in disp32"
+              m.Operand.disp));
     (match m.Operand.base, m.Operand.index with
      | None, _ -> invalid_arg "Encoder: memory operand without base register"
      | Some base, index ->
@@ -174,8 +202,6 @@ let is_w = function
   | Reg.Q -> true
   | Reg.L -> false
 
-exception Unencodable of string
-
 let unsupported i =
   raise
     (Unencodable (Printf.sprintf "unsupported operand form: %s" (Instr.to_string i)))
@@ -213,6 +239,7 @@ let encode_into b (i : Instr.t) =
      | Operand.Mem _, Operand.Gp d ->
        legacy b ~w:wq ~opc:[ 0x8b ] ~reg:(gp_num d) (rm_of_operand (src 0))
      | Operand.Imm v, (Operand.Gp _ | Operand.Mem _) ->
+       check_imm32 ~w:wq v;
        legacy b ~w:wq ~opc:[ 0xc7 ] ~reg:0 (rm_of_operand (dst ()));
        imm32 b v
      | _ -> unsupported i)
@@ -242,6 +269,7 @@ let encode_into b (i : Instr.t) =
      | Operand.Mem _, Operand.Gp d ->
        legacy b ~w:wq ~opc:[ rm_form ] ~reg:(gp_num d) (rm_of_operand (src 0))
      | Operand.Imm v, (Operand.Gp _ | Operand.Mem _) ->
+       check_imm32 ~w:wq v;
        legacy b ~w:wq ~opc:[ 0x81 ] ~reg:digit (rm_of_operand (dst ()));
        imm32 b v
      | _ -> unsupported i)
@@ -250,6 +278,7 @@ let encode_into b (i : Instr.t) =
      | Operand.Gp s, (Operand.Gp _ | Operand.Mem _) ->
        legacy b ~w:(is_w w) ~opc:[ 0x85 ] ~reg:(gp_num s) (rm_of_operand (dst ()))
      | Operand.Imm v, (Operand.Gp _ | Operand.Mem _) ->
+       check_imm32 ~w:(is_w w) v;
        legacy b ~w:(is_w w) ~opc:[ 0xf7 ] ~reg:0 (rm_of_operand (dst ()));
        imm32 b v
      | Operand.Mem _, Operand.Gp d ->
@@ -286,7 +315,15 @@ let encode_into b (i : Instr.t) =
          ~reg:(gp_num d) (rm_of_operand (src 0))
      | _ -> unsupported i)
   | Setcc c ->
-    legacy b ~opc:[ 0x0f; 0x90 lor cond_code c ] ~reg:0 (rm_of_operand (dst ()))
+    let opc = [ 0x0f; 0x90 lor cond_code c ] in
+    (match rm_of_operand (dst ()) with
+     | Rm_reg r when r >= 4 && r < 8 ->
+       (* Without a REX prefix, r/m 4..7 in a byte instruction select
+          ah/ch/dh/bh; an empty REX (0x40) reselects spl/bpl/sil/dil. *)
+       byte b 0x40;
+       List.iter (fun o -> byte b o) opc;
+       emit_modrm b ~reg:0 (Rm_reg r)
+     | rm -> legacy b ~opc ~reg:0 rm)
   | Movss ->
     (match src 0, dst () with
      | (Operand.Xmm _ | Operand.Mem _), Operand.Xmm d ->

@@ -2,9 +2,10 @@
 
     Produces genuine x86-64 encodings (legacy prefixes, REX, ModRM, SIB,
     2- and 3-byte VEX) for every opcode in {!Opcode.t}.  This is the
-    "JIT assembler" part of the paper's engineering contribution; we emit
-    the bytes and test them against known-good encodings, but execute
-    candidates through the interpreter rather than jumping to the buffer. *)
+    "JIT assembler" part of the paper's engineering contribution: the
+    bytes are tested against known-good encodings, round-tripped through
+    {!Decoder}, and — under [--engine=native] — executed as real machine
+    code by {!Sandbox.Native}'s guarded worker process. *)
 
 val encode_instr : Instr.t -> (string, string) result
 (** Machine-code bytes for one instruction, or a description of why the

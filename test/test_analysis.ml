@@ -284,10 +284,36 @@ let screen_props =
 let dce_props =
   let spec = Kernels.Aek_kernels.add_spec in
   let pools = Search.Pools.make ~target:spec.Sandbox.Spec.program ~spec in
+  (* lazy shared native worker — [run_one] reloads all lane-0 state from
+     [m] per call, so one worker serves every machine of this size *)
+  let nbatch = ref None in
+  let native_batch_for m =
+    match !nbatch with
+    | Some b -> b
+    | None ->
+      let b =
+        Sandbox.Native.create_batch ~want_mem:true m
+          [| Sandbox.Testcase.empty |]
+      in
+      nbatch := Some b;
+      b
+  in
   let run_engine engine m p =
     match engine with
     | Sandbox.Exec.Interp -> Sandbox.Exec.run m p
     | Sandbox.Exec.Compiled -> Sandbox.Compiled.exec (Sandbox.Compiled.compile m p)
+    | Sandbox.Exec.Native -> (
+      (* native run threading [m] through lane 0, interpreter for any
+         gap (unavailable, unencodable, crash) *)
+      match native_batch_for m with
+      | None -> Sandbox.Exec.run m p
+      | Some nb ->
+        (match Sandbox.Native.compile nb p with
+         | None -> Sandbox.Exec.run m p
+         | Some np ->
+           (match Sandbox.Native.run_one nb np m with
+            | Some r -> r
+            | None -> Sandbox.Exec.run m p)))
     | Sandbox.Exec.Batched ->
       (* one-lane batch seeded from [m]; copy the lane's final state back
          so the callers' machine comparisons see the batched results *)
@@ -365,7 +391,9 @@ let dce_props =
                      | Liveness.Lmem -> true (* compared below for all runs *))
                    live_out
               && Sandbox.Memory.equal m1.Sandbox.Machine.mem m2.Sandbox.Machine.mem)
-          [ Sandbox.Exec.Interp; Sandbox.Exec.Compiled ]);
+          ([ Sandbox.Exec.Interp; Sandbox.Exec.Compiled ]
+          @ (if Sandbox.Native.available () then [ Sandbox.Exec.Native ]
+             else [])));
   ]
 
 (* ----- the screen inside the search ----- *)

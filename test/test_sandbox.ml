@@ -1188,6 +1188,323 @@ let prop_batched_matches_scalar_engines =
 let batched_props =
   List.map QCheck_alcotest.to_alcotest [ prop_batched_matches_scalar_engines ]
 
+(* ----- native engine: differential equivalence vs the interpreter -----
+
+   These run real machine code in the guarded worker, so the whole
+   section is behind the capability probe: where mmap-exec is denied the
+   tests pass as skips rather than fail. *)
+
+(* Run [p] natively on all lanes and compare every lane against a fresh
+   interpreter run: result triple (outcome incl. fault kind+address,
+   executed, cycles), registers, flags, and memory.  [Ok `Fallback] when
+   the native engine would not run this program (unencodable or not
+   bit-identical in hardware — nothing to check); [Error msg] on any
+   divergence. *)
+let native_lane_mismatch ?(mem_size = 4096) ~prepare tcs p =
+  let pristine = Sandbox.Machine.create ~mem_size () in
+  prepare pristine;
+  match Sandbox.Native.create_batch ~want_mem:true pristine tcs with
+  | None -> Error "worker failed to start on an available platform"
+  | Some b ->
+    (match Sandbox.Native.compile b p with
+     | None -> Ok `Fallback
+     | Some np ->
+       if Sandbox.Native.exec np then Error "worker crashed"
+       else begin
+         let n = Array.length tcs in
+         let rec go lane =
+           if lane >= n then Ok `Checked
+           else begin
+             let mr = Sandbox.Machine.create ~mem_size () in
+             prepare mr;
+             Sandbox.Testcase.apply tcs.(lane) mr;
+             let rr = Sandbox.Exec.run mr p in
+             let rn = Sandbox.Native.result b ~lane in
+             let fail msg = Error (Printf.sprintf "lane %d: %s" lane msg) in
+             if
+               not
+                 (outcome_equal rr.Sandbox.Exec.outcome
+                    rn.Sandbox.Exec.outcome)
+             then
+               fail
+                 (Printf.sprintf "outcome: interp %s vs native %s"
+                    (Sandbox.Exec.outcome_to_string rr.Sandbox.Exec.outcome)
+                    (Sandbox.Exec.outcome_to_string rn.Sandbox.Exec.outcome))
+             else if rr.Sandbox.Exec.executed <> rn.Sandbox.Exec.executed then
+               fail
+                 (Printf.sprintf "executed: interp %d vs native %d"
+                    rr.Sandbox.Exec.executed rn.Sandbox.Exec.executed)
+             else if rr.Sandbox.Exec.cycles <> rn.Sandbox.Exec.cycles then
+               fail
+                 (Printf.sprintf "cycles: interp %d vs native %d"
+                    rr.Sandbox.Exec.cycles rn.Sandbox.Exec.cycles)
+             else begin
+               let lm = Sandbox.Native.lane_machine b ~lane in
+               if mr.Sandbox.Machine.gp <> lm.Sandbox.Machine.gp then
+                 fail "gp registers differ"
+               else if mr.Sandbox.Machine.xmm <> lm.Sandbox.Machine.xmm then
+                 fail "xmm registers differ"
+               else if mr.Sandbox.Machine.flags <> lm.Sandbox.Machine.flags
+               then fail "flags differ"
+               else if
+                 not
+                   (Sandbox.Memory.equal mr.Sandbox.Machine.mem
+                      lm.Sandbox.Machine.mem)
+               then fail "memory differs"
+               else go (lane + 1)
+             end
+           end
+         in
+         go 0
+       end)
+
+(* This Alcotest has no skip support, so where the capability probe says
+   mmap-exec is denied the guarded tests pass vacuously instead. *)
+exception Skip_native
+
+let native_skip () =
+  if not (Sandbox.Native.available ()) then raise Skip_native
+
+let native_case name f =
+  Alcotest.test_case name `Quick (fun () -> try f () with Skip_native -> ())
+
+let native_tests =
+  [
+    native_case
+      "native matches interpreter on every opcode shape (3 fault lanes)"
+      (fun () ->
+        native_skip ();
+        let operand_of_kind (k : Shape.kind) =
+          match k with
+          | Shape.K_gp _ -> Operand.Gp Reg.Rcx
+          | Shape.K_xmm -> Operand.Xmm Reg.Xmm1
+          | Shape.K_imm8 -> Operand.Imm 3L
+          | Shape.K_imm32 -> Operand.Imm 1000L
+          | Shape.K_imm64 -> Operand.Imm 0x3ff0_0000_0000_0000L
+          | Shape.K_mem _ ->
+            Operand.Mem { Operand.base = Some Reg.Rdi; index = None; disp = 16 }
+        in
+        (* same three fault regimes as the batched differential: one lane
+           lands in the arena, one is misaligned for 16-byte accesses,
+           one is far out of bounds — so guard faults must reproduce the
+           interpreter's fault kind, address and position exactly *)
+        let tcs =
+          Array.map
+            (fun rdi -> Sandbox.Testcase.(with_gp Reg.Rdi rdi empty))
+            [| base; Int64.add base 4L; 0x10L |]
+        in
+        let prepare m =
+          Sandbox.Machine.set_gp m Reg.Rcx 0x1234_5678_9abc_def0L;
+          Sandbox.Machine.set_xmm m Reg.Xmm0
+            (Int64.bits_of_float 3.25, 0x7ff8_0000_0000_0001L);
+          Sandbox.Machine.set_xmm m Reg.Xmm1
+            (Int64.bits_of_float 1.5, Int64.bits_of_float (-0.75));
+          Sandbox.Memory.set_bytes m.Sandbox.Machine.mem base
+            (String.init 64 (fun j -> Char.chr ((j * 37 + 11) land 0xff)))
+        in
+        let checked = ref 0 and fallbacks = ref 0 in
+        List.iter
+          (fun op ->
+            List.iter
+              (fun shape ->
+                let i =
+                  Instr.make_unchecked op (Array.map operand_of_kind shape)
+                in
+                if Instr.is_well_formed i then
+                  let p = Program.of_instrs [ i ] in
+                  match native_lane_mismatch ~prepare tcs p with
+                  | Ok `Checked -> incr checked
+                  | Ok `Fallback -> incr fallbacks
+                  | Error msg ->
+                    Alcotest.failf "%s: %s" (Instr.to_string i) msg)
+              (Shape.shapes op))
+          Opcode.all;
+        (* the accepted subset must stay substantial — a classifier bug
+           that rejects everything would otherwise pass vacuously *)
+        Alcotest.(check bool)
+          (Printf.sprintf "checked %d instances natively (%d fell back)"
+             !checked !fallbacks)
+          true
+          (!checked > 100));
+    native_case "native run is bit-stable across reset replays" (fun () ->
+        native_skip ();
+        let spec = Kernels.S3d.exp_spec in
+        let g = Rng.Xoshiro256.create 17L in
+        let tcs = Array.init 8 (fun _ -> Sandbox.Spec.random_testcase g spec) in
+        let pristine =
+          Sandbox.Machine.create ~mem_size:spec.Sandbox.Spec.mem_size ()
+        in
+        match Sandbox.Native.create_batch pristine tcs with
+        | None -> Alcotest.fail "worker failed to start"
+        | Some b ->
+          (match Sandbox.Native.compile b spec.Sandbox.Spec.program with
+           | None -> Alcotest.fail "exp kernel must be native-eligible"
+           | Some np ->
+             let snapshot () =
+               if Sandbox.Native.exec np then Alcotest.fail "worker crashed";
+               Array.init (Array.length tcs) (fun lane ->
+                   ( Sandbox.Native.result b ~lane,
+                     Sandbox.Native.read_outputs b ~lane spec ))
+             in
+             let first = snapshot () in
+             for _ = 1 to 5 do
+               Sandbox.Native.reset b;
+               let again = snapshot () in
+               Array.iteri
+                 (fun lane (r0, o0) ->
+                   let r1, o1 = again.(lane) in
+                   if
+                     not
+                       (outcome_equal r0.Sandbox.Exec.outcome
+                          r1.Sandbox.Exec.outcome)
+                   then Alcotest.failf "lane %d outcome drifted" lane;
+                   if r0.Sandbox.Exec.cycles <> r1.Sandbox.Exec.cycles then
+                     Alcotest.failf "lane %d cycles drifted" lane;
+                   if o0 <> o1 then
+                     Alcotest.failf "lane %d outputs drifted" lane)
+                 first
+             done));
+    native_case "apply_testcase overlays one lane natively" (fun () ->
+        native_skip ();
+        let spec = Kernels.S3d.exp_spec in
+        let pristine =
+          Sandbox.Machine.create ~mem_size:spec.Sandbox.Spec.mem_size ()
+        in
+        let tc x = Sandbox.Spec.testcase_of_floats spec [| x |] in
+        match Sandbox.Native.create_batch pristine [| tc (-1.0); tc 0.5 |] with
+        | None -> Alcotest.fail "worker failed to start"
+        | Some b ->
+          (match Sandbox.Native.compile b spec.Sandbox.Spec.program with
+           | None -> Alcotest.fail "exp kernel must be native-eligible"
+           | Some np ->
+             let outputs () =
+               if Sandbox.Native.exec np then Alcotest.fail "worker crashed";
+               ( Sandbox.Native.read_outputs b ~lane:0 spec,
+                 Sandbox.Native.read_outputs b ~lane:1 spec )
+             in
+             let o0, o1 = outputs () in
+             Sandbox.Native.reset b;
+             Sandbox.Native.apply_testcase b ~lane:0 (tc 0.5);
+             let o0', o1' = outputs () in
+             Alcotest.(check bool) "overlaid lane follows the input" true
+               (o0' = o1);
+             Alcotest.(check bool) "other lane untouched" true (o1' = o1);
+             (* and reset restores the baked image *)
+             Sandbox.Native.reset b;
+             let o0'', _ = outputs () in
+             Alcotest.(check bool) "reset restores lane 0" true (o0'' = o0)));
+    native_case "run_one round-trips registers and memory" (fun () ->
+        native_skip ();
+        let p =
+          Program.of_instrs
+            [
+              parse_i "movq (rdi), xmm3";
+              parse_i "addsd xmm3, xmm3";
+              parse_i "movq xmm3, 16(rdi)";
+              parse_i "addq $5, rcx";
+            ]
+        in
+        let run_native (m : Sandbox.Machine.t) =
+          match
+            Sandbox.Native.create_batch ~want_mem:true m
+              [| Sandbox.Testcase.empty |]
+          with
+          | None -> Alcotest.fail "worker failed to start"
+          | Some b ->
+            (match Sandbox.Native.compile b p with
+             | None -> Alcotest.fail "program must be native-eligible"
+             | Some np ->
+               (match Sandbox.Native.run_one b np m with
+                | Some r -> r
+                | None -> Alcotest.fail "run_one crashed"))
+        in
+        let setup m =
+          Sandbox.Machine.set_gp m Reg.Rdi base;
+          Sandbox.Machine.set_gp m Reg.Rcx 37L;
+          Sandbox.Memory.set_bytes m.Sandbox.Machine.mem base
+            (Sandbox.Testcase.f64_bytes 2.25)
+        in
+        let mn = fresh () in
+        setup mn;
+        let rn = run_native mn in
+        let mi = fresh () in
+        setup mi;
+        let ri = Sandbox.Exec.run mi p in
+        Alcotest.(check bool) "outcome" true
+          (outcome_equal rn.Sandbox.Exec.outcome ri.Sandbox.Exec.outcome);
+        Alcotest.(check int) "cycles" ri.Sandbox.Exec.cycles
+          rn.Sandbox.Exec.cycles;
+        Alcotest.(check bool) "machine state identical (incl. memory)" true
+          (machine_equal mn mi));
+    Alcotest.test_case "engine_of_string covers native and lists names"
+      `Quick (fun () ->
+        let contains_sub s sub =
+          let n = String.length s and m = String.length sub in
+          let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+          go 0
+        in
+        List.iter
+          (fun name ->
+            match Sandbox.Exec.engine_of_string name with
+            | Ok e ->
+              Alcotest.(check string)
+                "round-trips" name
+                (Sandbox.Exec.engine_to_string e)
+            | Error e -> Alcotest.failf "%s rejected: %s" name e)
+          Sandbox.Exec.engine_names;
+        match Sandbox.Exec.engine_of_string "jit" with
+        | Ok _ -> Alcotest.fail "accepted an unknown engine"
+        | Error msg ->
+          List.iter
+            (fun name ->
+              Alcotest.(check bool)
+                (Printf.sprintf "error mentions %s" name)
+                true (contains_sub msg name))
+            Sandbox.Exec.engine_names);
+    Alcotest.test_case "memory read at Int64.max_int is an error, not a trap"
+      `Quick (fun () ->
+        let mem = Sandbox.Memory.create 64 in
+        Alcotest.(check bool)
+          "fault" true
+          (Result.is_error (Sandbox.Memory.read mem Int64.max_int 8)));
+  ]
+
+let prop_native_matches_interp =
+  let specs = [| Kernels.Aek_kernels.add_spec; Kernels.S3d.exp_spec |] in
+  let pools =
+    Array.map
+      (fun (spec : Sandbox.Spec.t) ->
+        Search.Pools.make ~target:spec.Sandbox.Spec.program ~spec)
+      specs
+  in
+  QCheck.Test.make
+    ~name:"native engine is bit-identical to the interpreter per lane"
+    ~count:200
+    QCheck.(pair (int_bound 1_000_000) (int_range 1 12))
+    (fun (seed, len) ->
+      (not (Sandbox.Native.available ()))
+      ||
+      let which = seed land 1 in
+      let spec = specs.(which) in
+      let g = Rng.Xoshiro256.create (Int64.of_int ((seed * 2) + 1)) in
+      let instrs =
+        List.init len (fun _ -> Search.Pools.random_instr g pools.(which))
+      in
+      let p = Program.of_instrs instrs in
+      let tcs = Array.init 4 (fun _ -> Sandbox.Spec.random_testcase g spec) in
+      match
+        native_lane_mismatch ~mem_size:spec.Sandbox.Spec.mem_size
+          ~prepare:(fun _ -> ())
+          tcs p
+      with
+      | Ok _ -> true
+      | Error msg ->
+        QCheck.Test.fail_reportf "native diverges: %s\nprogram:\n%s" msg
+          (Program.to_string p))
+
+let native_props =
+  List.map QCheck_alcotest.to_alcotest [ prop_native_matches_interp ]
+
 let () =
   Alcotest.run "sandbox"
     [
@@ -1206,5 +1523,7 @@ let () =
       ("compiled-properties", compiled_props);
       ("batched", batched_tests);
       ("batched-properties", batched_props);
+      ("native", native_tests);
+      ("native-properties", native_props);
       ("properties", props);
     ]

@@ -567,11 +567,19 @@ let optimizer_tests =
             Alcotest.(check int)
               (label ^ ": same accept trajectory")
               reference.Search.Optimizer.accepted r.Search.Optimizer.accepted)
-          [ ("compiled", run Sandbox.Exec.Compiled false);
-            ("compiled+prune", run Sandbox.Exec.Compiled true);
-            ("interp+prune", run Sandbox.Exec.Interp true);
-            ("batched", run Sandbox.Exec.Batched false);
-            ("batched+prune", run Sandbox.Exec.Batched true) ];
+          ([ ("compiled", run Sandbox.Exec.Compiled false);
+             ("compiled+prune", run Sandbox.Exec.Compiled true);
+             ("interp+prune", run Sandbox.Exec.Interp true);
+             ("batched", run Sandbox.Exec.Batched false);
+             ("batched+prune", run Sandbox.Exec.Batched true) ]
+          @
+          (* the native engine must reproduce the same winner bit-for-bit
+             whether its lanes ran as machine code or fell back; skipped
+             where mmap-exec is denied *)
+          (if Sandbox.Native.available () then
+             [ ("native", run Sandbox.Exec.Native false);
+               ("native+prune", run Sandbox.Exec.Native true) ]
+           else []));
         let compiled = run Sandbox.Exec.Compiled false in
         Alcotest.(check bool)
           "compiled engine actually compiled" true
@@ -589,7 +597,20 @@ let optimizer_tests =
         Alcotest.(check bool)
           "batch prunes are a subset of pruned evals" true
           (batched.Search.Optimizer.batch_prunes
-           <= batched.Search.Optimizer.pruned_evals));
+           <= batched.Search.Optimizer.pruned_evals);
+        if Sandbox.Native.available () then begin
+          let native = run Sandbox.Exec.Native true in
+          Alcotest.(check bool)
+            "native engine runs lanes natively" true
+            (native.Search.Optimizer.native_runs > 0
+            && native.Search.Optimizer.encode_count > 0);
+          Alcotest.(check bool)
+            "every evaluated proposal either encoded or fell back" true
+            (native.Search.Optimizer.encoder_fallbacks >= 0
+            && native.Search.Optimizer.native_runs
+               + native.Search.Optimizer.batched_runs
+               = native.Search.Optimizer.tests_executed)
+        end);
     Alcotest.test_case "same seed gives the same result" `Quick (fun () ->
         let spec = Kernels.Aek_kernels.add_spec in
         let run () =

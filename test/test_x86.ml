@@ -483,6 +483,134 @@ let decoder_tests =
           (Result.is_error (Decoder.decode_instr "\x48" ~pos:0)));
   ]
 
+(* Decoding tolerance for the one known print asymmetry: [test] is
+   flag-only and commutative, and the encoder canonicalizes its
+   mem-source form, so the decoded operands may come back swapped. *)
+let roundtrip_equal (i : Instr.t) (j : Instr.t) =
+  Instr.equal i j
+  || (match i.Instr.op with
+      | Opcode.Test _ ->
+        Opcode.equal i.Instr.op j.Instr.op
+        && Array.length i.Instr.operands = 2
+        && Operand.equal i.Instr.operands.(0) j.Instr.operands.(1)
+        && Operand.equal i.Instr.operands.(1) j.Instr.operands.(0)
+      | _ -> false)
+
+(* Exhaustive encode↔decode round-trip: every opcode × shape instance,
+   with operand variants that exercise the REX/VEX extension bits, SIB
+   scaling, and negative displacements.  Instances the encoder rejects
+   are merely counted (the native engine falls back to batched for
+   those); everything it accepts must decode back to the same
+   instruction from exactly the bytes it produced. *)
+let roundtrip_tests =
+  [
+    Alcotest.test_case "decode inverts encode on every opcode shape" `Quick
+      (fun () ->
+        let variants (k : Shape.kind) =
+          match k with
+          | Shape.K_gp _ ->
+            [ Operand.Gp Reg.Rcx; Operand.Gp Reg.R9; Operand.Gp Reg.Rsp ]
+          | Shape.K_xmm -> [ Operand.Xmm Reg.Xmm1; Operand.Xmm Reg.Xmm12 ]
+          | Shape.K_imm8 -> [ Operand.Imm 3L; Operand.Imm 63L ]
+          | Shape.K_imm32 -> [ Operand.Imm 1000L; Operand.Imm 7L ]
+          | Shape.K_imm64 -> [ Operand.Imm 0x3ff0_0000_0000_0000L ]
+          | Shape.K_mem _ ->
+            [
+              Operand.Mem
+                { Operand.base = Some Reg.Rdi; index = None; disp = 16 };
+              Operand.Mem
+                { Operand.base = Some Reg.Rsp; index = None; disp = -24 };
+              Operand.Mem
+                {
+                  Operand.base = Some Reg.R13;
+                  index = Some (Reg.R9, 4);
+                  disp = -8;
+                };
+            ]
+        in
+        let rec combos = function
+          | [] -> [ [] ]
+          | vs :: rest ->
+            let tails = combos rest in
+            List.concat_map (fun v -> List.map (fun t -> v :: t) tails) vs
+        in
+        let checked = ref 0 and unencodable = ref 0 in
+        List.iter
+          (fun op ->
+            List.iter
+              (fun shape ->
+                List.iter
+                  (fun ops ->
+                    let i = Instr.make_unchecked op (Array.of_list ops) in
+                    if Instr.is_well_formed i then
+                      match Encoder.encode_instr i with
+                      | Error _ -> incr unencodable
+                      | Ok bytes ->
+                        (match Decoder.decode_instr bytes ~pos:0 with
+                         | Error e ->
+                           Alcotest.failf "%s undecodable (%s): %s"
+                             (Instr.to_string i) (Encoder.hex bytes) e
+                         | Ok (j, consumed) ->
+                           incr checked;
+                           if consumed <> String.length bytes then
+                             Alcotest.failf "%s: decoded %d of %d bytes"
+                               (Instr.to_string i) consumed
+                               (String.length bytes);
+                           if not (roundtrip_equal i j) then
+                             Alcotest.failf "%s decoded as %s (%s)"
+                               (Instr.to_string i) (Instr.to_string j)
+                               (Encoder.hex bytes)))
+                  (combos (List.map variants (Array.to_list shape))))
+              (Shape.shapes op))
+          Opcode.all;
+        (* guard against a silent encoder regression that starts
+           rejecting whole swaths of the catalogue *)
+        Alcotest.(check bool)
+          (Printf.sprintf "%d instances round-tripped (%d unencodable)"
+             !checked !unencodable)
+          true
+          (!checked > 500));
+    Alcotest.test_case "setcc on rsp..rdi selects spl..dil via bare REX"
+      `Quick (fun () ->
+        List.iter
+          (fun (r, expect) ->
+            let i =
+              Instr.make_unchecked (Opcode.Setcc Opcode.E) [| Operand.Gp r |]
+            in
+            match Encoder.encode_instr i with
+            | Error e ->
+              Alcotest.failf "%s unencodable: %s" (Instr.to_string i) e
+            | Ok bytes ->
+              Alcotest.(check string)
+                (Instr.to_string i) expect (Encoder.hex bytes);
+              (match Decoder.decode_instr bytes ~pos:0 with
+               | Ok (j, _) when Instr.equal i j -> ()
+               | Ok (j, _) ->
+                 Alcotest.failf "%s decoded as %s" (Instr.to_string i)
+                   (Instr.to_string j)
+               | Error e ->
+                 Alcotest.failf "%s undecodable: %s" (Instr.to_string i) e))
+          [
+            (Reg.Rsp, "40 0f 94 c4");
+            (Reg.Rbp, "40 0f 94 c5");
+            (Reg.Rsi, "40 0f 94 c6");
+            (Reg.Rdi, "40 0f 94 c7");
+          ]);
+    Alcotest.test_case "64-bit immediates beyond imm32 are rejected" `Quick
+      (fun () ->
+        List.iter
+          (fun op ->
+            let i =
+              Instr.make_unchecked op
+                [| Operand.Imm 0x1_0000_0000L; Operand.Gp Reg.Rcx |]
+            in
+            Alcotest.(check bool)
+              (Instr.to_string i ^ " rejected")
+              true
+              (Result.is_error (Encoder.encode_instr i)))
+          [ Opcode.Add Reg.Q; Opcode.Mov Reg.Q; Opcode.Test Reg.Q ]);
+  ]
+
 (* property: print→parse roundtrip over randomly assembled instructions *)
 let prop_print_parse_roundtrip =
   let spec = Kernels.Aek_kernels.delta_spec in
@@ -557,6 +685,7 @@ let () =
       ("encoder", encoder_tests);
       ("encoder-programs", encoder_program_tests);
       ("decoder", decoder_tests);
+      ("roundtrip", roundtrip_tests);
       ("liveness", liveness_tests);
       ("critical-path", critical_path_tests);
       ("lowering", lowering_tests);
