@@ -12,6 +12,7 @@ let experiments =
     ("fig10", Fig10.run);
     ("tput", Tput.run);
     ("ablations", Ablations.run);
+    ("verify", Verify_bench.run);
     ("smoke", Smoke.run);
   ]
 

@@ -552,22 +552,391 @@ let validate_cmd =
 
 (* ----- verify ----- *)
 
-let verify_cmd =
-  let run name eta rewrite_file =
-    match find_kernel name with
-    | Error e -> exit_err e
-    | Ok spec ->
-      let rewrite =
-        match rewrite_file with
-        | None -> spec.Sandbox.Spec.program
-        | Some path -> read_program path
+(* The rewrites the repo ships next to their specs — what `verify --all`
+   checks each kernel against (kernels without one verify against
+   themselves, exercising the bit-wise tier). *)
+let shipped_rewrites =
+  [
+    ("sin", ("sin_assoc", Kernels.Libimf.sin_assoc_rewrite));
+    ("scale", ("scale_rewrite", Kernels.Aek_kernels.scale_rewrite));
+    ("dot", ("dot_rewrite", Kernels.Aek_kernels.dot_rewrite));
+    ("add", ("add_rewrite", Kernels.Aek_kernels.add_rewrite));
+    ("delta", ("delta_rewrite", Kernels.Aek_kernels.delta_rewrite));
+  ]
+
+type verify_row = {
+  vr_kernel : string;
+  vr_rewrite : string;
+  vr_bitwise : string;  (* yes / no / abort *)
+  vr_tier : string;  (* bitwise / taylor / interval / - *)
+  vr_sound : float option;
+  vr_observed : float option;
+  vr_outcome : Verify.Verifier.outcome;
+}
+
+let tier_of_outcome = function
+  | Verify.Verifier.Proved_bitwise -> "bitwise"
+  | Verify.Verifier.Taylor_bound _ -> "taylor"
+  | Verify.Verifier.Static_bound _ -> "interval"
+  | Verify.Verifier.Refuted_bitwise | Verify.Verifier.Not_verifiable _ -> "-"
+
+let tier_rank = function
+  | "bitwise" -> 3
+  | "taylor" -> 2
+  | "interval" -> 1
+  | _ -> 0
+
+(* Largest absolute output difference between target and rewrite on one
+   input vector (infinite when either program faults). *)
+let abs_error_at spec rewrite xs =
+  let tc = Sandbox.Spec.testcase_of_floats spec xs in
+  let run p =
+    let m, r =
+      Sandbox.Exec.run_testcase ~mem_size:spec.Sandbox.Spec.mem_size p tc
+    in
+    match r.Sandbox.Exec.outcome with
+    | Sandbox.Exec.Finished -> Some (Sandbox.Spec.read_outputs spec m)
+    | Sandbox.Exec.Faulted _ -> None
+  in
+  match (run spec.Sandbox.Spec.program, run rewrite) with
+  | Some vt, Some vr ->
+    let worst = ref 0. in
+    Array.iter2
+      (fun a b ->
+        match (a, b) with
+        | Sandbox.Spec.Vf64 x, Sandbox.Spec.Vf64 y
+        | Sandbox.Spec.Vf32 x, Sandbox.Spec.Vf32 y ->
+          worst := Float.max !worst (Float.abs (x -. y))
+        | _ -> worst := Float.infinity)
+      vt vr;
+    !worst
+  | _ -> Float.infinity
+
+(* The analysis divides absolute error by the ULP size at the target's
+   output magnitude; the observed column must use the same unit or the
+   two are incomparable (bit-distance ULPs explode near zeros). *)
+let scaled_ulp_unit spec outcome =
+  let range =
+    match outcome with
+    | Verify.Verifier.Taylor_bound a -> Some a.Verify.Taylor.target_range
+    | Verify.Verifier.Static_bound a -> Some a.Verify.Interval.target_range
+    | _ -> None
+  in
+  match range with
+  | None -> None
+  | Some r ->
+    let n_out = List.length spec.Sandbox.Spec.outputs in
+    let single =
+      List.exists (Verify.Interval.single_output spec)
+        (List.init n_out (fun i -> i))
+    in
+    Some (Verify.Interval.ulp_size_at (Verify.Interval.mag r) ~single)
+
+let verify_one ~taylor ~eta ~observed ~engine ~kname spec rewrite_label rewrite
+    =
+  let bitwise =
+    match Verify.Symbolic.equivalent spec ~rewrite with
+    | Ok true -> "yes"
+    | Ok false -> "no"
+    | Error _ -> "abort"
+  in
+  let outcome = Stoke.verify ~taylor ~eta spec rewrite in
+  let observed_ulps =
+    if not observed then None
+    else if Program.equal rewrite spec.Sandbox.Spec.program then Some 0.
+    else begin
+      let config =
+        {
+          Validate.Driver.default_config with
+          Validate.Driver.max_proposals = 50_000;
+          min_samples = 10_000;
+          check_every = 10_000;
+        }
       in
-      let outcome = Stoke.verify ~eta:(Ulp.of_float eta) spec rewrite in
-      print_endline (Verify.Verifier.outcome_to_string outcome)
+      (* the MCMC hunt finds the adversarial input; the error is then
+         re-measured in the analysis's scaled-ULP currency *)
+      let v = Stoke.validate ~config ~engine ~eta spec rewrite in
+      match scaled_ulp_unit spec outcome with
+      | None -> Some (Ulp.to_float v.Validate.Driver.max_err)
+      | Some unit_size ->
+        let worst = ref (abs_error_at spec rewrite v.Validate.Driver.max_err_input) in
+        let g = Rng.Xoshiro256.create 1L in
+        for _ = 1 to 2_000 do
+          let xs = Sandbox.Spec.random_floats g spec in
+          worst := Float.max !worst (abs_error_at spec rewrite xs)
+        done;
+        Some (!worst /. unit_size)
+    end
+  in
+  {
+    vr_kernel = kname;
+    vr_rewrite = rewrite_label;
+    vr_bitwise = bitwise;
+    vr_tier = tier_of_outcome outcome;
+    vr_sound = Verify.Verifier.sound_ulps outcome;
+    vr_observed = observed_ulps;
+    vr_outcome = outcome;
+  }
+
+let verify_row_json r =
+  Obs.Json.Obj
+    [
+      ("kernel", Obs.Json.String r.vr_kernel);
+      ("rewrite", Obs.Json.String r.vr_rewrite);
+      ("bitwise", Obs.Json.String r.vr_bitwise);
+      ("tier", Obs.Json.String r.vr_tier);
+      ( "sound_ulps",
+        match r.vr_sound with
+        | None -> Obs.Json.Null
+        | Some s -> Obs.Json.Float s );
+      ( "observed_ulps",
+        match r.vr_observed with
+        | None -> Obs.Json.Null
+        | Some o -> Obs.Json.Float o );
+    ]
+
+let print_verify_table rows =
+  Printf.printf "%-10s %-16s %-7s %-9s %13s %13s\n" "kernel" "rewrite"
+    "bitwise" "tier" "sound-ulps" "observed-ulps";
+  List.iter
+    (fun r ->
+      Printf.printf "%-10s %-16s %-7s %-9s %13s %13s\n" r.vr_kernel
+        r.vr_rewrite r.vr_bitwise r.vr_tier
+        (match r.vr_sound with
+         | None -> "-"
+         | Some s -> Printf.sprintf "%.3g" s)
+        (match r.vr_observed with
+         | None -> "-"
+         | Some o -> Printf.sprintf "%.3g" o))
+    rows
+
+(* Baseline regression check: every baseline row must still verify at no
+   weaker a tier and no looser a sound bound (1% slack for float noise;
+   run with --bb-timeout 0 so branch-and-bound effort is deterministic). *)
+let check_against_baseline rows path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  let json =
+    match Obs.Json.of_string text with
+    | Ok j -> j
+    | Error e -> exit_err (Printf.sprintf "%s: %s" path e)
+  in
+  let baseline_rows =
+    match Obs.Json.member "rows" json with
+    | Some (Obs.Json.List l) -> l
+    | _ -> exit_err (Printf.sprintf "%s: missing \"rows\" list" path)
+  in
+  let str key j =
+    match Obs.Json.member key j with
+    | Some (Obs.Json.String s) -> s
+    | _ -> exit_err (Printf.sprintf "%s: row missing %S" path key)
+  in
+  let regressions = ref [] in
+  let flag fmt = Printf.ksprintf (fun s -> regressions := s :: !regressions) fmt in
+  List.iter
+    (fun b ->
+      let kernel = str "kernel" b and rewrite = str "rewrite" b in
+      let id = Printf.sprintf "%s/%s" kernel rewrite in
+      match
+        List.find_opt
+          (fun r -> r.vr_kernel = kernel && r.vr_rewrite = rewrite)
+          rows
+      with
+      | None -> flag "%s: pair missing from this run" id
+      | Some r ->
+        let b_tier = str "tier" b in
+        if tier_rank r.vr_tier < tier_rank b_tier then
+          flag "%s: tier weakened %s -> %s" id b_tier r.vr_tier;
+        (match Option.bind (Obs.Json.member "sound_ulps" b) Obs.Json.to_float_opt,
+               r.vr_sound with
+         | Some b_sound, Some sound ->
+           if sound > (b_sound *. 1.01) +. 1e-9 then
+             flag "%s: sound bound loosened %.6g -> %.6g ULPs" id b_sound sound
+         | Some b_sound, None ->
+           flag "%s: sound bound %.6g ULPs lost" id b_sound
+         | None, _ -> ()))
+    baseline_rows;
+  match !regressions with
+  | [] ->
+    Printf.printf "baseline %s: ok (%d pairs)\n" path (List.length baseline_rows)
+  | rs ->
+    Printf.eprintf "stoke verify: %d regression(s) past %s:\n" (List.length rs)
+      path;
+    List.iter (fun r -> Printf.eprintf "  %s\n" r) (List.rev rs);
+    exit 1
+
+let verify_cmd =
+  let run all name eta rewrite_file bb_depth bb_boxes bb_timeout fpcore json
+      observed check_baseline write_baseline engine =
+    let taylor =
+      {
+        Verify.Bbound.max_depth = bb_depth;
+        max_boxes = bb_boxes;
+        timeout_s = bb_timeout;
+      }
+    in
+    let eta = Ulp.of_float eta in
+    let rows =
+      if all then begin
+        if fpcore then exit_err "--fpcore needs a single kernel, not --all";
+        if Option.is_some rewrite_file then
+          exit_err "--rewrite needs a single kernel, not --all";
+        List.map
+          (fun (kname, spec) ->
+            let label, rewrite =
+              match List.assoc_opt kname shipped_rewrites with
+              | Some (label, p) -> (label, p)
+              | None -> ("self", spec.Sandbox.Spec.program)
+            in
+            verify_one ~taylor ~eta ~observed ~engine ~kname spec label
+              rewrite)
+          kernel_registry
+      end
+      else begin
+        let name =
+          match name with
+          | Some n -> n
+          | None -> exit_err "KERNEL required (or use --all)"
+        in
+        match find_kernel name with
+        | Error e -> exit_err e
+        | Ok spec ->
+          let label, rewrite =
+            match rewrite_file with
+            | Some path -> (Filename.basename path, read_program path)
+            | None -> (
+              match List.assoc_opt name shipped_rewrites with
+              | Some (label, p) -> (label, p)
+              | None -> ("self", spec.Sandbox.Spec.program))
+          in
+          if fpcore then begin
+            match Verify.Fpcore.difference spec ~rewrite with
+            | Ok text ->
+              print_endline text;
+              exit 0
+            | Error e -> exit_err (Printf.sprintf "--fpcore: %s" e)
+          end;
+          [ verify_one ~taylor ~eta ~observed ~engine ~kname:name spec label
+              rewrite ]
+      end
+    in
+    if json then
+      print_endline
+        (Obs.Json.to_string
+           (Obs.Json.Obj
+              [
+                ("command", Obs.Json.String "verify");
+                ("rows", Obs.Json.List (List.map verify_row_json rows));
+              ]))
+    else begin
+      print_verify_table rows;
+      if not all then
+        List.iter
+          (fun r ->
+            Printf.printf "%s\n" (Verify.Verifier.outcome_to_string r.vr_outcome))
+          rows
+    end;
+    (match write_baseline with
+     | None -> ()
+     | Some path ->
+       let oc = open_out path in
+       output_string oc
+         (Obs.Json.to_string
+            (Obs.Json.Obj
+               [ ("rows", Obs.Json.List (List.map verify_row_json rows)) ])
+         ^ "\n");
+       close_out oc;
+       Printf.printf "baseline written to %s\n" path);
+    match check_baseline with
+    | None -> ()
+    | Some path -> check_against_baseline rows path
+  in
+  let all_flag =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:
+            "Verify every built-in kernel against its shipped rewrite (or \
+             itself when none ships) and print the per-kernel table.")
+  in
+  let kernel_opt_arg =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"KERNEL")
+  in
+  let bb_depth_arg =
+    Arg.(
+      value
+      & opt int Verify.Bbound.default_config.Verify.Bbound.max_depth
+      & info [ "bb-depth" ] ~docv:"N"
+          ~doc:
+            "Branch-and-bound subdivision depth for the Taylor tier.  \
+             Deeper never loosens the bound (with --bb-timeout 0).")
+  in
+  let bb_boxes_arg =
+    Arg.(
+      value
+      & opt int Verify.Bbound.default_config.Verify.Bbound.max_boxes
+      & info [ "bb-boxes" ] ~docv:"N"
+          ~doc:"Branch-and-bound box-evaluation budget for the Taylor tier.")
+  in
+  let bb_timeout_arg =
+    Arg.(
+      value
+      & opt float Verify.Bbound.default_config.Verify.Bbound.timeout_s
+      & info [ "bb-timeout" ] ~docv:"SECS"
+          ~doc:
+            "CPU-time cutoff per analysis for the Taylor tier; 0 disables \
+             it, making the reported bound deterministic (required for \
+             baseline comparisons).")
+  in
+  let fpcore_flag =
+    Arg.(
+      value & flag
+      & info [ "fpcore" ]
+          ~doc:
+            "Print the verification obligation (target − rewrite) as \
+             FPCore and exit — the interchange format of external \
+             round-off analyzers (FPTaylor, Daisy, Herbie).")
+  in
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Print the result table as one JSON object.")
+  in
+  let observed_flag =
+    Arg.(
+      value & flag
+      & info [ "observed" ]
+          ~doc:
+            "Also hunt for the largest observed error with a short MCMC \
+             validation run and report it next to the sound bound.")
+  in
+  let check_baseline_arg =
+    Arg.(
+      value & opt (some file) None
+      & info [ "check-baseline" ] ~docv:"FILE"
+          ~doc:
+            "Compare against a baseline written by --write-baseline; exit \
+             nonzero if any pair verifies at a weaker tier or a looser \
+             sound bound.  Use with --bb-timeout 0.")
+  in
+  let write_baseline_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "write-baseline" ] ~docv:"FILE"
+          ~doc:"Write this run's table as a baseline for --check-baseline.")
   in
   Cmd.v
-    (Cmd.info "verify" ~doc:"Attempt static verification (symbolic/interval)")
-    Term.(const run $ kernel_arg $ eta_arg $ rewrite_file_arg)
+    (Cmd.info "verify"
+       ~doc:
+         "Static verification: symbolic bit-wise equivalence, sound \
+          Taylor-form round-off bounds with branch-and-bound, interval \
+          analysis (see docs/VERIFY.md)")
+    Term.(
+      const run $ all_flag $ kernel_opt_arg $ eta_arg $ rewrite_file_arg
+      $ bb_depth_arg $ bb_boxes_arg $ bb_timeout_arg $ fpcore_flag $ json_flag
+      $ observed_flag $ check_baseline_arg $ write_baseline_arg $ engine_arg)
 
 (* ----- sweep ----- *)
 
@@ -617,7 +986,7 @@ let sweep_cmd =
 
 let frontier_cmd =
   let run name etas proposals seed cold warm_frac max_demotions sweep_back
-      no_validate checkpoint resume engine trace_out progress =
+      sound_promote no_validate checkpoint resume engine trace_out progress =
     match find_kernel name with
     | Error e -> exit_err e
     | Ok spec ->
@@ -656,7 +1025,8 @@ let frontier_cmd =
             try
               Stoke.frontier ~config ~validate_results:(not no_validate)
                 ?etas ~warm:(not cold) ~warm_frac ~max_demotions ~sweep_back
-                ~obs:sink ?checkpoint ?resume ~seed:(Int64.of_int seed) spec
+                ~sound_promote ~obs:sink ?checkpoint ?resume
+                ~seed:(Int64.of_int seed) spec
             with Invalid_argument e -> exit_err e)
       in
       Printf.printf "%-12s %6s %8s %8s %14s %5s %10s %s\n" "eta" "LOC"
@@ -685,12 +1055,13 @@ let frontier_cmd =
         r.Search.Frontier.pareto;
       Printf.printf
         "search proposals: %d of %d cold budget (%.1f%%), %d demotions, %d \
-         counterexamples\n"
+         counterexamples, %d sound promotions\n"
         r.Search.Frontier.total_proposals r.Search.Frontier.cold_budget
         (100.
         *. float_of_int r.Search.Frontier.total_proposals
         /. float_of_int (max 1 r.Search.Frontier.cold_budget))
         r.Search.Frontier.demotions r.Search.Frontier.tests_added
+        r.Search.Frontier.promotions
   in
   let etas_arg =
     let doc =
@@ -728,6 +1099,16 @@ let frontier_cmd =
              adopting a looser point's winner wherever it is faster and \
              survives re-validation at the tighter η.")
   in
+  let sound_promote_flag =
+    Arg.(
+      value & flag
+      & info [ "sound-promote" ]
+          ~doc:
+            "Before spending MCMC budget on a candidate, try the static \
+             verifier (bit-wise / Taylor branch-and-bound / interval); a \
+             candidate whose sound bound is ≤ η is promoted immediately \
+             with the certified bound as its error.")
+  in
   let no_validate_flag =
     Arg.(
       value & flag
@@ -754,8 +1135,8 @@ let frontier_cmd =
     Term.(
       const run $ kernel_arg $ etas_arg $ proposals_arg $ seed_arg
       $ cold_flag $ warm_frac_arg $ max_demotions_arg $ sweep_back_flag
-      $ no_validate_flag $ checkpoint_arg $ resume_arg $ engine_arg
-      $ trace_out_arg $ progress_arg)
+      $ sound_promote_flag $ no_validate_flag $ checkpoint_arg $ resume_arg
+      $ engine_arg $ trace_out_arg $ progress_arg)
 
 (* ----- encode ----- *)
 

@@ -46,7 +46,24 @@ let validate ?config ?obs ?engine ~eta spec rewrite =
   let errfn = Validate.Errfn.create ?engine spec ~rewrite in
   Validate.Driver.run ?obs ?config ~eta errfn
 
-let verify ~eta spec rewrite = Verify.Verifier.check spec ~rewrite ~eta
+let verify ?taylor ~eta spec rewrite =
+  Verify.Verifier.check ?taylor spec ~rewrite ~eta
+
+(* The frontier's injected prover (same downward-dependency pattern as the
+   validators): a static proof that the rewrite is η-close promotes the
+   point without any MCMC budget. *)
+let static_prover ?taylor spec ~eta rewrite =
+  let outcome = Verify.Verifier.check ?taylor spec ~rewrite ~eta in
+  match Verify.Verifier.sound_ulps outcome with
+  | Some s when Verify.Verifier.verified_within outcome eta ->
+    let boxes, depth =
+      match outcome with
+      | Verify.Verifier.Taylor_bound a ->
+        (a.Verify.Taylor.boxes_explored, a.Verify.Taylor.depth)
+      | _ -> (0, 0)
+    in
+    Some { Search.Frontier.sound_ulps = s; boxes_explored = boxes; depth }
+  | _ -> None
 
 type refined = {
   rewrite : Program.t option;
@@ -197,8 +214,8 @@ let incremental_validator ?engine ~obs ~validation spec ~eta rewrite =
 
 let frontier ?config ?validation ?(validate_results = true) ?etas
     ?(tests = 32) ?(warm = true) ?(warm_frac = 0.25) ?(max_demotions = 2)
-    ?(sweep_back = false) ?(obs = Obs.Sink.null) ?checkpoint ?resume ~seed
-    spec =
+    ?(sweep_back = false) ?(sound_promote = false) ?taylor
+    ?(obs = Obs.Sink.null) ?checkpoint ?resume ~seed spec =
   let etas =
     match etas with
     | Some e -> e
@@ -225,12 +242,17 @@ let frontier ?config ?validation ?(validate_results = true) ?etas
            cold_validator ~engine ~obs ~validation spec ~eta rewrite)
     else None
   in
+  let prover =
+    if sound_promote then
+      Some (fun ~eta rewrite -> static_prover ?taylor spec ~eta rewrite)
+    else None
+  in
   let fcfg =
     { Search.Frontier.search = config; warm; warm_frac; max_demotions;
       sweep_back }
   in
-  Search.Frontier.run ~obs ?validator ?checkpoint ?resume ~tests:test_array
-    ~etas fcfg spec
+  Search.Frontier.run ~obs ?validator ?prover ?checkpoint ?resume
+    ~tests:test_array ~etas fcfg spec
 
 let precision_sweep ?config ?(validate_results = false) ?etas ?(tests = 32)
     ?(obs = Obs.Sink.null) ~seed spec =

@@ -57,8 +57,24 @@ val validate :
     produce bit-identical verdicts ({!Validate.Errfn.create}). *)
 
 val verify :
-  eta:Ulp.t -> Sandbox.Spec.t -> Program.t -> Verify.Verifier.outcome
-(** The static two-tier check (symbolic / interval), where applicable. *)
+  ?taylor:Verify.Taylor.config ->
+  eta:Ulp.t ->
+  Sandbox.Spec.t ->
+  Program.t ->
+  Verify.Verifier.outcome
+(** The static three-tier check (symbolic / Taylor branch-and-bound /
+    interval), where applicable.  [taylor] tunes the branch-and-bound
+    effort behind the Taylor tier (see {!Verify.Bbound.config}). *)
+
+val static_prover :
+  ?taylor:Verify.Taylor.config ->
+  Sandbox.Spec.t ->
+  eta:Ulp.t ->
+  Program.t ->
+  Search.Frontier.proof option
+(** {!verify} reduced to the frontier's injected-prover shape: [Some]
+    when the strongest applicable static tier certifies the rewrite
+    within η ([sound_ulps] 0 for a bit-wise proof), [None] otherwise. *)
 
 type refined = {
   rewrite : Program.t option;  (** [None] if every round came up empty *)
@@ -113,6 +129,8 @@ val frontier :
   ?warm_frac:float ->
   ?max_demotions:int ->
   ?sweep_back:bool ->
+  ?sound_promote:bool ->
+  ?taylor:Verify.Taylor.config ->
   ?obs:Obs.Sink.t ->
   ?checkpoint:string ->
   ?resume:Search.Frontier.snapshot ->
@@ -131,9 +149,15 @@ val frontier :
     to [true] here (the curve's whole point is per-η validated error);
     pass [false] for a search-only curve.  With [warm = false] every
     point runs cold with the full budget and the one-shot validator —
-    winners bit-identical to {!precision_sweep}.  [checkpoint]/[resume]
-    persist the walk across interruptions (see
-    {!Search.Frontier.snapshot}). *)
+    winners bit-identical to {!precision_sweep}.  With [sound_promote]
+    (default false) the {!static_prover} runs before every validation: a
+    candidate whose sound static bound is ≤ η is promoted without
+    spending any MCMC budget (a [sound_promotion] telemetry event marks
+    each one, and the result counts them in [promotions]); [taylor]
+    tunes the prover's branch-and-bound effort.  Promotion changes the
+    snapshot fingerprint, so promotion-off runs keep reading historical
+    checkpoints.  [checkpoint]/[resume] persist the walk across
+    interruptions (see {!Search.Frontier.snapshot}). *)
 
 val precision_sweep :
   ?config:Search.Optimizer.config ->

@@ -42,6 +42,30 @@ let sin_program =
       [ binop Opcode.Mulsd (xmm x2) (xmm x0) ];
     ]
 
+(* The same real function as [sin_program] with the final multiply
+   distributed through the low-order Horner term:
+   x·(Ptail(w)·w + 1) = (Ptail(w)·w)·x + x.  Deliberately not
+   bitwise-equivalent — the operations round in a different order — so it
+   exercises the Taylor tier, which proves the two sides real-equal by
+   polynomial cancellation and bounds the difference by round-off alone. *)
+let sin_assoc_rewrite =
+  let tail =
+    match List.rev sin_coeffs with
+    | 1.0 :: rest_rev -> List.rev rest_rev (* c9 … c1, highest first *)
+    | _ -> invalid_arg "sin_coeffs must end with the constant term 1"
+  in
+  program
+    [
+      square_into ~x:x0 ~dst:x1;
+      horner_f64 ~x:x1 ~acc:x2 ~tmp:x3 ~via:rax tail;
+      [
+        binop Opcode.Mulsd (xmm x1) (xmm x2);  (* Ptail·w *)
+        binop Opcode.Mulsd (xmm x0) (xmm x2);  (* (Ptail·w)·x *)
+        binop Opcode.Addsd (xmm x0) (xmm x2);  (* + x *)
+        binop Opcode.Movsd (xmm x2) (xmm x0);
+      ];
+    ]
+
 let cos_program =
   program
     [

@@ -10,6 +10,14 @@
 val sin_spec : Sandbox.Spec.t
 (** Bounded periodic function; inputs in [-π, π]. *)
 
+val sin_assoc_rewrite : Program.t
+(** A reassociated rewrite of {!sin_spec}'s program — the final multiply
+    distributed through the constant Horner term — equal as a real-number
+    function but not bitwise: the showcase input for the Taylor tier,
+    which proves the real parts cancel and bounds the residual round-off
+    to a handful of ULPs where plain interval subtraction reports
+    astronomically loose bounds. *)
+
 val cos_spec : Sandbox.Spec.t
 (** Inputs in [-π, π]. *)
 

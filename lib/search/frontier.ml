@@ -8,6 +8,14 @@ type check = {
 
 type validator = eta:Ulp.t -> Program.t -> check
 
+type proof = {
+  sound_ulps : float;
+  boxes_explored : int;
+  depth : int;
+}
+
+type prover = eta:Ulp.t -> Program.t -> proof option
+
 type point = {
   eta : Ulp.t;
   rewrite : Program.t;
@@ -44,6 +52,7 @@ type result = {
   cold_budget : int;
   demotions : int;
   tests_added : int;
+  promotions : int;
 }
 
 (* ---------- Pareto set ---------- *)
@@ -260,8 +269,8 @@ let read_snapshot ~spec ~path =
 
 (* ---------- the walk ---------- *)
 
-let run ?(obs = Obs.Sink.null) ?validator ?on_point ?checkpoint ?resume ~tests
-    ~etas cfg spec =
+let run ?(obs = Obs.Sink.null) ?validator ?prover ?on_point ?checkpoint
+    ?resume ~tests ~etas cfg spec =
   let observing = Obs.Sink.enabled obs in
   let search = cfg.search in
   let walk =
@@ -271,7 +280,13 @@ let run ?(obs = Obs.Sink.null) ?validator ?on_point ?checkpoint ?resume ~tests
   let n = Array.length walk_arr in
   let target = spec.Sandbox.Spec.program in
   let target_latency = Latency.of_program target in
-  let fp = fingerprint cfg ~spec ~tests in
+  let fp =
+    (* the marker keeps pre-existing snapshots readable when promotion is
+       off, while refusing to resume across the promotion boundary *)
+    match prover with
+    | None -> fingerprint cfg ~spec ~tests
+    | Some _ -> fingerprint cfg ~spec ~tests ^ "|sound-promote"
+  in
   (* walk state, possibly restored from a snapshot *)
   let start_idx, carry, points_rev, total_proposals, demotions_total,
       extra_tests =
@@ -342,6 +357,28 @@ let run ?(obs = Obs.Sink.null) ?validator ?on_point ?checkpoint ?resume ~tests
           ("proposals_used", Obs.Json.Int p.proposals_used);
           ("demotions", Obs.Json.Int p.demotions);
         ]
+  in
+  let promotions = ref 0 in
+  (* A sound static proof of η-closeness settles the point without
+     spending any MCMC validation budget; the certified bound stands in
+     for the validated error (rounded up to stay a bound). *)
+  let try_prove ~eta rewrite =
+    match prover with
+    | None -> None
+    | Some pv ->
+      (match pv ~eta rewrite with
+       | None -> None
+       | Some pr ->
+         incr promotions;
+         if observing then
+           Obs.Sink.emit obs "sound_promotion"
+             [
+               ("eta", Obs.Json.String (Ulp.to_string eta));
+               ("sound_ulps", Obs.Json.Float pr.sound_ulps);
+               ("boxes_explored", Obs.Json.Int pr.boxes_explored);
+               ("depth", Obs.Json.Int pr.depth);
+             ];
+         Some (Ulp.of_float (Float.ceil pr.sound_ulps)))
   in
   let pareto = ref (pareto_of (List.rev !points_rev)) in
   let promote (p : point) =
@@ -476,6 +513,9 @@ let run ?(obs = Obs.Sink.null) ?validator ?on_point ?checkpoint ?resume ~tests
           (* the target is its own rewrite: zero error by construction *)
           finish ~validated_err:(Some 0L) rewrite
         else begin
+          match try_prove ~eta rewrite with
+          | Some sound -> finish ~validated_err:(Some sound) rewrite
+          | None ->
           match validator with
           | None -> finish ~validated_err:None rewrite
           | Some v ->
@@ -541,11 +581,14 @@ let run ?(obs = Obs.Sink.null) ?validator ?on_point ?checkpoint ?resume ~tests
       total_proposals := !total_proposals + r.Optimizer.proposals_made;
       let rewrite = pick r in
       let validated_err =
-        match validator with
-        | None -> None
-        | Some v ->
-          let chk = v ~eta rewrite in
-          Some chk.observed_err
+        match try_prove ~eta rewrite with
+        | Some sound -> Some sound
+        | None ->
+          (match validator with
+           | None -> None
+           | Some v ->
+             let chk = v ~eta rewrite in
+             Some chk.observed_err)
       in
       let point =
         mk_point ~eta ~warm:false ~proposals_used:r.Optimizer.proposals_made
@@ -571,12 +614,15 @@ let run ?(obs = Obs.Sink.null) ?validator ?on_point ?checkpoint ?resume ~tests
           let c = Cost.eval_full ctx donor.rewrite in
           if Cost.correct c then begin
             let adopt, verr =
-              match validator with
-              | None -> (true, None)
-              | Some v ->
-                let chk = v ~eta donor.rewrite in
-                if chk.refuted then (false, None)
-                else (true, Some chk.observed_err)
+              match try_prove ~eta donor.rewrite with
+              | Some sound -> (true, Some sound)
+              | None ->
+                (match validator with
+                 | None -> (true, None)
+                 | Some v ->
+                   let chk = v ~eta donor.rewrite in
+                   if chk.refuted then (false, None)
+                   else (true, Some chk.observed_err))
             in
             if adopt then begin
               let p =
@@ -602,6 +648,7 @@ let run ?(obs = Obs.Sink.null) ?validator ?on_point ?checkpoint ?resume ~tests
       cold_budget;
       demotions = !demotions_total;
       tests_added = !tests_added;
+      promotions = !promotions;
     }
   in
   if observing then
@@ -618,5 +665,6 @@ let run ?(obs = Obs.Sink.null) ?validator ?on_point ?checkpoint ?resume ~tests
              else 0.) );
         ("demotions", Obs.Json.Int result.demotions);
         ("tests_added", Obs.Json.Int result.tests_added);
+        ("promotions", Obs.Json.Int result.promotions);
       ];
   result

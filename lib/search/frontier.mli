@@ -36,6 +36,19 @@ type check = {
 
 type validator = eta:Ulp.t -> Program.t -> check
 
+type proof = {
+  sound_ulps : float;  (** certified scaled-ULP bound, ≤ η *)
+  boxes_explored : int;  (** branch-and-bound effort behind the proof *)
+  depth : int;
+}
+
+type prover = eta:Ulp.t -> Program.t -> proof option
+(** A sound static analysis: [Some proof] certifies the rewrite's output
+    difference is at most [proof.sound_ulps] ≤ η on {e every} in-range
+    input, so the point can be promoted without MCMC validation.  Like
+    the validator, it is injected by the caller ([lib/search] cannot call
+    [lib/verify]); {!Stoke.frontier} wires in {!Verify.Verifier.check}. *)
+
 type point = {
   eta : Ulp.t;
   rewrite : Program.t;
@@ -78,6 +91,8 @@ type result = {
   cold_budget : int;  (** |etas| × [search.proposals] for comparison *)
   demotions : int;
   tests_added : int;  (** counterexamples fed back into the test set *)
+  promotions : int;
+      (** points settled by a sound static proof instead of validation *)
 }
 
 val err_bound : point -> Ulp.t
@@ -138,6 +153,7 @@ val read_snapshot :
 val run :
   ?obs:Obs.Sink.t ->
   ?validator:validator ->
+  ?prover:prover ->
   ?on_point:(point -> unit) ->
   ?checkpoint:string ->
   ?resume:snapshot ->
@@ -154,6 +170,12 @@ val run :
     every settled point; [resume] continues from a snapshot read back
     with {!read_snapshot} (raises [Invalid_argument] on a fingerprint
     mismatch or when the completed points are not a prefix of this
-    walk).  Telemetry ([frontier_start], [frontier_point],
-    [frontier_promote], [frontier_demote], [frontier_end] — see
-    [docs/TELEMETRY.md]) never changes the result. *)
+    walk).  When a [prover] is injected it runs before the validator at
+    every settling site; a successful proof settles the point with the
+    certified bound as its error, emits a [sound_promotion] event, and
+    spends no validation budget.  The snapshot fingerprint carries a
+    marker iff a prover is present, so promotion-off runs keep reading
+    historical snapshots bit-identically.  Telemetry ([frontier_start],
+    [frontier_point], [frontier_promote], [frontier_demote],
+    [sound_promotion], [frontier_end] — see [docs/TELEMETRY.md]) never
+    changes the result. *)

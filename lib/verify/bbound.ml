@@ -1,0 +1,140 @@
+type config = {
+  max_depth : int;
+  max_boxes : int;
+  timeout_s : float;
+}
+
+let default_config = { max_depth = 10; max_boxes = 2000; timeout_s = 0.5 }
+
+type stats = {
+  boxes_explored : int;
+  depth : int;
+}
+
+(* A work item: a sub-box, its depth, and the objective's upper bound on
+   it (clamped to its parent's bound, so the per-box bounds are monotone
+   along every split path even if interval evaluation is noisy). *)
+type item = {
+  ub : float;
+  depth_ : int;
+  box_ : Interval.itv array;
+}
+
+let widest_dim box =
+  let best = ref (-1) in
+  let best_w = ref 0. in
+  Array.iteri
+    (fun k (i : Interval.itv) ->
+      let w = Interval.width i in
+      if Float.is_finite w && w > !best_w then begin
+        best := k;
+        best_w := w
+      end)
+    box;
+  !best
+
+let midpoint (i : Interval.itv) =
+  let m = (i.Interval.lo +. i.Interval.hi) /. 2. in
+  if Float.is_finite m then m else Stdlib.max i.Interval.lo (Stdlib.min i.Interval.hi 0.)
+
+let split box k =
+  let i = box.(k) in
+  let m = midpoint i in
+  if not (m > i.Interval.lo && m < i.Interval.hi) then None
+  else begin
+    let left = Array.copy box and right = Array.copy box in
+    left.(k) <- Interval.make i.Interval.lo m;
+    right.(k) <- Interval.make m i.Interval.hi;
+    Some (left, right)
+  end
+
+let point_box box = Array.map (fun i -> let m = midpoint i in Interval.make m m) box
+
+(* Simple sorted-list priority queue keyed on ub, worst (largest) first.
+   Box counts are bounded by the budget (a few thousand), so O(n)
+   insertion is immaterial next to objective evaluation. *)
+let insert item queue =
+  let rec go = function
+    | [] -> [ item ]
+    | x :: rest when x.ub < item.ub -> item :: x :: rest
+    | x :: rest -> x :: go rest
+  in
+  go queue
+
+let sanitize v = if Float.is_nan v then Float.infinity else v
+
+let maximize cfg ~f ~box =
+  let started = Sys.time () in
+  let evals = ref 0 in
+  let max_depth_seen = ref 0 in
+  let eval b =
+    incr evals;
+    sanitize (f b)
+  in
+  (* Certified lower bound: the objective at a degenerate midpoint box is
+     an upper bound of the supremum over a single point, hence a lower
+     bound of the supremum over any box containing that point. *)
+  let lower = ref Float.neg_infinity in
+  let observe_center b =
+    let v = eval (point_box b) in
+    if v > !lower && Float.is_finite v then lower := v
+  in
+  let root = { ub = eval box; depth_ = 0; box_ = box } in
+  if Array.length box = 0 || cfg.max_depth <= 0 then (root.ub, { boxes_explored = !evals; depth = 0 })
+  else begin
+    observe_center box;
+    (* [settled] holds the bounds of boxes we will not split further;
+       the final answer is max(settled, remaining queue). *)
+    let settled = ref Float.neg_infinity in
+    let settle v = if v > !settled then settled := v in
+    let out_of_budget () =
+      !evals >= cfg.max_boxes
+      || (cfg.timeout_s > 0. && Sys.time () -. started > cfg.timeout_s)
+    in
+    let rec loop queue =
+      match queue with
+      | [] -> !settled
+      | worst :: rest ->
+        if out_of_budget () then List.fold_left (fun acc it -> Stdlib.max acc it.ub) !settled queue
+        else if worst.ub <= !lower then begin
+          (* No box can beat the certified lower bound: the supremum is
+             exactly [lower] up to the evaluation slack already inside
+             these upper bounds. *)
+          settle worst.ub;
+          List.iter (fun it -> settle it.ub) rest;
+          !settled
+        end
+        else if worst.depth_ >= cfg.max_depth then begin
+          settle worst.ub;
+          loop rest
+        end
+        else begin
+          let k = widest_dim worst.box_ in
+          if k < 0 then begin
+            settle worst.ub;
+            loop rest
+          end
+          else
+            match split worst.box_ k with
+            | None ->
+              settle worst.ub;
+              loop rest
+            | Some (left, right) ->
+              let d = worst.depth_ + 1 in
+              if d > !max_depth_seen then max_depth_seen := d;
+              let child b =
+                (* Clamping to the parent's bound keeps subdivision
+                   monotone: a child can only tighten. *)
+                { ub = Stdlib.min (eval b) worst.ub; depth_ = d; box_ = b }
+              in
+              let l = child left and r = child right in
+              observe_center left;
+              observe_center right;
+              loop (insert l (insert r rest))
+        end
+    in
+    let sup = loop [ root ] in
+    (* Never report worse than the root evaluation, and never better than
+       what subdivision actually certified. *)
+    (Stdlib.min sup root.ub, { boxes_explored = !evals; depth = !max_depth_seen })
+  end

@@ -1,0 +1,165 @@
+exception Not_exportable of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Not_exportable s)) fmt
+
+(* FPCore symbols admit no brackets; memory-cell inputs like v1[0]
+   become v1_0. *)
+let sanitize name =
+  let b = Buffer.create (String.length name) in
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' -> Buffer.add_char b c
+      | ']' -> ()
+      | _ -> Buffer.add_char b '_')
+    name;
+  Buffer.contents b
+
+let lit f =
+  if Float.is_nan f then "NAN"
+  else if f = Float.infinity then "INFINITY"
+  else if f = Float.neg_infinity then "(- INFINITY)"
+  else if Float.is_integer f && Float.abs f <= 1e9 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%h" f
+
+type ctx = {
+  seen : (string, string) Hashtbl.t;
+  mutable order : string list;  (* original names, reverse first-use order *)
+}
+
+let intern ctx name =
+  match Hashtbl.find_opt ctx.seen name with
+  | Some s -> s
+  | None ->
+    let s = sanitize name in
+    Hashtbl.add ctx.seen name s;
+    ctx.order <- name :: ctx.order;
+    s
+
+(* Constants stay raw bit patterns until an operation of known width
+   consumes them — the same deferral as [Interval.eval] and
+   [Taylor.compile]. *)
+type cv =
+  | Bits of int64
+  | Expr of string
+
+let as64 = function
+  | Bits v -> lit (Int64.float_of_bits v)
+  | Expr e -> e
+
+let as32 = function
+  | Bits v -> lit (Int32.float_of_bits (Int64.to_int32 v))
+  | Expr e -> e
+
+let annot32 body = Printf.sprintf "(! :precision binary32 %s)" body
+
+let rec compile ctx (t : Symbolic.term) : cv =
+  match t with
+  | Symbolic.Cst v -> Bits v
+  | Symbolic.Sym name -> Expr (intern ctx name)
+  | Symbolic.App (op, args) ->
+    let bin conv sym single =
+      match args with
+      | [ a; b ] ->
+        let ea = conv (compile ctx a) in
+        let eb = conv (compile ctx b) in
+        let body = Printf.sprintf "(%s %s %s)" sym ea eb in
+        Expr (if single then annot32 body else body)
+      | _ -> fail "%s: bad arity" op
+    in
+    let un conv sym single =
+      match args with
+      | [ a ] ->
+        let body = Printf.sprintf "(%s %s)" sym (conv (compile ctx a)) in
+        Expr (if single then annot32 body else body)
+      | _ -> fail "%s: bad arity" op
+    in
+    (match op with
+     | "addsd" -> bin as64 "+" false
+     | "subsd" -> bin as64 "-" false
+     | "mulsd" -> bin as64 "*" false
+     | "divsd" -> bin as64 "/" false
+     | "addss" -> bin as32 "+" true
+     | "subss" -> bin as32 "-" true
+     | "mulss" -> bin as32 "*" true
+     | "divss" -> bin as32 "/" true
+     (* min/max of two binary32 values is one of them: exact in any
+        wider context, no rounding annotation needed *)
+     | "minss" -> bin as32 "fmin" false
+     | "maxss" -> bin as32 "fmax" false
+     | "sqrtsd" -> un as64 "sqrt" false
+     | "sqrtss" -> un as32 "sqrt" true
+     | "cvtss2sd" ->
+       (* widening is exact *)
+       (match args with
+        | [ a ] -> Expr (as32 (compile ctx a))
+        | _ -> fail "cvtss2sd arity")
+     | "cvtsd2ss" ->
+       (match args with
+        | [ a ] -> Expr (annot32 (Printf.sprintf "(cast %s)" (as64 (compile ctx a))))
+        | _ -> fail "cvtsd2ss arity")
+     | _ -> fail "bit-level operation %s has no FPCore form" op)
+
+let as_out spec idx cv =
+  if Interval.single_output spec idx then as32 cv else as64 cv
+
+let pre_clause env name ctx =
+  match env name with
+  | None -> None
+  | Some (i : Interval.itv) ->
+    Some
+      (Printf.sprintf "(<= %s %s %s)" (lit i.Interval.lo)
+         (Hashtbl.find ctx.seen name)
+         (lit i.Interval.hi))
+
+let difference (spec : Sandbox.Spec.t) ~rewrite =
+  match
+    ( Symbolic.exec spec spec.Sandbox.Spec.program,
+      Symbolic.exec spec rewrite )
+  with
+  | Error e, _ -> Error (Printf.sprintf "target not analyzable: %s" e)
+  | _, Error e -> Error (Printf.sprintf "rewrite not analyzable: %s" e)
+  | Ok t_terms, Ok r_terms ->
+    (try
+       let env = Interval.env_of_spec spec in
+       let cores =
+         Array.to_list
+           (Array.mapi
+              (fun idx t_term ->
+                let ctx = { seen = Hashtbl.create 8; order = [] } in
+                let te = as_out spec idx (compile ctx t_term) in
+                let re = as_out spec idx (compile ctx r_terms.(idx)) in
+                let body =
+                  if Symbolic.equal_term t_term r_terms.(idx) then "0"
+                  else Printf.sprintf "(- %s %s)" te re
+                in
+                let names = List.rev ctx.order in
+                let args =
+                  String.concat " "
+                    (List.map (fun n -> Hashtbl.find ctx.seen n) names)
+                in
+                let pres =
+                  List.filter_map (fun n -> pre_clause env n ctx) names
+                in
+                let pre =
+                  match pres with
+                  | [] -> ""
+                  | [ p ] -> Printf.sprintf "\n  :pre %s" p
+                  | ps ->
+                    Printf.sprintf "\n  :pre (and %s)" (String.concat " " ps)
+                in
+                let suffix =
+                  if Array.length t_terms = 1 then ""
+                  else Printf.sprintf "_out%d" idx
+                in
+                Printf.sprintf
+                  "(FPCore %s_diff%s (%s)\n  :name \"%s: target - rewrite%s\"\n  :precision binary64%s\n  %s)"
+                  (sanitize spec.Sandbox.Spec.name)
+                  suffix args spec.Sandbox.Spec.name
+                  (if suffix = "" then "" else Printf.sprintf " (output %d)" idx)
+                  pre body)
+              t_terms)
+       in
+       Ok (String.concat "\n\n" cores)
+     with Not_exportable msg -> Error msg)

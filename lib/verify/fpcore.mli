@@ -1,0 +1,17 @@
+(** FPCore 1.2 export of the verification obligation.
+
+    [difference] renders the symbolic output difference target − rewrite
+    as one [(FPCore …)] form per spec output, suitable for external
+    round-off tools (FPBench, Daisy, FPTaylor, Herbie).  The encoding
+    mirrors {!Taylor}'s term model: double-precision scalar arithmetic in
+    the binary64 context, single-precision operations wrapped in
+    [(! :precision binary32 …)], [cvtsd2ss] as an annotated [cast], and
+    exact operations (min/max, widening converts) left unannotated.
+    Input ranges from the spec become a [:pre] conjunction of chained
+    comparisons; memory-cell inputs such as [v1\[0\]] are renamed to
+    FPCore-legal symbols ([v1_0]).
+
+    Kernels using bit-level operations the Taylor tier cannot model
+    return [Error] with the offending operation named. *)
+
+val difference : Sandbox.Spec.t -> rewrite:Program.t -> (string, string) result

@@ -9,39 +9,67 @@ let is_top i = i.lo = Float.neg_infinity && i.hi = Float.infinity
 
 let make lo hi = { lo; hi }
 
-(* Widen outward by one representable double: a sound (if slightly lazy)
-   account of round-to-nearest error for each arithmetic operation. *)
-let inflate i =
-  if is_top i then i
-  else { lo = Fp64.pred i.lo; hi = Fp64.succ i.hi }
+(* The width of one arithmetic operation's rounding error depends on the
+   precision the hardware op rounds to: an f32 op can move the result by a
+   whole binary32 ulp, which is ~2^29 binary64 ulps.  [prec] selects the
+   grid used for outward widening. *)
+type prec =
+  | P32
+  | P64
 
-let lift2 f a b =
+(* Widen outward by one representable value of the operation's precision:
+   a sound (if slightly lazy) account of round-to-nearest error.  For P32
+   the endpoints are first snapped to the binary32 grid by [Fp32.pred]/
+   [Fp32.succ]; since nearest-rounding moves an endpoint by at most half a
+   binary32 ulp, one full step outward still encloses the true rounded
+   result (the binary64 noise of our own interval computation is orders of
+   magnitude below that half-ulp). *)
+let inflate prec i =
+  if is_top i then i
+  else
+    match prec with
+    | P64 -> { lo = Fp64.pred i.lo; hi = Fp64.succ i.hi }
+    | P32 -> { lo = Fp32.pred i.lo; hi = Fp32.succ i.hi }
+
+let lift2 prec f a b =
   if is_top a || is_top b then top
   else begin
     let candidates = [ f a.lo b.lo; f a.lo b.hi; f a.hi b.lo; f a.hi b.hi ] in
     let lo = List.fold_left Float.min Float.infinity candidates in
     let hi = List.fold_left Float.max Float.neg_infinity candidates in
-    if Float.is_nan lo || Float.is_nan hi then top else inflate (make lo hi)
+    if Float.is_nan lo || Float.is_nan hi then top else inflate prec (make lo hi)
   end
 
-let add = lift2 ( +. )
-let sub = lift2 ( -. )
-let mul = lift2 ( *. )
+let add = lift2 P64 ( +. )
+let sub = lift2 P64 ( -. )
+let mul = lift2 P64 ( *. )
 
-let div a b =
+let div_p prec a b =
   if is_top a || is_top b then top
   else if b.lo <= 0. && b.hi >= 0. then top (* divisor interval spans zero *)
-  else lift2 ( /. ) a b
+  else lift2 prec ( /. ) a b
 
-let sqrt_itv a =
+let div = div_p P64
+
+let sqrt_p prec a =
   if is_top a || a.lo < 0. then top
-  else inflate (make (Float.sqrt a.lo) (Float.sqrt a.hi))
+  else inflate prec (make (Float.sqrt a.lo) (Float.sqrt a.hi))
+
+let sqrt_itv = sqrt_p P64
+
+let add32 = lift2 P32 ( +. )
+let sub32 = lift2 P32 ( -. )
+let mul32 = lift2 P32 ( *. )
+let div32 = div_p P32
+let sqrt32 = sqrt_p P32
 
 let hull a b = make (Float.min a.lo b.lo) (Float.max a.hi b.hi)
 
 let contains i x = x >= i.lo && x <= i.hi
 
 let width i = i.hi -. i.lo
+
+let mag i = Float.max (Float.abs i.lo) (Float.abs i.hi)
 
 (* ----- term evaluation ----- *)
 
@@ -82,17 +110,17 @@ let rec eval env (t : Symbolic.term) : av =
      | "subsd" -> binop `F64 sub
      | "mulsd" -> binop `F64 mul
      | "divsd" -> binop `F64 div
-     | "addss" -> binop `F32 add
-     | "subss" -> binop `F32 sub
-     | "mulss" -> binop `F32 mul
-     | "divss" -> binop `F32 div
+     | "addss" -> binop `F32 add32
+     | "subss" -> binop `F32 sub32
+     | "mulss" -> binop `F32 mul32
+     | "divss" -> binop `F32 div32
      | "minss" -> binop `F32 (fun a b -> make (Float.min a.lo b.lo) (Float.min a.hi b.hi))
      | "maxss" -> binop `F32 (fun a b -> make (Float.max a.lo b.lo) (Float.max a.hi b.hi))
      | "sqrtss" | "sqrtsd" ->
        (match args with
         | [ a ] ->
-          let conv = if op = "sqrtss" then as_f32 else as_f64 in
-          Itv (sqrt_itv (conv (eval env a)))
+          if op = "sqrtss" then Itv (sqrt32 (as_f32 (eval env a)))
+          else Itv (sqrt_itv (as_f64 (eval env a)))
         | _ -> raise (Not_analyzable "sqrt arity"))
      | _ ->
        raise

@@ -2,7 +2,8 @@
 
     Evaluates the symbolic output terms of a target and rewrite over the
     spec's input ranges, widening every arithmetic result outward by one
-    representable value to absorb rounding error, and bounds the absolute
+    representable value *of the operation's precision* (binary32 ops widen
+    on the binary32 grid) to absorb rounding error, and bounds the absolute
     difference between the two programs' outputs.  The bound is converted
     into "scaled ULPs" at the output's maximum magnitude.
 
@@ -11,7 +12,7 @@
     terms containing bitwise operations on symbolic data evaluate to ⊤ and
     the analysis reports failure — and even where it applies, the bound is
     far coarser than what MCMC validation finds (§6.3: 1363.5 static vs 5
-    observed ULPs). *)
+    observed ULPs).  {!Taylor} supplies the tighter first-order bound. *)
 
 type itv = {
   lo : float;
@@ -20,16 +21,55 @@ type itv = {
 
 val top : itv
 val is_top : itv -> bool
+val make : float -> float -> itv
 
 val add : itv -> itv -> itv
 val sub : itv -> itv -> itv
 val mul : itv -> itv -> itv
 val div : itv -> itv -> itv
-(** All four widen outward by one representable double after the real
-    interval computation. *)
+val sqrt_itv : itv -> itv
+(** All widen outward by one representable double after the real interval
+    computation. *)
 
+val add32 : itv -> itv -> itv
+val sub32 : itv -> itv -> itv
+val mul32 : itv -> itv -> itv
+val div32 : itv -> itv -> itv
+val sqrt32 : itv -> itv
+(** Binary32 counterparts: widen outward by one representable binary32
+    value, the sound margin for f32-rounded hardware ops. *)
+
+val hull : itv -> itv -> itv
 val contains : itv -> float -> bool
 val width : itv -> float
+
+val mag : itv -> float
+(** Largest absolute value in the interval. *)
+
+val ulp_size_at : float -> single:bool -> float
+(** Spacing of representable values at the given magnitude; the unit used
+    to express absolute error bounds in scaled ULPs. *)
+
+exception Not_analyzable of string
+
+type av =
+  | Bits of int64
+  | Itv of itv
+
+val as_f64 : av -> itv
+val as_f32 : av -> itv
+
+val eval : (string -> itv option) -> Symbolic.term -> av
+(** Evaluate a symbolic term over an input environment.
+    @raise Not_analyzable on unconstrained inputs or bit-level ops. *)
+
+val env_of_spec : Sandbox.Spec.t -> string -> itv option
+(** Input environment from a spec's declared ranges: [in%d] names for
+    register float inputs, [base[offset]] names for memory cells reached
+    through fixed pointer registers. *)
+
+val single_output : Sandbox.Spec.t -> int -> bool
+(** Whether output [idx] is a binary32 value. *)
 
 type analysis = {
   bound_ulps : float;  (** scaled-ULP bound on the output difference *)

@@ -11,7 +11,7 @@ let rec term_to_string = function
 
 let commutative = function
   | "addss" | "mulss" | "addsd" | "mulsd" | "minss" | "maxss" | "and32"
-  | "or32" | "xor32" ->
+  | "or32" | "xor32" | "and64" | "or64" | "xor64" ->
     true
   | _ -> false
 
@@ -52,10 +52,33 @@ let rec normalize t =
      | "hi32", [ Cst v ] -> Cst (Int64.shift_right_logical v 32)
      | "pack64", [ Cst lo; Cst hi ] ->
        Cst (Int64.logor (Int64.logand lo 0xffff_ffffL) (Int64.shift_left hi 32))
-     | "xor32", [ a; b ] when compare_term a b = 0 -> Cst 0L
+     | ("xor32" | "xor64"), [ a; b ] when compare_term a b = 0 -> Cst 0L
      | "and32", [ Cst a; Cst b ] -> Cst (Int64.logand a b)
      | "or32", [ Cst a; Cst b ] -> Cst (Int64.logor a b)
      | "xor32", [ Cst a; Cst b ] -> Cst (Int64.logxor a b)
+     | "and64", [ Cst a; Cst b ] -> Cst (Int64.logand a b)
+     | "or64", [ Cst a; Cst b ] -> Cst (Int64.logor a b)
+     | "xor64", [ Cst a; Cst b ] -> Cst (Int64.logxor a b)
+     (* GP shifts with both operands concrete fold with the hardware's
+        count masking (63 for 64-bit, 31 for 32-bit forms). *)
+     | "shl64", [ Cst a; Cst c ] ->
+       let c = Int64.to_int c land 63 in
+       Cst (if c = 0 then a else Int64.shift_left a c)
+     | "shr64", [ Cst a; Cst c ] ->
+       let c = Int64.to_int c land 63 in
+       Cst (if c = 0 then a else Int64.shift_right_logical a c)
+     | "sar64", [ Cst a; Cst c ] ->
+       let c = Int64.to_int c land 63 in
+       Cst (if c = 0 then a else Int64.shift_right a c)
+     | "shl32", [ Cst a; Cst c ] ->
+       let c = Int64.to_int c land 31 in
+       Cst (Int64.logand (if c = 0 then a else Int64.shift_left a c) 0xffff_ffffL)
+     | "shr32", [ Cst a; Cst c ] ->
+       let c = Int64.to_int c land 31 in
+       let a = Int64.logand a 0xffff_ffffL in
+       Cst (if c = 0 then a else Int64.shift_right_logical a c)
+     | "add", [ Cst a; Cst b ] -> Cst (Int64.add a b)
+     | "sub", [ Cst a; Cst b ] -> Cst (Int64.sub a b)
      | _, _ ->
        if commutative f then App (f, List.sort compare_term args)
        else App (f, args))
@@ -377,11 +400,52 @@ let step state (i : Instr.t) =
     set_lane state d 1 s.(0);
     set_lane state d 2 d1;
     set_lane state d 3 s.(1)
-  | Opcode.Punpcklqdq ->
+  | Opcode.Punpcklqdq | Opcode.Unpcklpd ->
     let s = load128 state (src 0) in
     let d = dst_xmm (dst ()) in
     set_lane state d 2 s.(0);
     set_lane state d 3 s.(1)
+  | Opcode.Vunpcklps ->
+    (* dst ← interleave of the low dwords of s1 (src 1) and s2 (src 0) *)
+    let s2 = load128 state (src 0) in
+    let s1 = load128 state (src 1) in
+    let d = dst_xmm (dst ()) in
+    set_lane state d 0 s1.(0);
+    set_lane state d 1 s2.(0);
+    set_lane state d 2 s1.(1);
+    set_lane state d 3 s2.(1)
+  | Opcode.Pslld | Opcode.Psrld ->
+    (match src 0 with
+     | Operand.Imm c ->
+       let op = if i.Instr.op = Opcode.Pslld then "shl32" else "shr32" in
+       let d = dst_xmm (dst ()) in
+       for k = 0 to 3 do
+         let t =
+           if Int64.to_int c >= 32 then Cst 0L
+           else normalize (App (op, [ lane state d k; Cst c ]))
+         in
+         set_lane state d k t
+       done
+     | _ -> unsupported "packed dword shift by non-immediate")
+  | Opcode.Psllq | Opcode.Psrlq ->
+    (match src 0 with
+     | Operand.Imm c ->
+       let op = if i.Instr.op = Opcode.Psllq then "shl64" else "shr64" in
+       let d = dst_xmm (dst ()) in
+       let half base =
+         if Int64.to_int c >= 64 then Cst 0L
+         else
+           (* the hardware zeroes at count 64, while the GP form masks the
+              count to 63, so only in-range counts reuse the GP fold *)
+           normalize
+             (App (op, [ pack64 (lane state d base) (lane state d (base + 1)); Cst c ]))
+       in
+       let lo = half 0 and hi = half 2 in
+       set_lane state d 0 (normalize (App ("lo32", [ lo ])));
+       set_lane state d 1 (normalize (App ("hi32", [ lo ])));
+       set_lane state d 2 (normalize (App ("lo32", [ hi ])));
+       set_lane state d 3 (normalize (App ("hi32", [ hi ])))
+     | _ -> unsupported "packed qword shift by non-immediate")
   | Opcode.Movlhps ->
     let s = dst_xmm (src 0) in
     let d = dst_xmm (dst ()) in
@@ -410,6 +474,105 @@ let step state (i : Instr.t) =
     in
     set_lane state d 0 (dword 0);
     set_lane state d 1 (dword 1)
+  | Opcode.Shl w | Opcode.Shr w | Opcode.Sar w ->
+    (match src 0, dst () with
+     | Operand.Imm c, Operand.Gp d ->
+       let name =
+         (match i.Instr.op with
+          | Opcode.Shl _ -> "shl"
+          | Opcode.Shr _ -> "shr"
+          | _ -> "sar")
+         ^ (match w with Reg.Q -> "64" | Reg.L -> "32")
+       in
+       (match state.gp.(Reg.gp_index d) with
+        | Val t ->
+          state.gp.(Reg.gp_index d) <- Val (normalize (App (name, [ t; Cst c ])))
+        | Ptr _ -> unsupported "shift of a pointer")
+     | _ -> unsupported "shift form")
+  | Opcode.And w | Opcode.Or w | Opcode.Xor w ->
+    let name =
+      (match i.Instr.op with
+       | Opcode.And _ -> "and"
+       | Opcode.Or _ -> "or"
+       | _ -> "xor")
+      ^ (match w with Reg.Q -> "64" | Reg.L -> "32")
+    in
+    (match src 0, dst () with
+     | Operand.Gp s, Operand.Gp d
+       when i.Instr.op = Opcode.Xor w && Reg.gp_index s = Reg.gp_index d ->
+       (* the xor-zeroing idiom clears even pointer-valued registers *)
+       state.gp.(Reg.gp_index d) <- Val (Cst 0L)
+     | src_o, Operand.Gp d ->
+       (match w with
+        | Reg.L -> unsupported "32-bit gp logical (upper-half zeroing)"
+        | Reg.Q ->
+          let s_term =
+            match src_o with
+            | Operand.Imm v -> Cst v
+            | Operand.Gp s ->
+              (match state.gp.(Reg.gp_index s) with
+               | Val t -> t
+               | Ptr _ -> unsupported "logical on a pointer")
+            | _ -> unsupported "gp logical form"
+          in
+          (match state.gp.(Reg.gp_index d) with
+           | Val t ->
+             state.gp.(Reg.gp_index d) <-
+               Val (normalize (App (name, [ t; s_term ])))
+           | Ptr _ -> unsupported "logical on a pointer"))
+     | _ -> unsupported "gp logical form")
+  | Opcode.Cvtsi2sd w | Opcode.Cvtsi2ss w ->
+    (* int→float converts become uninterpreted width-tagged applications:
+       sound for equivalence checking, opaque to the numeric tiers. *)
+    (match src 0, dst () with
+     | Operand.Gp s, Operand.Xmm d ->
+       let t =
+         match state.gp.(Reg.gp_index s) with
+         | Val t -> t
+         | Ptr _ -> unsupported "convert of a pointer"
+       in
+       let suffix = (match w with Reg.Q -> "64" | Reg.L -> "32") in
+       (match i.Instr.op with
+        | Opcode.Cvtsi2sd _ ->
+          let r = App ("cvtsi2sd" ^ suffix, [ t ]) in
+          set_lane state d 0 (App ("lo32", [ r ]));
+          set_lane state d 1 (App ("hi32", [ r ]))
+        | _ -> set_lane state d 0 (App ("cvtsi2ss" ^ suffix, [ t ])))
+     | _ -> unsupported "cvtsi2sd/ss form")
+  | Opcode.Cvtsd2si w | Opcode.Cvttsd2si w ->
+    (match dst () with
+     | Operand.Gp d ->
+       let lo, hi = load64_pair state (src 0) in
+       let base =
+         match i.Instr.op with
+         | Opcode.Cvtsd2si _ -> "cvtsd2si"
+         | _ -> "cvttsd2si"
+       in
+       let suffix = (match w with Reg.Q -> "64" | Reg.L -> "32") in
+       state.gp.(Reg.gp_index d) <-
+         Val (App (base ^ suffix, [ pack64 lo hi ]))
+     | _ -> unsupported "cvtsd2si form")
+  | Opcode.Cvttss2si w ->
+    (match dst () with
+     | Operand.Gp d ->
+       let s = load32 state (src 0) in
+       let suffix = (match w with Reg.Q -> "64" | Reg.L -> "32") in
+       state.gp.(Reg.gp_index d) <- Val (App ("cvttss2si" ^ suffix, [ s ]))
+     | _ -> unsupported "cvttss2si form")
+  | Opcode.Cvtss2sd ->
+    (match dst () with
+     | Operand.Xmm d ->
+       let s = load32 state (src 0) in
+       let r = App ("cvtss2sd", [ s ]) in
+       set_lane state d 0 (App ("lo32", [ r ]));
+       set_lane state d 1 (App ("hi32", [ r ]))
+     | _ -> unsupported "cvtss2sd form")
+  | Opcode.Cvtsd2ss ->
+    (match dst () with
+     | Operand.Xmm d ->
+       let lo, hi = load64_pair state (src 0) in
+       set_lane state d 0 (App ("cvtsd2ss", [ pack64 lo hi ]))
+     | _ -> unsupported "cvtsd2ss form")
   | op -> unsupported "opcode %s" (Opcode.to_string op)
 
 (* initial state from a spec: pointer-valued fixed GP inputs become

@@ -1,0 +1,642 @@
+type config = Bbound.config
+
+let default_config = Bbound.default_config
+
+type analysis = {
+  sound_ulps : float;
+  observed_ulps : float option;
+  proved_real_equal : bool;
+  target_range : Interval.itv;
+  boxes_explored : int;
+  depth : int;
+}
+
+exception Not_representable of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Not_representable s)) fmt
+
+(* ----- the shared real-expression DAG ----- *)
+
+type rop =
+  | Radd
+  | Rsub
+  | Rmul
+  | Rdiv
+  | Rmin
+  | Rmax
+
+(* The rounding grid an operation's result lands on.  Min/max and
+   width-extending converts are exact. *)
+type rprec =
+  | R32
+  | R64
+  | Rexact
+
+type node =
+  | NConst of float
+  | NVar of int
+  | NBin of rop * rprec * int * int
+  | NSqrt of rprec * int
+  | NCvt of rprec * int  (** pure rounding of an already-computed value *)
+
+type dag = {
+  tbl : (node, int) Hashtbl.t;
+  mutable nodes : node array;
+  mutable count : int;
+  vars : (string, int) Hashtbl.t;
+  mutable var_names : string list;  (* reverse order *)
+}
+
+let create_dag () =
+  {
+    tbl = Hashtbl.create 64;
+    nodes = Array.make 64 (NConst 0.);
+    count = 0;
+    vars = Hashtbl.create 8;
+    var_names = [];
+  }
+
+let push dag n =
+  match Hashtbl.find_opt dag.tbl n with
+  | Some id -> id
+  | None ->
+    if dag.count = Array.length dag.nodes then begin
+      let bigger = Array.make (2 * dag.count) (NConst 0.) in
+      Array.blit dag.nodes 0 bigger 0 dag.count;
+      dag.nodes <- bigger
+    end;
+    dag.nodes.(dag.count) <- n;
+    Hashtbl.add dag.tbl n dag.count;
+    dag.count <- dag.count + 1;
+    dag.count - 1
+
+let var_id dag name =
+  match Hashtbl.find_opt dag.vars name with
+  | Some k -> push dag (NVar k)
+  | None ->
+    let k = Hashtbl.length dag.vars in
+    Hashtbl.add dag.vars name k;
+    dag.var_names <- name :: dag.var_names;
+    push dag (NVar k)
+
+(* ----- lifting Symbolic.term into the DAG -----
+
+   Mirrors Interval.eval: constants stay raw bit patterns until an
+   operation of known width consumes them. *)
+
+type cv =
+  | CBits of int64
+  | CNode of int
+
+let rec compile dag (t : Symbolic.term) : cv =
+  match t with
+  | Symbolic.Cst v -> CBits v
+  | Symbolic.Sym name -> CNode (var_id dag name)
+  | Symbolic.App (op, args) ->
+    let as64 = function
+      | CBits v -> push dag (NConst (Int64.float_of_bits v))
+      | CNode id -> id
+    in
+    let as32 = function
+      | CBits v -> push dag (NConst (Int32.float_of_bits (Int64.to_int32 v)))
+      | CNode id -> id
+    in
+    let bin conv rop prec =
+      match args with
+      | [ a; b ] ->
+        let ia = conv (compile dag a) in
+        let ib = conv (compile dag b) in
+        (* hash-consing relies on Symbolic.normalize having sorted
+           commutative arguments, so shared work shares node ids *)
+        CNode (push dag (NBin (rop, prec, ia, ib)))
+      | _ -> fail "%s: bad arity" op
+    in
+    (match op with
+     | "addsd" -> bin as64 Radd R64
+     | "subsd" -> bin as64 Rsub R64
+     | "mulsd" -> bin as64 Rmul R64
+     | "divsd" -> bin as64 Rdiv R64
+     | "addss" -> bin as32 Radd R32
+     | "subss" -> bin as32 Rsub R32
+     | "mulss" -> bin as32 Rmul R32
+     | "divss" -> bin as32 Rdiv R32
+     | "minss" -> bin as32 Rmin Rexact
+     | "maxss" -> bin as32 Rmax Rexact
+     | "sqrtsd" ->
+       (match args with
+        | [ a ] -> CNode (push dag (NSqrt (R64, as64 (compile dag a))))
+        | _ -> fail "sqrtsd arity")
+     | "sqrtss" ->
+       (match args with
+        | [ a ] -> CNode (push dag (NSqrt (R32, as32 (compile dag a))))
+        | _ -> fail "sqrtss arity")
+     | "cvtss2sd" ->
+       (* widening: every binary32 value is exactly representable *)
+       (match args with
+        | [ a ] -> CNode (as32 (compile dag a))
+        | _ -> fail "cvtss2sd arity")
+     | "cvtsd2ss" ->
+       (match args with
+        | [ a ] -> CNode (push dag (NCvt (R32, as64 (compile dag a))))
+        | _ -> fail "cvtsd2ss arity")
+     | _ -> fail "bit-level operation %s defeats Taylor analysis" op)
+
+let root_of dag (spec : Sandbox.Spec.t) idx term =
+  match compile dag term with
+  | CNode id -> id
+  | CBits v ->
+    push dag
+      (NConst
+         (if Interval.single_output spec idx then
+            Int32.float_of_bits (Int64.to_int32 v)
+          else Int64.float_of_bits v))
+
+(* ----- forward interval pass with explicit perturbation widths ----- *)
+
+let u64 = Float.pow 2. (-53.)
+let d64 = Float.pow 2. (-1074.)
+let u32 = Float.pow 2. (-24.)
+let d32 = Float.pow 2. (-149.)
+
+type fwd = {
+  raw : Interval.itv array;  (** pre-rounding enclosure of each node *)
+  jv : Interval.itv array;  (** enclosure across the whole e-cube *)
+  eb : float array;  (** per-node perturbation bound uᵢ·|rᵢ| + dᵢ *)
+}
+
+let e_bound prec (raw : Interval.itv) =
+  match prec with
+  | Rexact -> 0.
+  | R64 -> Fp64.succ ((u64 *. Interval.mag raw) +. d64)
+  | R32 -> Fp64.succ ((u32 *. Interval.mag raw) +. d32)
+
+let perturb (raw : Interval.itv) eb =
+  if eb = 0. then raw
+  else if Interval.is_top raw then raw
+  else
+    Interval.make
+      (Fp64.pred (raw.Interval.lo -. eb))
+      (Fp64.succ (raw.Interval.hi +. eb))
+
+let imin (a : Interval.itv) (b : Interval.itv) =
+  if Interval.is_top a || Interval.is_top b then Interval.top
+  else
+    Interval.make
+      (Float.min a.Interval.lo b.Interval.lo)
+      (Float.min a.Interval.hi b.Interval.hi)
+
+let imax (a : Interval.itv) (b : Interval.itv) =
+  if Interval.is_top a || Interval.is_top b then Interval.top
+  else
+    Interval.make
+      (Float.max a.Interval.lo b.Interval.lo)
+      (Float.max a.Interval.hi b.Interval.hi)
+
+let forward dag (box : Interval.itv array) : fwd =
+  let n = dag.count in
+  let raw = Array.make n Interval.top in
+  let jv = Array.make n Interval.top in
+  let eb = Array.make n 0. in
+  for id = 0 to n - 1 do
+    let r =
+      match dag.nodes.(id) with
+      | NConst c -> Interval.make c c
+      | NVar k -> box.(k)
+      | NBin (op, _, a, b) ->
+        let ja = jv.(a) and jb = jv.(b) in
+        (match op with
+         | Radd -> Interval.add ja jb
+         | Rsub -> Interval.sub ja jb
+         | Rmul -> Interval.mul ja jb
+         | Rdiv -> Interval.div ja jb
+         | Rmin -> imin ja jb
+         | Rmax -> imax ja jb)
+      | NSqrt (_, a) -> Interval.sqrt_itv jv.(a)
+      | NCvt (_, a) -> jv.(a)
+    in
+    let prec =
+      match dag.nodes.(id) with
+      | NBin (_, p, _, _) | NSqrt (p, _) | NCvt (p, _) -> p
+      | NConst _ | NVar _ -> Rexact
+    in
+    raw.(id) <- r;
+    let e = if Interval.is_top r then Float.infinity else e_bound prec r in
+    eb.(id) <- e;
+    jv.(id) <- perturb r e
+  done;
+  { raw; jv; eb }
+
+(* ----- interval reverse-mode adjoints -----
+
+   adjoints.(i) encloses ∂(root)/∂eᵢ — the derivative of the root value
+   with respect to an additive perturbation at node i — over the whole
+   input box and perturbation cube (all intermediate values drawn from
+   [jv], which encloses every perturbed evaluation). *)
+
+let zero = Interval.make 0. 0.
+
+let square (i : Interval.itv) =
+  let m = Interval.mul i i in
+  if Interval.is_top m then m
+  else
+    Interval.make
+      (if Interval.contains i 0. then 0.
+       else Stdlib.max 0. m.Interval.lo)
+      m.Interval.hi
+
+let hull0 (i : Interval.itv) =
+  if Interval.is_top i then i
+  else Interval.make (Float.min 0. i.Interval.lo) (Float.max 0. i.Interval.hi)
+
+let adjoints dag (f : fwd) root : Interval.itv array =
+  let adj = Array.make dag.count zero in
+  adj.(root) <- Interval.make 1. 1.;
+  for id = dag.count - 1 downto 0 do
+    let a_n = adj.(id) in
+    if not (a_n.Interval.lo = 0. && a_n.Interval.hi = 0.) then begin
+      let bump k v = adj.(k) <- Interval.add adj.(k) v in
+      match dag.nodes.(id) with
+      | NConst _ | NVar _ -> ()
+      | NBin (Radd, _, a, b) ->
+        bump a a_n;
+        bump b a_n
+      | NBin (Rsub, _, a, b) ->
+        bump a a_n;
+        bump b (Interval.sub zero a_n)
+      | NBin (Rmul, _, a, b) ->
+        bump a (Interval.mul a_n f.jv.(b));
+        bump b (Interval.mul a_n f.jv.(a))
+      | NBin (Rdiv, _, a, b) ->
+        bump a (Interval.div a_n f.jv.(b));
+        bump b
+          (Interval.sub zero
+             (Interval.div (Interval.mul a_n f.jv.(a)) (square f.jv.(b))))
+      | NBin ((Rmin | Rmax), _, a, b) ->
+        (* subgradient pair (θ, 1−θ), θ ∈ [0,1] *)
+        bump a (hull0 a_n);
+        bump b (hull0 a_n)
+      | NSqrt (_, a) ->
+        bump a
+          (Interval.div a_n
+             (Interval.mul (Interval.make 2. 2.) (Interval.sqrt_itv f.jv.(a))))
+      | NCvt (_, a) -> bump a a_n
+    end
+  done;
+  adj
+
+(* ----- polynomial normal form of the real difference -----
+
+   The real (perturbation-free) part of target − rewrite is expanded into
+   a sum of monomials over atomic factors, with division, sqrt, and
+   min/max kept as opaque atoms.  Coefficient arithmetic runs in interval
+   form with exactness checks, so constant combination never silently
+   rounds; a monomial whose coefficient is exactly the point zero
+   cancels.  Reassociations and distributions — the rewrites interval
+   subtraction cannot see through — cancel here exactly. *)
+
+exception Poly_bail
+
+type atom =
+  | Avar of int
+  | Adiv of poly * poly
+  | Asqrt of poly
+  | Amin of poly * poly
+  | Amax of poly * poly
+
+and monomial = {
+  c : Interval.itv;
+  atoms : atom list;  (* sorted *)
+}
+
+and poly = monomial list (* sorted by atom lists *)
+
+let rec compare_atom a b =
+  match a, b with
+  | Avar x, Avar y -> compare x y
+  | Adiv (p, q), Adiv (p', q') | Amin (p, q), Amin (p', q')
+  | Amax (p, q), Amax (p', q') ->
+    let c = compare_poly p p' in
+    if c <> 0 then c else compare_poly q q'
+  | Asqrt p, Asqrt p' -> compare_poly p p'
+  | Avar _, _ -> -1
+  | _, Avar _ -> 1
+  | Adiv _, _ -> -1
+  | _, Adiv _ -> 1
+  | Asqrt _, _ -> -1
+  | _, Asqrt _ -> 1
+  | Amin _, _ -> -1
+  | _, Amin _ -> 1
+
+and compare_atoms xs ys =
+  match xs, ys with
+  | [], [] -> 0
+  | [], _ -> -1
+  | _, [] -> 1
+  | x :: xs', y :: ys' ->
+    let c = compare_atom x y in
+    if c <> 0 then c else compare_atoms xs' ys'
+
+and compare_mono (m : monomial) (m' : monomial) =
+  let c = compare_atoms m.atoms m'.atoms in
+  if c <> 0 then c
+  else
+    let c = compare m.c.Interval.lo m'.c.Interval.lo in
+    if c <> 0 then c else compare m.c.Interval.hi m'.c.Interval.hi
+
+and compare_poly p q =
+  if p == q then 0
+  else
+    match p, q with
+    | [], [] -> 0
+    | [], _ -> -1
+    | _, [] -> 1
+    | m :: p', m' :: q' ->
+      let c = compare_mono m m' in
+      if c <> 0 then c else compare_poly p' q'
+
+let is_point (i : Interval.itv) = i.Interval.lo = i.Interval.hi
+
+let point x = Interval.make x x
+
+(* Exactness-checked coefficient arithmetic: results stay point intervals
+   only when the float operation is provably exact. *)
+let cadd (a : Interval.itv) (b : Interval.itv) =
+  if is_point a && is_point b then begin
+    let x = a.Interval.lo and y = b.Interval.lo in
+    let s = x +. y in
+    if Float.is_finite s && s -. x = y && s -. y = x then point s
+    else Interval.add a b
+  end
+  else Interval.add a b
+
+let cmul (a : Interval.itv) (b : Interval.itv) =
+  if is_point a && is_point b then begin
+    let x = a.Interval.lo and y = b.Interval.lo in
+    let p = x *. y in
+    if Float.is_finite p && Float.fma x y (-.p) = 0. then point p
+    else Interval.mul a b
+  end
+  else Interval.mul a b
+
+let cneg (a : Interval.itv) =
+  Interval.make (-.a.Interval.hi) (-.a.Interval.lo)
+
+let is_zero_coeff (i : Interval.itv) = i.Interval.lo = 0. && i.Interval.hi = 0.
+
+(* Sort and merge monomials with equal atom lists; drop exact zeros. *)
+let collect (ms : monomial list) : poly =
+  let sorted = List.sort (fun m m' -> compare_atoms m.atoms m'.atoms) ms in
+  let rec merge = function
+    | [] -> []
+    | [ m ] -> if is_zero_coeff m.c then [] else [ m ]
+    | m :: m' :: rest ->
+      if compare_atoms m.atoms m'.atoms = 0 then
+        merge ({ m with c = cadd m.c m'.c } :: rest)
+      else if is_zero_coeff m.c then merge (m' :: rest)
+      else m :: merge (m' :: rest)
+  in
+  merge sorted
+
+let max_monomials = 512
+
+let padd (p : poly) (q : poly) : poly =
+  let r = collect (p @ q) in
+  if List.length r > max_monomials then raise Poly_bail;
+  r
+
+let pneg (p : poly) : poly = List.map (fun m -> { m with c = cneg m.c }) p
+
+let pmul (p : poly) (q : poly) : poly =
+  if List.length p * List.length q > max_monomials then raise Poly_bail;
+  let r =
+    collect
+      (List.concat_map
+         (fun m ->
+           List.map
+             (fun m' ->
+               {
+                 c = cmul m.c m'.c;
+                 atoms = List.merge compare_atom m.atoms m'.atoms;
+               })
+             q)
+         p)
+  in
+  if List.length r > max_monomials then raise Poly_bail;
+  r
+
+let const_poly c = if c = 0. then [] else [ { c = point c; atoms = [] } ]
+
+(* Real semantics of each DAG node as a polynomial (memoized on node id:
+   the hash-consed DAG guarantees shared subterms of the target and
+   rewrite reach physically equal polynomials, so [compare_poly]'s
+   pointer shortcut keeps cancellation cheap). *)
+let poly_of_dag dag =
+  let memo = Array.make dag.count None in
+  let rec go id =
+    match memo.(id) with
+    | Some p -> p
+    | None ->
+      let p =
+        match dag.nodes.(id) with
+        | NConst c -> const_poly c
+        | NVar k -> [ { c = point 1.; atoms = [ Avar k ] } ]
+        | NBin (Radd, _, a, b) -> padd (go a) (go b)
+        | NBin (Rsub, _, a, b) -> padd (go a) (pneg (go b))
+        | NBin (Rmul, _, a, b) -> pmul (go a) (go b)
+        | NBin (Rdiv, _, a, b) ->
+          [ { c = point 1.; atoms = [ Adiv (go a, go b) ] } ]
+        | NBin (Rmin, _, a, b) ->
+          [ { c = point 1.; atoms = [ Amin (go a, go b) ] } ]
+        | NBin (Rmax, _, a, b) ->
+          [ { c = point 1.; atoms = [ Amax (go a, go b) ] } ]
+        | NSqrt (_, a) -> [ { c = point 1.; atoms = [ Asqrt (go a) ] } ]
+        | NCvt (_, a) -> go a
+      in
+      memo.(id) <- Some p;
+      p
+  in
+  go
+
+(* Interval evaluation of a polynomial over a box, with even-power
+   tightening of repeated atoms. *)
+let rec eval_atom box = function
+  | Avar k -> box.(k)
+  | Adiv (p, q) -> Interval.div (eval_poly box p) (eval_poly box q)
+  | Asqrt p -> Interval.sqrt_itv (eval_poly box p)
+  | Amin (p, q) -> imin (eval_poly box p) (eval_poly box q)
+  | Amax (p, q) -> imax (eval_poly box p) (eval_poly box q)
+
+and pow_itv (i : Interval.itv) k =
+  if k = 1 then i
+  else if Interval.is_top i then i
+  else begin
+    let k' = float_of_int k in
+    let m = Interval.mag i in
+    let hi = Fp64.succ (Float.pow m k') in
+    let lo_mag = Float.min (Float.abs i.Interval.lo) (Float.abs i.Interval.hi) in
+    if k mod 2 = 0 then
+      Interval.make
+        (if Interval.contains i 0. then 0. else Fp64.pred (Float.pow lo_mag k'))
+        hi
+    else begin
+      (* odd power preserves sign *)
+      let lo = Fp64.pred (Float.pow i.Interval.lo k') in
+      let hi' = Fp64.succ (Float.pow i.Interval.hi k') in
+      Interval.make lo hi'
+    end
+  end
+
+and eval_poly box (p : poly) : Interval.itv =
+  List.fold_left
+    (fun acc (m : monomial) ->
+      let rec factors = function
+        | [] -> point 1.
+        | a :: rest ->
+          let same, rest' = List.partition (fun a' -> compare_atom a a' = 0) rest in
+          Interval.mul
+            (pow_itv (eval_atom box a) (1 + List.length same))
+            (factors rest')
+      in
+      Interval.add acc (Interval.mul m.c (factors m.atoms)))
+    zero p
+
+(* ----- the full analysis ----- *)
+
+type output_case = {
+  t_root : int;
+  r_root : int;
+  single : bool;
+  diff_poly : poly option;  (** None: expansion bailed; use interval diff *)
+}
+
+let build (spec : Sandbox.Spec.t) ~rewrite =
+  match
+    ( Symbolic.exec spec spec.Sandbox.Spec.program,
+      Symbolic.exec spec rewrite )
+  with
+  | Error e, _ -> Error (Printf.sprintf "target not analyzable: %s" e)
+  | _, Error e -> Error (Printf.sprintf "rewrite not analyzable: %s" e)
+  | Ok t_terms, Ok r_terms ->
+    (try
+       let dag = create_dag () in
+       let cases =
+         Array.to_list
+           (Array.mapi
+              (fun idx t_term ->
+                let t_root = root_of dag spec idx t_term in
+                let r_root = root_of dag spec idx r_terms.(idx) in
+                (idx, t_root, r_root))
+              t_terms)
+       in
+       let poly = poly_of_dag dag in
+       let cases =
+         List.map
+           (fun (idx, t_root, r_root) ->
+             let diff_poly =
+               if t_root = r_root then Some []
+               else
+                 try Some (padd (poly t_root) (pneg (poly r_root)))
+                 with Poly_bail -> None
+             in
+             {
+               t_root;
+               r_root;
+               single = Interval.single_output spec idx;
+               diff_poly;
+             })
+           cases
+       in
+       Ok (dag, cases)
+     with Not_representable msg -> Error msg)
+
+let box_of_spec dag (spec : Sandbox.Spec.t) =
+  let env = Interval.env_of_spec spec in
+  let names = Array.of_list (List.rev dag.var_names) in
+  Array.map
+    (fun name ->
+      match env name with
+      | Some i -> i
+      | None -> fail "unconstrained input %s" name)
+    names
+
+let bound ?(config = default_config) (spec : Sandbox.Spec.t) ~rewrite =
+  match build spec ~rewrite with
+  | Error e -> Error e
+  | Ok (dag, cases) ->
+    (try
+       let box0 = box_of_spec dag spec in
+       (* Fixed per-output ULP units from the full-box target range keep
+          the branch-and-bound objective inclusion-monotone. *)
+       let f0 = forward dag box0 in
+       let target_range =
+         List.fold_left
+           (fun acc c -> Interval.hull acc f0.jv.(c.t_root))
+           (match cases with
+            | [] -> zero
+            | c :: _ -> f0.jv.(c.t_root))
+           cases
+       in
+       let units =
+         List.map
+           (fun c ->
+             Interval.ulp_size_at
+               (Interval.mag f0.jv.(c.t_root))
+               ~single:c.single)
+           cases
+       in
+       let live = List.exists (fun c -> c.t_root <> c.r_root) cases in
+       if not live then
+         Ok
+           {
+             sound_ulps = 0.;
+             observed_ulps = None;
+             proved_real_equal = true;
+             target_range;
+             boxes_explored = 0;
+             depth = 0;
+           }
+       else begin
+         let objective box =
+           let f = forward dag box in
+           List.fold_left2
+             (fun acc c unit_ ->
+               if c.t_root = c.r_root then acc
+               else begin
+                 let adj_t = adjoints dag f c.t_root in
+                 let adj_r = adjoints dag f c.r_root in
+                 let round_off = ref 0. in
+                 for id = 0 to dag.count - 1 do
+                   if f.eb.(id) > 0. then begin
+                     let d = Interval.sub adj_t.(id) adj_r.(id) in
+                     round_off :=
+                       !round_off +. (Interval.mag d *. f.eb.(id))
+                   end
+                 done;
+                 let real_diff =
+                   match c.diff_poly with
+                   | Some p -> Interval.mag (eval_poly box p)
+                   | None ->
+                     Interval.mag (Interval.sub f.raw.(c.t_root) f.raw.(c.r_root))
+                 in
+                 Stdlib.max acc ((!round_off +. real_diff) /. unit_)
+               end)
+             0. cases units
+         in
+         let sup, stats = Bbound.maximize config ~f:objective ~box:box0 in
+         let proved_real_equal =
+           List.for_all
+             (fun c ->
+               c.t_root = c.r_root || c.diff_poly = Some [])
+             cases
+         in
+         Ok
+           {
+             sound_ulps = sup;
+             observed_ulps = None;
+             proved_real_equal;
+             target_range;
+             boxes_explored = stats.Bbound.boxes_explored;
+             depth = stats.Bbound.depth;
+           }
+       end
+     with Not_representable msg -> Error msg)

@@ -1181,6 +1181,54 @@ let frontier_tests =
         Alcotest.(check int)
           "one frontier_demote event per demotion"
           fr.Search.Frontier.demotions demote_events);
+    Alcotest.test_case "sound prover promotes without validation budget" `Quick
+      (fun () ->
+        let proposals = 3_000 and seed = 11L in
+        let tests = Stoke.make_tests ~n:16 ~seed spec in
+        let cfg = frontier_cfg ~proposals ~seed () in
+        (* a prover that certifies everything with bound 0: every point
+           must be settled by promotion, and the refuting validator must
+           never be consulted *)
+        let prove_all ~eta:_ _rewrite =
+          Some
+            { Search.Frontier.sound_ulps = 0.; boxes_explored = 1; depth = 0 }
+        in
+        let refute_all ~eta:_ _rewrite =
+          Alcotest.fail "validator consulted despite a sound proof"
+        in
+        let sink = Obs.Sink.memory () in
+        let fr =
+          Search.Frontier.run ~obs:sink ~validator:refute_all
+            ~prover:prove_all ~tests ~etas cfg spec
+        in
+        Alcotest.(check int)
+          "every point promoted" (List.length fr.Search.Frontier.points)
+          fr.Search.Frontier.promotions;
+        List.iter
+          (fun (p : Search.Frontier.point) ->
+            Alcotest.(check (option int64))
+              "certified bound stands in for the validated error" (Some 0L)
+              p.Search.Frontier.validated_err)
+          fr.Search.Frontier.points;
+        let promo_events =
+          List.length
+            (List.filter
+               (fun (e : Obs.Sink.event) ->
+                 e.Obs.Sink.name = "sound_promotion")
+               (Obs.Sink.drain sink))
+        in
+        Alcotest.(check int)
+          "one sound_promotion event per promotion"
+          fr.Search.Frontier.promotions promo_events;
+        (* and with the prover absent the same run still validates *)
+        let cold = Search.Frontier.run ~tests ~etas cfg spec in
+        List.iter2
+          (fun (a : Search.Frontier.point) (b : Search.Frontier.point) ->
+            Alcotest.(check bool)
+              "prover does not change the winner" true
+              (Program.equal a.Search.Frontier.rewrite
+                 b.Search.Frontier.rewrite))
+          fr.Search.Frontier.points cold.Search.Frontier.points);
     Alcotest.test_case "snapshot round-trips through JSON" `Quick (fun () ->
         let proposals = 3_000 and seed = 11L in
         let tests = Stoke.make_tests ~n:16 ~seed spec in

@@ -194,6 +194,54 @@ let refined_tests =
             (r.Stoke.counterexamples >= 1));
   ]
 
+let frontier_tests =
+  [
+    Alcotest.test_case "sound promotion certifies points, cold run unchanged"
+      `Slow (fun () ->
+        let spec = Kernels.Aek_kernels.add_spec in
+        let etas = [ 0L; Ulp.of_float 1e6 ] in
+        let validation =
+          {
+            Validate.Driver.default_config with
+            Validate.Driver.max_proposals = 10_000;
+            min_samples = 2_000;
+            check_every = 2_000;
+          }
+        in
+        let run sound_promote =
+          Stoke.frontier ~config:(small_config 20_000) ~validation ~etas
+            ~tests:16 ~warm:false ~sound_promote ~seed:11L spec
+        in
+        let promoted = run true in
+        (* add's rewrites verify bitwise, so the static prover must settle
+           at least one point without spending MCMC validation budget *)
+        Alcotest.(check bool)
+          (Printf.sprintf "promotions %d >= 1"
+             promoted.Search.Frontier.promotions)
+          true
+          (promoted.Search.Frontier.promotions >= 1);
+        let plain = run false in
+        Alcotest.(check int) "no promotions when disabled" 0
+          plain.Search.Frontier.promotions;
+        let plain' = run false in
+        List.iter2
+          (fun (a : Search.Frontier.point) (b : Search.Frontier.point) ->
+            Alcotest.(check bool)
+              "disabled runs are bit-identical" true
+              (Program.equal a.Search.Frontier.rewrite
+                 b.Search.Frontier.rewrite))
+          plain.Search.Frontier.points plain'.Search.Frontier.points;
+        (* the prover only changes how points are certified, not which
+           rewrites win the searches *)
+        List.iter2
+          (fun (a : Search.Frontier.point) (b : Search.Frontier.point) ->
+            Alcotest.(check bool)
+              "same winners either way" true
+              (Program.equal a.Search.Frontier.rewrite
+                 b.Search.Frontier.rewrite))
+          promoted.Search.Frontier.points plain.Search.Frontier.points);
+  ]
+
 let () =
   Alcotest.run "stoke"
     [
@@ -203,4 +251,5 @@ let () =
       ("sweep", sweep_tests);
       ("error-curve", error_curve_tests);
       ("refined", refined_tests);
+      ("frontier", frontier_tests);
     ]

@@ -79,12 +79,28 @@ let symbolic_tests =
         with
         | Ok b -> Alcotest.(check bool) "reassociated" false b
         | Error e -> Alcotest.failf "not analyzable: %s" e);
-    Alcotest.test_case "bit-manipulating kernels abort analysis" `Quick (fun () ->
-        (* libimf log extracts exponent bits — beyond the fragment *)
-        match
-          Verify.Symbolic.exec Kernels.Libimf.log_spec
-            Kernels.Libimf.log_spec.Sandbox.Spec.program
-        with
+    Alcotest.test_case "bit-manipulating kernels execute symbolically" `Quick
+      (fun () ->
+        (* libimf log extracts exponent bits with shifts, logicals, and
+           int<->float converts — all interpreted now, so self-pairs
+           prove bit-wise equivalent *)
+        List.iter
+          (fun (name, (spec : Sandbox.Spec.t)) ->
+            match
+              Verify.Symbolic.equivalent spec
+                ~rewrite:spec.Sandbox.Spec.program
+            with
+            | Ok b -> Alcotest.(check bool) name true b
+            | Error e -> Alcotest.failf "%s: %s" name e)
+          [ ("log", Kernels.Libimf.log_spec);
+            ("exp", Kernels.Libimf.exp_spec);
+            ("s3d_exp", Kernels.S3d.exp_spec) ]);
+    Alcotest.test_case "flag-dependent instructions abort analysis" `Quick
+      (fun () ->
+        let p =
+          Parser.parse_program_exn "ucomisd xmm1, xmm0\naddsd xmm1, xmm0"
+        in
+        match Verify.Symbolic.exec Kernels.Libimf.sin_spec p with
         | Ok _ -> Alcotest.fail "expected unsupported"
         | Error _ -> ());
     Alcotest.test_case "add rewrite differs only in dead lanes" `Quick (fun () ->
@@ -159,7 +175,249 @@ let interval_tests =
         with
         | Ok _ -> Alcotest.fail "expected failure"
         | Error _ -> ());
+    Alcotest.test_case "f32 ops widen on the binary32 grid (regression)" `Quick
+      (fun () ->
+        (* 1.0 +. 2^-24 rounds to 1.0 in binary32 (tie to even), a full
+           f32-ulp below the exact sum.  The old double-ulp widening
+           produced an interval a binary64 ulp wide around the exact sum,
+           which does NOT contain the value the hardware computes. *)
+        let p x = Verify.Interval.make x x in
+        let tie = Float.pow 2. (-24.) in
+        let hw =
+          Int32.float_of_bits (Int32.bits_of_float (1.0 +. tie))
+        in
+        Alcotest.(check (float 0.)) "hardware rounds the tie to 1.0" 1.0 hw;
+        let r = Verify.Interval.add32 (p 1.0) (p tie) in
+        Alcotest.(check bool)
+          (Printf.sprintf "[%h, %h] contains %h" r.Verify.Interval.lo
+             r.Verify.Interval.hi hw)
+          true
+          (Verify.Interval.contains r hw);
+        (* sanity: double-ulp widening around the exact sum indeed misses
+           the hardware result, i.e. this test pins a real bug *)
+        let exact = 1.0 +. tie in
+        Alcotest.(check bool)
+          "binary64 widening would be unsound" true
+          (Fp64.pred exact > hw);
+        (* and the binary64 variant still widens on the binary64 grid *)
+        let r64 = Verify.Interval.add (p 1.0) (p tie) in
+        Alcotest.(check bool)
+          "f64 interval stays tight" true
+          (not (Verify.Interval.contains r64 hw)));
   ]
+
+(* ----- Taylor-form round-off bounds ----- *)
+
+(* Deterministic branch-and-bound: budget by boxes, never by wall clock. *)
+let det_config =
+  { Verify.Bbound.default_config with Verify.Bbound.timeout_s = 0. }
+
+(* Largest absolute output difference between target and rewrite on one
+   input vector, by running both programs in the sandbox. *)
+let observed_abs_error (spec : Sandbox.Spec.t) rewrite xs =
+  let tc = Sandbox.Spec.testcase_of_floats spec xs in
+  let run p =
+    let m, r =
+      Sandbox.Exec.run_testcase ~mem_size:spec.Sandbox.Spec.mem_size p tc
+    in
+    (match r.Sandbox.Exec.outcome with
+     | Sandbox.Exec.Finished -> ()
+     | Sandbox.Exec.Faulted _ -> Alcotest.fail "program faulted");
+    Sandbox.Spec.read_outputs spec m
+  in
+  let vt = run spec.Sandbox.Spec.program and vr = run rewrite in
+  let worst = ref 0. in
+  Array.iter2
+    (fun a b ->
+      match a, b with
+      | Sandbox.Spec.Vf64 x, Sandbox.Spec.Vf64 y
+      | Sandbox.Spec.Vf32 x, Sandbox.Spec.Vf32 y ->
+        worst := Float.max !worst (Float.abs (x -. y))
+      | _ -> Alcotest.fail "output type mismatch")
+    vt vr;
+  !worst
+
+(* The sound bound back in absolute terms, using the same unit the
+   analysis divided by. *)
+let sound_abs_of (spec : Sandbox.Spec.t) (a : Verify.Taylor.analysis) =
+  let single =
+    List.exists
+      (fun o ->
+        match o with
+        | Sandbox.Spec.Out_xmm_f32 _ | Sandbox.Spec.Out_xmm_f32_hi _ -> true
+        | _ -> false)
+      spec.Sandbox.Spec.outputs
+  in
+  a.Verify.Taylor.sound_ulps
+  *. Verify.Interval.ulp_size_at
+       (Verify.Interval.mag a.Verify.Taylor.target_range)
+       ~single
+
+let check_sound_on_samples ?(n = 200) name spec rewrite =
+  match Verify.Taylor.bound ~config:det_config spec ~rewrite with
+  | Error e -> Alcotest.failf "%s: not analyzable: %s" name e
+  | Ok a ->
+    let sound_abs = sound_abs_of spec a in
+    let g = Rng.Xoshiro256.create 42L in
+    for _ = 1 to n do
+      let xs = Sandbox.Spec.random_floats g spec in
+      let obs = observed_abs_error spec rewrite xs in
+      if obs > sound_abs then
+        Alcotest.failf "%s: observed |diff| %h exceeds sound bound %h" name
+          obs sound_abs
+    done
+
+let taylor_tests =
+  [
+    Alcotest.test_case "identical programs prove real-equal with bound 0" `Quick
+      (fun () ->
+        match
+          Verify.Taylor.bound ~config:det_config delta_spec
+            ~rewrite:delta_spec.Sandbox.Spec.program
+        with
+        | Error e -> Alcotest.failf "not analyzable: %s" e
+        | Ok a ->
+          Alcotest.(check (float 0.)) "zero" 0. a.Verify.Taylor.sound_ulps;
+          Alcotest.(check bool) "real-equal" true
+            a.Verify.Taylor.proved_real_equal);
+    Alcotest.test_case "sin reassociation: tight bound, >= 10x over interval"
+      `Quick (fun () ->
+        let spec = Kernels.Libimf.sin_spec in
+        let rewrite = Kernels.Libimf.sin_assoc_rewrite in
+        match
+          ( Verify.Taylor.bound ~config:det_config spec ~rewrite,
+            Verify.Interval.static_ulp_bound spec ~rewrite )
+        with
+        | Error e, _ -> Alcotest.failf "taylor: %s" e
+        | _, Error e -> Alcotest.failf "interval: %s" e
+        | Ok t, Ok i ->
+          Alcotest.(check bool)
+            "reassociation cancels in the polynomial normal form" true
+            t.Verify.Taylor.proved_real_equal;
+          Alcotest.(check bool)
+            (Printf.sprintf "taylor %.3g ULPs is a handful"
+               t.Verify.Taylor.sound_ulps)
+            true
+            (t.Verify.Taylor.sound_ulps < 10.);
+          Alcotest.(check bool)
+            (Printf.sprintf "taylor %.3g at least 10x tighter than interval %.3g"
+               t.Verify.Taylor.sound_ulps i.Verify.Interval.bound_ulps)
+            true
+            (t.Verify.Taylor.sound_ulps *. 10. <= i.Verify.Interval.bound_ulps));
+    Alcotest.test_case "delta rewrite: finite bound, tighter than interval"
+      `Quick (fun () ->
+        match
+          ( Verify.Taylor.bound ~config:det_config delta_spec
+              ~rewrite:Kernels.Aek_kernels.delta_rewrite,
+            Verify.Interval.static_ulp_bound delta_spec
+              ~rewrite:Kernels.Aek_kernels.delta_rewrite )
+        with
+        | Error e, _ -> Alcotest.failf "taylor: %s" e
+        | _, Error e -> Alcotest.failf "interval: %s" e
+        | Ok t, Ok i ->
+          Alcotest.(check bool)
+            (Printf.sprintf "finite (%.3g)" t.Verify.Taylor.sound_ulps)
+            true
+            (Float.is_finite t.Verify.Taylor.sound_ulps);
+          Alcotest.(check bool)
+            (Printf.sprintf "taylor %.3g at least 10x tighter than interval %.3g"
+               t.Verify.Taylor.sound_ulps i.Verify.Interval.bound_ulps)
+            true
+            (t.Verify.Taylor.sound_ulps *. 10. <= i.Verify.Interval.bound_ulps));
+    Alcotest.test_case "observed error never exceeds the sound bound" `Quick
+      (fun () ->
+        check_sound_on_samples "sin_assoc" Kernels.Libimf.sin_spec
+          Kernels.Libimf.sin_assoc_rewrite;
+        check_sound_on_samples "delta" delta_spec
+          Kernels.Aek_kernels.delta_rewrite);
+    Alcotest.test_case "deeper branch-and-bound never loosens the bound"
+      `Quick (fun () ->
+        let bound_at depth =
+          match
+            Verify.Taylor.bound
+              ~config:{ det_config with Verify.Bbound.max_depth = depth }
+              Kernels.Libimf.sin_spec ~rewrite:Kernels.Libimf.sin_assoc_rewrite
+          with
+          | Ok a -> a.Verify.Taylor.sound_ulps
+          | Error e -> Alcotest.failf "depth %d: %s" depth e
+        in
+        let bounds = List.map bound_at [ 0; 2; 4; 8; 12 ] in
+        let rec check_monotone = function
+          | a :: (b :: _ as rest) ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%.6g >= %.6g" a b)
+              true (a >= b);
+            check_monotone rest
+          | _ -> ()
+        in
+        check_monotone bounds;
+        (* and subdivision actually buys something on this kernel *)
+        Alcotest.(check bool) "depth tightened the root bound" true
+          (List.nth bounds 4 < List.hd bounds));
+    Alcotest.test_case "bit-level float flow defeats the Taylor tier" `Quick
+      (fun () ->
+        match
+          Verify.Taylor.bound Kernels.Libimf.log_spec
+            ~rewrite:Kernels.Libimf.log_spec.Sandbox.Spec.program
+        with
+        | Ok _ -> Alcotest.fail "expected failure"
+        | Error _ -> ());
+  ]
+
+(* Random Horner-polynomial pairs: the target evaluates a random
+   polynomial, the rewrite drops its lowest-order term, and the sound
+   bounds of BOTH numeric analyses must cover the error actually observed
+   on random inputs — the end-to-end soundness harness. *)
+let prop_taylor_sound_random_programs =
+  let open QCheck in
+  let coeff = float_range (-2.) 2. in
+  let gen = pair (list_of_size (Gen.int_range 2 5) coeff) (float_range 0.25 4.) in
+  Test.make ~name:"taylor and interval bounds cover sampled error" ~count:30
+    gen (fun (coeffs, half_range) ->
+      QCheck.assume (List.length coeffs >= 2);
+      QCheck.assume (List.for_all (fun c -> Float.abs c > 1e-6) coeffs);
+      let x = Reg.Xmm0 and acc = Reg.Xmm1 and tmp = Reg.Xmm2 in
+      let via = Reg.Rax in
+      let horner cs =
+        Kernels.Builder.program
+          [
+            Kernels.Builder.horner_f64 ~x ~acc ~tmp ~via cs;
+            [ Kernels.Builder.binop Opcode.Movsd (Kernels.Builder.xmm acc)
+                (Kernels.Builder.xmm x) ];
+          ]
+      in
+      let target = horner coeffs in
+      let rewrite = horner (List.filteri (fun i _ -> i > 0) coeffs) in
+      let spec =
+        Sandbox.Spec.make ~name:"randpoly" ~program:target
+          ~float_inputs:
+            [ Sandbox.Spec.Fin_xmm_f64
+                (x, { Sandbox.Spec.lo = -.half_range; hi = half_range }) ]
+          ~outputs:[ Sandbox.Spec.Out_xmm_f64 x ]
+          ()
+      in
+      let sound_abs =
+        match Verify.Taylor.bound ~config:det_config spec ~rewrite with
+        | Ok a -> sound_abs_of spec a
+        | Error e -> Test.fail_reportf "taylor: %s" e
+      in
+      let interval_abs =
+        match Verify.Interval.static_ulp_bound spec ~rewrite with
+        | Ok a ->
+          a.Verify.Interval.bound_ulps
+          *. Verify.Interval.ulp_size_at
+               (Verify.Interval.mag a.Verify.Interval.target_range)
+               ~single:false
+        | Error e -> Test.fail_reportf "interval: %s" e
+      in
+      let g = Rng.Xoshiro256.create 7L in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        let xs = Sandbox.Spec.random_floats g spec in
+        let obs = observed_abs_error spec rewrite xs in
+        if obs > sound_abs || obs > interval_abs then ok := false
+      done;
+      !ok)
 
 (* soundness property: for random concrete points inside the operand
    intervals, the concrete result lies inside the abstract result *)
@@ -191,7 +449,55 @@ let prop_symbolic_agrees_with_interpreter =
 
 let props =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_interval_sound; prop_symbolic_agrees_with_interpreter ]
+    [
+      prop_interval_sound;
+      prop_symbolic_agrees_with_interpreter;
+      prop_taylor_sound_random_programs;
+    ]
+
+(* ----- FPCore export ----- *)
+
+let fpcore_tests =
+  [
+    Alcotest.test_case "sin pair exports a well-formed difference" `Quick
+      (fun () ->
+        match
+          Verify.Fpcore.difference Kernels.Libimf.sin_spec
+            ~rewrite:Kernels.Libimf.sin_assoc_rewrite
+        with
+        | Error e -> Alcotest.failf "export failed: %s" e
+        | Ok s ->
+          let contains needle =
+            let nl = String.length needle and sl = String.length s in
+            let rec go i = i + nl <= sl && (String.sub s i nl = needle || go (i + 1)) in
+            go 0
+          in
+          Alcotest.(check bool) "FPCore header" true (contains "(FPCore");
+          Alcotest.(check bool) "precision annotation" true
+            (contains ":precision binary64");
+          Alcotest.(check bool) "input range precondition" true (contains ":pre"));
+    Alcotest.test_case "identical terms export the zero difference" `Quick
+      (fun () ->
+        match
+          Verify.Fpcore.difference dot_spec
+            ~rewrite:Kernels.Aek_kernels.dot_rewrite
+        with
+        | Error e -> Alcotest.failf "export failed: %s" e
+        | Ok s ->
+          let contains needle =
+            let nl = String.length needle and sl = String.length s in
+            let rec go i = i + nl <= sl && (String.sub s i nl = needle || go (i + 1)) in
+            go 0
+          in
+          Alcotest.(check bool) "body is the literal zero" true (contains " 0)"));
+    Alcotest.test_case "bit-level kernels are not exportable" `Quick (fun () ->
+        match
+          Verify.Fpcore.difference Kernels.Libimf.log_spec
+            ~rewrite:Kernels.Libimf.log_spec.Sandbox.Spec.program
+        with
+        | Ok _ -> Alcotest.fail "expected Not_exportable"
+        | Error _ -> ());
+  ]
 
 let verifier_tests =
   [
@@ -201,18 +507,38 @@ let verifier_tests =
         with
         | Verify.Verifier.Proved_bitwise -> ()
         | o -> Alcotest.failf "unexpected: %s" (Verify.Verifier.outcome_to_string o));
-    Alcotest.test_case "dispatch bounds delta statically" `Quick (fun () ->
+    Alcotest.test_case "dispatch bounds delta with the Taylor tier" `Quick
+      (fun () ->
         match
           Verify.Verifier.check delta_spec ~rewrite:Kernels.Aek_kernels.delta_rewrite
             ~eta:0L
         with
-        | Verify.Verifier.Static_bound _ -> ()
+        | Verify.Verifier.Taylor_bound a ->
+          (* min-clamped against the interval tier: never looser *)
+          (match
+             Verify.Interval.static_ulp_bound delta_spec
+               ~rewrite:Kernels.Aek_kernels.delta_rewrite
+           with
+           | Error e -> Alcotest.failf "interval tier: %s" e
+           | Ok i ->
+             Alcotest.(check bool)
+               (Printf.sprintf "taylor %.3g <= interval %.3g"
+                  a.Verify.Taylor.sound_ulps i.Verify.Interval.bound_ulps)
+               true
+               (a.Verify.Taylor.sound_ulps <= i.Verify.Interval.bound_ulps))
         | o -> Alcotest.failf "unexpected: %s" (Verify.Verifier.outcome_to_string o));
-    Alcotest.test_case "dispatch gives up on libimf kernels" `Quick (fun () ->
+    Alcotest.test_case "dispatch proves libimf self-pairs bitwise" `Quick (fun () ->
         match
           Verify.Verifier.check Kernels.Libimf.log_spec
             ~rewrite:Kernels.Libimf.log_spec.Sandbox.Spec.program ~eta:0L
         with
+        | Verify.Verifier.Proved_bitwise -> ()
+        | o -> Alcotest.failf "unexpected: %s" (Verify.Verifier.outcome_to_string o));
+    Alcotest.test_case "dispatch gives up outside the fragment" `Quick (fun () ->
+        let p =
+          Parser.parse_program_exn "ucomisd xmm1, xmm0\naddsd xmm1, xmm0"
+        in
+        match Verify.Verifier.check Kernels.Libimf.sin_spec ~rewrite:p ~eta:0L with
         | Verify.Verifier.Not_verifiable _ -> ()
         | o -> Alcotest.failf "unexpected: %s" (Verify.Verifier.outcome_to_string o));
     Alcotest.test_case "verified_within semantics" `Quick (fun () ->
@@ -230,6 +556,8 @@ let () =
       ("terms", term_tests);
       ("symbolic", symbolic_tests);
       ("interval", interval_tests);
+      ("taylor", taylor_tests);
       ("verifier", verifier_tests);
+      ("fpcore", fpcore_tests);
       ("properties", props);
     ]
