@@ -1,0 +1,17 @@
+let () =
+  Printf.printf "Fp64.succ inf = %h\n" (Fpbits.Fp64.succ Float.infinity);
+  Printf.printf "Fp32.succ inf = %h\n" (Fpbits.Fp32.succ Float.infinity);
+  Printf.printf "Ulp.of_float nan = %Ld\n" (Fpbits.Ulp.of_float Float.nan);
+  Printf.printf "compare (of_float nan) 5 = %d\n"
+    (Fpbits.Ulp.compare (Fpbits.Ulp.of_float Float.nan) 5L);
+  (* interval sub that overflows: hi endpoint inf pre-inflate *)
+  let a = Verify.Interval.make 0. 1.7e308 in
+  let b = Verify.Interval.make (-1.7e308) 0. in
+  let d = Verify.Interval.sub a b in
+  Printf.printf "sub hi = %h, lo = %h, is_top=%b\n" d.Verify.Interval.hi
+    d.Verify.Interval.lo (Verify.Interval.is_top d);
+  Printf.printf "mag = %h\n" (Verify.Interval.mag d);
+  (* f32 overflow: mulss of big ranges *)
+  let x = Verify.Interval.make 1e20 1e21 in
+  let m = Verify.Interval.mul32 x x in
+  Printf.printf "mul32 hi = %h lo = %h\n" m.Verify.Interval.hi m.Verify.Interval.lo
