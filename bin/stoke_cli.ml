@@ -1326,6 +1326,198 @@ let diffusion_cmd =
     (Cmd.info "diffusion" ~doc:"Run the S3D diffusion leaf task")
     Term.(const run $ rewrite_file_arg)
 
+(* ----- serve ----- *)
+
+let socket_arg =
+  let doc = "Unix-domain socket path the daemon listens on." in
+  Arg.(
+    value
+    & opt string "/tmp/stoke.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let serve_cmd =
+  let run socket state_dir workers max_queue deadline checkpoint_every
+      max_domains trace_out =
+    let log = make_sink ~trace_out ~progress:None in
+    let cfg =
+      {
+        (Serve.Server.default_config ~socket_path:socket ~state_dir
+           ~kernels:kernel_registry)
+        with
+        Serve.Server.workers;
+        max_queue;
+        default_deadline_s = deadline;
+        checkpoint_every_s = checkpoint_every;
+        max_domains;
+        log;
+      }
+    in
+    Fun.protect
+      ~finally:(fun () -> Obs.Sink.close log)
+      (fun () ->
+        Serve.Server.run
+          ~on_ready:(fun srv ->
+            let stop _ = Serve.Server.shutdown srv in
+            Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+            Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+            Printf.eprintf "stoke serve: listening on %s (state in %s)\n%!"
+              socket state_dir)
+          cfg)
+  in
+  let state_dir_arg =
+    Arg.(
+      value
+      & opt string "/tmp/stoke-serve"
+      & info [ "state-dir" ] ~docv:"DIR"
+          ~doc:
+            "Durable job state: per-job checkpoints and memoized results \
+             live here and survive daemon restarts.")
+  in
+  let workers_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Concurrent jobs (each may use several search domains).")
+  in
+  let max_queue_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:"Admission bound; jobs beyond it are rejected, not queued.")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "default-deadline" ] ~docv:"SECS"
+          ~doc:"Deadline for jobs that do not carry their own.")
+  in
+  let checkpoint_every_arg =
+    Arg.(
+      value & opt float 10.
+      & info [ "checkpoint-every" ] ~docv:"SECS"
+          ~doc:"Snapshot cadence for running jobs (default 10).")
+  in
+  let max_domains_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "max-domains" ] ~docv:"N"
+          ~doc:"Cap on the search domains any one job may request.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the persistent search daemon (Unix-domain socket, durable \
+          job state, cross-job result memoization)")
+    Term.(
+      const run $ socket_arg $ state_dir_arg $ workers_arg $ max_queue_arg
+      $ deadline_arg $ checkpoint_every_arg $ max_domains_arg
+      $ trace_out_arg)
+
+(* ----- submit ----- *)
+
+let submit_cmd =
+  let run socket op kernel eta etas proposals seed domains deadline
+      rewrite_file tenant quiet =
+    let action =
+      match op with
+      | "ping" -> Serve.Protocol.Ping
+      | "shutdown" -> Serve.Protocol.Shutdown
+      | "optimize" ->
+        Serve.Protocol.Optimize { eta; proposals; seed; domains }
+      | "frontier" ->
+        let etas =
+          match etas with
+          | [] -> List.map Ulp.to_float Stoke.default_etas
+          | es -> es
+        in
+        Serve.Protocol.Frontier { etas; proposals; seed }
+      | "validate" -> (
+        match rewrite_file with
+        | None -> exit_err "validate needs --rewrite FILE"
+        | Some path ->
+          let ic = open_in path in
+          let text =
+            Fun.protect
+              ~finally:(fun () -> close_in_noerr ic)
+              (fun () -> really_input_string ic (in_channel_length ic))
+          in
+          Serve.Protocol.Validate { eta; rewrite = text; seed })
+      | other -> exit_err (Printf.sprintf "unknown op %S" other)
+    in
+    let req =
+      {
+        Serve.Protocol.kernel;
+        tenant;
+        deadline_s = deadline;
+        action;
+      }
+    in
+    let on_event ev =
+      if not quiet then print_endline (Obs.Sink.event_to_string ev)
+    in
+    match Serve.Client.submit ~socket_path:socket ~on_event req with
+    | Error e -> exit_err e
+    | Ok terminal ->
+      if quiet then print_endline (Obs.Sink.event_to_string terminal);
+      let ok =
+        terminal.Obs.Sink.name = "pong"
+        || Serve.Client.job_status terminal = "ok"
+      in
+      exit (if ok then 0 else 1)
+  in
+  let op_arg =
+    let doc =
+      "Job type: $(b,optimize), $(b,frontier), $(b,validate), $(b,ping), \
+       or $(b,shutdown)."
+    in
+    Arg.(value & opt string "optimize" & info [ "op" ] ~docv:"OP" ~doc)
+  in
+  let kernel_opt_arg =
+    let doc = "Kernel name (see $(b,stoke list)); unused for ping/shutdown." in
+    Arg.(value & pos 0 string "" & info [] ~docv:"KERNEL" ~doc)
+  in
+  let etas_arg =
+    Arg.(
+      value
+      & opt (list float) []
+      & info [ "etas" ] ~docv:"ULPS,..."
+          ~doc:"η grid for --op frontier (defaults to the paper's grid).")
+  in
+  let domains_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Search domains to request (the server may cap this).")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECS" ~doc:"Per-job wall-clock budget.")
+  in
+  let tenant_arg =
+    Arg.(
+      value
+      & opt string Serve.Protocol.default_tenant
+      & info [ "tenant" ] ~docv:"NAME"
+          ~doc:"Fair-share group this job is accounted to.")
+  in
+  let quiet_arg =
+    Arg.(
+      value & flag
+      & info [ "quiet" ]
+          ~doc:"Print only the terminal job_end event, not the full stream.")
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:"Submit a job to a running stoke serve daemon and stream its \
+             events")
+    Term.(
+      const run $ socket_arg $ op_arg $ kernel_opt_arg $ eta_arg $ etas_arg
+      $ proposals_arg $ seed_arg $ domains_arg $ deadline_arg
+      $ rewrite_file_arg $ tenant_arg $ quiet_arg)
+
 let main =
   let info =
     Cmd.info "stoke" ~version:"1.0.0"
@@ -1334,7 +1526,7 @@ let main =
   Cmd.group info
     [
       list_cmd; show_cmd; optimize_cmd; refine_cmd; validate_cmd; verify_cmd;
-      sweep_cmd; frontier_cmd;
+      sweep_cmd; frontier_cmd; serve_cmd; submit_cmd;
       encode_cmd; disasm_cmd; lint_cmd; raytrace_cmd; diffusion_cmd;
     ]
 

@@ -4,16 +4,28 @@ type event = {
   fields : (string * Json.t) list;
 }
 
+(* Writers are serialized per sink: OCaml 5 channels lock individual
+   operations, but one event was three operations (string, newline,
+   flush), so two domains sharing a sink could interleave partial lines
+   into unparseable JSONL.  Each chan now renders the whole line first
+   and writes it under its own mutex; [Mem] appends under a mutex for the
+   same reason (list cons on a shared ref is not atomic). *)
 type chan = {
   oc : out_channel;
   close_oc : bool;
   mutable closed : bool;
+  lock : Mutex.t;
+}
+
+type mem = {
+  mutable evs : event list;  (** newest first *)
+  mem_lock : Mutex.t;
 }
 
 type t =
   | Null
   | Chan of chan
-  | Mem of event list ref
+  | Mem of mem
   | Cb of (event -> unit)
   | Tee of t * t
 
@@ -26,9 +38,11 @@ let enabled = function
   | Null -> false
   | _ -> true
 
-let of_channel ?(close = false) oc = Chan { oc; close_oc = close; closed = false }
+let of_channel ?(close = false) oc =
+  Chan { oc; close_oc = close; closed = false; lock = Mutex.create () }
+
 let to_file path = of_channel ~close:true (open_out path)
-let memory () = Mem (ref [])
+let memory () = Mem { evs = []; mem_lock = Mutex.create () }
 let callback f = Cb f
 
 let tee a b =
@@ -76,14 +90,22 @@ let event_equal a b =
 let rec deliver t ev =
   match t with
   | Null -> ()
-  | Mem buf -> buf := ev :: !buf
+  | Mem m ->
+    Mutex.lock m.mem_lock;
+    m.evs <- ev :: m.evs;
+    Mutex.unlock m.mem_lock
   | Cb f -> f ev
   | Chan c ->
-    if not c.closed then begin
-      output_string c.oc (event_to_string ev);
-      output_char c.oc '\n';
-      flush c.oc
-    end
+    (* render outside the lock — only the write is serialized *)
+    let line = event_to_string ev ^ "\n" in
+    Mutex.lock c.lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock c.lock)
+      (fun () ->
+        if not c.closed then begin
+          output_string c.oc line;
+          flush c.oc
+        end)
   | Tee (a, b) ->
     deliver a ev;
     deliver b ev
@@ -96,19 +118,25 @@ let emit t name fields =
     deliver t { name; t_ms; fields }
 
 let rec drain = function
-  | Mem buf ->
-    let evs = List.rev !buf in
-    buf := [];
+  | Mem m ->
+    Mutex.lock m.mem_lock;
+    let evs = List.rev m.evs in
+    m.evs <- [];
+    Mutex.unlock m.mem_lock;
     evs
   | Tee (a, b) -> drain a @ drain b
   | Null | Chan _ | Cb _ -> []
 
 let rec close = function
   | Chan c ->
-    if not c.closed then begin
-      c.closed <- true;
-      if c.close_oc then close_out c.oc else flush c.oc
-    end
+    Mutex.lock c.lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock c.lock)
+      (fun () ->
+        if not c.closed then begin
+          c.closed <- true;
+          if c.close_oc then close_out c.oc else flush c.oc
+        end)
   | Tee (a, b) ->
     close a;
     close b

@@ -8,8 +8,13 @@
     an instrumented search with no sink attached behaves bit-identically
     to an uninstrumented one (enforced by [test/test_obs.ml]).
 
-    Sinks are not synchronized.  Give each domain its own sink (see
-    {!Search.Parallel.run}) — never share one across domains. *)
+    File and memory sinks serialize their writes internally (one mutex
+    per sink, held only for the line write / list cons), so several
+    domains may share one sink and every emitted JSONL line stays whole.
+    Prefer a sink per domain where possible (see {!Search.Parallel.run})
+    — contention on a shared sink costs throughput, not correctness.
+    {!callback} sinks run the callback unserialized: a callback shared
+    across domains must synchronize itself. *)
 
 type event = {
   name : string;  (** e.g. ["checkpoint"], ["geweke"], ["search_end"] *)

@@ -16,17 +16,19 @@ let stop_policy_of_string s =
       (try Some (Cost_below (float_of_string rest)) with _ -> None)
     | _ -> None)
 
-type stop_reason = Exhausted | Policy_satisfied | Deadline_hit
+type stop_reason = Exhausted | Policy_satisfied | Deadline_hit | Cancelled
 
 let stop_reason_to_string = function
   | Exhausted -> "exhausted"
   | Policy_satisfied -> "policy-satisfied"
   | Deadline_hit -> "deadline"
+  | Cancelled -> "cancelled"
 
 let stop_reason_of_string = function
   | "exhausted" -> Some Exhausted
   | "policy-satisfied" -> Some Policy_satisfied
   | "deadline" -> Some Deadline_hit
+  | "cancelled" -> Some Cancelled
   | _ -> None
 
 type chain_pub = {

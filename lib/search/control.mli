@@ -42,6 +42,10 @@ type stop_reason =
   | Exhausted  (** ran the full budget (the default, also pre-stop) *)
   | Policy_satisfied
   | Deadline_hit
+  | Cancelled
+      (** an external party (e.g. a daemon shutting down or a client
+          abandoning its job) called {!request_stop}; the partial result
+          and any checkpoint remain valid for a later resume *)
 
 val stop_reason_to_string : stop_reason -> string
 val stop_reason_of_string : string -> stop_reason option

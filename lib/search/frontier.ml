@@ -244,14 +244,8 @@ let snapshot_of_json ~spec j =
   with Bad msg -> Error msg
 
 let write_snapshot ~path s =
-  let tmp = path ^ ".tmp" in
-  let oc = open_out tmp in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () ->
-      output_string oc (Obs.Json.to_string (snapshot_to_json s));
-      output_char oc '\n');
-  Sys.rename tmp path
+  Snapshot.atomic_write_string ~path
+    (Obs.Json.to_string (snapshot_to_json s) ^ "\n")
 
 let read_snapshot ~spec ~path =
   match
@@ -457,6 +451,57 @@ let run ?(obs = Obs.Sink.null) ?validator ?prover ?on_point ?checkpoint
        let last = List.nth ps (List.length ps - 1) in
        seed_prog := last.rewrite;
        seed_validated := last.validated_err);
+    (* A counterexample found at a looser η refutes more than the current
+       candidate: an earlier settled point was validated against a test
+       set that never contained this input, so its bound may be just as
+       fictional.  Re-check every settled rewrite on the new input at its
+       own η and evict the refuted ones back to the target (exact by
+       construction) — hardening only later points would leave the
+       frontier carrying points a known input disproves. *)
+    let backprop xs =
+      let tc = [| Sandbox.Spec.testcase_of_floats spec xs |] in
+      let changed = ref false in
+      points_rev :=
+        List.map
+          (fun (p : point) ->
+            if Program.equal p.rewrite target then p
+            else begin
+              let ctx =
+                Cost.create ~use_cache:false
+                  ~engine:search.Optimizer.engine spec
+                  (Cost.default_params ~eta:p.eta)
+                  tc
+              in
+              if Cost.correct (Cost.eval_full ctx p.rewrite) then p
+              else begin
+                changed := true;
+                incr demotions_total;
+                if observing then
+                  Obs.Sink.emit obs "frontier_backprop"
+                    [
+                      ("eta", Obs.Json.String (Ulp.to_string p.eta));
+                      ("latency", Obs.Json.Int p.latency);
+                      ( "input",
+                        Obs.Json.List
+                          (Array.to_list
+                             (Array.map (fun x -> Obs.Json.Float x) xs)) );
+                    ];
+                mk_point ~eta:p.eta ~warm:p.warm
+                  ~proposals_used:p.proposals_used
+                  ~demotions:(p.demotions + 1) ~validated_err:(Some 0L)
+                  target
+              end
+            end)
+          !points_rev;
+      if !changed then begin
+        pareto := pareto_of (List.rev !points_rev);
+        match !points_rev with
+        | [] -> ()
+        | last :: _ ->
+          seed_prog := last.rewrite;
+          seed_validated := last.validated_err
+      end
+    in
     for idx = start_idx to n - 1 do
       let eta = walk_arr.(idx) in
       let used = ref 0 in
@@ -545,7 +590,8 @@ let run ?(obs = Obs.Sink.null) ?validator ?prover ?on_point ?checkpoint
               (match chk.counterexample with
                | Some xs ->
                  extra_tests := xs :: !extra_tests;
-                 incr tests_added
+                 incr tests_added;
+                 backprop xs
                | None -> ());
               if k >= cfg.max_demotions then begin
                 (* out of retries: fall back to the frontier incumbent

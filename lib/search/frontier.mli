@@ -14,6 +14,12 @@
     candidate whose validated error exceeds η is {e demoted} — the
     counterexample joins the test set and search resumes from the
     frontier (the still-trusted incumbent) instead of restarting cold.
+    Counterexamples also propagate {e backward}: every already-settled
+    point is re-checked on the new input at its own η, and a settled
+    rewrite the input refutes is evicted back to the target (demotions
+    count it, and a [frontier_backprop] event records it) — earlier
+    points were validated against a test set that never contained the
+    input, so their bounds deserve no more trust than the candidate's.
 
     The driver lives in [lib/search] and therefore cannot call
     [lib/validate] (dependencies point strictly downward); callers inject

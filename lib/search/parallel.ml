@@ -11,7 +11,7 @@ let better_result (a : Optimizer.result) (b : Optimizer.result) =
     else a
 
 let run ?domains ?obs ?(orch_obs = Obs.Sink.null) ?progress_every ?checkpoint
-    ?resume ?on_chain_start ~spec ~params ~tests ~config () =
+    ?resume ?on_chain_start ?control ~spec ~params ~tests ~config () =
   let n =
     match domains with
     | Some d -> Stdlib.max 1 d
@@ -28,9 +28,12 @@ let run ?domains ?obs ?(orch_obs = Obs.Sink.null) ?progress_every ?checkpoint
           s.Snapshot.fingerprint fp)
    | _ -> ());
   let control =
-    Control.create
-      ?deadline_s:config.Optimizer.deadline_s
-      ~stop_when:config.Optimizer.stop_when ~chains:n ()
+    match control with
+    | Some c -> c
+    | None ->
+      Control.create
+        ?deadline_s:config.Optimizer.deadline_s
+        ~stop_when:config.Optimizer.stop_when ~chains:n ()
   in
   let resume_pub i =
     match resume with

@@ -22,6 +22,7 @@ val run :
   ?checkpoint:string * float ->
   ?resume:Snapshot.t ->
   ?on_chain_start:(int -> unit) ->
+  ?control:Control.t ->
   spec:Sandbox.Spec.t ->
   params:Cost.params ->
   tests:Sandbox.Testcase.t array ->
@@ -67,4 +68,12 @@ val run :
     [chain_crash] events).  [progress_every] is forwarded to every chain.
 
     [on_chain_start] runs inside each domain before its optimizer starts
-    — a test hook for fault injection; treat it as part of the chain. *)
+    — a test hook for fault injection; treat it as part of the chain.
+
+    [control] substitutes a caller-owned control plane for the one [run]
+    would build from [config] — the hook a daemon uses to cancel an
+    in-flight job ({!Control.request_stop} with {!Control.Cancelled})
+    from outside the run.  The caller must create it with
+    [~chains:domains] matching this run's domain count; when given,
+    [config.stop_when] / [config.deadline_s] are read from the control
+    plane the caller built, not from [config]. *)

@@ -285,15 +285,34 @@ let parse_rng j = try Ok (rng_of_json j) with Bad m -> Error m
 
 (* ---------- I/O ---------- *)
 
+(* The tmp name must be unique per writer: a fixed [path ^ ".tmp"] lets
+   two concurrent checkpoints (two daemon jobs, or two processes sharing
+   a snapshot directory) open the same tmp file, interleave their bytes,
+   and rename a half-written or foreign image into place.  pid + a
+   process-wide counter makes the staging file private to this write;
+   the final rename is the one atomic step. *)
+let tmp_counter = Atomic.make 0
+
+let atomic_write_string ~path contents =
+  let tmp =
+    Printf.sprintf "%s.%d.%d.tmp" path (Unix.getpid ())
+      (Atomic.fetch_and_add tmp_counter 1)
+  in
+  (try
+     let oc = open_out tmp in
+     Fun.protect
+       ~finally:(fun () -> close_out_noerr oc)
+       (fun () -> output_string oc contents)
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  try Sys.rename tmp path
+  with e ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e
+
 let write ~path t =
-  let tmp = path ^ ".tmp" in
-  let oc = open_out tmp in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () ->
-      output_string oc (Obs.Json.to_string (to_json t));
-      output_char oc '\n');
-  Sys.rename tmp path
+  atomic_write_string ~path (Obs.Json.to_string (to_json t) ^ "\n")
 
 let read ~path =
   match

@@ -57,9 +57,19 @@ val parse_program : Obs.Json.t -> (Program.t, string) result
 val json_of_rng : int64 array -> Obs.Json.t
 val parse_rng : Obs.Json.t -> (int64 array, string) result
 
+val atomic_write_string : path:string -> string -> unit
+(** Write [contents] to a staging file private to this writer (pid + a
+    process-wide counter, so concurrent writers — even into the same
+    directory from several domains or processes — never share a tmp
+    name), then rename it over [path].  A reader always sees either the
+    old image or a complete new one; the staging file is removed on
+    failure.  Shared by {!write}, {!Frontier.write_snapshot}, and the
+    serve daemon's job/result files. *)
+
 val write : path:string -> t -> unit
-(** Atomic: writes [path ^ ".tmp"] then renames over [path], so a crash
-    mid-write never leaves a torn snapshot behind. *)
+(** Atomic via {!atomic_write_string}: a crash mid-write never leaves a
+    torn snapshot behind, and concurrent writers to one [path] cannot
+    corrupt each other (last rename wins whole). *)
 
 val read : path:string -> (t, string) result
 (** I/O and parse errors both land in [Error]. *)

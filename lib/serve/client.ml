@@ -1,0 +1,69 @@
+type conn = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+}
+
+let connect ~socket_path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX socket_path) with
+  | () ->
+    Ok
+      {
+        fd;
+        ic = Unix.in_channel_of_descr fd;
+        oc = Unix.out_channel_of_descr fd;
+      }
+  | exception Unix.Unix_error (e, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error
+      (Printf.sprintf "cannot connect to %s: %s" socket_path
+         (Unix.error_message e))
+
+let send conn req =
+  try
+    output_string conn.oc (Protocol.request_to_string req);
+    output_char conn.oc '\n';
+    flush conn.oc;
+    Ok ()
+  with Sys_error e | Unix.Unix_error (_, e, _) -> Error e
+
+let close conn =
+  (* oc and ic share the fd; closing the output side closes both *)
+  try close_out conn.oc with Sys_error _ | Unix.Unix_error _ -> ()
+
+let is_terminal (ev : Obs.Sink.event) =
+  match ev.Obs.Sink.name with "job_end" | "pong" -> true | _ -> false
+
+let stream ?(on_event = fun (_ : Obs.Sink.event) -> ()) conn =
+  let rec loop () =
+    match input_line conn.ic with
+    | exception (End_of_file | Sys_error _) ->
+      Error "connection closed before a terminal event"
+    | line -> (
+      match Obs.Sink.event_of_string line with
+      | Error e -> Error (Printf.sprintf "unparseable event line: %s" e)
+      | Ok ev ->
+        on_event ev;
+        if is_terminal ev then Ok ev else loop ())
+  in
+  loop ()
+
+let submit ~socket_path ?on_event req =
+  match connect ~socket_path with
+  | Error _ as e -> e
+  | Ok conn ->
+    Fun.protect
+      ~finally:(fun () -> close conn)
+      (fun () ->
+        match send conn req with
+        | Error e -> Error e
+        | Ok () -> stream ?on_event conn)
+
+let job_status (ev : Obs.Sink.event) =
+  match List.assoc_opt "status" ev.Obs.Sink.fields with
+  | Some (Obs.Json.String s) -> s
+  | _ -> "error"
+
+let job_result (ev : Obs.Sink.event) =
+  List.assoc_opt "result" ev.Obs.Sink.fields

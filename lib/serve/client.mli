@@ -1,0 +1,30 @@
+(** Client side of the serve protocol: connect to a daemon's Unix-domain
+    socket, submit one request, and stream the job's event trace until
+    the terminal event.  Used by [stoke submit] and the serve tests. *)
+
+type conn
+
+val connect : socket_path:string -> (conn, string) result
+val send : conn -> Protocol.request -> (unit, string) result
+
+val stream :
+  ?on_event:(Obs.Sink.event -> unit) ->
+  conn ->
+  (Obs.Sink.event, string) result
+(** Reads event lines, calling [on_event] on each (terminal included),
+    until [job_end] or [pong] arrives; returns that terminal event.
+    [Error] on disconnect or an unparseable line. *)
+
+val close : conn -> unit
+
+val submit :
+  socket_path:string ->
+  ?on_event:(Obs.Sink.event -> unit) ->
+  Protocol.request ->
+  (Obs.Sink.event, string) result
+(** [connect] + [send] + [stream] + [close]. *)
+
+val job_status : Obs.Sink.event -> string
+(** The ["status"] field of a terminal event (["error"] if absent). *)
+
+val job_result : Obs.Sink.event -> Obs.Json.t option

@@ -1,0 +1,76 @@
+type t = {
+  state_dir : string;
+  lock : Mutex.t;
+  cache : (string, Obs.Json.t) Hashtbl.t;
+}
+
+let create ~state_dir =
+  (try Unix.mkdir state_dir 0o755
+   with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  { state_dir; lock = Mutex.create (); cache = Hashtbl.create 64 }
+
+let digest_of_key key = Digest.to_hex (Digest.string key)
+
+let job_path t digest = Filename.concat t.state_dir (digest ^ ".job.json")
+let snap_path t digest = Filename.concat t.state_dir (digest ^ ".snap")
+
+let result_path t digest =
+  Filename.concat t.state_dir (digest ^ ".result.json")
+
+let read_json path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error _ -> None
+  | exception End_of_file -> None
+  | contents -> (
+    match Obs.Json.of_string (String.trim contents) with
+    | Ok j -> Some j
+    | Error _ -> None)
+
+let find t digest =
+  Mutex.lock t.lock;
+  let cached = Hashtbl.find_opt t.cache digest in
+  Mutex.unlock t.lock;
+  match cached with
+  | Some _ as r -> r
+  | None -> (
+    (* a result persisted by an earlier daemon incarnation is as good as
+       one computed in this process: search is deterministic per key *)
+    match read_json (result_path t digest) with
+    | None -> None
+    | Some j ->
+      Mutex.lock t.lock;
+      Hashtbl.replace t.cache digest j;
+      Mutex.unlock t.lock;
+      Some j)
+
+let store t digest result =
+  Search.Snapshot.atomic_write_string
+    ~path:(result_path t digest)
+    (Obs.Json.to_string result ^ "\n");
+  Mutex.lock t.lock;
+  Hashtbl.replace t.cache digest result;
+  Mutex.unlock t.lock
+
+let record_job t digest job_json =
+  Search.Snapshot.atomic_write_string ~path:(job_path t digest)
+    (Obs.Json.to_string job_json ^ "\n")
+
+let has_snapshot t digest = Sys.file_exists (snap_path t digest)
+
+let recover t =
+  let snaps = ref 0 and results = ref 0 in
+  (match Sys.readdir t.state_dir with
+   | exception Sys_error _ -> ()
+   | entries ->
+     Array.iter
+       (fun name ->
+         if Filename.check_suffix name ".snap" then incr snaps
+         else if Filename.check_suffix name ".result.json" then
+           incr results)
+       entries);
+  (!snaps, !results)

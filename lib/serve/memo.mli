@@ -1,0 +1,47 @@
+(** The daemon's durable job state: a cross-job memo table plus the
+    per-job file layout under the state directory.
+
+    Every job is addressed by the MD5 digest of a {e key} that covers
+    everything determining its answer — for optimize jobs the
+    {!Search.Snapshot.fingerprint} (spec, cost params, search config,
+    tests, domains) extended with the target's {!Program.hash}; for
+    frontier and validate jobs a canonical rendering of the request.
+    Three files may exist per digest:
+
+    - [<digest>.job.json] — the submitted request, for operators;
+    - [<digest>.snap] — the in-flight checkpoint ({!Search.Snapshot} or
+      {!Search.Frontier.snapshot}), written on the job's cadence so a
+      killed daemon resumes instead of restarting;
+    - [<digest>.result.json] — the terminal [job_end] result payload.
+
+    All writes go through {!Search.Snapshot.atomic_write_string}, so a
+    crash never leaves a torn file and concurrent writers (two workers
+    racing on the same key) cannot corrupt each other.
+
+    The in-memory cache is just a read-through accelerator over the
+    result files; a fresh daemon finds every completed job's answer on
+    disk.  All operations are thread-safe. *)
+
+type t
+
+val create : state_dir:string -> t
+(** Creates [state_dir] if missing (one level). *)
+
+val digest_of_key : string -> string
+
+val job_path : t -> string -> string
+val snap_path : t -> string -> string
+val result_path : t -> string -> string
+
+val find : t -> string -> Obs.Json.t option
+(** Memory first, then disk; a disk hit populates the cache. *)
+
+val store : t -> string -> Obs.Json.t -> unit
+(** Atomic result write + cache fill. *)
+
+val record_job : t -> string -> Obs.Json.t -> unit
+val has_snapshot : t -> string -> bool
+
+val recover : t -> int * int
+(** [(in_flight_snapshots, completed_results)] found on disk — the
+    startup scan's numbers for the [serve_recover] log event. *)

@@ -308,6 +308,68 @@ let sink_tests =
             | Ok ev ->
               Alcotest.(check string) "name" name ev.Obs.Sink.name)
           lines [ "first"; "second" ]);
+    Alcotest.test_case "shared file sink survives multi-domain writers" `Quick
+      (fun () ->
+        (* Regression: per-event channel writes used to be three separate
+           operations (string, newline, flush), so domains sharing one
+           sink interleaved partial lines into unparseable JSONL.  Every
+           line must now parse and every event must arrive. *)
+        let domains = 4 and per_domain = 40 in
+        let path = Filename.temp_file "obs_stress" ".jsonl" in
+        Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+        let s = Obs.Sink.to_file path in
+        (* events larger than the channel buffer force a mid-event write
+           syscall — a scheduling point that reliably exposed the race
+           even on one core *)
+        let filler = String.make (96 * 1024) 'x' in
+        let go = Atomic.make false in
+        let worker d () =
+          while not (Atomic.get go) do
+            Domain.cpu_relax ()
+          done;
+          for i = 0 to per_domain - 1 do
+            Obs.Sink.emit s "stress"
+              [
+                ("domain", Obs.Json.Int d);
+                ("i", Obs.Json.Int i);
+                ("filler", Obs.Json.String filler);
+              ]
+          done
+        in
+        let hs = Array.init domains (fun d -> Domain.spawn (worker d)) in
+        Atomic.set go true;
+        Array.iter Domain.join hs;
+        Obs.Sink.close s;
+        let ic = open_in path in
+        let lines = ref [] in
+        (try
+           while true do
+             lines := input_line ic :: !lines
+           done
+         with End_of_file -> close_in ic);
+        let lines = List.rev !lines in
+        Alcotest.(check int) "every event on its own line"
+          (domains * per_domain) (List.length lines);
+        let seen = Array.make_matrix domains per_domain false in
+        List.iter
+          (fun line ->
+            match Obs.Sink.event_of_string line with
+            | Error e -> Alcotest.failf "unparseable line %S: %s" line e
+            | Ok ev ->
+              let geti k =
+                match List.assoc_opt k ev.Obs.Sink.fields with
+                | Some (Obs.Json.Int v) -> v
+                | _ -> Alcotest.failf "line %S lost field %s" line k
+              in
+              seen.(geti "domain").(geti "i") <- true)
+          lines;
+        Array.iteri
+          (fun d row ->
+            Array.iteri
+              (fun i ok ->
+                if not ok then Alcotest.failf "event %d/%d missing" d i)
+              row)
+          seen);
     Alcotest.test_case "event serialization round-trips" `Quick (fun () ->
         let ev =
           {

@@ -978,6 +978,58 @@ let orchestrator_tests =
              { config with
                Search.Optimizer.stop_when = Search.Control.First_correct }
              params tests 2));
+    Alcotest.test_case "concurrent writers to one snapshot path never tear"
+      `Quick (fun () ->
+        (* Regression: the staging file used to be the fixed
+           [path ^ ".tmp"], so two concurrent checkpoints could open the
+           same tmp, interleave bytes, and rename a half-written (or
+           foreign, already-renamed) image into place.  Two domains now
+           hammer one path; every read-back must parse as one writer's
+           complete snapshot. *)
+        let path = Filename.temp_file "stoke_snap_race" ".json" in
+        Fun.protect
+          ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+          (fun () ->
+            (* a long stop_reason makes each write span several syscalls,
+               widening the race window even on one core *)
+            let mk tag =
+              {
+                Search.Snapshot.version = Search.Snapshot.current_version;
+                fingerprint = tag;
+                domains = 1;
+                stop_reason = Some (String.make 65_536 tag.[0]);
+                elapsed_s = 1.0;
+                chains = [| None |];
+              }
+            in
+            let iterations = 150 in
+            let failure = Atomic.make "" in
+            let go = Atomic.make false in
+            let writer tag () =
+              let snap = mk tag in
+              while not (Atomic.get go) do
+                Domain.cpu_relax ()
+              done;
+              for _ = 1 to iterations do
+                (try Search.Snapshot.write ~path snap
+                 with Sys_error e ->
+                   Atomic.set failure ("write raced: " ^ e));
+                match Search.Snapshot.read ~path with
+                | Ok s ->
+                  if
+                    s.Search.Snapshot.fingerprint <> "a"
+                    && s.Search.Snapshot.fingerprint <> "b"
+                  then Atomic.set failure "foreign snapshot content"
+                | Error e -> Atomic.set failure ("torn snapshot: " ^ e)
+              done
+            in
+            let d1 = Domain.spawn (writer "a") in
+            let d2 = Domain.spawn (writer "b") in
+            Atomic.set go true;
+            Domain.join d1;
+            Domain.join d2;
+            Alcotest.(check string) "no torn or raced snapshot" ""
+              (Atomic.get failure)));
     Alcotest.test_case "resume reproduces the uninterrupted winner" `Slow
       (fun () ->
         let spec = Kernels.Aek_kernels.add_spec in
@@ -1181,6 +1233,101 @@ let frontier_tests =
         Alcotest.(check int)
           "one frontier_demote event per demotion"
           fr.Search.Frontier.demotions demote_events);
+    Alcotest.test_case "counterexamples evict refuted earlier points" `Quick
+      (fun () ->
+        (* y = 2x, padded to latency 5 so a lone mulsd (also latency 5)
+           survives pick's no-slower rule *)
+        let bp_target =
+          Parser.parse_program_exn
+            "addsd xmm0, xmm0\nmovsd xmm0, xmm1\nmovsd xmm0, xmm2"
+        in
+        let bp_spec =
+          Sandbox.Spec.make ~name:"double_padded" ~program:bp_target
+            ~float_inputs:
+              [ Sandbox.Spec.Fin_xmm_f64
+                  (Reg.Xmm0, { Sandbox.Spec.lo = -8.; hi = 8. }) ]
+            ~outputs:[ Sandbox.Spec.Out_xmm_f64 Reg.Xmm0 ]
+            ()
+        in
+        (* the only base test is x = 2, where x·x = 2x exactly: the x·x
+           point injected below really was "validated" on everything the
+           tight-η search ever saw *)
+        let tests = [| Sandbox.Spec.testcase_of_floats bp_spec [| 2.0 |] |] in
+        let square = Parser.parse_program_exn "mulsd xmm0, xmm0" in
+        let cfg = frontier_cfg ~proposals:4 ~seed:7L () in
+        let settled =
+          {
+            Search.Frontier.eta = 0L;
+            rewrite = square;
+            loc = 1;
+            latency = Latency.of_program square;
+            speedup = 1.0;
+            validated_err = Some 0L;
+            warm = true;
+            proposals_used = 4;
+            demotions = 0;
+          }
+        in
+        let snap =
+          {
+            Search.Frontier.version = Search.Frontier.snapshot_version;
+            fingerprint = Search.Frontier.fingerprint cfg ~spec:bp_spec ~tests;
+            next = 1;
+            carry_rng =
+              Some (Rng.Xoshiro256.state (Rng.Xoshiro256.create 99L));
+            snap_total_proposals = 4;
+            snap_demotions = 0;
+            snap_points = [ settled ];
+            extra_tests = [];
+          }
+        in
+        (* at the loose η the walk seeds from x·x, so the candidate is a
+           non-target rewrite; refute it with x = 3 (9 vs 6), an input
+           that also refutes the settled x·x point at its η of 0 *)
+        let refute ~eta:_ rewrite =
+          let refuted = not (Program.equal rewrite bp_target) in
+          {
+            Search.Frontier.observed_err =
+              (if refuted then Int64.max_int else 0L);
+            refuted;
+            mixed = false;
+            val_iterations = 1;
+            counterexample = (if refuted then Some [| 3.0 |] else None);
+          }
+        in
+        let sink = Obs.Sink.memory () in
+        let fr =
+          Search.Frontier.run ~obs:sink ~validator:refute ~resume:snap
+            ~tests ~etas cfg bp_spec
+        in
+        (* the settled x·x point must be gone, not merely "hardened for
+           later points": a known input disproves its bound *)
+        (match fr.Search.Frontier.points with
+         | [ tight; loose ] ->
+           Alcotest.(check bool)
+             "refuted tight point evicted back to the target" true
+             (Program.equal tight.Search.Frontier.rewrite bp_target);
+           Alcotest.(check (option int64))
+             "evicted point is exact" (Some 0L)
+             tight.Search.Frontier.validated_err;
+           Alcotest.(check bool)
+             "eviction counts as a demotion" true
+             (tight.Search.Frontier.demotions >= 1);
+           Alcotest.(check bool)
+             "loose point never keeps a refuted rewrite" true
+             (Program.equal loose.Search.Frontier.rewrite bp_target)
+         | ps ->
+           Alcotest.failf "expected 2 points, got %d" (List.length ps));
+        Alcotest.(check bool) "counterexample fed back" true
+          (fr.Search.Frontier.tests_added >= 1);
+        let backprops =
+          List.filter
+            (fun (e : Obs.Sink.event) ->
+              e.Obs.Sink.name = "frontier_backprop")
+            (Obs.Sink.drain sink)
+        in
+        Alcotest.(check bool) "frontier_backprop event emitted" true
+          (List.length backprops >= 1));
     Alcotest.test_case "sound prover promotes without validation budget" `Quick
       (fun () ->
         let proposals = 3_000 and seed = 11L in
