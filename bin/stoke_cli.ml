@@ -1337,7 +1337,7 @@ let socket_arg =
 
 let serve_cmd =
   let run socket state_dir workers max_queue deadline checkpoint_every
-      max_domains trace_out =
+      io_timeout max_domains trace_out =
     let log = make_sink ~trace_out ~progress:None in
     let cfg =
       {
@@ -1348,6 +1348,7 @@ let serve_cmd =
         max_queue;
         default_deadline_s = deadline;
         checkpoint_every_s = checkpoint_every;
+        io_timeout_s = io_timeout;
         max_domains;
         log;
       }
@@ -1398,6 +1399,16 @@ let serve_cmd =
       & info [ "checkpoint-every" ] ~docv:"SECS"
           ~doc:"Snapshot cadence for running jobs (default 10).")
   in
+  let io_timeout_arg =
+    Arg.(
+      value & opt float 30.
+      & info [ "io-timeout" ] ~docv:"SECS"
+          ~doc:
+            "Per-connection socket read/write timeout: a client that \
+             never sends its request, or stops draining its event \
+             stream, is disconnected after $(docv) seconds (default \
+             30).")
+  in
   let max_domains_arg =
     Arg.(
       value & opt int 4
@@ -1411,8 +1422,8 @@ let serve_cmd =
           job state, cross-job result memoization)")
     Term.(
       const run $ socket_arg $ state_dir_arg $ workers_arg $ max_queue_arg
-      $ deadline_arg $ checkpoint_every_arg $ max_domains_arg
-      $ trace_out_arg)
+      $ deadline_arg $ checkpoint_every_arg $ io_timeout_arg
+      $ max_domains_arg $ trace_out_arg)
 
 (* ----- submit ----- *)
 

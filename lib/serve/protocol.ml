@@ -65,58 +65,96 @@ let request_to_string r = Obs.Json.to_string (request_to_json r)
 
 (* ---------- decoding ---------- *)
 
+let ( let* ) = Result.bind
+
 let str_field j key =
   match Obs.Json.member key j with
   | Some (Obs.Json.String s) -> Some s
   | _ -> None
 
+(* Job-defining fields are strict: a field that is present but
+   unparseable is a rejection, never a silent default — a mistyped
+   request must not run a real, expensive job with parameters the
+   client never asked for.  Only genuinely absent optional fields
+   default. *)
+
 let int_field ~default j key =
   match Obs.Json.member key j with
-  | Some v -> Option.value ~default (Obs.Json.to_int_opt v)
-  | None -> default
+  | None -> Ok default
+  | Some v -> (
+    match Obs.Json.to_int_opt v with
+    | Some i -> Ok i
+    | None -> Error (Printf.sprintf "%s: expected an integer" key))
 
-let float_field j key =
-  Option.bind (Obs.Json.member key j) Obs.Json.to_float_opt
+let opt_float_field j key =
+  match Obs.Json.member key j with
+  | None -> Ok None
+  | Some v -> (
+    match Obs.Json.to_float_opt v with
+    | Some f -> Ok (Some f)
+    | None -> Error (Printf.sprintf "%s: expected a number" key))
+
+let req_float_field j key =
+  match Obs.Json.member key j with
+  | None -> Error (Printf.sprintf "missing %s field" key)
+  | Some v -> (
+    match Obs.Json.to_float_opt v with
+    | Some f -> Ok f
+    | None -> Error (Printf.sprintf "%s: expected a number" key))
 
 let request_of_json j =
   match j with
   | Obs.Json.Obj _ -> (
-    let kernel = Option.value ~default:"" (str_field j "kernel") in
     let tenant =
       match str_field j "tenant" with
       | Some t when t <> "" -> t
       | _ -> default_tenant
     in
-    let deadline_s = float_field j "deadline_s" in
-    let eta () = Option.value ~default:0. (float_field j "eta") in
-    let proposals () = int_field ~default:200_000 j "proposals" in
-    let seed () = int_field ~default:1 j "seed" in
-    let mk action = Ok { kernel; tenant; deadline_s; action } in
+    let* deadline_s = opt_float_field j "deadline_s" in
+    (* job ops execute a registry kernel; requiring the field here keeps
+       a missing or typo'd kernel from surfacing downstream as the
+       misleading [unknown kernel ""] *)
+    let kernel_req () =
+      match str_field j "kernel" with
+      | Some k when k <> "" -> Ok k
+      | _ -> Error "missing kernel field"
+    in
+    let mk kernel action = Ok { kernel; tenant; deadline_s; action } in
+    let mk_control action =
+      mk (Option.value ~default:"" (str_field j "kernel")) action
+    in
     match str_field j "op" with
-    | Some "ping" -> mk Ping
-    | Some "shutdown" -> mk Shutdown
+    | Some "ping" -> mk_control Ping
+    | Some "shutdown" -> mk_control Shutdown
     | Some "optimize" ->
-      mk
-        (Optimize
-           {
-             eta = eta ();
-             proposals = proposals ();
-             seed = seed ();
-             domains = int_field ~default:1 j "domains";
-           })
+      let* kernel = kernel_req () in
+      let* eta = req_float_field j "eta" in
+      let* proposals = int_field ~default:200_000 j "proposals" in
+      let* seed = int_field ~default:1 j "seed" in
+      let* domains = int_field ~default:1 j "domains" in
+      mk kernel (Optimize { eta; proposals; seed; domains })
     | Some "frontier" -> (
+      let* kernel = kernel_req () in
+      let* proposals = int_field ~default:200_000 j "proposals" in
+      let* seed = int_field ~default:1 j "seed" in
       match Obs.Json.member "etas" j with
       | Some (Obs.Json.List l) -> (
-        let etas = List.filter_map Obs.Json.to_float_opt l in
-        match etas with
-        | [] -> Error "frontier: empty or non-numeric etas"
-        | _ ->
-          mk (Frontier { etas; proposals = proposals (); seed = seed () }))
-      | _ -> Error "frontier: missing etas list")
+        let etas = List.map Obs.Json.to_float_opt l in
+        match (etas, List.exists Option.is_none etas) with
+        | [], _ | _, true ->
+          Error "frontier: etas must be a non-empty list of numbers"
+        | _, false ->
+          mk kernel
+            (Frontier
+               { etas = List.filter_map Fun.id etas; proposals; seed }))
+      | Some _ -> Error "frontier: etas must be a list"
+      | None -> Error "frontier: missing etas list")
     | Some "validate" -> (
+      let* kernel = kernel_req () in
+      let* eta = req_float_field j "eta" in
+      let* seed = int_field ~default:1 j "seed" in
       match str_field j "rewrite" with
-      | Some rw when rw <> "" ->
-        mk (Validate { eta = eta (); rewrite = rw; seed = seed () })
+      | Some rw when rw <> "" -> mk kernel (Validate { eta; rewrite = rw; seed })
       | _ -> Error "validate: missing rewrite text")
     | Some op -> Error (Printf.sprintf "unknown op %S" op)
     | None -> Error "missing op field")

@@ -41,6 +41,15 @@ val request_to_string : request -> string
 (** One line, no trailing newline. *)
 
 val request_of_json : Obs.Json.t -> (request, string) result
+(** Strict on job-defining fields: [kernel] and [eta] are required for
+    job ops ([eta] for optimize/validate), and a field that is present
+    but unparseable ([proposals], [seed], [domains], [deadline_s],
+    [etas] entries) is an [Error], never a silent default — a mistyped
+    request must not run an expensive job with parameters the client
+    never asked for.  Absent optional fields still default
+    ([proposals] 200k, [seed] 1, [domains] 1, tenant
+    {!default_tenant}). *)
+
 val request_of_string : string -> (request, string) result
 
 (** {2 Result payloads} — the ["result"] field of a [job_end] event,

@@ -5,6 +5,7 @@ type config = {
   max_queue : int;
   default_deadline_s : float option;
   checkpoint_every_s : float;
+  io_timeout_s : float;
   max_domains : int;
   kernels : (string * Sandbox.Spec.t) list;
   log : Obs.Sink.t;
@@ -18,6 +19,7 @@ let default_config ~socket_path ~state_dir ~kernels =
     max_queue = 64;
     default_deadline_s = None;
     checkpoint_every_s = 10.;
+    io_timeout_s = 30.;
     max_domains = 4;
     kernels;
     log = Obs.Sink.null;
@@ -33,11 +35,17 @@ let default_config ~socket_path ~state_dir ~kernels =
 type client = {
   oc : out_channel;
   c_lock : Mutex.t;
-  mutable dead : bool;
+  mutable dead : bool;  (** no further writes will be attempted *)
+  mutable closed : bool;  (** the socket fd has been released *)
 }
 
 let client_of_fd fd =
-  { oc = Unix.out_channel_of_descr fd; c_lock = Mutex.create (); dead = false }
+  {
+    oc = Unix.out_channel_of_descr fd;
+    c_lock = Mutex.create ();
+    dead = false;
+    closed = false;
+  }
 
 let send_line cl line =
   Mutex.lock cl.c_lock;
@@ -49,7 +57,13 @@ let send_line cl line =
           output_string cl.oc line;
           output_char cl.oc '\n';
           flush cl.oc
-        with Sys_error _ | Unix.Unix_error _ -> cl.dead <- true)
+        with Sys_error _ | Unix.Unix_error _ ->
+          (* release the fd now, not when the job eventually ends: a
+             daemon that held every mid-stream disconnect until its job
+             finished would bleed descriptors *)
+          cl.dead <- true;
+          cl.closed <- true;
+          close_out_noerr cl.oc)
 
 let client_sink cl =
   Obs.Sink.callback (fun ev -> send_line cl (Obs.Sink.event_to_string ev))
@@ -59,9 +73,10 @@ let close_client cl =
   Fun.protect
     ~finally:(fun () -> Mutex.unlock cl.c_lock)
     (fun () ->
-      if not cl.dead then begin
-        cl.dead <- true;
-        try close_out cl.oc with Sys_error _ | Unix.Unix_error _ -> ()
+      cl.dead <- true;
+      if not cl.closed then begin
+        cl.closed <- true;
+        close_out_noerr cl.oc
       end)
 
 (* ---------- job plans ---------- *)
@@ -285,7 +300,12 @@ let run_plan st job ctl =
            the key forever — fall back to a fresh run *)
         try run resume with Invalid_argument _ -> run None)
     in
-    (Protocol.optimize_result_json job.spec r, Option.is_some resume)
+    let completed =
+      match r.Search.Optimizer.stop_reason with
+      | Search.Control.Exhausted | Search.Control.Policy_satisfied -> true
+      | Search.Control.Deadline_hit | Search.Control.Cancelled -> false
+    in
+    (Protocol.optimize_result_json job.spec r, Option.is_some resume, completed)
   | P_frontier { config; etas; seed } ->
     let resume =
       if Memo.has_snapshot st.memo job.digest then
@@ -306,10 +326,17 @@ let run_plan st job ctl =
       | None -> run None
       | Some _ -> ( try run resume with Invalid_argument _ -> run None)
     in
-    (Protocol.frontier_result_json r, Option.is_some resume)
+    (* the walk applies the deadline per point, so a truncated run is
+       indistinguishable from a full-budget one in the result itself;
+       only deadline-free walks are complete in the memoizable sense
+       (shutdown never cancels frontier controls — they are created
+       inside the walk) *)
+    ( Protocol.frontier_result_json r,
+      Option.is_some resume,
+      Option.is_none (deadline_of st job) )
   | P_validate { vconfig; eta; rewrite } ->
     let v = Stoke.validate ~config:vconfig ~obs:sink ~eta job.spec rewrite in
-    (Protocol.validate_result_json v, false)
+    (Protocol.validate_result_json v, false, true)
 
 let execute st worker_idx job ctl =
   match Memo.find st.memo job.digest with
@@ -327,8 +354,13 @@ let execute st worker_idx job ctl =
           ("resumed", Obs.Json.Bool (Memo.has_snapshot st.memo job.digest));
         ];
       match run_plan st job ctl with
-      | result, resumed ->
-        Memo.store st.memo job.digest result;
+      | result, resumed, completed ->
+        (* Memoize only completed runs.  A Cancelled (graceful drain) or
+           Deadline_hit result is partial: storing it would serve the
+           truncation forever to identical requests with a longer or no
+           deadline, and would shadow the checkpoint — which stays
+           authoritative, so resubmitting resumes the work instead. *)
+        if completed then Memo.store st.memo job.digest result;
         finish_job st job ~status:"ok" ~cached:false
           [ ("resumed", Obs.Json.Bool resumed); ("result", result) ]
       | exception e ->
@@ -518,23 +550,69 @@ let run ?(on_ready = fun (_ : t) -> ()) cfg =
     List.init (Stdlib.max 1 cfg.workers) (fun i ->
         Thread.create (fun () -> worker st i) ())
   in
-  let conns = ref [] in
-  (try
-     while not st.shutting_down do
-       let fd, _ = Unix.accept sock in
-       if st.shutting_down then Unix.close fd
-       else
-         conns :=
-           Thread.create (fun () -> handle_connection st fd) () :: !conns
-     done
-   with
-  | Unix.Unix_error ((Unix.EBADF | Unix.EINVAL | Unix.ECONNABORTED), _, _)
-  -> ()
-  | Unix.Unix_error (Unix.EINTR, _, _) -> initiate_shutdown st);
+  (* Live connection handlers only: each handler prunes its own entry
+     on exit, so the table does not grow one Thread.t per connection
+     ever accepted over the daemon's lifetime. *)
+  let conns : (int, Thread.t) Hashtbl.t = Hashtbl.create 16 in
+  let conns_m = Mutex.create () in
+  let next_conn = ref 0 in
+  let spawn fd =
+    (* a peer may neither send its request nor drain its event stream;
+       socket timeouts bound both directions so a stuck client cannot
+       pin a handler thread (or graceful shutdown) indefinitely *)
+    (try
+       Unix.setsockopt_float fd Unix.SO_RCVTIMEO cfg.io_timeout_s;
+       Unix.setsockopt_float fd Unix.SO_SNDTIMEO cfg.io_timeout_s
+     with Unix.Unix_error _ | Invalid_argument _ -> ());
+    Mutex.lock conns_m;
+    let id = !next_conn in
+    incr next_conn;
+    let th =
+      Thread.create
+        (fun () ->
+          Fun.protect
+            ~finally:(fun () ->
+              Mutex.lock conns_m;
+              Hashtbl.remove conns id;
+              Mutex.unlock conns_m)
+            (fun () -> handle_connection st fd))
+        ()
+    in
+    Hashtbl.replace conns id th;
+    Mutex.unlock conns_m
+  in
+  let rec accept_loop () =
+    if not st.shutting_down then
+      match Unix.accept sock with
+      | fd, _ ->
+        if st.shutting_down then Unix.close fd else spawn fd;
+        accept_loop ()
+      | exception Unix.Unix_error ((Unix.EMFILE | Unix.ENFILE), _, _) ->
+        (* descriptor exhaustion sheds load, it must not kill the
+           daemon; pressure drains as handlers close their sockets *)
+        Obs.Sink.emit cfg.log "serve_accept_overload" [];
+        Unix.sleepf 0.05;
+        accept_loop ()
+      | exception Unix.Unix_error ((Unix.ECONNABORTED | Unix.EINTR), _, _)
+        ->
+        (* EINTR: a signal landed — if its handler requested shutdown,
+           the shutting_down check above ends the loop *)
+        accept_loop ()
+      | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) ->
+        (* the listener was shut down under us *)
+        ()
+  in
+  accept_loop ();
   initiate_shutdown st;
   (try Unix.close sock with Unix.Unix_error _ -> ());
   List.iter Thread.join workers;
-  List.iter Thread.join !conns;
+  let live =
+    Mutex.lock conns_m;
+    let l = Hashtbl.fold (fun _ th acc -> th :: acc) conns [] in
+    Mutex.unlock conns_m;
+    l
+  in
+  List.iter Thread.join live;
   (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
   Obs.Sink.emit cfg.log "serve_stop" []
 

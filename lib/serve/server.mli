@@ -24,7 +24,10 @@
     or {!shutdown}) cancels in-flight optimize jobs via
     {!Search.Control.Cancelled}; their checkpoints survive, so the work
     is paused, not lost.  Frontier and validate jobs are bounded by
-    their deadline only.
+    their deadline only.  A partial result (deadline hit or cancelled)
+    is still returned to its client but {b never memoized}: the
+    checkpoint stays authoritative, so resubmitting the request resumes
+    the remaining work instead of replaying the truncation forever.
 
     {b Telemetry.}  The [log] sink receives the daemon's own events —
     [serve_start], [serve_recover], [serve_stop], [job_submit],
@@ -40,6 +43,11 @@ type config = {
   max_queue : int;  (** queued-job bound; beyond it jobs are rejected *)
   default_deadline_s : float option;
   checkpoint_every_s : float;  (** snapshot cadence for running jobs *)
+  io_timeout_s : float;
+      (** per-connection socket read/write timeout: a client that never
+          sends its request, or stops draining its event stream, is
+          disconnected after this many seconds instead of pinning a
+          handler thread (or graceful shutdown) forever *)
   max_domains : int;  (** per-job cap on requested search domains *)
   kernels : (string * Sandbox.Spec.t) list;  (** the job registry *)
   log : Obs.Sink.t;
@@ -51,7 +59,7 @@ val default_config :
   kernels:(string * Sandbox.Spec.t) list ->
   config
 (** 1 worker, queue bound 64, no default deadline, 10 s checkpoint
-    cadence, 4 domains max, null log. *)
+    cadence, 30 s socket timeout, 4 domains max, null log. *)
 
 type t
 (** A running server's handle — only useful for {!shutdown}. *)

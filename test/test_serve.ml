@@ -173,6 +173,42 @@ let protocol_tests =
         match Serve.Protocol.request_of_string {|{"op": "launch_missiles"}|} with
         | Error _ -> ()
         | Ok _ -> Alcotest.fail "parsed unknown op");
+    Alcotest.test_case "job-defining fields are strict" `Quick (fun () ->
+        (* present-but-malformed fields must reject the request, not
+           silently run an expensive job with unintended parameters *)
+        let reject what line =
+          match Serve.Protocol.request_of_string line with
+          | Error _ -> ()
+          | Ok _ -> Alcotest.failf "accepted %s" what
+        in
+        reject "optimize without eta" {|{"op":"optimize","kernel":"add"}|};
+        reject "optimize without kernel" {|{"op":"optimize","eta":0}|};
+        reject "non-numeric proposals"
+          {|{"op":"optimize","kernel":"add","eta":0,"proposals":"many"}|};
+        reject "non-numeric seed"
+          {|{"op":"optimize","kernel":"add","eta":0,"seed":null}|};
+        reject "non-numeric deadline"
+          {|{"op":"optimize","kernel":"add","eta":0,"deadline_s":"soon"}|};
+        reject "validate without eta"
+          {|{"op":"validate","kernel":"add","rewrite":"addsd xmm0, xmm1"}|};
+        reject "frontier with a non-numeric eta"
+          {|{"op":"frontier","kernel":"add","etas":[0,"tight"]}|};
+        (* absent optional fields still default *)
+        match
+          Serve.Protocol.request_of_string
+            {|{"op":"optimize","kernel":"add","eta":0}|}
+        with
+        | Ok
+            {
+              Serve.Protocol.action =
+                Serve.Protocol.Optimize { proposals; seed; domains; _ };
+              _;
+            } ->
+          Alcotest.(check int) "default proposals" 200_000 proposals;
+          Alcotest.(check int) "default seed" 1 seed;
+          Alcotest.(check int) "default domains" 1 domains
+        | Ok _ -> Alcotest.fail "parsed to a different action"
+        | Error e -> Alcotest.failf "rejected a minimal request: %s" e);
   ]
 
 (* Kill-and-resume durability.  This test forks, so it runs before any
@@ -331,6 +367,128 @@ let smoke_tests =
         Alcotest.(check bool)
           "memo hit after restart" true (bool_field term3 "cached");
         stop_inproc cfg th);
+    Alcotest.test_case "a deadline-truncated run is not memoized" `Slow
+      (fun () ->
+        require_sockets ();
+        let cfg = mk_config (tmpdir ()) in
+        let sock = cfg.Serve.Server.socket_path in
+        let th = start_inproc cfg in
+        let req = opt_request ~proposals:500_000 ~seed:5 () in
+        let truncated = { req with Serve.Protocol.deadline_s = Some 0.05 } in
+        let term =
+          get_ok ~what:"truncated job"
+            (Serve.Client.submit ~socket_path:sock truncated)
+        in
+        Alcotest.(check string)
+          "partial result still delivered" "ok" (Serve.Client.job_status term);
+        let stop_reason =
+          match Serve.Client.job_result term with
+          | Some r -> (
+            match Obs.Json.member "stop_reason" r with
+            | Some (Obs.Json.String s) -> s
+            | _ -> "")
+          | None -> ""
+        in
+        (* 500k proposals in 50 ms is beyond this hardware; but if the
+           run somehow completed, memoizing it was correct and the
+           regression below is vacuous *)
+        if stop_reason = "deadline" then begin
+          let term2 =
+            get_ok ~what:"resubmit"
+              (Serve.Client.submit ~socket_path:sock truncated)
+          in
+          Alcotest.(check bool)
+            "the truncation was not served from the memo" false
+            (bool_field term2 "cached")
+        end;
+        stop_inproc cfg th);
+    Alcotest.test_case "graceful drain pauses a job instead of memoizing it"
+      `Slow (fun () ->
+        require_sockets ();
+        let cfg = mk_config (tmpdir ()) in
+        let sock = cfg.Serve.Server.socket_path in
+        let th = start_inproc cfg in
+        let req = opt_request ~proposals:200_000 ~seed:13 () in
+        (* submit a long job, then shut the daemon down mid-run: the job
+           is cancelled, its partial result delivered but NOT memoized *)
+        let started = ref false in
+        let terminal = ref None in
+        let submitter =
+          Thread.create
+            (fun () ->
+              terminal :=
+                Some
+                  (Serve.Client.submit ~socket_path:sock
+                     ~on_event:(fun ev ->
+                       if ev.Obs.Sink.name = "job_start" then started := true)
+                     req))
+            ()
+        in
+        wait_for ~timeout_s:30. ~what:"job_start" (fun () -> !started);
+        Unix.sleepf 0.1 (* let a checkpoint land *);
+        stop_inproc cfg th;
+        Thread.join submitter;
+        let term =
+          match !terminal with
+          | Some t -> get_ok ~what:"cancelled job" t
+          | None -> Alcotest.fail "submitter returned nothing"
+        in
+        Alcotest.(check string)
+          "partial result still delivered" "ok" (Serve.Client.job_status term);
+        let stop_reason =
+          match Serve.Client.job_result term with
+          | Some r -> (
+            match Obs.Json.member "stop_reason" r with
+            | Some (Obs.Json.String s) -> s
+            | _ -> "")
+          | None -> ""
+        in
+        (* restart on the same state dir and resubmit: the job must
+           resume from its checkpoint, not hit the memo with the
+           truncated result *)
+        let th = start_inproc cfg in
+        let term2 =
+          get_ok ~what:"resubmit after drain"
+            (Serve.Client.submit ~socket_path:sock req)
+        in
+        Alcotest.(check string)
+          "resumed job completes" "ok" (Serve.Client.job_status term2);
+        if stop_reason = "cancelled" then
+          Alcotest.(check bool)
+            "the truncation was not served from the memo" false
+            (bool_field term2 "cached");
+        (match Serve.Client.job_result term2 with
+        | Some r ->
+          Alcotest.(check string) "second run finishes its budget" "exhausted"
+            (match Obs.Json.member "stop_reason" r with
+            | Some (Obs.Json.String s) -> s
+            | _ -> "")
+        | None -> Alcotest.fail "no result payload");
+        stop_inproc cfg th);
+    Alcotest.test_case "an idle connection does not wedge shutdown" `Slow
+      (fun () ->
+        require_sockets ();
+        let cfg =
+          { (mk_config (tmpdir ())) with Serve.Server.io_timeout_s = 0.3 }
+        in
+        let sock = cfg.Serve.Server.socket_path in
+        let th = start_inproc cfg in
+        (* connect and never send a request: the read timeout must
+           reclaim the handler so the drain below can finish *)
+        let idle =
+          get_ok ~what:"idle connect" (Serve.Client.connect ~socket_path:sock)
+        in
+        let stopped = ref false in
+        let _watchdog =
+          Thread.create
+            (fun () ->
+              stop_inproc cfg th;
+              stopped := true)
+            ()
+        in
+        wait_for ~timeout_s:10. ~what:"shutdown despite an idle connection"
+          (fun () -> !stopped);
+        Serve.Client.close idle);
     Alcotest.test_case "two tenants share the pool fairly" `Slow (fun () ->
         require_sockets ();
         let cfg = mk_config (tmpdir ()) in
